@@ -1,0 +1,44 @@
+// Ablation: is intra-node contention really what breaks Kebnekaise's tiled
+// matmul scaling (the paper's Fig. 9 explanation)? Rerun Fig. 8's
+// Kebnekaise K80 series with the shared per-node resources (disk, NIC, QPI,
+// host memory, card links) made private — if the paper's explanation holds,
+// the 2->4 GPU collapse disappears.
+#include <cstdio>
+
+#include "apps/tiled_matmul.h"
+#include "bench_util.h"
+
+using namespace tfhpc;
+
+int main() {
+  bench::Header("Ablation — intra-node contention on Kebnekaise (Fig. 9)",
+                "DESIGN.md ablation 4: contention off should restore ~2x "
+                "scaling, supporting the paper's NUMA/PCIe/NIC explanation");
+
+  std::printf("%-22s | %10s %10s %10s | 2->4\n", "model", "2 GPU", "4 GPU",
+              "8 GPU");
+  bench::Rule();
+  for (bool contention : {true, false}) {
+    sim::MachineConfig cfg = sim::KebnekaiseConfig(sim::GpuKind::kK80);
+    cfg.contention = contention;
+    double gflops[3];
+    int idx = 0;
+    for (int gpus : {2, 4, 8}) {
+      apps::TiledMatmulOptions opts;
+      opts.n = 32768;
+      opts.tile = 8192;
+      opts.num_workers = gpus;
+      auto r = apps::SimulateTiledMatmul(cfg, sim::Protocol::kRdma, opts);
+      if (!r.ok()) {
+        std::printf("simulate failed: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      gflops[idx++] = r->gflops;
+    }
+    std::printf("%-22s | %10.0f %10.0f %10.0f | %.2fx\n",
+                contention ? "shared links (paper)" : "private links",
+                gflops[0], gflops[1], gflops[2], gflops[1] / gflops[0]);
+  }
+  bench::Rule();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: reducer count in the tiled matmul (DESIGN.md ablation 2). The
+// paper fixes 2 reducers with odd/even target parity; this sweeps 1/2/4 to
+// show where the single-consumer ingest path saturates.
+#include <cstdio>
+
+#include "apps/tiled_matmul.h"
+#include "bench_util.h"
+
+using namespace tfhpc;
+
+int main() {
+  bench::Header("Ablation — number of reducers in tiled matmul",
+                "DESIGN.md ablation 2 (paper fixes 2 reducers)");
+
+  std::printf("%-14s | %12s %12s %12s %12s\n", "platform", "1 reducer",
+              "2 reducers", "4 reducers", "8 reducers");
+  bench::Rule();
+  struct Row {
+    const char* label;
+    sim::MachineConfig cfg;
+    int64_t tile;
+    int gpus;
+  };
+  const Row rows[] = {
+      {"Tegner K420", sim::TegnerConfig(sim::GpuKind::kK420), 4096, 8},
+      {"Keb K80", sim::KebnekaiseConfig(sim::GpuKind::kK80), 8192, 16},
+  };
+  for (const Row& row : rows) {
+    double gflops[4];
+    int idx = 0;
+    for (int reducers : {1, 2, 4, 8}) {
+      apps::TiledMatmulOptions opts;
+      opts.n = 32768;
+      opts.tile = row.tile;
+      opts.num_workers = row.gpus;
+      opts.num_reducers = reducers;
+      auto r = apps::SimulateTiledMatmul(row.cfg, sim::Protocol::kRdma, opts);
+      if (!r.ok()) {
+        std::printf("simulate failed: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      gflops[idx++] = r->gflops;
+    }
+    std::printf("%-14s | %12.0f %12.0f %12.0f %12.0f\n", row.label, gflops[0],
+                gflops[1], gflops[2], gflops[3]);
+  }
+  bench::Rule();
+  std::printf("(Gflops/s at fixed GPU count, N=32768)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: tile size in the tiled matmul (DESIGN.md ablation 3). The paper
+// uses 4096 on K420 ("to increase utilization") and 8192 on K80; this sweep
+// shows the trade-off: small tiles lose to per-step overhead and transfer
+// count, huge tiles stop fitting GPU memory.
+#include <cstdio>
+
+#include "apps/tiled_matmul.h"
+#include "bench_util.h"
+
+using namespace tfhpc;
+
+int main() {
+  bench::Header("Ablation — tile size in tiled matmul",
+                "DESIGN.md ablation 3 (paper: 4096 on K420, 8192 on K80)");
+
+  std::printf("%-14s | %10s %10s %10s %10s\n", "platform", "2048", "4096",
+              "8192", "16384");
+  bench::Rule();
+  struct Row {
+    const char* label;
+    sim::MachineConfig cfg;
+  };
+  const Row rows[] = {
+      {"Tegner K420", sim::TegnerConfig(sim::GpuKind::kK420)},
+      {"Tegner K80", sim::TegnerConfig(sim::GpuKind::kK80)},
+  };
+  for (const Row& row : rows) {
+    std::printf("%-14s |", row.label);
+    for (int64_t tile : {2048, 4096, 8192, 16384}) {
+      apps::TiledMatmulOptions opts;
+      opts.n = 32768;
+      opts.tile = tile;
+      opts.num_workers = 4;
+      auto r = apps::SimulateTiledMatmul(row.cfg, sim::Protocol::kRdma, opts);
+      if (r.ok()) {
+        std::printf(" %10.0f", r->gflops);
+      } else if (r.status().code() == Code::kResourceExhausted) {
+        std::printf(" %10s", "OOM");
+      } else {
+        std::printf("simulate failed: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("\n");
+  }
+  bench::Rule();
+  std::printf("(Gflops/s, N=32768, 4 GPUs; OOM = 3 tiles exceed GPU memory)\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Shared formatting helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace tfhpc::bench {
+
+inline void Header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==== %s ====\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+}
+
+inline void Rule() {
+  std::printf("-------------------------------------------------------------"
+              "-------------\n");
+}
+
+}  // namespace tfhpc::bench

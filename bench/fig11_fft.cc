@@ -1,0 +1,80 @@
+// Reproduces Fig. 11: distributed FFT strong scaling (Gflops/s) on Tegner —
+// K420: N = 2^29 in 64 tiles; K80: N = 2^31 in 128 tiles; one merger plus
+// 2/4/8 GPUs; the timed region ends when the merger has collected all tiles
+// (the serial host-side merge is excluded, as in the paper). A functional
+// pass verifies the distributed FFT against a single full-length transform.
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "apps/fft.h"
+#include "bench_util.h"
+
+using namespace tfhpc;
+
+int main() {
+  bench::Header(
+      "Fig. 11 — distributed FFT strong scaling",
+      "paper Fig. 11 (1.6-1.8x going 2->4 GPUs; flattens 4->8 as tiles/GPU "
+      "shrink and the single merger saturates)");
+
+  // Functional validation at reduced scale.
+  {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "fig11_func").string();
+    std::filesystem::remove_all(dir);
+    apps::FftOptions opts;
+    opts.signal_size = 1 << 12;
+    opts.num_tiles = 8;
+    opts.num_workers = 2;
+    auto r = apps::RunFftFunctional(opts, dir, 3, distrib::WireProtocol::kRdma);
+    std::filesystem::remove_all(dir);
+    if (!r.ok()) {
+      std::printf("functional FFT failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("functional distributed FFT verified against full-length "
+                "transform (merge excluded from timing: %.3fs)\n\n",
+                r->merge_seconds);
+  }
+
+  struct Series {
+    const char* label;
+    sim::MachineConfig cfg;
+    int64_t signal;
+    int64_t tiles;
+  };
+  const std::vector<Series> series = {
+      {"Tegner K420 (N=2^29, 64 tiles)", sim::TegnerConfig(sim::GpuKind::kK420),
+       int64_t{1} << 29, 64},
+      {"Tegner K80 (N=2^31, 128 tiles)", sim::TegnerConfig(sim::GpuKind::kK80),
+       int64_t{1} << 31, 128},
+  };
+
+  std::printf("%-34s | %9s %9s %9s | speedups\n", "configuration", "1+2",
+              "1+4", "1+8");
+  bench::Rule();
+  for (const Series& s : series) {
+    double gflops[3] = {0, 0, 0};
+    int idx = 0;
+    for (int gpus : {2, 4, 8}) {
+      apps::FftOptions opts;
+      opts.signal_size = s.signal;
+      opts.num_tiles = s.tiles;
+      opts.num_workers = gpus;
+      auto r = apps::SimulateFft(s.cfg, sim::Protocol::kRdma, opts);
+      if (!r.ok()) {
+        std::printf("simulate failed: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      gflops[idx++] = r->gflops;
+    }
+    std::printf("%-34s | %9.1f %9.1f %9.1f | %.2fx %.2fx\n", s.label,
+                gflops[0], gflops[1], gflops[2], gflops[1] / gflops[0],
+                gflops[2] / gflops[1]);
+  }
+  bench::Rule();
+  std::printf("(axis labels as in the paper: mergers + GPUs; Gflops/s = "
+              "5 N log2 N / time-to-collect)\n");
+  return 0;
+}

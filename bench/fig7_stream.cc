@@ -1,0 +1,90 @@
+// Reproduces Fig. 7: STREAM inter-node bandwidth (MB/s) for gRPC, MPI and
+// RDMA at 2/16/128 MB message sizes, on Tegner (GPU- and CPU-resident
+// tensors) and Kebnekaise (GPU-resident). Also runs a functional pass of
+// the real STREAM application through every in-process transport so the
+// reported protocols correspond to verified code paths.
+#include <cstdio>
+#include <vector>
+
+#include "apps/stream.h"
+#include "bench_util.h"
+
+using namespace tfhpc;
+
+namespace {
+
+struct Platform {
+  const char* label;
+  sim::MachineConfig cfg;
+  bool gpu_resident;
+  // Paper-quoted medians for the 128 MB message, MB/s (-1 = not quoted).
+  double paper_rdma_128, paper_mpi_128, paper_grpc_128;
+};
+
+}  // namespace
+
+int main() {
+  bench::Header("Fig. 7 — STREAM bandwidth by protocol and message size",
+                "paper Fig. 7 (RDMA > MPI >= gRPC; Tegner CPU RDMA > 6 GB/s; "
+                "Tegner GPU RDMA ~1300 MB/s; Kebnekaise GPU RDMA < 2300 MB/s; "
+                "MPI ~318 / ~480 MB/s)");
+
+  // Functional validation first: real bytes, every protocol, verified sums.
+  for (auto proto : {distrib::WireProtocol::kGrpc, distrib::WireProtocol::kMpi,
+                     distrib::WireProtocol::kRdma}) {
+    auto r = apps::RunStreamFunctional(1 << 16, 10, proto);
+    if (!r.ok()) {
+      std::printf("functional STREAM failed on %s: %s\n",
+                  distrib::WireProtocolName(proto),
+                  r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("functional STREAM verified on grpc/mpi/rdma transports\n\n");
+
+  const std::vector<Platform> platforms = {
+      {"Tegner GPU (K420)", sim::TegnerConfig(sim::GpuKind::kK420), true,
+       1300, 318, -1},
+      {"Tegner CPU", sim::TegnerConfig(sim::GpuKind::kK420), false, 6000, -1,
+       -1},
+      {"Kebnekaise GPU (K80)", sim::KebnekaiseConfig(sim::GpuKind::kK80), true,
+       2300, 480, 480},
+  };
+  const int64_t sizes[] = {2 << 20, 16 << 20, 128 << 20};
+  const sim::Protocol protos[] = {sim::Protocol::kGrpc, sim::Protocol::kMpi,
+                                  sim::Protocol::kRdma};
+
+  std::printf("%-22s %-6s %10s %10s %10s   %s\n", "platform", "proto",
+              "2MB", "16MB", "128MB", "paper@128MB");
+  bench::Rule();
+  for (const Platform& p : platforms) {
+    for (sim::Protocol proto : protos) {
+      double mbps[3] = {0, 0, 0};
+      for (int s = 0; s < 3; ++s) {
+        apps::StreamOptions opts;
+        opts.message_bytes = sizes[s];
+        opts.rounds = 100;
+        opts.gpu_resident = p.gpu_resident;
+        auto r = apps::SimulateStream(p.cfg, proto, opts);
+        if (!r.ok()) {
+          std::printf("simulate failed: %s\n", r.status().ToString().c_str());
+          return 1;
+        }
+        mbps[s] = r->mbps;
+      }
+      const double paper = proto == sim::Protocol::kRdma ? p.paper_rdma_128
+                           : proto == sim::Protocol::kMpi ? p.paper_mpi_128
+                                                          : p.paper_grpc_128;
+      char ref[32];
+      if (paper > 0) {
+        std::snprintf(ref, sizeof ref, "~%.0f MB/s", paper);
+      } else {
+        std::snprintf(ref, sizeof ref, "(not quoted)");
+      }
+      std::printf("%-22s %-6s %10.0f %10.0f %10.0f   %s\n", p.label,
+                  sim::ProtocolName(proto), mbps[0], mbps[1], mbps[2], ref);
+    }
+    bench::Rule();
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Microbenchmarks of the compute substrate: GEMM, GEMV, FFT, RNG fills,
+// elementwise kernels. google-benchmark; real execution, wall-clock.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "kernels/fft_impl.h"
+#include "kernels/gemm.h"
+
+namespace tfhpc {
+namespace {
+
+void BM_GemmF32(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> a(static_cast<size_t>(n * n), 1.0f);
+  std::vector<float> b(static_cast<size_t>(n * n), 2.0f);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    blas::Gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmF32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmF64(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<double> a(static_cast<size_t>(n * n), 1.0);
+  std::vector<double> b(static_cast<size_t>(n * n), 2.0);
+  std::vector<double> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    blas::Gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmF64)->Arg(64)->Arg(256);
+
+void BM_GemvF64(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<double> a(static_cast<size_t>(n * n), 1.0);
+  std::vector<double> x(static_cast<size_t>(n), 1.0);
+  std::vector<double> y(static_cast<size_t>(n));
+  for (auto _ : state) {
+    blas::Gemv(a.data(), x.data(), y.data(), n, n);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_GemvF64)->Arg(256)->Arg(1024);
+
+void BM_FftRadix2(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::complex<double>> sig(n, {1.0, -1.0});
+  for (auto _ : state) {
+    auto out = fft::Forward(sig);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n)) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_FftRadix2)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::complex<double>> sig(n, {1.0, -1.0});
+  for (auto _ : state) {
+    auto out = fft::Forward(sig);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(10007);
+
+void BM_CooleyTukeyMerge(benchmark::State& state) {
+  const size_t s = static_cast<size_t>(state.range(0));
+  const size_t m = 1 << 12;
+  std::vector<std::vector<std::complex<double>>> sub(
+      s, std::vector<std::complex<double>>(m, {0.5, 0.5}));
+  for (auto _ : state) {
+    auto out = fft::CooleyTukeyMerge(sub);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CooleyTukeyMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PhiloxFill(benchmark::State& state) {
+  Tensor t(DType::kF32, Shape{state.range(0)});
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    FillUniform(t, seed++);
+    benchmark::DoNotOptimize(t.raw_data());
+  }
+  state.SetBytesProcessed(state.iterations() * t.bytes());
+}
+BENCHMARK(BM_PhiloxFill)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_SpdMatrix(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Tensor t = RandomSpdMatrix(n, seed++);
+    benchmark::DoNotOptimize(t.raw_data());
+  }
+}
+BENCHMARK(BM_SpdMatrix)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace tfhpc

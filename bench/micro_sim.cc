@@ -1,0 +1,79 @@
+// Microbenchmarks of the simulation substrate: event queue, fair-share
+// reallocation, trace replay scaling — the DES must stay cheap enough to
+// replay the paper's full-scale traces interactively.
+#include <benchmark/benchmark.h>
+
+#include "sim/machine.h"
+
+namespace tfhpc::sim {
+namespace {
+
+void BM_EventQueue(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    for (int i = 0; i < n; ++i) {
+      sim.ScheduleAt(static_cast<double>((i * 7919) % n), [] {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
+
+void BM_FairShareReallocation(benchmark::State& state) {
+  // N concurrent flows over one link: every arrival re-waterfills.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    FlowNetwork net(&sim);
+    LinkId l = net.AddLink("wire", 1e9);
+    for (int i = 0; i < n; ++i) net.StartFlow({l}, 1 << 20, [] {});
+    sim.Run();
+    benchmark::DoNotOptimize(net.active_flows());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FairShareReallocation)->Arg(8)->Arg(64);
+
+void BM_TraceReplayChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    FlowNetwork net(&sim);
+    TraceReplayer tr(&net);
+    OpId prev = tr.AddDelay(0, {});
+    for (int i = 0; i < n; ++i) {
+      prev = tr.AddCompute("gpu" + std::to_string(i % 4), 1e-4, {prev});
+    }
+    auto r = tr.Replay(&sim);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TraceReplayChain)->Arg(1000)->Arg(10000);
+
+void BM_FullCgTrace(benchmark::State& state) {
+  // Build + replay one paper-scale CG trace (16 GPUs, 500 iterations).
+  for (auto _ : state) {
+    ClusterModel cm(KebnekaiseConfig(GpuKind::kK80), 16, 1);
+    OpId prev = cm.Delay(0, {});
+    for (int it = 0; it < 100; ++it) {
+      std::vector<OpId> arrivals;
+      for (int w = 0; w < 16; ++w) {
+        OpId g = cm.GpuCompute(w, 1e9, 1 << 20, true, {prev});
+        arrivals.push_back(
+            cm.Transfer(cm.GpuLoc(w), cm.HostLoc(4), 1 << 12,
+                        Protocol::kRdma, {g}));
+      }
+      prev = cm.HostCompute(4, 0, 1e6, 1 << 20, arrivals);
+    }
+    auto r = cm.Replay();
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_FullCgTrace);
+
+}  // namespace
+}  // namespace tfhpc::sim

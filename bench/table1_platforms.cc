@@ -1,0 +1,65 @@
+// Reproduces Table I: "Number of instances of TensorFlow per node for
+// different type of nodes in our testing platforms" — generated from the
+// machine models plus the Slurm resolver's GPU-exposure masks, so the table
+// is derived from the same configuration the other benchmarks use.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/slurm.h"
+#include "sim/machine.h"
+
+using namespace tfhpc;
+
+int main() {
+  bench::Header("Table I — TensorFlow instances per node",
+                "paper Table I (Tegner K420/K80, Kebnekaise K80/V100)");
+
+  struct Row {
+    const char* label;
+    sim::MachineConfig cfg;
+  };
+  const Row rows[] = {
+      {"Tegner K420", sim::TegnerConfig(sim::GpuKind::kK420)},
+      {"Tegner K80", sim::TegnerConfig(sim::GpuKind::kK80)},
+      {"Kebnekaise K80", sim::KebnekaiseConfig(sim::GpuKind::kK80)},
+      {"Kebnekaise V100", sim::KebnekaiseConfig(sim::GpuKind::kV100)},
+  };
+
+  std::printf("%-18s %-14s %-22s %s\n", "Type of Node", "GPU", "Memory",
+              "No. processes per node");
+  bench::Rule();
+  for (const Row& row : rows) {
+    const auto& m = row.cfg.gpu_model;
+    char mem[64];
+    const double gb = static_cast<double>(m.mem_bytes) / (1 << 30);
+    if (row.cfg.paired_engines) {
+      std::snprintf(mem, sizeof mem, "%.0fGB x%d engines", gb,
+                    row.cfg.gpus_per_node);
+    } else {
+      std::snprintf(mem, sizeof mem, "%.0fGB", gb);
+    }
+    std::printf("%-18s %-14s %-22s %d\n", row.label, m.model_name.c_str(), mem,
+                row.cfg.gpus_per_node);
+  }
+
+  // Cross-check with the resolver: launching gpus_per_node tasks per node
+  // must expose exactly one GPU per TensorFlow instance.
+  bench::Rule();
+  std::printf("Resolver cross-check (1 GPU exposed per instance):\n");
+  for (const Row& row : rows) {
+    cluster::SlurmClusterResolver resolver(
+        {{"worker", row.cfg.gpus_per_node}}, "node01",
+        row.cfg.gpus_per_node, row.cfg.gpus_per_node);
+    auto assignments = resolver.Assignments();
+    if (!assignments.ok()) {
+      std::printf("  %-18s resolver error: %s\n", row.label,
+                  assignments.status().ToString().c_str());
+      return 1;
+    }
+    bool ok = true;
+    for (const auto& a : *assignments) ok &= a.visible_gpus.size() == 1;
+    std::printf("  %-18s %s\n", row.label, ok ? "OK" : "MISMATCH");
+    if (!ok) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Slurm cluster-resolver demo (the paper's §III contribution): reads the
+// Slurm-style environment (SLURM_JOB_NODELIST, SLURM_NTASKS_PER_NODE,
+// SLURM_GPUS_ON_NODE) — or a built-in allocation when run outside a job —
+// produces the TensorFlow ClusterSpec and the per-task GPU exposure masks,
+// then boots the whole cluster in-process and pings every task.
+//
+//   SLURM_JOB_NODELIST='t01n[01-03]' ./slurm_resolver_demo
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/slurm.h"
+#include "distrib/client.h"
+#include "distrib/server.h"
+
+using namespace tfhpc;
+
+int main() {
+  const char* nodelist_env = std::getenv("SLURM_JOB_NODELIST");
+  const char* tasks_env = std::getenv("SLURM_NTASKS_PER_NODE");
+  const char* gpus_env = std::getenv("SLURM_GPUS_ON_NODE");
+  const std::string nodelist =
+      nodelist_env != nullptr ? nodelist_env : "t01n[01-02],t02n05";
+  const int tasks_per_node = tasks_env != nullptr ? std::atoi(tasks_env) : 2;
+  const int gpus_per_node = gpus_env != nullptr ? std::atoi(gpus_env) : 2;
+
+  std::printf("allocation: nodelist=%s, %d tasks/node, %d GPUs/node%s\n",
+              nodelist.c_str(), tasks_per_node, gpus_per_node,
+              nodelist_env != nullptr ? " (from environment)"
+                                      : " (built-in demo values)");
+
+  // One ps task plus workers filling the remaining slots (plane layout).
+  auto hosts = cluster::ExpandNodeList(nodelist);
+  if (!hosts.ok()) {
+    std::fprintf(stderr, "bad nodelist: %s\n",
+                 hosts.status().ToString().c_str());
+    return 1;
+  }
+  const int total_slots = static_cast<int>(hosts->size()) * tasks_per_node;
+  cluster::SlurmClusterResolver resolver(
+      {{"ps", 1}, {"worker", total_slots - 1}}, nodelist, tasks_per_node,
+      gpus_per_node);
+
+  auto assignments = resolver.Assignments();
+  if (!assignments.ok()) {
+    std::fprintf(stderr, "resolver: %s\n",
+                 assignments.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%-8s %-6s %-12s %-6s %s\n", "job", "task", "host", "port",
+              "CUDA_VISIBLE_DEVICES");
+  for (const auto& a : *assignments) {
+    std::string mask;
+    for (size_t i = 0; i < a.visible_gpus.size(); ++i) {
+      if (i) mask += ",";
+      mask += std::to_string(a.visible_gpus[i]);
+    }
+    std::printf("%-8s %-6d %-12s %-6d %s\n", a.job.c_str(), a.task_index,
+                a.host.c_str(), a.port, mask.empty() ? "-" : mask.c_str());
+  }
+
+  // Boot every task as an in-process server off the generated ClusterSpec
+  // and verify the cluster is reachable.
+  auto def = resolver.ClusterSpec();
+  auto spec = distrib::ClusterSpec::Create(*def);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  distrib::InProcessRouter router;
+  std::vector<std::unique_ptr<distrib::Server>> servers;
+  for (const auto& a : *assignments) {
+    auto server = distrib::Server::Create(
+        {*spec, a.job, a.task_index, static_cast<int>(a.visible_gpus.size())},
+        &router);
+    if (!server.ok()) {
+      std::fprintf(stderr, "server: %s\n",
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    servers.push_back(std::move(*server));
+  }
+  int alive = 0;
+  for (const auto& s : servers) {
+    alive += distrib::RemoteTask(&router, s->address(),
+                                 distrib::WireProtocol::kRdma)
+                 .Ping()
+                 .ok();
+  }
+  std::printf("\ncluster up: %d/%zu tasks answer Ping\n", alive,
+              servers.size());
+  return alive == static_cast<int>(servers.size()) ? 0 : 1;
+}

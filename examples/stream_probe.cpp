@@ -1,0 +1,46 @@
+// STREAM probe: runs the real distributed STREAM application (ps + worker
+// servers, assign_add pushes, verified accumulation) over all three wire
+// protocols, then prints the Fig. 7-style virtual-time bandwidth estimate
+// for a chosen platform model.
+//
+//   ./stream_probe [elements] [rounds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/stream.h"
+
+using namespace tfhpc;
+
+int main(int argc, char** argv) {
+  const int64_t elements = argc > 1 ? std::atoll(argv[1]) : (1 << 18);
+  const int rounds = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  std::printf("functional STREAM: %lld f32 elements x %d rounds\n",
+              static_cast<long long>(elements), rounds);
+  for (auto proto : {distrib::WireProtocol::kGrpc, distrib::WireProtocol::kMpi,
+                     distrib::WireProtocol::kRdma}) {
+    auto r = apps::RunStreamFunctional(elements, rounds, proto);
+    if (!r.ok()) {
+      std::fprintf(stderr, "  %-5s FAILED: %s\n",
+                   distrib::WireProtocolName(proto),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-5s verified; local wall-clock throughput %8.0f MB/s\n",
+                distrib::WireProtocolName(proto), r->mbps);
+  }
+
+  std::printf("\nvirtual-time estimate on the Tegner model (128 MB messages, "
+              "GPU-resident):\n");
+  for (auto proto :
+       {sim::Protocol::kGrpc, sim::Protocol::kMpi, sim::Protocol::kRdma}) {
+    apps::StreamOptions opts;
+    opts.message_bytes = 128 << 20;
+    opts.rounds = 100;
+    auto r = apps::SimulateStream(sim::TegnerConfig(sim::GpuKind::kK420),
+                                  proto, opts);
+    if (!r.ok()) return 1;
+    std::printf("  %-5s %8.0f MB/s\n", sim::ProtocolName(proto), r->mbps);
+  }
+  return 0;
+}

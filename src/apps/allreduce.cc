@@ -1,0 +1,197 @@
+#include "apps/allreduce.h"
+
+#include <thread>
+
+#include "core/rng.h"
+#include "distrib/server.h"
+
+namespace tfhpc::apps {
+namespace {
+
+std::string ChunkKey(int step, int chunk) {
+  return "ar/s" + std::to_string(step) + "/c" + std::to_string(chunk);
+}
+
+}  // namespace
+
+Result<Tensor> RunRingAllreduceFunctional(int num_workers, int64_t elements,
+                                          uint64_t seed,
+                                          distrib::WireProtocol protocol) {
+  const int W = num_workers;
+  if (W <= 0 || elements <= 0 || elements % W != 0) {
+    return InvalidArgument(
+        "allreduce: need workers > 0 and elements divisible by workers");
+  }
+  const int64_t chunk = elements / W;
+
+  // Cluster of W worker tasks.
+  wire::ClusterDef def;
+  wire::JobDef workers;
+  workers.name = "worker";
+  for (int w = 0; w < W; ++w) {
+    workers.task_addrs.push_back("ar-w" + std::to_string(w) + ":1");
+  }
+  def.jobs = {workers};
+  TFHPC_ASSIGN_OR_RETURN(distrib::ClusterSpec spec,
+                         distrib::ClusterSpec::Create(def));
+  distrib::InProcessRouter router;
+  std::vector<std::unique_ptr<distrib::Server>> servers;
+  for (int w = 0; w < W; ++w) {
+    TFHPC_ASSIGN_OR_RETURN(
+        auto s, distrib::Server::Create({spec, "worker", w, 0}, &router));
+    servers.push_back(std::move(s));
+  }
+
+  // Per-worker input vectors + the expected elementwise sum.
+  std::vector<Tensor> input(static_cast<size_t>(W));
+  Tensor expected(DType::kF64, Shape{elements});
+  for (int w = 0; w < W; ++w) {
+    Tensor t(DType::kF64, Shape{elements});
+    FillUniform(t, seed + static_cast<uint64_t>(w), -1, 1);
+    const auto src = t.data<double>();
+    auto* sum = expected.mutable_data<double>();
+    for (int64_t i = 0; i < elements; ++i) sum[i] += src[static_cast<size_t>(i)];
+    input[static_cast<size_t>(w)] = std::move(t);
+  }
+
+  std::vector<Tensor> result(static_cast<size_t>(W));
+  std::vector<Status> status(static_cast<size_t>(W));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < W; ++w) {
+    threads.emplace_back([&, w] {
+      auto run = [&]() -> Status {
+        Tensor buf = input[static_cast<size_t>(w)].Clone();
+        auto* data = buf.mutable_data<double>();
+        const int next = (w + 1) % W;
+        TFHPC_ASSIGN_OR_RETURN(std::string next_addr,
+                               spec.TaskAddress("worker", next));
+        distrib::RemoteTask right(&router, next_addr, protocol);
+        Rendezvous& inbox =
+            servers[static_cast<size_t>(w)]->resources().rendezvous();
+
+        auto chunk_tensor = [&](int c) {
+          Tensor t(DType::kF64, Shape{chunk});
+          std::memcpy(t.raw_data(), data + c * chunk,
+                      static_cast<size_t>(chunk) * 8);
+          return t;
+        };
+
+        // Phase 1 — reduce-scatter: in step s, send chunk (w - s) and
+        // accumulate the incoming chunk (w - s - 1).
+        for (int s = 0; s < W - 1; ++s) {
+          const int send_c = ((w - s) % W + W) % W;
+          const int recv_c = ((w - s - 1) % W + W) % W;
+          TFHPC_RETURN_IF_ERROR(
+              right.RendezvousSend(ChunkKey(s, send_c), chunk_tensor(send_c)));
+          TFHPC_ASSIGN_OR_RETURN(Tensor incoming,
+                                 inbox.Recv(ChunkKey(s, recv_c)));
+          const auto in = incoming.data<double>();
+          for (int64_t i = 0; i < chunk; ++i) {
+            data[recv_c * chunk + i] += in[static_cast<size_t>(i)];
+          }
+        }
+        // Phase 2 — allgather: circulate the fully reduced chunks.
+        for (int s = 0; s < W - 1; ++s) {
+          const int send_c = ((w + 1 - s) % W + W) % W;
+          const int recv_c = ((w - s) % W + W) % W;
+          TFHPC_RETURN_IF_ERROR(right.RendezvousSend(
+              ChunkKey(W - 1 + s, send_c), chunk_tensor(send_c)));
+          TFHPC_ASSIGN_OR_RETURN(Tensor incoming,
+                                 inbox.Recv(ChunkKey(W - 1 + s, recv_c)));
+          std::memcpy(data + recv_c * chunk, incoming.raw_data(),
+                      static_cast<size_t>(chunk) * 8);
+        }
+        result[static_cast<size_t>(w)] = std::move(buf);
+        return Status::OK();
+      };
+      status[static_cast<size_t>(w)] = run();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& s : status) TFHPC_RETURN_IF_ERROR(s);
+
+  // Every worker must hold the same, correct sum.
+  for (int w = 0; w < W; ++w) {
+    const auto got = result[static_cast<size_t>(w)].data<double>();
+    const auto want = expected.data<double>();
+    for (int64_t i = 0; i < elements; ++i) {
+      if (std::abs(got[static_cast<size_t>(i)] - want[static_cast<size_t>(i)]) >
+          1e-9 * std::max(1.0, std::abs(want[static_cast<size_t>(i)]))) {
+        return Internal("allreduce mismatch on worker " + std::to_string(w) +
+                        " at element " + std::to_string(i));
+      }
+    }
+  }
+  return result[0];
+}
+
+Result<ReduceTimings> SimulateReduceComparison(const sim::MachineConfig& cfg,
+                                               sim::Protocol protocol,
+                                               int num_gpus, int64_t bytes,
+                                               int rounds) {
+  if (num_gpus < 2 || bytes <= 0 || rounds <= 0) {
+    return InvalidArgument("reduce comparison: need >= 2 GPUs, bytes, rounds");
+  }
+  const int W = num_gpus;
+  const int64_t chunk = bytes / W;
+  ReduceTimings out;
+
+  // (a) Ring allreduce: 2(W-1) pipelined chunk steps.
+  {
+    sim::ClusterModel cm(cfg, W);
+    std::vector<sim::OpId> last(static_cast<size_t>(W), cm.Delay(0, {}));
+    for (int round = 0; round < rounds; ++round) {
+      for (int s = 0; s < 2 * (W - 1); ++s) {
+        std::vector<sim::OpId> next(static_cast<size_t>(W));
+        for (int w = 0; w < W; ++w) {
+          const int right = (w + 1) % W;
+          // Each step: send my chunk to the right neighbour; the reduce
+          // half also pays the elementwise add on arrival.
+          sim::OpId arrive =
+              cm.Transfer(cm.GpuLoc(w), cm.GpuLoc(right), chunk, protocol,
+                          {last[static_cast<size_t>(w)],
+                           last[static_cast<size_t>(right)]},
+                          "ring");
+          if (s < W - 1) {
+            arrive = cm.GpuCompute(right, static_cast<double>(chunk) / 8,
+                                   2 * chunk, true, {arrive}, "acc");
+          }
+          next[static_cast<size_t>(right)] = arrive;
+        }
+        last = std::move(next);
+      }
+    }
+    TFHPC_ASSIGN_OR_RETURN(sim::ReplayResult r, cm.Replay());
+    out.ring_seconds = r.makespan;
+  }
+
+  // (b) The paper's PS pattern: all workers push the FULL vector to the
+  // reducer, which accumulates and broadcasts it back.
+  {
+    sim::ClusterModel cm(cfg, W, /*extra_host_nodes=*/1);
+    const int ps_node = cm.num_nodes() - 1;
+    const sim::Loc ps = cm.HostLoc(ps_node);
+    std::vector<sim::OpId> last(static_cast<size_t>(W), cm.Delay(0, {}));
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<sim::OpId> arrivals;
+      for (int w = 0; w < W; ++w) {
+        sim::OpId push = cm.Transfer(cm.GpuLoc(w), ps, bytes, protocol,
+                                     {last[static_cast<size_t>(w)]}, "push");
+        arrivals.push_back(
+            cm.HostIngest(ps_node, 0, bytes, {push}, "drain"));
+      }
+      sim::OpId acc = cm.HostCompute(
+          ps_node, 0, static_cast<double>(W) * static_cast<double>(bytes) / 8,
+          static_cast<int64_t>(W) * bytes, arrivals, "acc");
+      for (int w = 0; w < W; ++w) {
+        last[static_cast<size_t>(w)] = cm.Transfer(
+            ps, cm.GpuLoc(w), bytes, protocol, {acc}, "bcast");
+      }
+    }
+    TFHPC_ASSIGN_OR_RETURN(sim::ReplayResult r, cm.Replay());
+    out.ps_seconds = r.makespan;
+  }
+  return out;
+}
+
+}  // namespace tfhpc::apps

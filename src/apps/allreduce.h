@@ -1,0 +1,38 @@
+// Ring allreduce — the paper's §VIII future-work direction: "Uber's Horovod
+// and Cray's ML Plugin enable the development of applications with MPI-like
+// interfaces ... for functions such as allreduce without needing the use of
+// dedicated servers for parameters."
+//
+// Implemented on tfhpc's rendezvous layer: W tasks in a ring, a
+// reduce-scatter phase (W-1 steps) followed by an allgather phase (W-1
+// steps), each chunk riding the configured wire protocol. Functional mode
+// verifies the sum across real servers; simulation mode compares the ring
+// against the paper's parameter-server reduction at scale.
+#pragma once
+
+#include "distrib/client.h"
+#include "sim/machine.h"
+
+namespace tfhpc::apps {
+
+// Real in-process allreduce of one f64 vector per worker; returns the
+// reduced vector (identical on every worker, checked internally).
+// `elements` must be divisible by `num_workers`.
+Result<Tensor> RunRingAllreduceFunctional(int num_workers, int64_t elements,
+                                          uint64_t seed,
+                                          distrib::WireProtocol protocol);
+
+struct ReduceTimings {
+  double ring_seconds = 0;  // ring allreduce
+  double ps_seconds = 0;    // PS gather + broadcast (the paper's pattern)
+};
+
+// Virtual-time comparison: reduce a vector of `bytes` across `num_gpus`
+// workers, once per `rounds`, via (a) ring allreduce and (b) the paper's
+// parameter-server reduction.
+Result<ReduceTimings> SimulateReduceComparison(const sim::MachineConfig& cfg,
+                                               sim::Protocol protocol,
+                                               int num_gpus, int64_t bytes,
+                                               int rounds = 1);
+
+}  // namespace tfhpc::apps

@@ -1,0 +1,49 @@
+// Distributed Conjugate Gradient solver (paper §IV, Fig. 5): the SPD matrix
+// is split into horizontal row blocks, one per worker; each iteration every
+// worker computes its slice of A*p on its GPU, the slices and the two dot
+// products are combined by a queue-based reducer (one incoming and one
+// outgoing queue per reduction step), and the loop state (x, r, p) lives in
+// variables so only the loop body is a graph. Double precision, as in the
+// paper; includes the paper's checkpoint-restart capability.
+#pragma once
+
+#include <functional>
+
+#include "distrib/client.h"
+#include "sim/machine.h"
+
+namespace tfhpc::apps {
+
+struct CgOptions {
+  int64_t n = 0;          // system dimension
+  int num_workers = 2;
+  int max_iterations = 500;  // the paper times 500 iterations
+  double tolerance = 1e-10;  // residual-norm^2 stop (functional mode)
+  // Functional mode: checkpoint x/r/p every k iterations (0 = off).
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+};
+
+struct CgResult {
+  double seconds = 0;
+  double gflops = 0;  // paper flop model: iterations * 2 * N^2
+  int iterations = 0;
+  double residual = 0;      // final ||r||^2 (functional mode)
+  Tensor solution;          // x (functional mode)
+};
+
+// Virtual-time CG at paper scale (500 iterations of the communication and
+// compute pattern; no numerics).
+Result<CgResult> SimulateCg(const sim::MachineConfig& cfg,
+                            sim::Protocol protocol, const CgOptions& options);
+
+// Real distributed solve of A x = b with A = RandomSpdMatrix(n, seed) and
+// b = ones. Verifies internally that the residual dropped below tolerance
+// (or max_iterations elapsed). `interrupt_after` (iterations, 0 = off) makes
+// the run stop early after writing a checkpoint — restart by calling again
+// with the same checkpoint_path; it resumes from the stored state.
+Result<CgResult> RunCgFunctional(const CgOptions& options, uint64_t seed,
+                                 distrib::WireProtocol protocol,
+                                 int interrupt_after = 0);
+
+}  // namespace tfhpc::apps

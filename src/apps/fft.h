@@ -1,0 +1,40 @@
+// Distributed 1-D FFT (paper §IV, Fig. 6): the input signal is split into
+// interleaved tiles stored in files; workers each load their share of
+// tiles, run a GPU FFT per tile and push (index, result) into the merger's
+// queue; the merger collects all tiles and recombines with twiddle factors
+// ("locally with Python" in the paper — a host-side Cooley-Tukey merge
+// here). The paper times the region up to the moment the merger holds all
+// tiles (serial merging excluded from scaling).
+#pragma once
+
+#include <string>
+
+#include "distrib/client.h"
+#include "sim/machine.h"
+
+namespace tfhpc::apps {
+
+struct FftOptions {
+  int64_t signal_size = 0;  // N, must be divisible by num_tiles
+  int64_t num_tiles = 0;    // interleaved tiles (paper: 64 or 128)
+  int num_workers = 2;
+};
+
+struct FftResult {
+  double seconds = 0;       // up to last tile collected (the paper's region)
+  double gflops = 0;        // paper flop model: 5 N log2 N
+  double merge_seconds = 0; // the excluded host-side merge (functional mode)
+  Tensor spectrum;          // final DFT (functional mode)
+};
+
+// Virtual-time FFT at paper scale.
+Result<FftResult> SimulateFft(const sim::MachineConfig& cfg,
+                              sim::Protocol protocol, const FftOptions& options);
+
+// Real run: random complex signal, tiles staged as .npy files in `work_dir`,
+// distributed FFT + merge, verified against a single full-length FFT.
+Result<FftResult> RunFftFunctional(const FftOptions& options,
+                                   const std::string& work_dir, uint64_t seed,
+                                   distrib::WireProtocol protocol);
+
+}  // namespace tfhpc::apps

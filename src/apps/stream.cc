@@ -1,0 +1,107 @@
+#include "apps/stream.h"
+
+#include <chrono>
+
+#include "cluster/slurm.h"
+#include "core/rng.h"
+
+namespace tfhpc::apps {
+
+Result<StreamResult> SimulateStream(const sim::MachineConfig& cfg,
+                                    sim::Protocol protocol,
+                                    const StreamOptions& options) {
+  if (options.message_bytes <= 0 || options.rounds <= 0) {
+    return InvalidArgument("stream: non-positive size or rounds");
+  }
+  // Worker on node 0, parameter server on node 1 (paper Listing 2). With
+  // GPU-resident tensors both endpoints are GPUs; otherwise host memory.
+  const int num_gpus = options.gpu_resident ? cfg.gpus_per_node + 1 : 0;
+  const int extra_hosts = options.gpu_resident ? 0 : 2;
+  sim::ClusterModel cm(cfg, num_gpus, extra_hosts);
+
+  const sim::Loc worker =
+      options.gpu_resident ? cm.GpuLoc(0) : cm.HostLoc(0);
+  // First GPU of the second node, or the second host node.
+  const sim::Loc ps = options.gpu_resident ? cm.GpuLoc(cfg.gpus_per_node)
+                                           : cm.HostLoc(1);
+
+  // Rounds are invoked back to back through the session: each assign_add
+  // transfer starts when the previous one (and its addition) completed.
+  sim::OpId prev = cm.Delay(0, {});
+  for (int r = 0; r < options.rounds; ++r) {
+    // Each round is one session invocation from the client.
+    sim::OpId dispatch = cm.StepOverhead({prev});
+    sim::OpId arrive = cm.Transfer(worker, ps, options.message_bytes, protocol,
+                                   {dispatch}, "push");
+    // assign_add on the PS device: read old + read update + write new.
+    const double flops = static_cast<double>(options.message_bytes) / 4;
+    const int64_t traffic = 3 * options.message_bytes;
+    if (ps.is_host()) {
+      prev = cm.HostCompute(ps.node, 0, flops, traffic, {arrive}, "add");
+    } else {
+      prev = cm.GpuCompute(cfg.gpus_per_node, flops, traffic, false, {arrive},
+                           "add");
+    }
+  }
+  TFHPC_ASSIGN_OR_RETURN(sim::ReplayResult replay, cm.Replay());
+
+  StreamResult result;
+  result.seconds = replay.makespan;
+  result.mbps = static_cast<double>(options.message_bytes) * options.rounds /
+                replay.makespan / 1e6;
+  return result;
+}
+
+Result<StreamResult> RunStreamFunctional(int64_t elements, int rounds,
+                                         distrib::WireProtocol protocol) {
+  if (elements <= 0 || rounds <= 0) {
+    return InvalidArgument("stream: non-positive size or rounds");
+  }
+  // Resolve a 2-task cluster the way a Slurm job would (paper §III).
+  cluster::SlurmClusterResolver resolver({{"ps", 1}, {"worker", 1}},
+                                         "t01n[01-02]", 1, 1);
+  TFHPC_ASSIGN_OR_RETURN(wire::ClusterDef def, resolver.ClusterSpec());
+  TFHPC_ASSIGN_OR_RETURN(distrib::ClusterSpec spec,
+                         distrib::ClusterSpec::Create(def));
+
+  distrib::InProcessRouter router;
+  TFHPC_ASSIGN_OR_RETURN(
+      std::unique_ptr<distrib::Server> ps,
+      distrib::Server::Create({spec, "ps", 0, 0}, &router));
+  TFHPC_ASSIGN_OR_RETURN(
+      std::unique_ptr<distrib::Server> worker,
+      distrib::Server::Create({spec, "worker", 0, 1}, &router));
+
+  TFHPC_ASSIGN_OR_RETURN(std::string ps_addr, spec.TaskAddress("ps", 0));
+  distrib::RemoteTask ps_client(&router, ps_addr, protocol);
+
+  Tensor update(DType::kF32, Shape{elements});
+  FillUniform(update, /*seed=*/7, 0.0, 1.0);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    TFHPC_RETURN_IF_ERROR(ps_client.VarAssignAdd("stream", update));
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  // Verify: accumulated value must equal rounds * update elementwise.
+  TFHPC_ASSIGN_OR_RETURN(Tensor total, ps_client.VarRead("stream"));
+  const auto u = update.data<float>();
+  const auto t = total.data<float>();
+  for (int64_t i = 0; i < elements; ++i) {
+    const float expect = static_cast<float>(rounds) * u[static_cast<size_t>(i)];
+    if (std::abs(t[static_cast<size_t>(i)] - expect) >
+        1e-4f * std::max(1.0f, expect)) {
+      return Internal("stream verification failed at element " +
+                      std::to_string(i));
+    }
+  }
+
+  StreamResult result;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.mbps = static_cast<double>(elements * 4) * rounds / result.seconds /
+                1e6;
+  return result;
+}
+
+}  // namespace tfhpc::apps

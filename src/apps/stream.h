@@ -1,0 +1,40 @@
+// The paper's TensorFlow STREAM benchmark (§IV-A, Fig. 7): a 2-task cluster
+// (parameter server + worker); the worker pushes a vector into the PS's
+// variable with assign_add, repeatedly, and the invocation time estimates
+// transfer cost. The evaluated value is explicitly NOT fetched back.
+//
+// Functional mode runs real bytes through real servers over a chosen wire
+// protocol and verifies the accumulated variable. Simulation mode replays
+// the same communication pattern on a machine model and reports MB/s the
+// way Fig. 7 does.
+#pragma once
+
+#include "distrib/client.h"
+#include "sim/machine.h"
+
+namespace tfhpc::apps {
+
+struct StreamOptions {
+  int64_t message_bytes = 16 << 20;
+  int rounds = 100;
+  bool gpu_resident = true;  // tensors on GPU vs host memory
+};
+
+struct StreamResult {
+  double seconds = 0;   // total time for all rounds
+  double mbps = 0;      // paper metric: message_bytes * rounds / seconds
+};
+
+// Virtual-time STREAM on a machine model (one worker node, one PS node).
+Result<StreamResult> SimulateStream(const sim::MachineConfig& cfg,
+                                    sim::Protocol protocol,
+                                    const StreamOptions& options);
+
+// Real execution: boots a ps+worker cluster in-process, pushes `rounds`
+// assign_adds of an f32 vector with `elements` entries, then verifies the
+// accumulated value. Returns the wall-clock result (meaningful for
+// correctness, not for figures).
+Result<StreamResult> RunStreamFunctional(int64_t elements, int rounds,
+                                         distrib::WireProtocol protocol);
+
+}  // namespace tfhpc::apps

@@ -1,0 +1,45 @@
+// Tiled matrix-matrix multiplication (paper §IV, Fig. 4): matrices too
+// large for one GPU are pre-tiled into .npy files; a shared dataset hands
+// (i, j, k) products to workers, workers load tiles, multiply on GPU and
+// push result tiles into the FIFO queues of parity-partitioned reducers,
+// which accumulate into the output matrix — a map-reduce over tiles shaped
+// like an ML input pipeline.
+#pragma once
+
+#include <string>
+
+#include "distrib/client.h"
+#include "io/tile_store.h"
+#include "sim/machine.h"
+
+namespace tfhpc::apps {
+
+struct TiledMatmulOptions {
+  int64_t n = 0;          // matrix dimension (N x N)
+  int64_t tile = 0;       // tile dimension
+  int num_workers = 2;    // GPUs in simulation; worker tasks functionally
+  int num_reducers = 2;   // the paper fixes 2 (odd/even target parity)
+  // Optional tf.data-style shuffle of the product list (functional mode);
+  // 0 = paper order (i, j, k). Shuffling spreads reducer load over time.
+  uint64_t shuffle_seed = 0;
+};
+
+struct TiledMatmulResult {
+  double seconds = 0;
+  double gflops = 0;  // paper flop model: 2N^3 - N^2
+};
+
+// Virtual-time run at paper scale on a machine model.
+Result<TiledMatmulResult> SimulateTiledMatmul(const sim::MachineConfig& cfg,
+                                              sim::Protocol protocol,
+                                              const TiledMatmulOptions& options);
+
+// Real run: generates random A, B, tiles them into `work_dir`, executes the
+// distributed map-reduce with one server per worker plus reducer servers,
+// reassembles C and (for verify_dense) checks against a direct GEMM.
+// Returns the wall-clock result.
+Result<TiledMatmulResult> RunTiledMatmulFunctional(
+    const TiledMatmulOptions& options, const std::string& work_dir,
+    distrib::WireProtocol protocol, bool verify_dense = true);
+
+}  // namespace tfhpc::apps

@@ -1,0 +1,176 @@
+#include "cluster/slurm.h"
+
+#include <sstream>
+
+namespace tfhpc::cluster {
+namespace {
+
+// Splits on top-level commas (commas inside [...] don't split).
+std::vector<std::string> SplitTopLevel(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Expands one range token ("01-03" or "7") appending to out with padding.
+Status ExpandRange(const std::string& prefix, const std::string& suffix,
+                   const std::string& token, std::vector<std::string>* out) {
+  const size_t dash = token.find('-');
+  std::string lo_s = dash == std::string::npos ? token : token.substr(0, dash);
+  std::string hi_s = dash == std::string::npos ? token : token.substr(dash + 1);
+  if (!AllDigits(lo_s) || !AllDigits(hi_s)) {
+    return InvalidArgument("bad range token '" + token + "'");
+  }
+  const long lo = std::stol(lo_s);
+  const long hi = std::stol(hi_s);
+  if (hi < lo) return InvalidArgument("descending range '" + token + "'");
+  if (hi - lo > 100000) return InvalidArgument("range too large '" + token + "'");
+  const size_t width = lo_s.size();
+  for (long v = lo; v <= hi; ++v) {
+    std::string num = std::to_string(v);
+    if (num.size() < width) num.insert(0, width - num.size(), '0');
+    out->push_back(prefix + num + suffix);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ExpandNodeList(const std::string& nodelist) {
+  std::vector<std::string> hosts;
+  if (nodelist.empty()) return InvalidArgument("empty nodelist");
+  for (const std::string& item : SplitTopLevel(nodelist)) {
+    const size_t open = item.find('[');
+    if (open == std::string::npos) {
+      if (item.find(']') != std::string::npos) {
+        return InvalidArgument("unbalanced ']' in '" + item + "'");
+      }
+      if (item.empty()) return InvalidArgument("empty nodelist item");
+      hosts.push_back(item);
+      continue;
+    }
+    const size_t close = item.find(']', open);
+    if (close == std::string::npos) {
+      return InvalidArgument("unbalanced '[' in '" + item + "'");
+    }
+    const std::string prefix = item.substr(0, open);
+    const std::string suffix = item.substr(close + 1);
+    if (suffix.find('[') != std::string::npos) {
+      return Unimplemented("multiple bracket groups in '" + item + "'");
+    }
+    const std::string body = item.substr(open + 1, close - open - 1);
+    std::istringstream is(body);
+    std::string token;
+    bool any = false;
+    while (std::getline(is, token, ',')) {
+      any = true;
+      TFHPC_RETURN_IF_ERROR(ExpandRange(prefix, suffix, token, &hosts));
+    }
+    if (!any) return InvalidArgument("empty bracket group in '" + item + "'");
+  }
+  return hosts;
+}
+
+SlurmClusterResolver::SlurmClusterResolver(std::vector<SlurmJobSpec> jobs,
+                                           std::string nodelist,
+                                           int tasks_per_node,
+                                           int gpus_per_node, int base_port)
+    : jobs_(std::move(jobs)),
+      nodelist_(std::move(nodelist)),
+      tasks_per_node_(tasks_per_node),
+      gpus_per_node_(gpus_per_node),
+      base_port_(base_port) {}
+
+int SlurmClusterResolver::total_tasks() const {
+  int n = 0;
+  for (const auto& j : jobs_) n += j.num_tasks;
+  return n;
+}
+
+Result<std::vector<TaskAssignment>> SlurmClusterResolver::Assignments() const {
+  if (tasks_per_node_ <= 0) {
+    return InvalidArgument("tasks_per_node must be positive");
+  }
+  if (gpus_per_node_ < 0) return InvalidArgument("negative gpus_per_node");
+  for (const auto& j : jobs_) {
+    if (j.name.empty() || j.num_tasks <= 0) {
+      return InvalidArgument("job specs need a name and positive task count");
+    }
+  }
+  TFHPC_ASSIGN_OR_RETURN(std::vector<std::string> hosts,
+                         ExpandNodeList(nodelist_));
+  const int capacity = static_cast<int>(hosts.size()) * tasks_per_node_;
+  if (total_tasks() > capacity) {
+    return ResourceExhausted(
+        "allocation has " + std::to_string(capacity) + " task slots (" +
+        std::to_string(hosts.size()) + " nodes x " +
+        std::to_string(tasks_per_node_) + "), need " +
+        std::to_string(total_tasks()));
+  }
+
+  // GPUs split evenly over a node's task slots; remainder to earlier slots.
+  const int per_slot = gpus_per_node_ / tasks_per_node_;
+  const int remainder = gpus_per_node_ % tasks_per_node_;
+
+  std::vector<TaskAssignment> out;
+  int slot = 0;  // global slot counter: node = slot / tasks_per_node
+  for (const auto& job : jobs_) {
+    for (int t = 0; t < job.num_tasks; ++t, ++slot) {
+      TaskAssignment a;
+      a.job = job.name;
+      a.task_index = t;
+      const int node = slot / tasks_per_node_;
+      const int local = slot % tasks_per_node_;
+      a.host = hosts[static_cast<size_t>(node)];
+      a.port = base_port_ + local;
+      int gpu_begin = 0;
+      for (int s = 0; s < local; ++s) gpu_begin += per_slot + (s < remainder);
+      const int count = per_slot + (local < remainder);
+      for (int g = 0; g < count; ++g) a.visible_gpus.push_back(gpu_begin + g);
+      out.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+Result<wire::ClusterDef> SlurmClusterResolver::ClusterSpec() const {
+  TFHPC_ASSIGN_OR_RETURN(std::vector<TaskAssignment> assignments,
+                         Assignments());
+  wire::ClusterDef def;
+  for (const auto& job : jobs_) {
+    wire::JobDef jd;
+    jd.name = job.name;
+    def.jobs.push_back(std::move(jd));
+  }
+  for (const auto& a : assignments) {
+    for (auto& jd : def.jobs) {
+      if (jd.name == a.job) {
+        jd.task_addrs.push_back(a.host + ":" + std::to_string(a.port));
+        break;
+      }
+    }
+  }
+  return def;
+}
+
+}  // namespace tfhpc::cluster

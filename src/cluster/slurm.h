@@ -1,0 +1,62 @@
+// SlurmClusterResolver — the paper's §III contribution: turn a Slurm
+// allocation (nodelist + tasks-per-node + GPUs-per-node) into a TensorFlow
+// ClusterSpec, with plane task distribution and automatic GPU exposure
+// masks (the CUDA_VISIBLE_DEVICES computation for multiple TF instances per
+// node described in Table I).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "wire/messages.h"
+
+namespace tfhpc::cluster {
+
+// Expands a Slurm nodelist expression into hostnames:
+//   "t01n[01-03,07],t02n09" -> t01n01 t01n02 t01n03 t01n07 t02n09
+// Zero padding inside ranges is preserved ("n[08-10]" -> n08 n09 n10).
+Result<std::vector<std::string>> ExpandNodeList(const std::string& nodelist);
+
+struct SlurmJobSpec {
+  std::string name;  // "ps", "worker", ...
+  int num_tasks = 0;
+};
+
+struct TaskAssignment {
+  std::string job;
+  int task_index = 0;
+  std::string host;
+  int port = 0;
+  // Local GPU ids exposed to this task (what the resolver would put in
+  // CUDA_VISIBLE_DEVICES).
+  std::vector<int> visible_gpus;
+};
+
+class SlurmClusterResolver {
+ public:
+  // jobs are laid out in order over the expanded nodelist with Slurm's
+  // default plane distribution: `tasks_per_node` consecutive tasks per host.
+  // `gpus_per_node` are split evenly across that host's tasks.
+  SlurmClusterResolver(std::vector<SlurmJobSpec> jobs, std::string nodelist,
+                       int tasks_per_node, int gpus_per_node,
+                       int base_port = 8888);
+
+  // Per-task placement, in job declaration order.
+  Result<std::vector<TaskAssignment>> Assignments() const;
+
+  // The ClusterSpec ("host:port" per task per job) for tf.train.ClusterSpec.
+  Result<wire::ClusterDef> ClusterSpec() const;
+
+  // Total tasks over all jobs.
+  int total_tasks() const;
+
+ private:
+  std::vector<SlurmJobSpec> jobs_;
+  std::string nodelist_;
+  int tasks_per_node_;
+  int gpus_per_node_;
+  int base_port_;
+};
+
+}  // namespace tfhpc::cluster

@@ -1,0 +1,29 @@
+#include "core/buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "core/logging.h"
+
+namespace tfhpc {
+
+std::shared_ptr<Buffer> Buffer::Allocate(size_t size, AllocatorStats* stats) {
+  // Round up so aligned_alloc's size-multiple-of-alignment contract holds.
+  const size_t rounded = (size + kAlignment - 1) / kAlignment * kAlignment;
+  void* p = nullptr;
+  if (rounded > 0) {
+    p = std::aligned_alloc(kAlignment, rounded);
+    TFHPC_CHECK(p != nullptr) << "allocation of " << rounded << " bytes failed";
+    std::memset(p, 0, rounded);
+  }
+  if (stats != nullptr) stats->Add(static_cast<int64_t>(size));
+  return std::shared_ptr<Buffer>(new Buffer(p, size, stats));
+}
+
+Buffer::~Buffer() {
+  if (stats_ != nullptr) stats_->Sub(static_cast<int64_t>(size_));
+  std::free(data_);
+}
+
+}  // namespace tfhpc

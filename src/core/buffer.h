@@ -1,0 +1,67 @@
+// Aligned, reference-counted byte buffers backing tensors. Buffers can be
+// attributed to a device allocator so simulated-GPU devices can account
+// memory capacity the way real device allocators do.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace tfhpc {
+
+// Tracks live bytes for one device; SimGpuDevice installs one of these to
+// enforce the paper's per-GPU memory limits (e.g. 1 GB on a K420).
+class AllocatorStats {
+ public:
+  void Add(int64_t bytes) {
+    live_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    int64_t cur = live_bytes_.load(std::memory_order_relaxed);
+    int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (cur > peak &&
+           !peak_bytes_.compare_exchange_weak(peak, cur,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(int64_t bytes) {
+    live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  int64_t live_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> live_bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+};
+
+// A contiguous 64-byte-aligned allocation. Never resized after creation.
+class Buffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  // Allocates `size` zero-initialised bytes. stats may be nullptr.
+  static std::shared_ptr<Buffer> Allocate(size_t size,
+                                          AllocatorStats* stats = nullptr);
+
+  ~Buffer();
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  Buffer(void* data, size_t size, AllocatorStats* stats)
+      : data_(data), size_(size), stats_(stats) {}
+
+  void* data_;
+  size_t size_;
+  AllocatorStats* stats_;
+};
+
+}  // namespace tfhpc

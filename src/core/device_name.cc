@@ -1,0 +1,108 @@
+#include "core/device_name.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace tfhpc {
+namespace {
+
+std::vector<std::string> SplitSlash(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == '/') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+Status ParseIndex(const std::string& tok, int* out) {
+  try {
+    size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size() || v < 0) {
+      return InvalidArgument("bad device index '" + tok + "'");
+    }
+    *out = v;
+    return Status::OK();
+  } catch (...) {
+    return InvalidArgument("bad device index '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+Result<DeviceName> DeviceName::Parse(const std::string& spec) {
+  DeviceName d;
+  if (spec.empty()) return d;
+  for (const std::string& part : SplitSlash(spec)) {
+    const size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return InvalidArgument("bad device spec component '" + part + "'");
+    }
+    const std::string key = Lower(part.substr(0, colon));
+    const std::string value = part.substr(colon + 1);
+    if (key == "job") {
+      if (value.empty()) return InvalidArgument("empty job name in " + spec);
+      d.job = value;
+    } else if (key == "task" || key == "replica") {
+      TFHPC_RETURN_IF_ERROR(ParseIndex(value, &d.task));
+    } else if (key == "cpu" || key == "gpu") {
+      d.type = key;
+      TFHPC_RETURN_IF_ERROR(ParseIndex(value, &d.index));
+    } else if (key == "device") {
+      // Long form "device:GPU:0".
+      const size_t colon2 = value.find(':');
+      if (colon2 == std::string::npos) {
+        return InvalidArgument("bad long device spec '" + part + "'");
+      }
+      d.type = Lower(value.substr(0, colon2));
+      if (d.type != "cpu" && d.type != "gpu") {
+        return InvalidArgument("unknown device type in '" + part + "'");
+      }
+      TFHPC_RETURN_IF_ERROR(ParseIndex(value.substr(colon2 + 1), &d.index));
+    } else {
+      return InvalidArgument("unknown device spec key '" + key + "'");
+    }
+  }
+  return d;
+}
+
+std::string DeviceName::ToString() const {
+  std::ostringstream os;
+  if (!job.empty()) os << "/job:" << job;
+  if (task >= 0) os << "/task:" << task;
+  if (!type.empty()) os << "/" << type << ":" << (index >= 0 ? index : 0);
+  return os.str();
+}
+
+DeviceName DeviceName::MergedWith(const DeviceName& defaults) const {
+  DeviceName d = *this;
+  if (d.job.empty()) d.job = defaults.job;
+  if (d.task < 0) d.task = defaults.task;
+  if (d.type.empty()) d.type = defaults.type;
+  if (d.index < 0) d.index = defaults.index;
+  return d;
+}
+
+bool DeviceName::Matches(const DeviceName& pattern) const {
+  if (!pattern.job.empty() && pattern.job != job) return false;
+  if (pattern.task >= 0 && pattern.task != task) return false;
+  if (!pattern.type.empty() && pattern.type != type) return false;
+  if (pattern.index >= 0 && pattern.index != index) return false;
+  return true;
+}
+
+}  // namespace tfhpc

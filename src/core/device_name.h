@@ -1,0 +1,41 @@
+// Structured device names, TensorFlow style:
+//   "/job:worker/task:1/gpu:0", "/cpu:0", "/job:ps/task:0/cpu:0"
+// Partial specifications (job/task omitted) refer to the local task and are
+// merged against a default at placement time.
+#pragma once
+
+#include <string>
+
+#include "core/status.h"
+
+namespace tfhpc {
+
+struct DeviceName {
+  std::string job;   // empty = unspecified (local)
+  int task = -1;     // -1 = unspecified
+  std::string type;  // "cpu" | "gpu"; empty = unspecified
+  int index = -1;    // -1 = unspecified
+
+  // Parses specs like "/job:worker/task:1/gpu:0", "/gpu:0", "/cpu:0",
+  // "/device:GPU:0" (TF long form), or "" (fully unspecified).
+  static Result<DeviceName> Parse(const std::string& spec);
+
+  // Canonical short form; unspecified parts are omitted.
+  std::string ToString() const;
+
+  bool fully_specified() const {
+    return !job.empty() && task >= 0 && !type.empty() && index >= 0;
+  }
+
+  // Fills unspecified fields from `defaults`.
+  DeviceName MergedWith(const DeviceName& defaults) const;
+
+  // True when every field of `pattern` that is specified matches this name.
+  bool Matches(const DeviceName& pattern) const;
+
+  bool operator==(const DeviceName& o) const {
+    return job == o.job && task == o.task && type == o.type && index == o.index;
+  }
+};
+
+}  // namespace tfhpc

@@ -1,0 +1,59 @@
+#include "core/dtype.h"
+
+#include "core/logging.h"
+
+namespace tfhpc {
+
+size_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kInvalid: return 0;
+    case DType::kF32: return 4;
+    case DType::kF64: return 8;
+    case DType::kC64: return 8;
+    case DType::kC128: return 16;
+    case DType::kI32: return 4;
+    case DType::kI64: return 8;
+    case DType::kU8: return 1;
+    case DType::kBool: return 1;
+  }
+  TFHPC_CHECK(false) << "bad dtype";
+  return 0;
+}
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kInvalid: return "invalid";
+    case DType::kF32: return "float32";
+    case DType::kF64: return "float64";
+    case DType::kC64: return "complex64";
+    case DType::kC128: return "complex128";
+    case DType::kI32: return "int32";
+    case DType::kI64: return "int64";
+    case DType::kU8: return "uint8";
+    case DType::kBool: return "bool";
+  }
+  return "invalid";
+}
+
+DType DTypeFromName(const std::string& name) {
+  for (DType d : {DType::kF32, DType::kF64, DType::kC64, DType::kC128,
+                  DType::kI32, DType::kI64, DType::kU8, DType::kBool}) {
+    if (name == DTypeName(d)) return d;
+  }
+  return DType::kInvalid;
+}
+
+bool IsFloating(DType dtype) {
+  return dtype == DType::kF32 || dtype == DType::kF64 || IsComplex(dtype);
+}
+
+bool IsComplex(DType dtype) {
+  return dtype == DType::kC64 || dtype == DType::kC128;
+}
+
+bool IsKnownDType(uint64_t raw) {
+  return raw >= static_cast<uint64_t>(DType::kF32) &&
+         raw <= static_cast<uint64_t>(DType::kBool);
+}
+
+}  // namespace tfhpc

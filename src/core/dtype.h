@@ -1,0 +1,56 @@
+// Element data types supported by tfhpc tensors, mirroring the subset of
+// TensorFlow dtypes the paper's applications need: f32 (matmul), f64 (CG),
+// complex128 (FFT), plus integer index types.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+
+namespace tfhpc {
+
+enum class DType : uint8_t {
+  kInvalid = 0,
+  kF32,
+  kF64,
+  kC64,   // complex<float>
+  kC128,  // complex<double>
+  kI32,
+  kI64,
+  kU8,
+  kBool,
+};
+
+// Size in bytes of one element of `dtype`.
+size_t DTypeSize(DType dtype);
+// Human-readable name ("float32", ...). Matches NumPy naming where possible.
+const char* DTypeName(DType dtype);
+// Inverse of DTypeName; returns kInvalid on unknown names.
+DType DTypeFromName(const std::string& name);
+// True for f32/f64/c64/c128.
+bool IsFloating(DType dtype);
+bool IsComplex(DType dtype);
+// True when `raw` is one of the defined dtype enum values (excluding
+// kInvalid) — used by deserializers before trusting wire data.
+bool IsKnownDType(uint64_t raw);
+
+// Compile-time mapping C++ type -> DType.
+template <typename T>
+struct DTypeOf;
+template <> struct DTypeOf<float> { static constexpr DType value = DType::kF32; };
+template <> struct DTypeOf<double> { static constexpr DType value = DType::kF64; };
+template <> struct DTypeOf<std::complex<float>> {
+  static constexpr DType value = DType::kC64;
+};
+template <> struct DTypeOf<std::complex<double>> {
+  static constexpr DType value = DType::kC128;
+};
+template <> struct DTypeOf<int32_t> { static constexpr DType value = DType::kI32; };
+template <> struct DTypeOf<int64_t> { static constexpr DType value = DType::kI64; };
+template <> struct DTypeOf<uint8_t> { static constexpr DType value = DType::kU8; };
+template <> struct DTypeOf<bool> { static constexpr DType value = DType::kBool; };
+
+template <typename T>
+inline constexpr DType kDTypeOf = DTypeOf<T>::value;
+
+}  // namespace tfhpc

@@ -1,0 +1,53 @@
+// Minimal logging / assertion macros used across tfhpc.
+//
+// TFHPC_CHECK aborts on violated invariants (programming errors); recoverable
+// conditions go through core/status.h instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tfhpc::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "TFHPC_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+// Stream collector so call sites can append context with <<.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, os_.str()); }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream os_;
+};
+
+}  // namespace tfhpc::internal
+
+#define TFHPC_CHECK(cond)                                          \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::tfhpc::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define TFHPC_CHECK_EQ(a, b) TFHPC_CHECK((a) == (b))
+#define TFHPC_CHECK_NE(a, b) TFHPC_CHECK((a) != (b))
+#define TFHPC_CHECK_LT(a, b) TFHPC_CHECK((a) < (b))
+#define TFHPC_CHECK_LE(a, b) TFHPC_CHECK((a) <= (b))
+#define TFHPC_CHECK_GT(a, b) TFHPC_CHECK((a) > (b))
+#define TFHPC_CHECK_GE(a, b) TFHPC_CHECK((a) >= (b))

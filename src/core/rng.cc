@@ -1,0 +1,110 @@
+#include "core/rng.h"
+
+#include "core/threadpool.h"
+
+namespace tfhpc {
+namespace {
+
+constexpr uint32_t kPhiloxM0 = 0xD2511F53;
+constexpr uint32_t kPhiloxM1 = 0xCD9E8D57;
+constexpr uint32_t kPhiloxW0 = 0x9E3779B9;
+constexpr uint32_t kPhiloxW1 = 0xBB67AE85;
+
+inline void MulHiLo(uint32_t a, uint32_t b, uint32_t* hi, uint32_t* lo) {
+  const uint64_t p = static_cast<uint64_t>(a) * b;
+  *hi = static_cast<uint32_t>(p >> 32);
+  *lo = static_cast<uint32_t>(p);
+}
+
+}  // namespace
+
+Philox::Block Philox::operator()(uint64_t counter) const {
+  uint32_t c0 = static_cast<uint32_t>(counter);
+  uint32_t c1 = static_cast<uint32_t>(counter >> 32);
+  uint32_t c2 = static_cast<uint32_t>(ctr_hi_);
+  uint32_t c3 = static_cast<uint32_t>(ctr_hi_ >> 32);
+  uint32_t k0 = key0_, k1 = key1_;
+  for (int round = 0; round < 10; ++round) {
+    uint32_t hi0, lo0, hi1, lo1;
+    MulHiLo(kPhiloxM0, c0, &hi0, &lo0);
+    MulHiLo(kPhiloxM1, c2, &hi1, &lo1);
+    const uint32_t n0 = hi1 ^ c1 ^ k0;
+    const uint32_t n1 = lo1;
+    const uint32_t n2 = hi0 ^ c3 ^ k1;
+    const uint32_t n3 = lo0;
+    c0 = n0; c1 = n1; c2 = n2; c3 = n3;
+    k0 += kPhiloxW0;
+    k1 += kPhiloxW1;
+  }
+  return Block{{c0, c1, c2, c3}};
+}
+
+float UniformFloat(uint32_t bits) {
+  // Use the top 24 bits for a uniform float in [0, 1).
+  return static_cast<float>(bits >> 8) * (1.0f / 16777216.0f);
+}
+
+double UniformDouble(uint32_t hi, uint32_t lo) {
+  const uint64_t bits =
+      (static_cast<uint64_t>(hi) << 21) ^ (static_cast<uint64_t>(lo) >> 11);
+  return static_cast<double>(bits & ((uint64_t{1} << 53) - 1)) *
+         (1.0 / 9007199254740992.0);
+}
+
+void FillUniform(Tensor& t, uint64_t seed, double lo, double hi) {
+  const Philox rng(seed);
+  const double scale = hi - lo;
+  const int64_t n = t.num_elements();
+  if (t.dtype() == DType::kF32) {
+    float* out = t.mutable_data<float>();
+    ThreadPool::Global().ParallelFor(n, 4096, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        const auto blk = rng(static_cast<uint64_t>(i) / 4);
+        out[i] = static_cast<float>(lo) +
+                 static_cast<float>(scale) * UniformFloat(blk.v[i % 4]);
+      }
+    });
+  } else if (t.dtype() == DType::kF64) {
+    double* out = t.mutable_data<double>();
+    ThreadPool::Global().ParallelFor(n, 4096, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        const auto blk = rng(static_cast<uint64_t>(i) / 2);
+        const int j = static_cast<int>((i % 2) * 2);
+        out[i] = lo + scale * UniformDouble(blk.v[j], blk.v[j + 1]);
+      }
+    });
+  } else if (t.dtype() == DType::kC128) {
+    auto* out = t.mutable_data<std::complex<double>>();
+    ThreadPool::Global().ParallelFor(n, 4096, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        const auto blk = rng(static_cast<uint64_t>(i));
+        out[i] = {lo + scale * UniformDouble(blk.v[0], blk.v[1]),
+                  lo + scale * UniformDouble(blk.v[2], blk.v[3])};
+      }
+    });
+  } else {
+    TFHPC_CHECK(false) << "FillUniform: unsupported dtype "
+                       << DTypeName(t.dtype());
+  }
+}
+
+Tensor RandomSpdMatrix(int64_t n, uint64_t seed) {
+  Tensor b(DType::kF64, Shape{n, n});
+  FillUniform(b, seed);
+  Tensor a(DType::kF64, Shape{n, n});
+  const auto bs = b.data<double>();
+  double* ad = a.mutable_data<double>();
+  ThreadPool::Global().ParallelFor(n, 16, [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      for (int64_t c = 0; c < n; ++c) {
+        double v = bs[static_cast<size_t>(r * n + c)] +
+                   bs[static_cast<size_t>(c * n + r)];
+        if (r == c) v += static_cast<double>(n);  // diagonal dominance => SPD
+        ad[r * n + c] = v;
+      }
+    }
+  });
+  return a;
+}
+
+}  // namespace tfhpc

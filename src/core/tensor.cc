@@ -1,0 +1,84 @@
+#include "core/tensor.h"
+
+#include <sstream>
+
+namespace tfhpc {
+
+Tensor::Tensor(DType dtype, Shape shape, AllocatorStats* stats)
+    : dtype_(dtype), shape_(std::move(shape)) {
+  buffer_ = Buffer::Allocate(static_cast<size_t>(bytes()), stats);
+}
+
+Tensor Tensor::Meta(DType dtype, Shape shape) {
+  Tensor t;
+  t.dtype_ = dtype;
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+void* Tensor::raw_data() {
+  TFHPC_CHECK(buffer_ != nullptr) << "raw_data() on meta/invalid tensor";
+  return buffer_->data();
+}
+
+const void* Tensor::raw_data() const {
+  TFHPC_CHECK(buffer_ != nullptr) << "raw_data() on meta/invalid tensor";
+  return buffer_->data();
+}
+
+Tensor Tensor::Clone() const {
+  if (is_meta()) return Meta(dtype_, shape_);
+  Tensor t(dtype_, shape_);
+  std::memcpy(t.raw_data(), raw_data(), static_cast<size_t>(bytes()));
+  return t;
+}
+
+bool Tensor::BitwiseEquals(const Tensor& other) const {
+  if (dtype_ != other.dtype_ || shape_ != other.shape_) return false;
+  if (is_meta() || other.is_meta()) return is_meta() == other.is_meta();
+  return std::memcmp(raw_data(), other.raw_data(),
+                     static_cast<size_t>(bytes())) == 0;
+}
+
+Result<Tensor> Tensor::Reshape(const Shape& shape) const {
+  if (shape.num_elements() != num_elements()) {
+    return InvalidArgument("reshape " + shape_.ToString() + " -> " +
+                           shape.ToString() + " changes element count");
+  }
+  Tensor t = *this;
+  t.shape_ = shape;
+  return t;
+}
+
+std::string Tensor::DebugString(int max_entries) const {
+  std::ostringstream os;
+  os << "Tensor<" << DTypeName(dtype_) << ", " << shape_.ToString() << ">";
+  if (is_meta()) {
+    os << " meta";
+    return os.str();
+  }
+  if (!valid()) return "Tensor<invalid>";
+  os << " [";
+  const int64_t n = std::min<int64_t>(num_elements(), max_entries);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    switch (dtype_) {
+      case DType::kF32: os << data<float>()[static_cast<size_t>(i)]; break;
+      case DType::kF64: os << data<double>()[static_cast<size_t>(i)]; break;
+      case DType::kI32: os << data<int32_t>()[static_cast<size_t>(i)]; break;
+      case DType::kI64: os << data<int64_t>()[static_cast<size_t>(i)]; break;
+      case DType::kC128: {
+        auto z = data<std::complex<double>>()[static_cast<size_t>(i)];
+        os << z.real() << (z.imag() < 0 ? "-" : "+") << std::abs(z.imag())
+           << "i";
+        break;
+      }
+      default: os << "?"; break;
+    }
+  }
+  if (n < num_elements()) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tfhpc

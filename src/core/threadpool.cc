@@ -1,0 +1,100 @@
+#include "core/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+
+#include "core/logging.h"
+
+namespace tfhpc {
+
+ThreadPool::ThreadPool(int num_threads, std::string name)
+    : name_(std::move(name)) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    TFHPC_CHECK(!shutdown_) << "Schedule after shutdown on pool " << name_;
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+bool ThreadPool::InPool() const {
+  const auto self = std::this_thread::get_id();
+  return std::any_of(threads_.begin(), threads_.end(),
+                     [&](const std::thread& t) { return t.get_id() == self; });
+}
+
+void ThreadPool::ParallelFor(int64_t total, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t max_chunks = std::max<int64_t>(1, num_threads() * 4);
+  const int64_t chunk =
+      std::max(grain, (total + max_chunks - 1) / max_chunks);
+  const int64_t num_chunks = (total + chunk - 1) / chunk;
+
+  if (num_chunks == 1 || InPool()) {
+    // Inline execution: either not worth dispatching, or we are already on a
+    // pool thread (blocking here on pool work could deadlock the pool).
+    fn(0, total);
+    return;
+  }
+
+  std::atomic<int64_t> remaining{num_chunks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t begin = c * chunk;
+    const int64_t end = std::min(total, begin + chunk);
+    Schedule([&, begin, end] {
+      fn(begin, end);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(done_mu);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lk(done_mu);
+  done_cv.wait(lk, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(0, "global");
+  return *pool;
+}
+
+}  // namespace tfhpc

@@ -1,0 +1,52 @@
+// A fixed-size work-stealing-free thread pool with a shared queue, plus a
+// blocking ParallelFor used by the CPU kernels (GEMM, FFT, elementwise).
+// Follows CppCoreGuidelines CP rules: joins all threads in the destructor,
+// never detaches, and owns all synchronisation internally.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tfhpc {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 means hardware_concurrency.
+  explicit ThreadPool(int num_threads = 0, std::string name = "pool");
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueue fn for asynchronous execution.
+  void Schedule(std::function<void()> fn);
+
+  // Runs fn(begin, end) over [0, total) split into chunks of at least
+  // `grain` iterations; blocks until all chunks finish. Safe to call from a
+  // non-pool thread; calling from a pool thread executes inline to avoid
+  // deadlock.
+  void ParallelFor(int64_t total, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // Process-wide pool for kernel-internal parallelism.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+  bool InPool() const;
+
+  std::string name_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tfhpc

@@ -1,0 +1,43 @@
+// Token-queue barrier, the synchronization idiom the paper lifts from
+// TensorFlow's SyncReplicasOptimizer (§IV): workers push a token into a
+// coordinator-side queue as an implicit barrier; once all have arrived, the
+// coordinator populates a per-worker release queue each worker dequeues
+// from. Reusable across rounds.
+#pragma once
+
+#include "distrib/client.h"
+
+namespace tfhpc::distrib {
+
+// Worker-side handle. All participants must use the same coordinator task
+// and barrier name; ids are 0..num_workers-1.
+class QueueBarrier {
+ public:
+  QueueBarrier(InProcessRouter* router, std::string coordinator_addr,
+               WireProtocol protocol, std::string name, int num_workers);
+
+  // Blocks until all `num_workers` participants of this round arrived.
+  // Returns the round number (0-based) distributed by the coordinator.
+  Result<int64_t> Arrive(int worker_id);
+
+  // Coordinator loop: collects arrivals and releases workers, for `rounds`
+  // rounds (run on a dedicated thread, typically on the PS task).
+  static Status RunCoordinator(InProcessRouter* router,
+                               const std::string& coordinator_addr,
+                               WireProtocol protocol, const std::string& name,
+                               int num_workers, int rounds);
+
+ private:
+  std::string InQueue() const { return name_ + "/in"; }
+  std::string OutQueue(int worker_id) const {
+    return name_ + "/out_" + std::to_string(worker_id);
+  }
+
+  InProcessRouter* router_;
+  std::string coordinator_addr_;
+  WireProtocol protocol_;
+  std::string name_;
+  int num_workers_;
+};
+
+}  // namespace tfhpc::distrib

@@ -1,0 +1,100 @@
+#include "distrib/client.h"
+
+namespace tfhpc::distrib {
+
+Result<std::string> RemoteTask::Call(const std::string& method,
+                                     const std::string& payload) {
+  wire::RpcEnvelope req;
+  req.method = method;
+  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  req.payload = payload;
+  TFHPC_ASSIGN_OR_RETURN(wire::RpcEnvelope resp,
+                         router_->Call(addr_, proto_, req));
+  if (resp.status_code != 0) {
+    return Status(static_cast<Code>(resp.status_code),
+                  addr_ + "/" + method + ": " + resp.status_msg);
+  }
+  return std::move(resp.payload);
+}
+
+Status RemoteTask::Ping() {
+  auto r = Call("Ping", "hello");
+  if (!r.ok()) return r.status();
+  if (*r != "hello") return Internal("ping payload corrupted");
+  return Status::OK();
+}
+
+Status RemoteTask::Enqueue(const std::string& queue, const Tensor& tensor,
+                           int64_t capacity) {
+  auto r = Call("Enqueue", EncodeQueuePayload(queue, &tensor, capacity));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<Tensor> RemoteTask::Dequeue(const std::string& queue,
+                                   int64_t capacity) {
+  TFHPC_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call("Dequeue", EncodeQueuePayload(queue, nullptr, capacity)));
+  return wire::ParseTensor(payload);
+}
+
+Status RemoteTask::CloseQueue(const std::string& queue) {
+  auto r = Call("CloseQueue", EncodeQueuePayload(queue, nullptr, 0));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status RemoteTask::VarAssign(const std::string& var, const Tensor& tensor) {
+  auto r = Call("VarWrite", EncodeVarPayload(var, &tensor, /*accumulate=*/false,
+                                             /*want_value=*/false));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status RemoteTask::VarAssignAdd(const std::string& var, const Tensor& tensor) {
+  auto r = Call("VarWrite", EncodeVarPayload(var, &tensor, /*accumulate=*/true,
+                                             /*want_value=*/false));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<Tensor> RemoteTask::VarRead(const std::string& var) {
+  TFHPC_ASSIGN_OR_RETURN(
+      std::string payload,
+      Call("VarRead", EncodeVarPayload(var, nullptr, false, false)));
+  return wire::ParseTensor(payload);
+}
+
+Status RemoteTask::RendezvousSend(const std::string& key,
+                                  const Tensor& tensor) {
+  auto r = Call("RendezvousSend", EncodeQueuePayload(key, &tensor, 0));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status RemoteTask::AbortStep(const std::string& reason) {
+  auto r = Call("AbortStep", reason);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status RemoteTask::ResetStep() {
+  auto r = Call("ResetStep", "");
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status RemoteTask::ExtendGraph(const wire::GraphDef& def) {
+  auto r = Call("ExtendGraph", def.Serialize());
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<std::vector<Tensor>> RemoteTask::RunStep(
+    const std::map<std::string, Tensor>& feeds,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets, bool simulate) {
+  RunStepRequest req;
+  req.feeds = feeds;
+  req.fetches = fetches;
+  req.targets = targets;
+  req.simulate = simulate;
+  TFHPC_ASSIGN_OR_RETURN(std::string payload,
+                         Call("RunStep", req.Serialize()));
+  return DecodeTensorList(payload);
+}
+
+}  // namespace tfhpc::distrib

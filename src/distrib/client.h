@@ -1,0 +1,63 @@
+// Client-side handles to remote tasks: remote queues, remote variables and
+// remote step execution — the primitives the paper's applications compose
+// (workers pushing tiles into a reducer's queue, STREAM pushing assign_add
+// to the parameter server, drivers running worker steps).
+#pragma once
+
+#include "distrib/server.h"
+
+namespace tfhpc::distrib {
+
+class RemoteTask {
+ public:
+  // `addr` must name a server registered on `router`; all calls ride the
+  // chosen wire protocol.
+  RemoteTask(InProcessRouter* router, std::string addr, WireProtocol proto)
+      : router_(router), addr_(std::move(addr)), proto_(proto) {}
+
+  const std::string& address() const { return addr_; }
+  WireProtocol protocol() const { return proto_; }
+
+  Status Ping();
+
+  // -- queues ----------------------------------------------------------------
+  Status Enqueue(const std::string& queue, const Tensor& tensor,
+                 int64_t capacity = 0);
+  Result<Tensor> Dequeue(const std::string& queue, int64_t capacity = 0);
+  Status CloseQueue(const std::string& queue);
+
+  // -- variables ---------------------------------------------------------------
+  Status VarAssign(const std::string& var, const Tensor& tensor);
+  // The STREAM push: accumulates without returning the value (the paper
+  // explicitly suppresses the fetch to avoid doubling traffic).
+  Status VarAssignAdd(const std::string& var, const Tensor& tensor);
+  Result<Tensor> VarRead(const std::string& var);
+
+  // -- rendezvous ----------------------------------------------------------------
+  // Deposits a tensor into the remote task's rendezvous (the wire half of a
+  // cross-task _Send). Receiving is local: the owning task calls
+  // resources().rendezvous().Recv(key).
+  Status RendezvousSend(const std::string& key, const Tensor& tensor);
+  // Step cancellation: unblocks every _Recv on the task (they fail with
+  // Cancelled); ResetStep returns the rendezvous to a clean state.
+  Status AbortStep(const std::string& reason = "");
+  Status ResetStep();
+
+  // -- graphs / steps ------------------------------------------------------------
+  Status ExtendGraph(const wire::GraphDef& def);
+  Result<std::vector<Tensor>> RunStep(
+      const std::map<std::string, Tensor>& feeds,
+      const std::vector<std::string>& fetches,
+      const std::vector<std::string>& targets = {}, bool simulate = false);
+
+ private:
+  Result<std::string> Call(const std::string& method,
+                           const std::string& payload);
+
+  InProcessRouter* router_;
+  std::string addr_;
+  WireProtocol proto_;
+  std::atomic<uint64_t> next_request_id_{1};
+};
+
+}  // namespace tfhpc::distrib

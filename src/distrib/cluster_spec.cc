@@ -1,0 +1,62 @@
+#include "distrib/cluster_spec.h"
+
+#include <set>
+
+namespace tfhpc::distrib {
+
+Result<ClusterSpec> ClusterSpec::Create(wire::ClusterDef def) {
+  std::set<std::string> job_names;
+  std::set<std::string> addrs;
+  if (def.jobs.empty()) return InvalidArgument("cluster with no jobs");
+  for (const auto& job : def.jobs) {
+    if (job.name.empty()) return InvalidArgument("job with empty name");
+    if (!job_names.insert(job.name).second) {
+      return InvalidArgument("duplicate job '" + job.name + "'");
+    }
+    if (job.task_addrs.empty()) {
+      return InvalidArgument("job '" + job.name + "' has no tasks");
+    }
+    for (const auto& addr : job.task_addrs) {
+      if (addr.empty() || addr.find(':') == std::string::npos) {
+        return InvalidArgument("bad task address '" + addr + "'");
+      }
+      if (!addrs.insert(addr).second) {
+        return InvalidArgument("duplicate task address '" + addr + "'");
+      }
+    }
+  }
+  return ClusterSpec(std::move(def));
+}
+
+std::vector<std::string> ClusterSpec::JobNames() const {
+  std::vector<std::string> names;
+  for (const auto& job : def_.jobs) names.push_back(job.name);
+  return names;
+}
+
+int ClusterSpec::NumTasks(const std::string& job) const {
+  for (const auto& j : def_.jobs) {
+    if (j.name == job) return static_cast<int>(j.task_addrs.size());
+  }
+  return 0;
+}
+
+Result<std::string> ClusterSpec::TaskAddress(const std::string& job,
+                                             int task) const {
+  for (const auto& j : def_.jobs) {
+    if (j.name != job) continue;
+    if (task < 0 || task >= static_cast<int>(j.task_addrs.size())) {
+      return OutOfRange("job '" + job + "' has no task " + std::to_string(task));
+    }
+    return j.task_addrs[static_cast<size_t>(task)];
+  }
+  return NotFound("no job '" + job + "' in cluster");
+}
+
+int ClusterSpec::TotalTasks() const {
+  int n = 0;
+  for (const auto& j : def_.jobs) n += static_cast<int>(j.task_addrs.size());
+  return n;
+}
+
+}  // namespace tfhpc::distrib

@@ -1,0 +1,29 @@
+// ClusterSpec: jobs -> task address lists (tf.train.ClusterSpec). Thin
+// validated wrapper over the wire ClusterDef.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "wire/messages.h"
+
+namespace tfhpc::distrib {
+
+class ClusterSpec {
+ public:
+  static Result<ClusterSpec> Create(wire::ClusterDef def);
+
+  const wire::ClusterDef& def() const { return def_; }
+  std::vector<std::string> JobNames() const;
+  // Number of tasks in `job`; 0 when absent.
+  int NumTasks(const std::string& job) const;
+  Result<std::string> TaskAddress(const std::string& job, int task) const;
+  int TotalTasks() const;
+
+ private:
+  explicit ClusterSpec(wire::ClusterDef def) : def_(std::move(def)) {}
+  wire::ClusterDef def_;
+};
+
+}  // namespace tfhpc::distrib

@@ -1,0 +1,137 @@
+#include "distrib/dist_session.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace tfhpc::distrib {
+
+Result<std::unique_ptr<DistributedSession>> DistributedSession::Create(
+    InProcessRouter* router, const ClusterSpec& cluster, WireProtocol protocol,
+    const wire::GraphDef& def, const DeviceName& default_device) {
+  TFHPC_ASSIGN_OR_RETURN(std::unique_ptr<Graph> graph,
+                         Graph::FromGraphDef(def));
+  TFHPC_ASSIGN_OR_RETURN(PartitionResult parts,
+                         PartitionGraph(*graph, cluster, default_device));
+
+  std::unique_ptr<DistributedSession> session(
+      new DistributedSession(router, protocol));
+  session->node_task_ = std::move(parts.node_task);
+  for (auto& [addr, part_def] : parts.partitions) {
+    RemoteTask task(router, addr, protocol);
+    TFHPC_RETURN_IF_ERROR(task.ExtendGraph(part_def));
+    Partition p;
+    p.addr = addr;
+    for (const auto& nd : part_def.nodes) p.all_nodes.push_back(nd.name);
+    session->partitions_.push_back(std::move(p));
+  }
+  return session;
+}
+
+Result<std::string> DistributedSession::TaskOf(
+    const std::string& node_name) const {
+  auto it = node_task_.find(node_name);
+  if (it == node_task_.end()) return NotFound("unknown node " + node_name);
+  return it->second;
+}
+
+Result<std::vector<Tensor>> DistributedSession::Run(
+    const std::map<std::string, Tensor>& feeds,
+    const std::vector<std::string>& fetches) {
+  // Route feeds and fetches to their owning partitions.
+  struct StepPlan {
+    std::map<std::string, Tensor> feeds;
+    std::vector<std::string> fetches;              // this partition's share
+    std::vector<size_t> fetch_positions;           // into the global result
+  };
+  std::map<std::string, StepPlan> plans;
+  for (const auto& p : partitions_) plans[p.addr];
+
+  for (const auto& [key, tensor] : feeds) {
+    std::string name = key;
+    const size_t colon = name.find(':');
+    if (colon != std::string::npos) name = name.substr(0, colon);
+    auto it = node_task_.find(name);
+    if (it == node_task_.end()) return NotFound("feed of unknown node " + key);
+    plans[it->second].feeds.emplace(key, tensor);
+  }
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    std::string name = fetches[i];
+    const size_t colon = name.find(':');
+    if (colon != std::string::npos) name = name.substr(0, colon);
+    auto it = node_task_.find(name);
+    if (it == node_task_.end()) {
+      return NotFound("fetch of unknown node " + fetches[i]);
+    }
+    plans[it->second].fetches.push_back(fetches[i]);
+    plans[it->second].fetch_positions.push_back(i);
+  }
+
+  // Drive every partition concurrently: cross-task edges rendezvous inside
+  // the servers, so partitions must run simultaneously. If any partition
+  // fails, the others may be parked in _Recv waiting for tensors that will
+  // never be sent — the first error triggers step cancellation (AbortStep)
+  // on every peer so the whole Run unwinds instead of hanging.
+  std::vector<Tensor> results(fetches.size());
+  std::vector<Status> status(partitions_.size());
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+  bool failed = false;
+
+  std::vector<std::thread> threads;
+  for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+    threads.emplace_back([&, pi] {
+      const Partition& part = partitions_[pi];
+      const StepPlan& plan = plans[part.addr];
+      RemoteTask task(router_, part.addr, protocol_);
+      Status st;
+      auto r = task.RunStep(plan.feeds, plan.fetches, part.all_nodes);
+      if (!r.ok()) {
+        st = r.status();
+      } else if (r->size() != plan.fetches.size()) {
+        st = Internal("partition returned wrong fetch count");
+      } else {
+        for (size_t f = 0; f < plan.fetch_positions.size(); ++f) {
+          results[plan.fetch_positions[f]] = std::move((*r)[f]);
+        }
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      status[pi] = std::move(st);
+      ++done;
+      if (!status[pi].ok()) failed = true;
+      cv.notify_all();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done == partitions_.size() || failed; });
+    if (failed && done < partitions_.size()) {
+      // Cancel stragglers; their RunSteps fail with Cancelled and unwind.
+      for (const Partition& part : partitions_) {
+        RemoteTask(router_, part.addr, protocol_).AbortStep("peer failed");
+      }
+      cv.wait(lk, [&] { return done == partitions_.size(); });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  Status first;
+  for (const Status& s : status) {
+    // Prefer the root cause over Cancelled fallout from the abort.
+    if (!s.ok() && (first.ok() || first.code() == Code::kCancelled)) {
+      first = s;
+    }
+  }
+  if (!first.ok()) {
+    // Return the tasks to a clean state so the session stays usable.
+    for (const Partition& part : partitions_) {
+      RemoteTask(router_, part.addr, protocol_).ResetStep();
+    }
+    return first;
+  }
+  return results;
+}
+
+}  // namespace tfhpc::distrib

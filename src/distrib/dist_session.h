@@ -1,0 +1,54 @@
+// DistributedSession: the client half of TensorFlow's distributed
+// execution. Takes one graph with nodes placed on multiple tasks,
+// partitions it (distrib/partition.h), ships each partition to its server
+// once, and on every Run drives all partitions concurrently — cross-task
+// tensors flow through the rendezvous _Send/_Recv pairs the partitioner
+// inserted. Feeds and fetches are routed to the owning partition
+// automatically.
+//
+// Simplification vs TensorFlow: every Run executes all partitions in full
+// (no cross-partition pruning), which keeps send/recv pairs matched by
+// construction.
+#pragma once
+
+#include <memory>
+
+#include "distrib/client.h"
+#include "distrib/partition.h"
+
+namespace tfhpc::distrib {
+
+class DistributedSession {
+ public:
+  // Partitions `def` and extends every involved server's graph. The graph
+  // nodes must carry device specs resolvable against `cluster` (merged with
+  // `default_device`).
+  static Result<std::unique_ptr<DistributedSession>> Create(
+      InProcessRouter* router, const ClusterSpec& cluster,
+      WireProtocol protocol, const wire::GraphDef& def,
+      const DeviceName& default_device);
+
+  // Runs one step across all partitions; returns fetched tensors in order.
+  Result<std::vector<Tensor>> Run(const std::map<std::string, Tensor>& feeds,
+                                  const std::vector<std::string>& fetches);
+
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  // Owning task of a node (tests / diagnostics).
+  Result<std::string> TaskOf(const std::string& node_name) const;
+
+ private:
+  DistributedSession(InProcessRouter* router, WireProtocol protocol)
+      : router_(router), protocol_(protocol) {}
+
+  struct Partition {
+    std::string addr;
+    std::vector<std::string> all_nodes;  // run targets (full execution)
+  };
+
+  InProcessRouter* router_;
+  WireProtocol protocol_;
+  std::vector<Partition> partitions_;
+  std::map<std::string, std::string> node_task_;
+};
+
+}  // namespace tfhpc::distrib

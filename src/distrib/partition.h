@@ -1,0 +1,32 @@
+// Graph partitioning: split one graph whose nodes are placed on different
+// tasks ("/job:worker/task:1/gpu:0") into per-task subgraphs, inserting
+// matched _Send/_Recv pairs at every cross-task edge — exactly what
+// TensorFlow's distributed runtime does before execution. Data edges become
+// tensor sends; control edges become token sends (a zero scalar gated on
+// the producer).
+#pragma once
+
+#include <map>
+
+#include "core/device_name.h"
+#include "distrib/cluster_spec.h"
+#include "graph/graph.h"
+
+namespace tfhpc::distrib {
+
+struct PartitionResult {
+  // Task address -> that task's subgraph.
+  std::map<std::string, wire::GraphDef> partitions;
+  // Node name -> owning task address (for routing feeds/fetches).
+  std::map<std::string, std::string> node_task;
+};
+
+// Splits `graph`. Every node's device spec is merged with `default_device`
+// (which must carry a job and task) and the resulting job/task must exist
+// in `cluster`. Rendezvous keys are derived from edge names, so repeated
+// partitioning of the same graph is deterministic.
+Result<PartitionResult> PartitionGraph(const Graph& graph,
+                                       const ClusterSpec& cluster,
+                                       const DeviceName& default_device);
+
+}  // namespace tfhpc::distrib

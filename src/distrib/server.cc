@@ -1,0 +1,384 @@
+#include "distrib/server.h"
+
+#include "wire/coded.h"
+
+namespace tfhpc::distrib {
+
+// ----- payload codecs ---------------------------------------------------------
+
+std::string RunStepRequest::Serialize() const {
+  std::string out;
+  wire::CodedOutput co(&out);
+  for (const auto& [name, tensor] : feeds) {
+    std::string entry;
+    wire::CodedOutput eo(&entry);
+    eo.WriteString(1, name);
+    eo.WriteMessage(2, wire::SerializeTensor(tensor));
+    co.WriteMessage(1, entry);
+  }
+  for (const auto& f : fetches) co.WriteString(2, f);
+  for (const auto& t : targets) co.WriteString(3, t);
+  co.WriteBool(4, simulate);
+  return out;
+}
+
+Result<RunStepRequest> RunStepRequest::Parse(const std::string& payload) {
+  wire::CodedInput in(payload);
+  RunStepRequest req;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    wire::WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    switch (field) {
+      case 1: {
+        const uint8_t* d;
+        size_t s;
+        TFHPC_RETURN_IF_ERROR(in.ReadBytesView(&d, &s));
+        wire::CodedInput ein(d, s);
+        std::string name;
+        Tensor tensor;
+        while (!ein.AtEnd()) {
+          uint32_t ef;
+          wire::WireType ewt;
+          TFHPC_RETURN_IF_ERROR(ein.ReadTag(&ef, &ewt));
+          if (ef == 1) {
+            TFHPC_RETURN_IF_ERROR(ein.ReadString(&name));
+          } else if (ef == 2) {
+            const uint8_t* td;
+            size_t ts;
+            TFHPC_RETURN_IF_ERROR(ein.ReadBytesView(&td, &ts));
+            TFHPC_ASSIGN_OR_RETURN(tensor, wire::ParseTensor(td, ts));
+          } else {
+            TFHPC_RETURN_IF_ERROR(ein.SkipField(ewt));
+          }
+        }
+        req.feeds.emplace(std::move(name), std::move(tensor));
+        break;
+      }
+      case 2: {
+        std::string s;
+        TFHPC_RETURN_IF_ERROR(in.ReadString(&s));
+        req.fetches.push_back(std::move(s));
+        break;
+      }
+      case 3: {
+        std::string s;
+        TFHPC_RETURN_IF_ERROR(in.ReadString(&s));
+        req.targets.push_back(std::move(s));
+        break;
+      }
+      case 4: {
+        uint64_t v;
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+        req.simulate = v != 0;
+        break;
+      }
+      default:
+        TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  return req;
+}
+
+std::string EncodeQueuePayload(const std::string& queue, const Tensor* tensor,
+                               int64_t capacity) {
+  std::string out;
+  wire::CodedOutput co(&out);
+  co.WriteString(1, queue);
+  if (tensor != nullptr) co.WriteMessage(2, wire::SerializeTensor(*tensor));
+  if (capacity > 0) co.WriteUInt64(3, static_cast<uint64_t>(capacity));
+  return out;
+}
+
+Status DecodeQueuePayload(const std::string& payload, std::string* queue,
+                          Tensor* tensor, int64_t* capacity) {
+  wire::CodedInput in(payload);
+  *capacity = 0;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    wire::WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    if (field == 1) {
+      TFHPC_RETURN_IF_ERROR(in.ReadString(queue));
+    } else if (field == 2 && tensor != nullptr) {
+      const uint8_t* d;
+      size_t s;
+      TFHPC_RETURN_IF_ERROR(in.ReadBytesView(&d, &s));
+      TFHPC_ASSIGN_OR_RETURN(*tensor, wire::ParseTensor(d, s));
+    } else if (field == 3) {
+      uint64_t v;
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+      *capacity = static_cast<int64_t>(v);
+    } else {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  if (queue->empty()) return InvalidArgument("queue payload without name");
+  return Status::OK();
+}
+
+std::string EncodeVarPayload(const std::string& var, const Tensor* tensor,
+                             bool accumulate, bool want_value) {
+  std::string out;
+  wire::CodedOutput co(&out);
+  co.WriteString(1, var);
+  if (tensor != nullptr) co.WriteMessage(2, wire::SerializeTensor(*tensor));
+  co.WriteBool(3, accumulate);
+  co.WriteBool(4, want_value);
+  return out;
+}
+
+Status DecodeVarPayload(const std::string& payload, std::string* var,
+                        Tensor* tensor, bool* accumulate, bool* want_value) {
+  wire::CodedInput in(payload);
+  *accumulate = false;
+  *want_value = false;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    wire::WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    uint64_t v = 0;
+    if (field == 1) {
+      TFHPC_RETURN_IF_ERROR(in.ReadString(var));
+    } else if (field == 2 && tensor != nullptr) {
+      const uint8_t* d;
+      size_t s;
+      TFHPC_RETURN_IF_ERROR(in.ReadBytesView(&d, &s));
+      TFHPC_ASSIGN_OR_RETURN(*tensor, wire::ParseTensor(d, s));
+    } else if (field == 3) {
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+      *accumulate = v != 0;
+    } else if (field == 4) {
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+      *want_value = v != 0;
+    } else {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  if (var->empty()) return InvalidArgument("var payload without name");
+  return Status::OK();
+}
+
+std::string EncodeTensorList(const std::vector<Tensor>& tensors) {
+  std::string out;
+  wire::CodedOutput co(&out);
+  for (const Tensor& t : tensors) co.WriteMessage(1, wire::SerializeTensor(t));
+  return out;
+}
+
+Result<std::vector<Tensor>> DecodeTensorList(const std::string& payload) {
+  wire::CodedInput in(payload);
+  std::vector<Tensor> tensors;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    wire::WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    if (field == 1) {
+      const uint8_t* d;
+      size_t s;
+      TFHPC_RETURN_IF_ERROR(in.ReadBytesView(&d, &s));
+      TFHPC_ASSIGN_OR_RETURN(Tensor t, wire::ParseTensor(d, s));
+      tensors.push_back(std::move(t));
+    } else {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  return tensors;
+}
+
+// ----- Server ----------------------------------------------------------------
+
+Result<std::unique_ptr<Server>> Server::Create(ServerDef def,
+                                               InProcessRouter* router) {
+  TFHPC_ASSIGN_OR_RETURN(std::string address,
+                         def.cluster.TaskAddress(def.job, def.task));
+  std::unique_ptr<Server> server(
+      new Server(std::move(def), router, std::move(address)));
+  TFHPC_RETURN_IF_ERROR(router->Register(
+      server->address_, [raw = server.get()](const wire::RpcEnvelope& req) {
+        return raw->Handle(req);
+      }));
+  return server;
+}
+
+Server::Server(ServerDef def, InProcessRouter* router, std::string address)
+    : def_(std::move(def)), router_(router), address_(std::move(address)) {
+  devices_ = DeviceMgr::CreateLocal(def_.job, def_.task, def_.num_gpus,
+                                    def_.gpu_model);
+  // Give kernels a path to remote rendezvous (_Send with a target): a
+  // RendezvousSend RPC over this server's configured protocol.
+  resources_.set_remote_send([this](const std::string& addr,
+                                    const std::string& key,
+                                    const Tensor& tensor) -> Status {
+    wire::RpcEnvelope req;
+    req.method = "RendezvousSend";
+    req.payload = EncodeQueuePayload(key, &tensor, 0);
+    TFHPC_ASSIGN_OR_RETURN(wire::RpcEnvelope resp,
+                           router_->Call(addr, def_.protocol, req));
+    if (resp.status_code != 0) {
+      return Status(static_cast<Code>(resp.status_code), resp.status_msg);
+    }
+    return Status::OK();
+  });
+}
+
+void Server::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  router_->Unregister(address_);
+  // Unblock anything parked on this server's queues or rendezvous.
+  resources_.CloseAllQueues();
+  resources_.rendezvous().Abort(
+      Cancelled("server " + address_ + " shut down"));
+}
+
+Server::~Server() { Shutdown(); }
+
+std::unique_ptr<Session> Server::NewSession() {
+  DeviceName default_device;
+  default_device.job = def_.job;
+  default_device.task = def_.task;
+  return std::make_unique<Session>(&graph_, devices_.get(), &resources_,
+                                   default_device);
+}
+
+wire::RpcEnvelope Server::Handle(const wire::RpcEnvelope& request) {
+  wire::RpcEnvelope response;
+  response.method = request.method;
+  response.request_id = request.request_id;
+  auto result = Dispatch(request.method, request.payload);
+  if (result.ok()) {
+    response.payload = std::move(*result);
+  } else {
+    response.status_code = static_cast<int32_t>(result.status().code());
+    response.status_msg = result.status().message();
+  }
+  return response;
+}
+
+Result<std::string> Server::Dispatch(const std::string& method,
+                                     const std::string& payload) {
+  if (method == "Ping") return payload;
+
+  if (method == "ExtendGraph") {
+    if (static_cast<int64_t>(payload.size()) > def_.max_graphdef_bytes) {
+      return ResourceExhausted(
+          "GraphDef of " + std::to_string(payload.size()) +
+          " bytes exceeds the " + std::to_string(def_.max_graphdef_bytes) +
+          "-byte ProtoBuf limit; keep loop state in variables and ship only "
+          "the loop body (paper §IV)");
+    }
+    TFHPC_ASSIGN_OR_RETURN(wire::GraphDef def, wire::GraphDef::Parse(payload));
+    std::lock_guard<std::mutex> lk(graph_mu_);
+    for (const auto& node_def : def.nodes) {
+      TFHPC_ASSIGN_OR_RETURN(Node * n, graph_.AddNode(node_def));
+      (void)n;
+    }
+    return std::string();
+  }
+
+  if (method == "RunStep") {
+    TFHPC_ASSIGN_OR_RETURN(RunStepRequest req, RunStepRequest::Parse(payload));
+    RunOptions options;
+    options.simulate = req.simulate;
+    auto session = NewSession();
+    TFHPC_ASSIGN_OR_RETURN(
+        std::vector<Tensor> outputs,
+        session->Run(req.feeds, req.fetches, req.targets, options));
+    return EncodeTensorList(outputs);
+  }
+
+  if (method == "Enqueue") {
+    std::string queue;
+    Tensor tensor;
+    int64_t capacity;
+    TFHPC_RETURN_IF_ERROR(
+        DecodeQueuePayload(payload, &queue, &tensor, &capacity));
+    if (!tensor.valid()) return InvalidArgument("Enqueue without tensor");
+    TFHPC_ASSIGN_OR_RETURN(FIFOQueue * q,
+                           resources_.LookupOrCreateQueue(queue, capacity));
+    TFHPC_RETURN_IF_ERROR(q->Enqueue(std::move(tensor)));
+    return std::string();
+  }
+
+  if (method == "Dequeue") {
+    std::string queue;
+    int64_t capacity;
+    TFHPC_RETURN_IF_ERROR(
+        DecodeQueuePayload(payload, &queue, nullptr, &capacity));
+    TFHPC_ASSIGN_OR_RETURN(FIFOQueue * q,
+                           resources_.LookupOrCreateQueue(queue, capacity));
+    TFHPC_ASSIGN_OR_RETURN(Tensor t, q->Dequeue());
+    return wire::SerializeTensor(t);
+  }
+
+  if (method == "CloseQueue") {
+    std::string queue;
+    int64_t capacity;
+    TFHPC_RETURN_IF_ERROR(
+        DecodeQueuePayload(payload, &queue, nullptr, &capacity));
+    TFHPC_ASSIGN_OR_RETURN(FIFOQueue * q,
+                           resources_.LookupOrCreateQueue(queue, 0));
+    q->Close();
+    return std::string();
+  }
+
+  if (method == "VarWrite") {
+    std::string var;
+    Tensor tensor;
+    bool accumulate, want_value;
+    TFHPC_RETURN_IF_ERROR(
+        DecodeVarPayload(payload, &var, &tensor, &accumulate, &want_value));
+    if (!tensor.valid()) return InvalidArgument("VarWrite without tensor");
+    Variable* v = resources_.LookupOrCreateVariable(var);
+    Tensor value;
+    if (accumulate) {
+      TFHPC_ASSIGN_OR_RETURN(value, v->Accumulate(tensor));
+    } else {
+      v->Write(tensor);
+      value = tensor;
+    }
+    // The paper's STREAM explicitly avoids returning the value (it would
+    // double the traffic); honour want_value.
+    if (!want_value) return std::string();
+    return wire::SerializeTensor(value);
+  }
+
+  if (method == "AbortStep") {
+    // Step cancellation: unblock every _Recv parked on this task. The
+    // rendezvous stays poisoned until ResetStep.
+    resources_.rendezvous().Abort(
+        Cancelled("step aborted" +
+                  (payload.empty() ? "" : ": " + payload)));
+    return std::string();
+  }
+
+  if (method == "ResetStep") {
+    resources_.rendezvous().Reset();
+    return std::string();
+  }
+
+  if (method == "RendezvousSend") {
+    std::string key;
+    Tensor tensor;
+    int64_t capacity;
+    TFHPC_RETURN_IF_ERROR(DecodeQueuePayload(payload, &key, &tensor, &capacity));
+    if (!tensor.valid()) return InvalidArgument("RendezvousSend without tensor");
+    TFHPC_RETURN_IF_ERROR(resources_.rendezvous().Send(key, std::move(tensor)));
+    return std::string();
+  }
+
+  if (method == "VarRead") {
+    std::string var;
+    bool accumulate, want_value;
+    TFHPC_RETURN_IF_ERROR(
+        DecodeVarPayload(payload, &var, nullptr, &accumulate, &want_value));
+    Variable* v = resources_.LookupOrCreateVariable(var);
+    TFHPC_ASSIGN_OR_RETURN(Tensor t, v->Read());
+    return wire::SerializeTensor(t);
+  }
+
+  return Unimplemented("unknown method '" + method + "'");
+}
+
+}  // namespace tfhpc::distrib

@@ -1,0 +1,113 @@
+// A TensorFlow-style server (tf.train.Server): one per task, hosting its own
+// device set, resource manager (variables + queues) and graph, and serving a
+// worker service over the in-process router. The paper's applications are
+// built from exactly these pieces: a ps job hosting variables/queues and
+// worker jobs running compute graphs.
+//
+// Service methods (RpcEnvelope.method):
+//   Ping        — liveness, echoes payload
+//   ExtendGraph — payload: GraphDef; appends nodes to the server's graph
+//   RunStep     — payload: RunStepRequest; runs fetches/targets with feeds
+//   Enqueue     — payload: queue name + tensor (+capacity); blocking
+//   Dequeue     — payload: queue name; blocking; response carries tensor
+//   CloseQueue  — payload: queue name
+//   VarWrite    — payload: var name + tensor + accumulate? + want_value?
+//   VarRead     — payload: var name; response carries tensor
+//   RendezvousSend — payload: key + tensor; deposits into this task's
+//                    rendezvous (the receiving half of a cross-task _Send)
+#pragma once
+
+#include <memory>
+
+#include "distrib/cluster_spec.h"
+#include "distrib/transport.h"
+#include "runtime/session.h"
+
+namespace tfhpc::distrib {
+
+struct ServerDef {
+  ClusterSpec cluster;
+  std::string job;
+  int task = 0;
+  int num_gpus = 0;
+  ComputeModel gpu_model = models::Gk210();
+  // Wire protocol this server uses for outgoing traffic (rendezvous sends).
+  WireProtocol protocol = WireProtocol::kRdma;
+  // TensorFlow's ProtoBuf ceiling: "computation graphs ... cannot exceed
+  // two gigabytes in size" (paper §IV). ExtendGraph rejects larger defs;
+  // the workaround is the paper's: keep loop state in variables and ship
+  // only the loop body. Overridable for tests.
+  int64_t max_graphdef_bytes = int64_t{2} << 30;
+};
+
+class Server {
+ public:
+  // Creates the server and binds it to its cluster address on `router`.
+  static Result<std::unique_ptr<Server>> Create(ServerDef def,
+                                                InProcessRouter* router);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const std::string& address() const { return address_; }
+  const ServerDef& def() const { return def_; }
+
+  // Unbinds the server and unblocks everything parked on its queues and
+  // rendezvous (pending ops fail with Cancelled/OutOfRange). Call this —
+  // and join any threads running steps against this server — before
+  // destroying it while work is in flight. Idempotent; the destructor
+  // calls it as a backstop.
+  void Shutdown();
+
+  Graph& graph() { return graph_; }
+  ResourceMgr& resources() { return resources_; }
+  DeviceMgr& devices() { return *devices_; }
+  // A session bound to this server's graph/devices/resources, with default
+  // device "/job:<job>/task:<task>".
+  std::unique_ptr<Session> NewSession();
+
+  // Service entry point (invoked by the router on caller threads).
+  wire::RpcEnvelope Handle(const wire::RpcEnvelope& request);
+
+ private:
+  Server(ServerDef def, InProcessRouter* router, std::string address);
+
+  Result<std::string> Dispatch(const std::string& method,
+                               const std::string& payload);
+
+  ServerDef def_;
+  InProcessRouter* router_;
+  std::string address_;
+  Graph graph_;
+  std::unique_ptr<DeviceMgr> devices_;
+  ResourceMgr resources_;
+  std::mutex graph_mu_;  // guards ExtendGraph vs RunStep
+  bool shutdown_ = false;
+};
+
+// ----- payload codecs (exposed for the client and tests) --------------------
+
+struct RunStepRequest {
+  std::map<std::string, Tensor> feeds;
+  std::vector<std::string> fetches;
+  std::vector<std::string> targets;
+  bool simulate = false;
+
+  std::string Serialize() const;
+  static Result<RunStepRequest> Parse(const std::string& payload);
+};
+
+std::string EncodeQueuePayload(const std::string& queue, const Tensor* tensor,
+                               int64_t capacity);
+Status DecodeQueuePayload(const std::string& payload, std::string* queue,
+                          Tensor* tensor, int64_t* capacity);
+
+std::string EncodeVarPayload(const std::string& var, const Tensor* tensor,
+                             bool accumulate, bool want_value);
+Status DecodeVarPayload(const std::string& payload, std::string* var,
+                        Tensor* tensor, bool* accumulate, bool* want_value);
+
+std::string EncodeTensorList(const std::vector<Tensor>& tensors);
+Result<std::vector<Tensor>> DecodeTensorList(const std::string& payload);
+
+}  // namespace tfhpc::distrib

@@ -1,0 +1,208 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace tfhpc {
+
+int Node::num_data_inputs() const {
+  return static_cast<int>(
+      std::count_if(in_edges_.begin(), in_edges_.end(),
+                    [](const InEdge& e) { return !e.control; }));
+}
+
+namespace {
+Status AttrError(const std::string& node, const std::string& attr,
+                 const char* kind) {
+  return InvalidArgument("node '" + node + "': attr '" + attr + "' missing or not " +
+                         kind);
+}
+}  // namespace
+
+Result<int64_t> Node::AttrInt(const std::string& name) const {
+  auto it = def_.attrs.find(name);
+  if (it == def_.attrs.end() || it->second.kind != wire::AttrValue::Kind::kInt)
+    return AttrError(def_.name, name, "int");
+  return it->second.i;
+}
+Result<double> Node::AttrFloat(const std::string& name) const {
+  auto it = def_.attrs.find(name);
+  if (it == def_.attrs.end() || it->second.kind != wire::AttrValue::Kind::kFloat)
+    return AttrError(def_.name, name, "float");
+  return it->second.f;
+}
+Result<std::string> Node::AttrString(const std::string& name) const {
+  auto it = def_.attrs.find(name);
+  if (it == def_.attrs.end() || it->second.kind != wire::AttrValue::Kind::kString)
+    return AttrError(def_.name, name, "string");
+  return it->second.s;
+}
+Result<DType> Node::AttrType(const std::string& name) const {
+  auto it = def_.attrs.find(name);
+  if (it == def_.attrs.end() || it->second.kind != wire::AttrValue::Kind::kType)
+    return AttrError(def_.name, name, "type");
+  return it->second.type;
+}
+Result<Shape> Node::AttrShape(const std::string& name) const {
+  auto it = def_.attrs.find(name);
+  if (it == def_.attrs.end() || it->second.kind != wire::AttrValue::Kind::kShape)
+    return AttrError(def_.name, name, "shape");
+  return it->second.shape;
+}
+Result<bool> Node::AttrBool(const std::string& name) const {
+  auto it = def_.attrs.find(name);
+  if (it == def_.attrs.end() || it->second.kind != wire::AttrValue::Kind::kBool)
+    return AttrError(def_.name, name, "bool");
+  return it->second.b;
+}
+
+Result<std::unique_ptr<Node>> Node::Detached(wire::NodeDef def) {
+  const OpDef* op_def = OpRegistry::Global().Lookup(def.op);
+  if (op_def == nullptr) return NotFound("op '" + def.op + "' not registered");
+  auto node = std::make_unique<Node>();
+  node->def_ = std::move(def);
+  node->op_def_ = op_def;
+  return node;
+}
+
+Result<Node*> Graph::AddNode(wire::NodeDef def) {
+  if (def.name.empty()) return InvalidArgument("node with empty name");
+  if (by_name_.count(def.name)) {
+    return AlreadyExists("duplicate node name '" + def.name + "'");
+  }
+  const OpDef* op_def = OpRegistry::Global().Lookup(def.op);
+  if (op_def == nullptr) {
+    return NotFound("op '" + def.op + "' not registered (node '" + def.name +
+                    "')");
+  }
+
+  auto node = std::make_unique<Node>();
+  node->def_ = std::move(def);
+  node->op_def_ = op_def;
+  node->id_ = static_cast<int>(nodes_.size());
+
+  int data_inputs = 0;
+  for (const std::string& input : node->def_.inputs) {
+    InEdge e;
+    std::string name = input;
+    if (!name.empty() && name[0] == '^') {
+      e.control = true;
+      name = name.substr(1);
+    } else {
+      const size_t colon = name.find(':');
+      if (colon != std::string::npos) {
+        try {
+          e.output_index = std::stoi(name.substr(colon + 1));
+        } catch (...) {
+          return InvalidArgument("bad input spec '" + input + "'");
+        }
+        name = name.substr(0, colon);
+      }
+      ++data_inputs;
+    }
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+      return NotFound("input '" + name + "' of node '" + node->def_.name +
+                      "' not found (inputs must be added first)");
+    }
+    e.node_id = it->second;
+    if (!e.control &&
+        e.output_index >= nodes_[static_cast<size_t>(e.node_id)]->op_def().num_outputs) {
+      return OutOfRange("input '" + input + "' output index out of range");
+    }
+    node->in_edges_.push_back(e);
+  }
+
+  if (data_inputs < op_def->min_inputs ||
+      (op_def->max_inputs >= 0 && data_inputs > op_def->max_inputs)) {
+    return InvalidArgument("node '" + node->def_.name + "' (op " + node->def_.op +
+                           ") has " + std::to_string(data_inputs) +
+                           " data inputs, expected [" +
+                           std::to_string(op_def->min_inputs) + ", " +
+                           (op_def->max_inputs < 0
+                                ? std::string("inf")
+                                : std::to_string(op_def->max_inputs)) +
+                           "]");
+  }
+
+  Node* raw = node.get();
+  by_name_[node->def_.name] = node->id_;
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+Node* Graph::FindNode(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : nodes_[static_cast<size_t>(it->second)].get();
+}
+
+const Node* Graph::FindNode(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : nodes_[static_cast<size_t>(it->second)].get();
+}
+
+std::vector<int> Graph::TopologicalOrder() const {
+  // Construction enforces inputs-before-consumers, so ids are topological.
+  std::vector<int> order(static_cast<size_t>(num_nodes()));
+  for (int i = 0; i < num_nodes(); ++i) order[static_cast<size_t>(i)] = i;
+  return order;
+}
+
+Result<std::vector<int>> Graph::ReachableTo(
+    const std::vector<std::string>& targets) const {
+  std::vector<bool> visited(static_cast<size_t>(num_nodes()), false);
+  std::deque<int> frontier;
+  for (const std::string& t : targets) {
+    // Targets may name an output slot ("node:1").
+    std::string name = t;
+    const size_t colon = name.find(':');
+    if (colon != std::string::npos) name = name.substr(0, colon);
+    const Node* n = FindNode(name);
+    if (n == nullptr) return NotFound("target node '" + name + "' not found");
+    if (!visited[static_cast<size_t>(n->id())]) {
+      visited[static_cast<size_t>(n->id())] = true;
+      frontier.push_back(n->id());
+    }
+  }
+  std::vector<int> result;
+  while (!frontier.empty()) {
+    const int id = frontier.front();
+    frontier.pop_front();
+    result.push_back(id);
+    for (const InEdge& e : nodes_[static_cast<size_t>(id)]->in_edges()) {
+      if (!visited[static_cast<size_t>(e.node_id)]) {
+        visited[static_cast<size_t>(e.node_id)] = true;
+        frontier.push_back(e.node_id);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::string Graph::UniqueName(const std::string& prefix) {
+  for (;;) {
+    const int n = name_counters_[prefix]++;
+    const std::string candidate =
+        n == 0 ? prefix : prefix + "_" + std::to_string(n);
+    if (!by_name_.count(candidate)) return candidate;
+  }
+}
+
+wire::GraphDef Graph::ToGraphDef() const {
+  wire::GraphDef def;
+  def.nodes.reserve(nodes_.size());
+  for (const auto& n : nodes_) def.nodes.push_back(n->def());
+  return def;
+}
+
+Result<std::unique_ptr<Graph>> Graph::FromGraphDef(const wire::GraphDef& def) {
+  auto graph = std::make_unique<Graph>();
+  for (const auto& node_def : def.nodes) {
+    TFHPC_ASSIGN_OR_RETURN(Node * n, graph->AddNode(node_def));
+    (void)n;
+  }
+  return graph;
+}
+
+}  // namespace tfhpc

@@ -1,0 +1,101 @@
+// The dataflow graph: nodes are operations, edges are tensors (data inputs)
+// or ordering constraints (control inputs, written "^name"). Graphs are
+// constructed deferred-execution style and executed later by a Session —
+// the TensorFlow "Graph mode" the paper builds every application on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/op_def.h"
+#include "wire/messages.h"
+
+namespace tfhpc {
+
+class Graph;
+
+// A resolved input edge: producer node id + output slot, or control edge.
+struct InEdge {
+  int node_id = -1;
+  int output_index = 0;
+  bool control = false;
+};
+
+class Node {
+ public:
+  int id() const { return id_; }
+  const std::string& name() const { return def_.name; }
+  const std::string& op() const { return def_.op; }
+  const wire::NodeDef& def() const { return def_; }
+  const OpDef& op_def() const { return *op_def_; }
+  const std::string& requested_device() const { return def_.device; }
+
+  const std::vector<InEdge>& in_edges() const { return in_edges_; }
+  int num_data_inputs() const;
+
+  // Attribute lookups; Status error if absent/mistyped.
+  Result<int64_t> AttrInt(const std::string& name) const;
+  Result<double> AttrFloat(const std::string& name) const;
+  Result<std::string> AttrString(const std::string& name) const;
+  Result<DType> AttrType(const std::string& name) const;
+  Result<Shape> AttrShape(const std::string& name) const;
+  Result<bool> AttrBool(const std::string& name) const;
+  bool HasAttr(const std::string& name) const {
+    return def_.attrs.count(name) > 0;
+  }
+
+  // A node not owned by any graph, used by eager execution to carry op
+  // identity + attrs into a kernel invocation (inputs are bound directly on
+  // the kernel context, so arity is checked by the caller, not here).
+  static Result<std::unique_ptr<Node>> Detached(wire::NodeDef def);
+
+ private:
+  friend class Graph;
+  int id_ = -1;
+  wire::NodeDef def_;
+  const OpDef* op_def_ = nullptr;
+  std::vector<InEdge> in_edges_;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // Adds a node. Input strings are "name", "name:slot" or "^name" and must
+  // refer to already-added nodes. The op must be registered.
+  Result<Node*> AddNode(wire::NodeDef def);
+
+  Node* FindNode(const std::string& name);
+  const Node* FindNode(const std::string& name) const;
+  Node* node(int id) { return nodes_[static_cast<size_t>(id)].get(); }
+  const Node* node(int id) const { return nodes_[static_cast<size_t>(id)].get(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // Node ids in a valid topological order (inputs before consumers). The
+  // construction order already is one since inputs must pre-exist; this
+  // returns ids 0..n-1.
+  std::vector<int> TopologicalOrder() const;
+
+  // Ids of all nodes on which any of `targets` (transitively) depends,
+  // including the targets themselves.
+  Result<std::vector<int>> ReachableTo(const std::vector<std::string>& targets) const;
+
+  // Generates a fresh node name with the given prefix ("MatMul" ->
+  // "MatMul_3").
+  std::string UniqueName(const std::string& prefix);
+
+  wire::GraphDef ToGraphDef() const;
+  static Result<std::unique_ptr<Graph>> FromGraphDef(const wire::GraphDef& def);
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::string, int> by_name_;
+  std::map<std::string, int> name_counters_;
+};
+
+}  // namespace tfhpc

@@ -1,0 +1,37 @@
+#include "graph/op_def.h"
+
+namespace tfhpc {
+
+OpRegistry& OpRegistry::Global() {
+  static OpRegistry* registry = new OpRegistry();
+  return *registry;
+}
+
+Status OpRegistry::Register(OpDef def) {
+  if (def.name.empty()) return InvalidArgument("op with empty name");
+  auto [it, inserted] = ops_.emplace(def.name, std::move(def));
+  (void)it;
+  if (!inserted) return AlreadyExists("op already registered: " + def.name);
+  return Status::OK();
+}
+
+const OpDef* OpRegistry::Lookup(const std::string& name) const {
+  auto it = ops_.find(name);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> OpRegistry::OpNames() const {
+  std::vector<std::string> names;
+  names.reserve(ops_.size());
+  for (const auto& [name, def] : ops_) names.push_back(name);
+  return names;
+}
+
+namespace internal {
+OpRegistrar::OpRegistrar(OpDef def) {
+  const Status s = OpRegistry::Global().Register(std::move(def));
+  TFHPC_CHECK(s.ok()) << s.ToString();
+}
+}  // namespace internal
+
+}  // namespace tfhpc

@@ -1,0 +1,126 @@
+// Typed graph-construction API (the analogue of TensorFlow's Python/C++ op
+// builders). A Scope carries the target graph and a device stack so code can
+// mirror the paper's Listing 1:
+//
+//   Graph g;
+//   Scope root(&g);
+//   auto cpu = root.WithDevice("/cpu:0");
+//   auto a = ops::RandomUniform(cpu, {3, 3}, DType::kF32, /*seed=*/1);
+//   auto b = ops::RandomUniform(cpu, {3, 3}, DType::kF32, /*seed=*/2);
+//   auto gpu = root.WithDevice("/gpu:0");
+//   auto c = ops::MatMul(gpu, a, b);
+//
+// Builder functions abort on structural programming errors (unregistered op,
+// bad arity); data-dependent failures surface at Session::Run time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tfhpc {
+
+struct Output {
+  Node* node = nullptr;
+  int index = 0;
+
+  // Input-string form, e.g. "matmul_1:0" (slot 0 elides the colon suffix).
+  std::string name() const;
+};
+
+class Scope {
+ public:
+  explicit Scope(Graph* graph) : graph_(graph) {}
+
+  // Child scope placing new nodes on `device` (TF's tf.device()).
+  Scope WithDevice(const std::string& device) const;
+  // Child scope prefixing node names ("cg/..." namespacing).
+  Scope WithNamePrefix(const std::string& prefix) const;
+
+  Graph* graph() const { return graph_; }
+  const std::string& device() const { return device_; }
+
+  // Adds a node with auto-generated name (prefix + op name), current device.
+  Node* AddNode(const std::string& op, std::vector<std::string> inputs,
+                std::map<std::string, wire::AttrValue> attrs,
+                const std::string& name_hint = "") const;
+
+ private:
+  Graph* graph_;
+  std::string device_;
+  std::string prefix_;
+};
+
+namespace ops {
+
+// -- sources ---------------------------------------------------------------
+Output Const(const Scope& s, Tensor value, const std::string& name = "");
+Output Placeholder(const Scope& s, DType dtype, Shape shape,
+                   const std::string& name = "");
+Output RandomUniform(const Scope& s, Shape shape, DType dtype, int64_t seed,
+                     double lo = 0.0, double hi = 1.0);
+
+// -- state -------------------------------------------------------------------
+// A mutable per-server variable; reading the node yields its current value.
+Output Variable(const Scope& s, const std::string& name, DType dtype,
+                Shape shape);
+// Writes `value` into `var` (a Variable op's output); returns the new value.
+Output Assign(const Scope& s, Output var, Output value);
+// var += value; returns the new value (the paper's STREAM assign_add).
+Output AssignAdd(const Scope& s, Output var, Output value);
+
+// -- math ----------------------------------------------------------------------
+Output MatMul(const Scope& s, Output a, Output b);
+Output MatVec(const Scope& s, Output m, Output v);
+Output Add(const Scope& s, Output a, Output b);
+Output Sub(const Scope& s, Output a, Output b);
+Output Mul(const Scope& s, Output a, Output b);  // elementwise or scalar*tensor
+Output Div(const Scope& s, Output a, Output b);
+Output Dot(const Scope& s, Output a, Output b);
+Output ReduceSum(const Scope& s, Output a);
+Output Sqrt(const Scope& s, Output a);
+// y = a*x + y as one fused kernel (axpy), the CG inner-loop building block.
+Output Axpy(const Scope& s, Output alpha, Output x, Output y);
+// 1-D complex-to-complex FFT (forward; inverse when inverse=true).
+Output Fft(const Scope& s, Output x, bool inverse = false);
+
+// -- array manipulation --------------------------------------------------------
+Output Transpose(const Scope& s, Output a);  // rank-2 only
+// out = a[begin : begin+size] elementwise per dimension (rank 1-2).
+Output Slice(const Scope& s, Output a, Shape begin, Shape size);
+// Concatenation along axis 0 (rank 1-2 operands).
+Output Concat(const Scope& s, const std::vector<Output>& parts);
+Output Cast(const Scope& s, Output a, DType to);
+Output Neg(const Scope& s, Output a);
+Output ReduceMax(const Scope& s, Output a);
+Output ReduceMin(const Scope& s, Output a);
+Output ReduceMean(const Scope& s, Output a);
+// Constant-valued tensor of the given shape.
+Output Fill(const Scope& s, DType dtype, Shape shape, double value);
+Output ZerosLike(const Scope& s, Output a);
+
+// -- plumbing ---------------------------------------------------------------------
+Output Identity(const Scope& s, Output a);
+// Pure ordering node; `deps` become control inputs.
+Output NoOp(const Scope& s, const std::vector<Output>& deps,
+            const std::string& name = "");
+
+// -- rendezvous (cross-task tensor edges) -----------------------------------
+// Deposits `value` under `key` in the local rendezvous, or — when `target`
+// names another task's address — in that task's rendezvous over the wire.
+Output Send(const Scope& s, Output value, const std::string& key,
+            const std::string& target = "");
+// Blocks until `key` arrives in this task's rendezvous.
+Output Recv(const Scope& s, const std::string& key);
+
+// -- queues -----------------------------------------------------------------------
+// Queue resources are named per server; capacity is fixed at first use.
+Output QueueEnqueue(const Scope& s, const std::string& queue, Output value,
+                    int64_t capacity = 0);
+Output QueueDequeue(const Scope& s, const std::string& queue,
+                    int64_t capacity = 0);
+
+}  // namespace ops
+
+}  // namespace tfhpc

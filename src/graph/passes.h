@@ -1,0 +1,36 @@
+// Structural graph-optimization passes. TensorFlow applies graph rewrites
+// before execution (the paper's §II lists "merging subsequent operations to
+// avoid data movement" as a dataflow advantage); tfhpc implements pruning
+// and common-subexpression elimination here and constant folding in the
+// runtime (it needs kernels to evaluate).
+//
+// Passes transform GraphDefs so they compose with serialization and can be
+// tested in isolation from the runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tfhpc {
+
+// Removes every node not needed (transitively) by `targets`. Equivalent to
+// TF session pruning: stateful nodes outside the closure are dropped too.
+Result<wire::GraphDef> PruneToTargets(const wire::GraphDef& def,
+                                      const std::vector<std::string>& targets);
+
+// Merges structurally identical stateless nodes: same op, same resolved
+// inputs, same attrs, same device. Returns the rewritten graph; consumers of
+// a merged node are redirected to the surviving copy.
+Result<wire::GraphDef> CommonSubexpressionElimination(const wire::GraphDef& def);
+
+// Statistics helper used by tests and the session debug log.
+struct GraphStats {
+  int num_nodes = 0;
+  int num_edges = 0;
+  int num_stateful = 0;
+};
+Result<GraphStats> ComputeStats(const wire::GraphDef& def);
+
+}  // namespace tfhpc

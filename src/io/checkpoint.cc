@@ -1,0 +1,108 @@
+#include "io/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "wire/coded.h"
+#include "wire/messages.h"
+
+namespace tfhpc::io {
+namespace {
+// Header: field 1 = version, field 2 = entry count.
+// Entry:  field 3 = nested {1: name, 2: TensorProto bytes}.
+constexpr uint64_t kVersion = 1;
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path,
+                      const std::map<std::string, Tensor>& vars) {
+  std::string out;
+  wire::CodedOutput co(&out);
+  co.WriteUInt64(1, kVersion);
+  co.WriteUInt64(2, vars.size());
+  for (const auto& [name, tensor] : vars) {
+    if (tensor.is_meta()) {
+      return InvalidArgument("checkpoint: meta tensor for variable " + name);
+    }
+    std::string entry;
+    wire::CodedOutput eo(&entry);
+    eo.WriteString(1, name);
+    eo.WriteMessage(2, wire::SerializeTensor(tensor));
+    co.WriteMessage(3, entry);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return Unavailable("checkpoint: cannot open " + tmp);
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    if (!f) return Unavailable("checkpoint: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Unavailable("checkpoint: rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Result<std::map<std::string, Tensor>> LoadCheckpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return NotFound("checkpoint: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string data = ss.str();
+
+  wire::CodedInput in(data);
+  std::map<std::string, Tensor> vars;
+  uint64_t declared_count = 0;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    wire::WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    if (field == 1) {
+      uint64_t v;
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+      if (v != kVersion) {
+        return InvalidArgument("checkpoint: unsupported version " +
+                               std::to_string(v));
+      }
+    } else if (field == 2) {
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&declared_count));
+    } else if (field == 3) {
+      const uint8_t* d;
+      size_t s;
+      TFHPC_RETURN_IF_ERROR(in.ReadBytesView(&d, &s));
+      wire::CodedInput ein(d, s);
+      std::string name;
+      Tensor tensor;
+      while (!ein.AtEnd()) {
+        uint32_t ef;
+        wire::WireType ewt;
+        TFHPC_RETURN_IF_ERROR(ein.ReadTag(&ef, &ewt));
+        if (ef == 1) {
+          TFHPC_RETURN_IF_ERROR(ein.ReadString(&name));
+        } else if (ef == 2) {
+          const uint8_t* td;
+          size_t tsz;
+          TFHPC_RETURN_IF_ERROR(ein.ReadBytesView(&td, &tsz));
+          TFHPC_ASSIGN_OR_RETURN(tensor, wire::ParseTensor(td, tsz));
+        } else {
+          TFHPC_RETURN_IF_ERROR(ein.SkipField(ewt));
+        }
+      }
+      if (name.empty() || !tensor.valid()) {
+        return InvalidArgument("checkpoint: malformed entry");
+      }
+      vars.emplace(std::move(name), std::move(tensor));
+    } else {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  if (declared_count != vars.size()) {
+    return InvalidArgument("checkpoint: entry count mismatch (" +
+                           std::to_string(vars.size()) + " vs declared " +
+                           std::to_string(declared_count) + ")");
+  }
+  return vars;
+}
+
+}  // namespace tfhpc::io

@@ -1,0 +1,22 @@
+// Checkpoint/restore of named variable sets — the paper highlights
+// TensorFlow's checkpoint-restart as HPC-relevant and ships a CG solver
+// with it. The file body is a sequence of protobuf-encoded (name, TensorProto)
+// entries plus a header with a format version and entry count.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace tfhpc::io {
+
+// Atomically (write-to-temp + rename) saves all entries to `path`.
+Status SaveCheckpoint(const std::string& path,
+                      const std::map<std::string, Tensor>& vars);
+
+// Loads a checkpoint previously written by SaveCheckpoint.
+Result<std::map<std::string, Tensor>> LoadCheckpoint(const std::string& path);
+
+}  // namespace tfhpc::io

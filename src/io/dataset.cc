@@ -1,0 +1,52 @@
+#include "io/dataset.h"
+
+namespace tfhpc::io {
+
+TensorPrefetcher::TensorPrefetcher(Producer producer, size_t buffer_size)
+    : producer_(std::move(producer)),
+      buffer_size_(buffer_size == 0 ? 1 : buffer_size),
+      thread_([this] { Loop(); }) {}
+
+TensorPrefetcher::~TensorPrefetcher() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void TensorPrefetcher::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return cancelled_ || buffer_.size() < buffer_size_; });
+      if (cancelled_) return;
+    }
+    // Produce outside the lock: loading a tile can be slow.
+    std::optional<Tensor> item = producer_();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (cancelled_) return;
+      if (!item.has_value()) {
+        done_ = true;
+        cv_.notify_all();
+        return;
+      }
+      buffer_.push_back(std::move(*item));
+    }
+    cv_.notify_all();
+  }
+}
+
+std::optional<Tensor> TensorPrefetcher::Next() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return !buffer_.empty() || done_ || cancelled_; });
+  if (buffer_.empty()) return std::nullopt;
+  Tensor t = std::move(buffer_.front());
+  buffer_.pop_front();
+  cv_.notify_all();  // wake producer
+  return t;
+}
+
+}  // namespace tfhpc::io

@@ -1,0 +1,92 @@
+// Dataset-style input pipeline: a thread-safe work list of elements handed
+// out to workers (the paper's "dataset which gives a list of indexes of
+// tiles to be multiplied"), plus a prefetching wrapper that loads elements
+// ahead of consumption on a background thread — the core mechanism of a
+// ML-style input pipeline applied to HPC tiles.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace tfhpc::io {
+
+// A shared index list: each GetNext() hands out one element exactly once
+// across all callers (workers race for elements, like a shared tf.data
+// iterator).
+template <typename T>
+class WorkList {
+ public:
+  explicit WorkList(std::vector<T> items) : items_(std::move(items)) {}
+
+  // tf.data-style shuffled list: deterministic in `seed` (Fisher-Yates over
+  // a splitmix64 stream), so distributed consumers can be re-run
+  // reproducibly.
+  WorkList(std::vector<T> items, uint64_t seed) : items_(std::move(items)) {
+    uint64_t state = seed;
+    auto next = [&state] {
+      state += 0x9E3779B97F4A7C15ull;
+      uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    for (size_t i = items_.size(); i > 1; --i) {
+      std::swap(items_[i - 1], items_[next() % i]);
+    }
+  }
+
+  std::optional<T> GetNext() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (next_ >= items_.size()) return std::nullopt;
+    return items_[next_++];
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t remaining() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size() - next_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<T> items_;
+  size_t next_ = 0;
+};
+
+// Prefetcher: pulls items from a producer function on a background thread
+// into a bounded buffer; consumers block on Next() until an element or
+// end-of-stream. Producer returning nullopt ends the stream.
+class TensorPrefetcher {
+ public:
+  using Producer = std::function<std::optional<Tensor>()>;
+
+  TensorPrefetcher(Producer producer, size_t buffer_size);
+  ~TensorPrefetcher();
+  TensorPrefetcher(const TensorPrefetcher&) = delete;
+  TensorPrefetcher& operator=(const TensorPrefetcher&) = delete;
+
+  // Blocks until an element is available; nullopt at end of stream.
+  std::optional<Tensor> Next();
+
+ private:
+  void Loop();
+
+  Producer producer_;
+  const size_t buffer_size_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Tensor> buffer_;
+  bool done_ = false;
+  bool cancelled_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tfhpc::io

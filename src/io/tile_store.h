@@ -1,0 +1,63 @@
+// TileStore: the paper's "matrices are pre-processed into tiles stored as
+// .npy files" substrate (Fig. 4 / Fig. 6). A store is a directory of
+// tile_<r>_<c>.npy files plus a manifest describing the logical matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace tfhpc::io {
+
+struct TileStoreManifest {
+  int64_t rows = 0;       // logical matrix rows
+  int64_t cols = 0;       // logical matrix cols
+  int64_t tile_rows = 0;  // tile height (last row of tiles may be shorter)
+  int64_t tile_cols = 0;  // tile width
+  DType dtype = DType::kInvalid;
+
+  int64_t grid_rows() const { return (rows + tile_rows - 1) / tile_rows; }
+  int64_t grid_cols() const { return (cols + tile_cols - 1) / tile_cols; }
+};
+
+class TileStore {
+ public:
+  // Splits `matrix` (rank 2) into tiles of tile_rows x tile_cols under
+  // directory `dir` (created if missing) and writes the manifest.
+  static Result<TileStore> Create(const std::string& dir, const Tensor& matrix,
+                                  int64_t tile_rows, int64_t tile_cols);
+
+  // Opens an existing store by reading its manifest.
+  static Result<TileStore> Open(const std::string& dir);
+
+  const TileStoreManifest& manifest() const { return manifest_; }
+  const std::string& dir() const { return dir_; }
+
+  std::string TilePath(int64_t tr, int64_t tc) const;
+  // Loads tile (tr, tc); shape is (tile_rows', tile_cols') with edge tiles
+  // clipped to the matrix bounds.
+  Result<Tensor> LoadTile(int64_t tr, int64_t tc) const;
+  Status StoreTile(int64_t tr, int64_t tc, const Tensor& t) const;
+
+  // Reassembles the full matrix from tiles (test/verification helper).
+  Result<Tensor> Assemble() const;
+
+ private:
+  TileStore(std::string dir, TileStoreManifest manifest)
+      : dir_(std::move(dir)), manifest_(manifest) {}
+
+  std::string dir_;
+  TileStoreManifest manifest_;
+};
+
+// Splits a 1-D signal of length n into `num_tiles` interleaved tiles
+// (stride-sampled, as the paper's Cooley-Tukey FFT decimation requires):
+// tile k holds elements k, k+num_tiles, k+2*num_tiles, ...
+std::vector<Tensor> InterleaveSplit(const Tensor& signal, int64_t num_tiles);
+// Inverse of InterleaveSplit.
+Result<Tensor> InterleaveMerge(const std::vector<Tensor>& tiles);
+
+}  // namespace tfhpc::io

@@ -1,0 +1,153 @@
+#include "kernels/fft_impl.h"
+
+#include <numbers>
+
+#include "core/logging.h"
+#include "core/threadpool.h"
+
+namespace tfhpc::fft {
+namespace {
+
+using Cplx = std::complex<double>;
+constexpr double kPi = std::numbers::pi;
+
+// Iterative radix-2 Cooley-Tukey; n must be a power of two.
+void Radix2(std::vector<Cplx>& a, bool inverse) {
+  const size_t n = a.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2 * kPi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const Cplx wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      Cplx w(1);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const Cplx u = a[i + j];
+        const Cplx v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Bluestein's algorithm: length-n DFT as a convolution of size >= 2n-1,
+// evaluated with power-of-two FFTs. Handles arbitrary n.
+void Bluestein(std::vector<Cplx>& a, bool inverse) {
+  const size_t n = a.size();
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp: w[k] = exp(sign * i * pi * k^2 / n).
+  std::vector<Cplx> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the argument bounded for huge n.
+    const uint64_t k2 = (static_cast<uint64_t>(k) * k) % (2 * n);
+    const double ang = kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Cplx(std::cos(ang), sign * std::sin(ang));
+  }
+
+  std::vector<Cplx> x(m, Cplx(0));
+  std::vector<Cplx> y(m, Cplx(0));
+  for (size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
+  y[0] = std::conj(chirp[0]);
+  for (size_t k = 1; k < n; ++k) {
+    y[k] = y[m - k] = std::conj(chirp[k]);
+  }
+  Radix2(x, false);
+  Radix2(y, false);
+  for (size_t k = 0; k < m; ++k) x[k] *= y[k];
+  Radix2(x, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) a[k] = x[k] * inv_m * chirp[k];
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void Transform(std::vector<Cplx>& data, bool inverse) {
+  const size_t n = data.size();
+  if (n <= 1) return;
+  if (IsPowerOfTwo(static_cast<int64_t>(n))) {
+    Radix2(data, inverse);
+  } else {
+    Bluestein(data, inverse);
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : data) v *= inv_n;
+  }
+}
+
+std::vector<Cplx> Forward(const std::vector<Cplx>& x) {
+  std::vector<Cplx> a = x;
+  Transform(a, false);
+  return a;
+}
+
+std::vector<Cplx> Inverse(const std::vector<Cplx>& x) {
+  std::vector<Cplx> a = x;
+  Transform(a, true);
+  return a;
+}
+
+std::vector<Cplx> NaiveDft(const std::vector<Cplx>& x, bool inverse) {
+  const size_t n = x.size();
+  std::vector<Cplx> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (size_t t = 0; t < n; ++t) {
+    Cplx acc(0);
+    for (size_t u = 0; u < n; ++u) {
+      const double ang = 2 * kPi * static_cast<double>((t * u) % n) /
+                         static_cast<double>(n);
+      acc += x[u] * Cplx(std::cos(ang), sign * std::sin(ang));
+    }
+    out[t] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+std::vector<Cplx> CooleyTukeyMerge(
+    const std::vector<std::vector<Cplx>>& sub) {
+  TFHPC_CHECK(!sub.empty());
+  const size_t s = sub.size();
+  const size_t m = sub[0].size();
+  for (const auto& v : sub) TFHPC_CHECK_EQ(v.size(), m);
+  const size_t n = s * m;
+
+  // X[t] = sum_k exp(-2*pi*i*t*k/n) * Sub_k[t mod m]
+  std::vector<Cplx> out(n);
+  ThreadPool::Global().ParallelFor(
+      static_cast<int64_t>(n), 1024, [&](int64_t tb, int64_t te) {
+        for (int64_t t = tb; t < te; ++t) {
+          const size_t tm = static_cast<size_t>(t) % m;
+          // w = exp(-2*pi*i*t/n); accumulate powers across k.
+          const double ang = -2 * kPi * static_cast<double>(t) /
+                             static_cast<double>(n);
+          const Cplx w(std::cos(ang), std::sin(ang));
+          Cplx wk(1);
+          Cplx acc(0);
+          for (size_t k = 0; k < s; ++k) {
+            acc += wk * sub[k][tm];
+            wk *= w;
+          }
+          out[static_cast<size_t>(t)] = acc;
+        }
+      });
+  return out;
+}
+
+}  // namespace tfhpc::fft

@@ -1,0 +1,37 @@
+// 1-D complex FFT implementations: iterative radix-2 Cooley-Tukey for
+// power-of-two lengths and Bluestein's chirp-z algorithm for arbitrary
+// lengths. Used by the FFT kernel and directly by the distributed FFT
+// application (which mirrors the paper's decimation-in-time tiling).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace tfhpc::fft {
+
+// In-place forward/inverse FFT of length n == data.size(). Inverse includes
+// the 1/n normalization (NumPy convention).
+void Transform(std::vector<std::complex<double>>& data, bool inverse);
+
+// Out-of-place convenience.
+std::vector<std::complex<double>> Forward(
+    const std::vector<std::complex<double>>& x);
+std::vector<std::complex<double>> Inverse(
+    const std::vector<std::complex<double>>& x);
+
+// Reference O(n^2) DFT used by property tests.
+std::vector<std::complex<double>> NaiveDft(
+    const std::vector<std::complex<double>>& x, bool inverse = false);
+
+// Cooley-Tukey recombination step used by the distributed FFT: given the
+// DFTs of the `s` interleaved sub-sequences of a length-n signal
+// (sub[k][j] = DFT of x[k], x[k+s], ...), computes the length-n DFT.
+// Requires n % s == 0. This is the "merge with twiddle factors" the paper's
+// merger performs in Python.
+std::vector<std::complex<double>> CooleyTukeyMerge(
+    const std::vector<std::vector<std::complex<double>>>& sub);
+
+bool IsPowerOfTwo(int64_t n);
+
+}  // namespace tfhpc::fft

@@ -1,0 +1,83 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/threadpool.h"
+
+namespace tfhpc::blas {
+namespace {
+
+// Block sizes tuned for L1/L2 residency of the inner panels.
+constexpr int64_t kMc = 64;   // rows of A per panel
+constexpr int64_t kKc = 256;  // depth per panel
+constexpr int64_t kNc = 512;  // cols of B per panel
+
+// Computes a row panel [r0, r1) of C. The j-loop is innermost and contiguous
+// so the compiler vectorises it (i-k-j ordering over row-major operands).
+template <typename T>
+void GemmPanel(const T* a, const T* b, T* c, int64_t r0, int64_t r1, int64_t n,
+               int64_t k) {
+  for (int64_t kk = 0; kk < k; kk += kKc) {
+    const int64_t kend = std::min(k, kk + kKc);
+    for (int64_t jj = 0; jj < n; jj += kNc) {
+      const int64_t jend = std::min(n, jj + kNc);
+      for (int64_t i = r0; i < r1; ++i) {
+        T* crow = c + i * n;
+        const T* arow = a + i * k;
+        for (int64_t p = kk; p < kend; ++p) {
+          const T av = arow[p];
+          const T* brow = b + p * n;
+          for (int64_t j = jj; j < jend; ++j) {
+            crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void GemmImpl(const T* a, const T* b, T* c, int64_t m, int64_t n, int64_t k,
+              bool beta_zero) {
+  if (beta_zero) std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(T));
+  ThreadPool::Global().ParallelFor(
+      (m + kMc - 1) / kMc, 1, [&](int64_t pb, int64_t pe) {
+        for (int64_t p = pb; p < pe; ++p) {
+          const int64_t r0 = p * kMc;
+          const int64_t r1 = std::min(m, r0 + kMc);
+          GemmPanel(a, b, c, r0, r1, n, k);
+        }
+      });
+}
+
+template <typename T>
+void GemvImpl(const T* a, const T* x, T* y, int64_t m, int64_t n) {
+  ThreadPool::Global().ParallelFor(m, 256, [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const T* row = a + r * n;
+      T acc = 0;
+      for (int64_t j = 0; j < n; ++j) acc += row[j] * x[j];
+      y[r] = acc;
+    }
+  });
+}
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
+          int64_t k, bool beta_zero) {
+  GemmImpl(a, b, c, m, n, k, beta_zero);
+}
+void Gemm(const double* a, const double* b, double* c, int64_t m, int64_t n,
+          int64_t k, bool beta_zero) {
+  GemmImpl(a, b, c, m, n, k, beta_zero);
+}
+void Gemv(const double* a, const double* x, double* y, int64_t m, int64_t n) {
+  GemvImpl(a, x, y, m, n);
+}
+void Gemv(const float* a, const float* x, float* y, int64_t m, int64_t n) {
+  GemvImpl(a, x, y, m, n);
+}
+
+}  // namespace tfhpc::blas

@@ -1,0 +1,22 @@
+// Cache-blocked, multithreaded GEMM/GEMV on row-major dense matrices —
+// the compute substrate behind the MatMul/MatVec kernels and the tiled
+// matmul application. Not a full BLAS; exactly the contractions the
+// paper's applications need, written for predictable performance.
+#pragma once
+
+#include <cstdint>
+
+namespace tfhpc::blas {
+
+// C(m x n) += A(m x k) * B(k x n), row-major, parallelized over row panels
+// of C via the global thread pool. `beta_zero` first clears C.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
+          int64_t k, bool beta_zero = true);
+void Gemm(const double* a, const double* b, double* c, int64_t m, int64_t n,
+          int64_t k, bool beta_zero = true);
+
+// y(m) = A(m x n) * x(n), row-major.
+void Gemv(const double* a, const double* x, double* y, int64_t m, int64_t n);
+void Gemv(const float* a, const float* x, float* y, int64_t m, int64_t n);
+
+}  // namespace tfhpc::blas

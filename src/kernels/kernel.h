@@ -1,0 +1,125 @@
+// Op kernels: per-(op, device-type) compute implementations, the analogue of
+// TensorFlow's kernel layer. A kernel receives an OpKernelContext holding
+// input tensors and produces output tensors.
+//
+// Meta execution: in simulation mode (runtime/session.h RunOptions::simulate)
+// inputs may be meta tensors (shape/dtype only). Every kernel MUST handle
+// meta inputs by validating shapes and emitting meta outputs — this is what
+// lets benchmarks run the paper's full-size problems without allocating
+// terabytes. Cost() reports nominal work for the DES machine model.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+#include "graph/graph.h"
+#include "runtime/resource_mgr.h"
+
+namespace tfhpc {
+
+struct CostEstimate {
+  double flops = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+};
+
+class OpKernelContext {
+ public:
+  OpKernelContext(const Node* node, std::vector<Tensor> inputs,
+                  ResourceMgr* resources, bool simulate,
+                  AllocatorStats* alloc_stats = nullptr)
+      : node_(node),
+        inputs_(std::move(inputs)),
+        resources_(resources),
+        simulate_(simulate),
+        alloc_stats_(alloc_stats) {
+    outputs_.resize(static_cast<size_t>(node->op_def().num_outputs));
+  }
+
+  const Node& node() const { return *node_; }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  const Tensor& input(int i) const {
+    TFHPC_CHECK_LT(i, num_inputs());
+    return inputs_[static_cast<size_t>(i)];
+  }
+  // True when this execution must not touch real data: either the session
+  // runs in simulation mode or a meta tensor flowed in.
+  bool meta_exec() const;
+
+  void set_output(int i, Tensor t) {
+    TFHPC_CHECK_LT(i, static_cast<int>(outputs_.size()));
+    outputs_[static_cast<size_t>(i)] = std::move(t);
+  }
+  std::vector<Tensor>& outputs() { return outputs_; }
+
+  ResourceMgr* resources() const { return resources_; }
+  bool simulate() const { return simulate_; }
+  AllocatorStats* alloc_stats() const { return alloc_stats_; }
+
+  // Allocates an output tensor on the executing device's allocator; in meta
+  // execution returns a meta tensor instead.
+  Tensor AllocateOutput(DType dtype, Shape shape) const {
+    if (meta_exec()) return Tensor::Meta(dtype, std::move(shape));
+    return Tensor(dtype, std::move(shape), alloc_stats_);
+  }
+
+ private:
+  const Node* node_;
+  std::vector<Tensor> inputs_;
+  std::vector<Tensor> outputs_;
+  ResourceMgr* resources_;
+  bool simulate_;
+  AllocatorStats* alloc_stats_;
+};
+
+class OpKernel {
+ public:
+  virtual ~OpKernel() = default;
+  virtual Status Compute(OpKernelContext* ctx) = 0;
+  // Nominal work for the cost model; called with inputs bound (possibly
+  // meta). Default: pure data movement (bytes in + out, no flops).
+  virtual CostEstimate Cost(const OpKernelContext& ctx) const;
+};
+
+// Registry keyed by (op name, device type "cpu"/"gpu").
+class KernelRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<OpKernel>()>;
+
+  static KernelRegistry& Global();
+
+  Status Register(const std::string& op, const std::string& device_type,
+                  Factory factory);
+  bool HasKernel(const std::string& op, const std::string& device_type) const;
+  Result<std::unique_ptr<OpKernel>> Create(const std::string& op,
+                                           const std::string& device_type) const;
+
+ private:
+  std::map<std::string, Factory> factories_;  // key: op + "|" + device_type
+};
+
+namespace internal {
+struct KernelRegistrar {
+  KernelRegistrar(const std::string& op, const std::string& device_type,
+                  KernelRegistry::Factory factory);
+};
+}  // namespace internal
+
+// Registers KernelClass for op on one device type; use twice for both.
+#define TFHPC_REGISTER_KERNEL(op, device_type, KernelClass)          \
+  static ::tfhpc::internal::KernelRegistrar TFHPC_CONCAT_(           \
+      kernel_registrar_, __COUNTER__)(op, device_type, [] {          \
+    return std::unique_ptr<::tfhpc::OpKernel>(new KernelClass());    \
+  })
+
+// Most tfhpc kernels run on cpu and (simulated) gpu identically.
+#define TFHPC_REGISTER_KERNEL_ALL(op, KernelClass) \
+  TFHPC_REGISTER_KERNEL(op, "cpu", KernelClass);   \
+  TFHPC_REGISTER_KERNEL(op, "gpu", KernelClass)
+
+}  // namespace tfhpc

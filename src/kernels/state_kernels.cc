@@ -1,0 +1,88 @@
+// Stateful kernels: Variable read, Assign/AssignAdd, queue enqueue/dequeue.
+// These are the building blocks of the paper's parameter-server pattern
+// (STREAM's assign_add push) and queue-based reducers (Figs. 4-6).
+#include "kernels/kernel.h"
+
+namespace tfhpc {
+namespace {
+
+class VariableKernel : public OpKernel {
+ public:
+  Status Compute(OpKernelContext* ctx) override {
+    Variable* var =
+        ctx->resources()->LookupOrCreateVariable(ctx->node().name());
+    TFHPC_ASSIGN_OR_RETURN(Tensor value, var->Read());
+    TFHPC_ASSIGN_OR_RETURN(DType dtype, ctx->node().AttrType("dtype"));
+    if (value.dtype() != dtype) {
+      return InvalidArgument("variable '" + ctx->node().name() +
+                             "' holds dtype " + DTypeName(value.dtype()) +
+                             ", graph declares " + DTypeName(dtype));
+    }
+    ctx->set_output(0, std::move(value));
+    return Status::OK();
+  }
+};
+TFHPC_REGISTER_KERNEL_ALL("Variable", VariableKernel);
+
+class AssignKernel : public OpKernel {
+ public:
+  Status Compute(OpKernelContext* ctx) override {
+    TFHPC_ASSIGN_OR_RETURN(std::string name, ctx->node().AttrString("var"));
+    Variable* var = ctx->resources()->LookupOrCreateVariable(name);
+    var->Write(ctx->input(0));
+    ctx->set_output(0, ctx->input(0));
+    return Status::OK();
+  }
+};
+TFHPC_REGISTER_KERNEL_ALL("Assign", AssignKernel);
+
+class AssignAddKernel : public OpKernel {
+ public:
+  Status Compute(OpKernelContext* ctx) override {
+    TFHPC_ASSIGN_OR_RETURN(std::string name, ctx->node().AttrString("var"));
+    Variable* var = ctx->resources()->LookupOrCreateVariable(name);
+    TFHPC_ASSIGN_OR_RETURN(Tensor next, var->Accumulate(ctx->input(0)));
+    ctx->set_output(0, std::move(next));
+    return Status::OK();
+  }
+
+  CostEstimate Cost(const OpKernelContext& ctx) const override {
+    CostEstimate c = OpKernel::Cost(ctx);
+    c.flops = static_cast<double>(ctx.input(0).num_elements());
+    c.bytes_written = ctx.input(0).bytes();
+    return c;
+  }
+};
+TFHPC_REGISTER_KERNEL_ALL("AssignAdd", AssignAddKernel);
+
+Result<FIFOQueue*> GetQueue(OpKernelContext* ctx) {
+  TFHPC_ASSIGN_OR_RETURN(std::string name, ctx->node().AttrString("queue"));
+  int64_t capacity = 0;
+  if (ctx->node().HasAttr("capacity")) {
+    TFHPC_ASSIGN_OR_RETURN(capacity, ctx->node().AttrInt("capacity"));
+  }
+  return ctx->resources()->LookupOrCreateQueue(name, capacity);
+}
+
+class QueueEnqueueKernel : public OpKernel {
+ public:
+  Status Compute(OpKernelContext* ctx) override {
+    TFHPC_ASSIGN_OR_RETURN(FIFOQueue * queue, GetQueue(ctx));
+    return queue->Enqueue(ctx->input(0));
+  }
+};
+TFHPC_REGISTER_KERNEL_ALL("QueueEnqueue", QueueEnqueueKernel);
+
+class QueueDequeueKernel : public OpKernel {
+ public:
+  Status Compute(OpKernelContext* ctx) override {
+    TFHPC_ASSIGN_OR_RETURN(FIFOQueue * queue, GetQueue(ctx));
+    TFHPC_ASSIGN_OR_RETURN(Tensor t, queue->Dequeue());
+    ctx->set_output(0, std::move(t));
+    return Status::OK();
+  }
+};
+TFHPC_REGISTER_KERNEL_ALL("QueueDequeue", QueueDequeueKernel);
+
+}  // namespace
+}  // namespace tfhpc

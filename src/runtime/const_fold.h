@@ -1,0 +1,29 @@
+// Constant folding: evaluate stateless nodes whose transitive inputs are
+// all Const and replace them with Const nodes — the graph-level
+// optimization the paper's §II credits to dataflow ("use information of the
+// dataflow graph to optimize execution"). Runs at the GraphDef level (it
+// composes with pruning and CSE from graph/passes.h) but lives in the
+// runtime because it executes CPU kernels.
+#pragma once
+
+#include "graph/passes.h"
+
+namespace tfhpc {
+
+struct ConstFoldOptions {
+  // Never materialize folded constants larger than this (folding a huge
+  // RandomUniform-free matmul would bloat the GraphDef past the paper's
+  // 2 GB ProtoBuf limit).
+  int64_t max_output_bytes = 16 << 20;
+};
+
+// Returns the rewritten graph plus how many nodes were folded away.
+struct ConstFoldResult {
+  wire::GraphDef graph;
+  int folded_nodes = 0;
+};
+
+Result<ConstFoldResult> ConstantFolding(const wire::GraphDef& def,
+                                        const ConstFoldOptions& options = {});
+
+}  // namespace tfhpc

@@ -1,0 +1,114 @@
+#include "runtime/device.h"
+
+#include <algorithm>
+
+namespace tfhpc {
+
+double ComputeModel::EstimateSeconds(double flops, int64_t bytes,
+                                     bool double_precision) const {
+  const double peak =
+      (double_precision ? dp_gflops : sp_gflops) * 1e9 * efficiency;
+  const double bw = mem_gbps * 1e9;
+  double t = 0;
+  if (peak > 0 && flops > 0) t = std::max(t, flops / peak);
+  if (bw > 0 && bytes > 0) t = std::max(t, static_cast<double>(bytes) / bw);
+  return t;
+}
+
+Status Device::CheckCapacity(int64_t additional_bytes) const {
+  if (model_.mem_bytes <= 0) return Status::OK();  // host: unconstrained
+  const int64_t projected = alloc_stats_.live_bytes() + additional_bytes;
+  if (projected > model_.mem_bytes) {
+    return ResourceExhausted("device " + name_.ToString() + " (" +
+                             model_.model_name + ") out of memory: " +
+                             std::to_string(projected) + " of " +
+                             std::to_string(model_.mem_bytes) + " bytes");
+  }
+  return Status::OK();
+}
+
+namespace models {
+
+ComputeModel HostCpu() {
+  // Dual Xeon E5-2690-class node: ~0.9 SP Tflop/s, ~0.45 DP, ~120 GB/s.
+  return {.model_name = "XeonE5-2690",
+          .sp_gflops = 900,
+          .dp_gflops = 450,
+          .mem_gbps = 120,
+          .mem_bytes = 0,
+          .efficiency = 0.60};
+}
+
+ComputeModel QuadroK420() {
+  // Entry Kepler: ~300 SP Gflop/s, 1/24 DP rate, 29 GB/s GDDR3, 1 GB.
+  return {.model_name = "K420",
+          .sp_gflops = 300,
+          .dp_gflops = 12.5,
+          .mem_gbps = 29,
+          .mem_bytes = int64_t{1} << 30,
+          .efficiency = 0.65};
+}
+
+ComputeModel Gk210() {
+  // One GK210 engine of a K80 (paper counts engines as GPUs): ~2.8 SP
+  // Tflop/s boost, ~0.94 DP, 240 GB/s, 12 GB.
+  return {.model_name = "GK210",
+          .sp_gflops = 2800,
+          .dp_gflops = 935,
+          .mem_gbps = 240,
+          .mem_bytes = int64_t{12} << 30,
+          .efficiency = 0.60};
+}
+
+ComputeModel V100() {
+  // PCIe V100: 14 SP Tflop/s, 7 DP, 900 GB/s HBM2, 16 GB.
+  return {.model_name = "V100",
+          .sp_gflops = 14000,
+          .dp_gflops = 7000,
+          .mem_gbps = 900,
+          .mem_bytes = int64_t{16} << 30,
+          .efficiency = 0.70};
+}
+
+}  // namespace models
+
+Status DeviceMgr::AddDevice(std::unique_ptr<Device> device) {
+  for (const auto& d : devices_) {
+    if (d->name() == device->name()) {
+      return AlreadyExists("device " + device->name_string() +
+                           " already registered");
+    }
+  }
+  devices_.push_back(std::move(device));
+  return Status::OK();
+}
+
+std::unique_ptr<DeviceMgr> DeviceMgr::CreateLocal(
+    const std::string& job, int task, int num_gpus,
+    const ComputeModel& gpu_model) {
+  auto mgr = std::make_unique<DeviceMgr>();
+  DeviceName cpu{.job = job, .task = task, .type = "cpu", .index = 0};
+  TFHPC_CHECK(mgr->AddDevice(std::make_unique<Device>(cpu, models::HostCpu()))
+                  .ok());
+  for (int i = 0; i < num_gpus; ++i) {
+    DeviceName gpu{.job = job, .task = task, .type = "gpu", .index = i};
+    TFHPC_CHECK(
+        mgr->AddDevice(std::make_unique<Device>(gpu, gpu_model)).ok());
+  }
+  return mgr;
+}
+
+Device* DeviceMgr::Find(const DeviceName& pattern) const {
+  for (const auto& d : devices_) {
+    if (d->name().Matches(pattern)) return d.get();
+  }
+  return nullptr;
+}
+
+int DeviceMgr::CountType(const std::string& type) const {
+  return static_cast<int>(
+      std::count_if(devices_.begin(), devices_.end(),
+                    [&](const auto& d) { return d->type() == type; }));
+}
+
+}  // namespace tfhpc

@@ -1,0 +1,88 @@
+// Devices: the CPU device executes kernels on host threads; SimGpuDevice
+// *also* executes on host threads (functional simulation) but carries a
+// roofline performance model and a memory-capacity allocator so the DES can
+// time it like the real accelerator and the runtime can enforce the paper's
+// per-GPU memory limits (Table I).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/buffer.h"
+#include "core/device_name.h"
+#include "core/status.h"
+
+namespace tfhpc {
+
+// Roofline model of one GPU (or of a host CPU socket).
+struct ComputeModel {
+  std::string model_name;     // "K420", "GK210", "V100", "Xeon-E5-2690v3"
+  double sp_gflops = 0;       // peak single-precision Gflop/s
+  double dp_gflops = 0;       // peak double-precision
+  double mem_gbps = 0;        // device memory bandwidth GB/s
+  int64_t mem_bytes = 0;      // device memory capacity (0 = host, unlimited)
+  // Achievable fraction of peak for dense compute (GEMM-class kernels
+  // rarely exceed ~70-80% even tuned; data-driven pipelines less).
+  double efficiency = 0.65;
+
+  // Roofline execution-time estimate in seconds for a kernel doing `flops`
+  // floating-point operations over `bytes` of memory traffic.
+  double EstimateSeconds(double flops, int64_t bytes, bool double_precision) const;
+};
+
+class Device {
+ public:
+  Device(DeviceName name, ComputeModel model)
+      : name_(std::move(name)), model_(std::move(model)) {
+    TFHPC_CHECK(name_.fully_specified()) << "device name must be full: "
+                                         << name_.ToString();
+  }
+  virtual ~Device() = default;
+
+  const DeviceName& name() const { return name_; }
+  std::string name_string() const { return name_.ToString(); }
+  const std::string& type() const { return name_.type; }
+  const ComputeModel& model() const { return model_; }
+  AllocatorStats* allocator_stats() { return &alloc_stats_; }
+
+  // Checks the capacity budget (simulated GPUs only).
+  Status CheckCapacity(int64_t additional_bytes) const;
+
+ private:
+  DeviceName name_;
+  ComputeModel model_;
+  AllocatorStats alloc_stats_;
+};
+
+// Stock models matching the paper's platforms (§V, Table I).
+namespace models {
+ComputeModel HostCpu();      // generic dual-socket Xeon host
+ComputeModel QuadroK420();   // 1 GB, entry Kepler
+ComputeModel Gk210();        // one K80 engine, 12 GB
+ComputeModel V100();         // 16 GB Volta
+}  // namespace models
+
+class DeviceMgr {
+ public:
+  // Adds a device; names must be unique.
+  Status AddDevice(std::unique_ptr<Device> device);
+
+  // Convenience: builds "/job:J/task:T/cpu:0" plus `num_gpus` GPUs of the
+  // given model.
+  static std::unique_ptr<DeviceMgr> CreateLocal(const std::string& job,
+                                                int task, int num_gpus,
+                                                const ComputeModel& gpu_model);
+
+  // First device matching the (possibly partial) pattern; null if none.
+  Device* Find(const DeviceName& pattern) const;
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+  int CountType(const std::string& type) const;
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace tfhpc

@@ -1,0 +1,52 @@
+// Eager execution (the paper's §II outlook: "TensorFlow also supports eager
+// execution that follows an imperative style and it will likely become the
+// default"). Ops run immediately against an EagerContext's devices and
+// resources — no graph, no session — sharing the exact same kernels as
+// graph mode, so eager results are bit-identical to deferred ones.
+#pragma once
+
+#include <memory>
+
+#include "runtime/device.h"
+#include "runtime/resource_mgr.h"
+#include "wire/messages.h"
+
+namespace tfhpc::eager {
+
+class EagerContext {
+ public:
+  // One CPU device plus `num_gpus` simulated GPUs.
+  explicit EagerContext(int num_gpus = 1,
+                        ComputeModel gpu_model = models::Gk210());
+
+  // Executes a registered op immediately. `device_spec` like "/gpu:0", ""
+  // = simple placement (GPU if the op has a gpu kernel, else CPU).
+  Result<std::vector<Tensor>> Execute(
+      const std::string& op, std::vector<Tensor> inputs,
+      std::map<std::string, wire::AttrValue> attrs = {},
+      const std::string& device_spec = "");
+
+  // Single-output convenience.
+  Result<Tensor> Execute1(const std::string& op, std::vector<Tensor> inputs,
+                          std::map<std::string, wire::AttrValue> attrs = {},
+                          const std::string& device_spec = "");
+
+  ResourceMgr& resources() { return resources_; }
+  DeviceMgr& devices() { return *devices_; }
+
+ private:
+  std::unique_ptr<DeviceMgr> devices_;
+  ResourceMgr resources_;
+};
+
+// Typed wrappers mirroring the graph builder (ops::*).
+Result<Tensor> MatMul(EagerContext& ctx, const Tensor& a, const Tensor& b);
+Result<Tensor> Add(EagerContext& ctx, const Tensor& a, const Tensor& b);
+Result<Tensor> Sub(EagerContext& ctx, const Tensor& a, const Tensor& b);
+Result<Tensor> Mul(EagerContext& ctx, const Tensor& a, const Tensor& b);
+Result<Tensor> Dot(EagerContext& ctx, const Tensor& a, const Tensor& b);
+Result<Tensor> Fft(EagerContext& ctx, const Tensor& x, bool inverse = false);
+Result<Tensor> Transpose(EagerContext& ctx, const Tensor& a);
+Result<Tensor> ReduceSum(EagerContext& ctx, const Tensor& a);
+
+}  // namespace tfhpc::eager

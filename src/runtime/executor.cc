@@ -1,0 +1,366 @@
+#include "runtime/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <set>
+#include <thread>
+
+#include "core/threadpool.h"
+
+namespace tfhpc {
+namespace {
+
+// Normalizes "name" / "name:slot" into (name, slot). Only a trailing
+// all-digit suffix counts as a slot — node names themselves may contain
+// colons (e.g. partitioner-generated sends embedding "host:port").
+std::pair<std::string, int> SplitTensorName(const std::string& s) {
+  const size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon + 1 == s.size()) return {s, 0};
+  for (size_t i = colon + 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return {s, 0};
+  }
+  return {s.substr(0, colon), std::stoi(s.substr(colon + 1))};
+}
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string FormatDebugReport(const RunMetadata& metadata) {
+  std::ostringstream os;
+  for (const auto& n : metadata.nodes) {
+    os << n.name << " (" << n.op << ") @" << n.device << "\n";
+    for (size_t i = 0; i < n.output_summaries.size(); ++i) {
+      os << "  out[" << i << "]: " << n.output_summaries[i].ToString() << "\n";
+    }
+  }
+  return os.str();
+}
+
+Executor::Executor(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
+                   DeviceName default_device)
+    : graph_(graph),
+      devices_(devices),
+      resources_(resources),
+      default_device_(std::move(default_device)) {}
+
+Result<Device*> Executor::PlaceNode(const Node& node) {
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    auto it = placement_cache_.find(node.id());
+    if (it != placement_cache_.end()) return it->second;
+  }
+
+  TFHPC_ASSIGN_OR_RETURN(DeviceName requested,
+                         DeviceName::Parse(node.requested_device()));
+  DeviceName resolved = requested.MergedWith(default_device_);
+  auto& registry = KernelRegistry::Global();
+
+  Device* device = nullptr;
+  if (!resolved.type.empty()) {
+    device = devices_->Find(resolved);
+    // Soft placement (paper §II): an op pinned to a device with no kernel or
+    // no such device falls back to a supporting device instead of failing.
+    if (device == nullptr || !registry.HasKernel(node.op(), resolved.type)) {
+      DeviceName fallback = resolved;
+      fallback.type = resolved.type == "gpu" ? "cpu" : "gpu";
+      fallback.index = -1;  // any index
+      Device* alt = devices_->Find(fallback);
+      if (alt != nullptr && registry.HasKernel(node.op(), fallback.type)) {
+        device = alt;
+      }
+    }
+  } else {
+    // Simple device placement: prefer the first GPU when the op has a GPU
+    // kernel, else the CPU.
+    DeviceName gpu = resolved;
+    gpu.type = "gpu";
+    gpu.index = -1;
+    DeviceName cpu = resolved;
+    cpu.type = "cpu";
+    cpu.index = -1;
+    if (registry.HasKernel(node.op(), "gpu") &&
+        devices_->Find(gpu) != nullptr) {
+      device = devices_->Find(gpu);
+    } else if (registry.HasKernel(node.op(), "cpu")) {
+      device = devices_->Find(cpu);
+    }
+  }
+
+  if (device == nullptr) {
+    return NotFound("no suitable device for node '" + node.name() + "' (op " +
+                    node.op() + ", requested '" + node.requested_device() +
+                    "')");
+  }
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  placement_cache_[node.id()] = device;
+  return device;
+}
+
+Result<std::shared_ptr<OpKernel>> Executor::KernelFor(const Node& node,
+                                                      Device* device) {
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    auto it = kernel_cache_.find(node.id());
+    if (it != kernel_cache_.end()) return it->second;
+  }
+  TFHPC_ASSIGN_OR_RETURN(
+      std::unique_ptr<OpKernel> kernel,
+      KernelRegistry::Global().Create(node.op(), device->type()));
+  std::shared_ptr<OpKernel> shared = std::move(kernel);
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  kernel_cache_[node.id()] = shared;
+  return shared;
+}
+
+Result<std::vector<Tensor>> Executor::Run(
+    const std::map<std::string, Tensor>& feeds,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets, const RunOptions& options,
+    RunMetadata* metadata) {
+  // ---- Closure computation, with feeds acting as graph cut points. -------
+  std::set<std::string> fed_names;
+  for (const auto& [key, tensor] : feeds) {
+    fed_names.insert(SplitTensorName(key).first);
+  }
+
+  std::vector<std::string> roots = fetches;
+  roots.insert(roots.end(), targets.begin(), targets.end());
+  if (roots.empty()) return InvalidArgument("Run with no fetches or targets");
+
+  // BFS backwards, not expanding past fed nodes.
+  std::set<int> closure;
+  std::deque<int> frontier;
+  for (const std::string& r : roots) {
+    const auto [name, slot] = SplitTensorName(r);
+    (void)slot;
+    const Node* n = graph_->FindNode(name);
+    if (n == nullptr) return NotFound("fetch/target node '" + name + "' not found");
+    if (closure.insert(n->id()).second) frontier.push_back(n->id());
+  }
+  while (!frontier.empty()) {
+    const int id = frontier.front();
+    frontier.pop_front();
+    const Node* n = graph_->node(id);
+    if (fed_names.count(n->name())) continue;  // fed: ancestors not needed
+    for (const InEdge& e : n->in_edges()) {
+      if (closure.insert(e.node_id).second) frontier.push_back(e.node_id);
+    }
+  }
+
+  // ---- Dataflow state ------------------------------------------------------
+  struct NodeState {
+    int pending = 0;
+    std::vector<int> consumers;  // node ids inside the closure
+  };
+  std::map<int, NodeState> state;
+  for (int id : closure) state[id];  // default-construct all
+  for (int id : closure) {
+    const Node* n = graph_->node(id);
+    if (fed_names.count(n->name())) continue;
+    for (const InEdge& e : n->in_edges()) {
+      state[id].pending++;
+      state[e.node_id].consumers.push_back(id);
+    }
+  }
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::deque<int> ready;
+  int remaining = static_cast<int>(closure.size());
+  int inflight = 0;  // scheduled but not yet finished
+  Status first_error;
+  bool stop = false;
+  std::map<int, std::vector<Tensor>> outputs;
+  std::vector<std::thread> blocking_threads;
+  const double step_start_us = NowUs();
+
+  // Seed pass 1: fed nodes complete immediately (their consumers' pending
+  // counts drop). Pass 2: every non-fed node whose pending count is zero
+  // becomes ready — done as a separate pass so a node unblocked by a feed is
+  // not enqueued twice.
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    for (int id : closure) {
+      const Node* n = graph_->node(id);
+      if (!fed_names.count(n->name())) continue;
+      std::vector<Tensor> outs(
+          static_cast<size_t>(std::max(1, n->op_def().num_outputs)));
+      for (const auto& [key, tensor] : feeds) {
+        const auto [name, slot] = SplitTensorName(key);
+        if (name == n->name()) {
+          if (slot >= static_cast<int>(outs.size())) {
+            return OutOfRange("feed slot out of range: " + key);
+          }
+          outs[static_cast<size_t>(slot)] =
+              options.simulate && !tensor.is_meta()
+                  ? Tensor::Meta(tensor.dtype(), tensor.shape())
+                  : tensor;
+        }
+      }
+      outputs[id] = std::move(outs);
+      remaining--;
+      for (int consumer : state[id].consumers) --state[consumer].pending;
+    }
+    for (int id : closure) {
+      if (!fed_names.count(graph_->node(id)->name()) &&
+          state[id].pending == 0) {
+        ready.push_back(id);
+      }
+    }
+  }
+
+  // Per-device serialization: one compute op in flight per device.
+  std::map<Device*, std::unique_ptr<std::mutex>> device_mu;
+  for (const auto& d : devices_->devices()) {
+    device_mu.emplace(d.get(), std::make_unique<std::mutex>());
+  }
+
+  // Executes one node, then marks consumers ready.
+  auto execute_node = [&](int id) {
+    const Node* n = graph_->node(id);
+    Status status;
+    std::vector<Tensor> node_outputs;
+    NodeExecRecord record;
+
+    do {
+      auto device_or = PlaceNode(*n);
+      if (!device_or.ok()) {
+        status = device_or.status();
+        break;
+      }
+      Device* device = *device_or;
+      auto kernel_or = KernelFor(*n, device);
+      if (!kernel_or.ok()) {
+        status = kernel_or.status();
+        break;
+      }
+
+      // Gather inputs.
+      std::vector<Tensor> inputs;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        for (const InEdge& e : n->in_edges()) {
+          if (e.control) continue;
+          auto it = outputs.find(e.node_id);
+          TFHPC_CHECK(it != outputs.end());
+          inputs.push_back(it->second[static_cast<size_t>(e.output_index)]);
+        }
+      }
+
+      OpKernelContext ctx(n, std::move(inputs), resources_, options.simulate,
+                          device->allocator_stats());
+      const CostEstimate cost = (*kernel_or)->Cost(ctx);
+      if (!options.simulate) {
+        status = device->CheckCapacity(cost.bytes_written);
+        if (!status.ok()) break;
+      }
+
+      record.name = n->name();
+      record.op = n->op();
+      record.device = device->name_string();
+      record.cost = cost;
+      for (const InEdge& e : n->in_edges()) {
+        record.input_names.push_back(graph_->node(e.node_id)->name());
+      }
+      record.start_us = NowUs() - step_start_us;
+
+      if (n->op_def().is_blocking) {
+        // Queue ops wait on external producers/consumers; no device lock.
+        status = (*kernel_or)->Compute(&ctx);
+      } else {
+        // at(): the map is fully populated before threads start; never
+        // mutate it concurrently.
+        std::lock_guard<std::mutex> dev_lk(*device_mu.at(device));
+        status = (*kernel_or)->Compute(&ctx);
+      }
+      record.end_us = NowUs() - step_start_us;
+      node_outputs = std::move(ctx.outputs());
+      if (options.debug && status.ok()) {
+        for (const Tensor& out : node_outputs) {
+          record.output_summaries.push_back(SummarizeTensor(out));
+        }
+      }
+    } while (false);
+
+    std::lock_guard<std::mutex> lk(mu);
+    if (!status.ok()) {
+      if (first_error.ok()) {
+        first_error = Status(status.code(),
+                             "node '" + n->name() + "' (op " + n->op() +
+                                 "): " + status.message());
+      }
+      stop = true;
+    } else {
+      outputs[id] = std::move(node_outputs);
+      if ((options.trace || options.debug) && metadata != nullptr) {
+        metadata->nodes.push_back(std::move(record));
+      }
+      if (!stop) {
+        for (int consumer : state[id].consumers) {
+          if (--state[consumer].pending == 0) ready.push_back(consumer);
+        }
+      }
+    }
+    remaining--;
+    inflight--;
+    done_cv.notify_all();
+  };
+
+  // ---- Scheduling loop -------------------------------------------------------
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      while (!ready.empty() && !stop) {
+        const int id = ready.front();
+        ready.pop_front();
+        ++inflight;
+        const Node* n = graph_->node(id);
+        if (n->op_def().is_blocking) {
+          blocking_threads.emplace_back([&execute_node, id] { execute_node(id); });
+        } else {
+          ThreadPool::Global().Schedule([&execute_node, id] { execute_node(id); });
+        }
+      }
+      if (stop) ready.clear();  // error path: drop not-yet-started nodes
+      if (remaining == 0) break;
+      // On error, wait only for in-flight work; nodes whose inputs will
+      // never materialize are abandoned.
+      if (stop && inflight == 0) break;
+      done_cv.wait(lk, [&] {
+        return remaining == 0 || !ready.empty() || (stop && inflight == 0);
+      });
+    }
+  }
+  for (auto& t : blocking_threads) t.join();
+
+  if (!first_error.ok()) return first_error;
+
+  // ---- Fetch extraction --------------------------------------------------------
+  std::vector<Tensor> results;
+  results.reserve(fetches.size());
+  std::lock_guard<std::mutex> lk(mu);
+  for (const std::string& f : fetches) {
+    const auto [name, slot] = SplitTensorName(f);
+    const Node* n = graph_->FindNode(name);
+    auto it = outputs.find(n->id());
+    if (it == outputs.end() ||
+        slot >= static_cast<int>(it->second.size())) {
+      return Internal("fetch '" + f + "' produced no value");
+    }
+    const Tensor& t = it->second[static_cast<size_t>(slot)];
+    if (!t.valid()) {
+      return InvalidArgument("fetch '" + f + "' is a zero-output op");
+    }
+    results.push_back(t);
+  }
+  return results;
+}
+
+}  // namespace tfhpc

@@ -1,0 +1,84 @@
+// Graph executor: prunes the graph to the fetch/target closure, places each
+// node on a device (explicit pin, merged defaults, TF-style soft placement),
+// and runs kernels dataflow-style — an op becomes ready when all its data
+// and control inputs have completed; ready ops on distinct devices run
+// concurrently (one in-flight op per device models a single GPU stream;
+// blocking queue ops get dedicated threads so they cannot starve compute).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "graph/graph.h"
+#include "kernels/kernel.h"
+#include "runtime/debug.h"
+#include "runtime/device.h"
+#include "runtime/resource_mgr.h"
+
+namespace tfhpc {
+
+struct RunOptions {
+  // Simulation mode: kernels see meta tensors and only shapes/costs flow.
+  bool simulate = false;
+  // Collect per-node execution records into RunMetadata.
+  bool trace = false;
+  // tfdbg-lite: also summarize every node output (implies trace).
+  bool debug = false;
+};
+
+// One executed node, for the Timeline (Fig. 3) and the DES replay.
+struct NodeExecRecord {
+  std::string name;
+  std::string op;
+  std::string device;        // full device name
+  double start_us = 0;       // wall-clock, relative to step start
+  double end_us = 0;
+  CostEstimate cost;         // nominal work (valid in both modes)
+  std::vector<std::string> input_names;
+  // Filled when RunOptions::debug: one summary per output slot.
+  std::vector<TensorDebugSummary> output_summaries;
+};
+
+struct RunMetadata {
+  std::vector<NodeExecRecord> nodes;
+};
+
+// Renders the tfdbg-style watch list ("node (op) @device: summary").
+std::string FormatDebugReport(const RunMetadata& metadata);
+
+class Executor {
+ public:
+  // `default_device` supplies job/task (and optionally type) for nodes with
+  // partial or empty device specs.
+  Executor(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
+           DeviceName default_device);
+
+  // feeds: node or "node:slot" -> tensor, replaces the node's output.
+  // fetches: outputs to return. targets: nodes to run without fetching.
+  Result<std::vector<Tensor>> Run(
+      const std::map<std::string, Tensor>& feeds,
+      const std::vector<std::string>& fetches,
+      const std::vector<std::string>& targets = {},
+      const RunOptions& options = {}, RunMetadata* metadata = nullptr);
+
+  // Resolved placement for one node (exposed for tests and the Session's
+  // device report). Applies soft placement.
+  Result<Device*> PlaceNode(const Node& node);
+
+ private:
+  Graph* graph_;
+  DeviceMgr* devices_;
+  ResourceMgr* resources_;
+  DeviceName default_device_;
+
+  // Placement and kernel caches, built lazily per node id.
+  std::mutex cache_mu_;
+  std::map<int, Device*> placement_cache_;
+  std::map<int, std::shared_ptr<OpKernel>> kernel_cache_;
+
+  Result<std::shared_ptr<OpKernel>> KernelFor(const Node& node, Device* device);
+};
+
+}  // namespace tfhpc

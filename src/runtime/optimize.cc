@@ -1,0 +1,29 @@
+#include "runtime/optimize.h"
+
+namespace tfhpc {
+
+Result<wire::GraphDef> OptimizeGraphDef(const wire::GraphDef& def,
+                                        const std::vector<std::string>& targets,
+                                        OptimizeStats* stats,
+                                        const ConstFoldOptions& fold) {
+  OptimizeStats local;
+  local.nodes_before = static_cast<int>(def.nodes.size());
+
+  TFHPC_ASSIGN_OR_RETURN(wire::GraphDef after_cse,
+                         CommonSubexpressionElimination(def));
+  local.cse_merged =
+      local.nodes_before - static_cast<int>(after_cse.nodes.size());
+
+  TFHPC_ASSIGN_OR_RETURN(ConstFoldResult folded,
+                         ConstantFolding(after_cse, fold));
+  local.folded = folded.folded_nodes;
+
+  TFHPC_ASSIGN_OR_RETURN(wire::GraphDef pruned,
+                         PruneToTargets(folded.graph, targets));
+  local.nodes_after = static_cast<int>(pruned.nodes.size());
+
+  if (stats != nullptr) *stats = local;
+  return pruned;
+}
+
+}  // namespace tfhpc

@@ -1,0 +1,26 @@
+// The full graph-optimization pipeline a session would apply before
+// execution: CSE -> constant folding -> pruning to targets. Exposed as a
+// standalone helper so optimized GraphDefs can be serialized, shipped to
+// workers (ExtendGraph) or inspected — the paper's §II "TensorFlow can use
+// information of the dataflow graph to optimize execution".
+#pragma once
+
+#include "runtime/const_fold.h"
+
+namespace tfhpc {
+
+struct OptimizeStats {
+  int nodes_before = 0;
+  int nodes_after = 0;
+  int cse_merged = 0;
+  int folded = 0;
+};
+
+// Applies CSE, constant folding, then pruning to `targets`. Targets must
+// exist in `def`.
+Result<wire::GraphDef> OptimizeGraphDef(const wire::GraphDef& def,
+                                        const std::vector<std::string>& targets,
+                                        OptimizeStats* stats = nullptr,
+                                        const ConstFoldOptions& fold = {});
+
+}  // namespace tfhpc

@@ -1,0 +1,50 @@
+#include "runtime/rendezvous.h"
+
+namespace tfhpc {
+
+Status Rendezvous::Send(const std::string& key, Tensor tensor) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!aborted_.ok()) return aborted_;
+    items_[key].push_back(std::move(tensor));
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Result<Tensor> Rendezvous::Recv(const std::string& key) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    if (!aborted_.ok()) return true;
+    auto it = items_.find(key);
+    return it != items_.end() && !it->second.empty();
+  });
+  if (!aborted_.ok()) return aborted_;
+  auto it = items_.find(key);
+  Tensor t = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) items_.erase(it);
+  return t;
+}
+
+void Rendezvous::Abort(Status status) {
+  TFHPC_CHECK(!status.ok()) << "Abort needs an error status";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborted_ = std::move(status);
+  }
+  cv_.notify_all();
+}
+
+void Rendezvous::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  aborted_ = Status::OK();
+  items_.clear();
+}
+
+size_t Rendezvous::pending_keys() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return items_.size();
+}
+
+}  // namespace tfhpc

@@ -1,0 +1,43 @@
+// Rendezvous: keyed, blocking tensor exchange — TensorFlow's mechanism
+// behind the _Send/_Recv ops the runtime inserts at device/task boundaries.
+// Senders deposit tensors under a string key; receivers block until the key
+// has a value. Keys are consumed FIFO per key (multiple sends to the same
+// key queue up, matching step-wise producer/consumer use).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace tfhpc {
+
+class Rendezvous {
+ public:
+  Status Send(const std::string& key, Tensor tensor);
+  // Blocks until a tensor arrives for `key` (or the rendezvous aborts).
+  Result<Tensor> Recv(const std::string& key);
+
+  // Wakes every waiter with `status` and fails all subsequent operations
+  // (used at server teardown and on step errors).
+  void Abort(Status status);
+
+  // Clears an abort and drops all pending tensors, returning the rendezvous
+  // to a fresh state — how a distributed session recovers the task after a
+  // cancelled step. No waiter may be blocked when calling this.
+  void Reset();
+
+  size_t pending_keys() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::deque<Tensor>> items_;
+  Status aborted_;  // OK = live
+};
+
+}  // namespace tfhpc

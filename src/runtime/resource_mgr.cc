@@ -1,0 +1,202 @@
+#include "runtime/resource_mgr.h"
+
+#include <complex>
+
+namespace tfhpc {
+
+Status FIFOQueue::Enqueue(Tensor t) {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_full_.wait(lk, [this] {
+    return closed_ || capacity_ == 0 ||
+           items_.size() < static_cast<size_t>(capacity_);
+  });
+  if (closed_) return Cancelled("enqueue on closed queue '" + name_ + "'");
+  items_.push_back(std::move(t));
+  lk.unlock();
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+Result<Tensor> FIFOQueue::Dequeue() {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_empty_.wait(lk, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) {
+    return OutOfRange("queue '" + name_ + "' is closed and empty");
+  }
+  Tensor t = std::move(items_.front());
+  items_.pop_front();
+  lk.unlock();
+  not_full_.notify_one();
+  return t;
+}
+
+Status FIFOQueue::TryEnqueue(Tensor t, bool* accepted) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_) return Cancelled("enqueue on closed queue '" + name_ + "'");
+  if (capacity_ != 0 && items_.size() >= static_cast<size_t>(capacity_)) {
+    *accepted = false;
+    return Status::OK();
+  }
+  items_.push_back(std::move(t));
+  *accepted = true;
+  lk.unlock();
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+Result<Tensor> FIFOQueue::TryDequeue(bool* got) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (items_.empty()) {
+    *got = false;
+    if (closed_) return OutOfRange("queue '" + name_ + "' is closed and empty");
+    return Tensor();
+  }
+  Tensor t = std::move(items_.front());
+  items_.pop_front();
+  *got = true;
+  lk.unlock();
+  not_full_.notify_one();
+  return t;
+}
+
+void FIFOQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool FIFOQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+size_t FIFOQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return items_.size();
+}
+
+bool Variable::initialized() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return value_.valid();
+}
+
+Result<Tensor> Variable::Read() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!value_.valid()) {
+    return FailedPrecondition("variable '" + name_ + "' is uninitialized");
+  }
+  return value_;
+}
+
+void Variable::Write(Tensor t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  value_ = std::move(t);
+}
+
+Result<Tensor> Variable::Accumulate(const Tensor& delta) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!value_.valid()) {
+    value_ = delta.Clone();
+    return value_;
+  }
+  if (value_.dtype() != delta.dtype() || value_.shape() != delta.shape()) {
+    return InvalidArgument("variable '" + name_ + "' accumulate mismatch: " +
+                           value_.shape().ToString() + " vs " +
+                           delta.shape().ToString());
+  }
+  if (value_.is_meta() || delta.is_meta()) {
+    // Simulation mode: the value is unchanged metadata.
+    return value_;
+  }
+  // In-place add into a private clone (readers hold shallow snapshots).
+  Tensor next = value_.Clone();
+  const int64_t n = next.num_elements();
+  switch (next.dtype()) {
+    case DType::kF32: {
+      auto* d = next.mutable_data<float>();
+      const auto s = delta.data<float>();
+      for (int64_t i = 0; i < n; ++i) d[i] += s[static_cast<size_t>(i)];
+      break;
+    }
+    case DType::kF64: {
+      auto* d = next.mutable_data<double>();
+      const auto s = delta.data<double>();
+      for (int64_t i = 0; i < n; ++i) d[i] += s[static_cast<size_t>(i)];
+      break;
+    }
+    case DType::kC128: {
+      auto* d = next.mutable_data<std::complex<double>>();
+      const auto s = delta.data<std::complex<double>>();
+      for (int64_t i = 0; i < n; ++i) d[i] += s[static_cast<size_t>(i)];
+      break;
+    }
+    case DType::kI64: {
+      auto* d = next.mutable_data<int64_t>();
+      const auto s = delta.data<int64_t>();
+      for (int64_t i = 0; i < n; ++i) d[i] += s[static_cast<size_t>(i)];
+      break;
+    }
+    default:
+      return Unimplemented("Accumulate for dtype " +
+                           std::string(DTypeName(next.dtype())));
+  }
+  value_ = std::move(next);
+  return value_;
+}
+
+Result<FIFOQueue*> ResourceMgr::LookupOrCreateQueue(const std::string& name,
+                                                    int64_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = queues_.find(name);
+  if (it != queues_.end()) {
+    if (capacity != 0 && it->second->capacity() != 0 &&
+        it->second->capacity() != capacity) {
+      return InvalidArgument("queue '" + name + "' exists with capacity " +
+                             std::to_string(it->second->capacity()) +
+                             ", requested " + std::to_string(capacity));
+    }
+    return it->second.get();
+  }
+  auto q = std::make_unique<FIFOQueue>(name, capacity);
+  FIFOQueue* raw = q.get();
+  queues_.emplace(name, std::move(q));
+  return raw;
+}
+
+Variable* ResourceMgr::LookupOrCreateVariable(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = variables_.find(name);
+  if (it != variables_.end()) return it->second.get();
+  auto v = std::make_unique<Variable>(name);
+  Variable* raw = v.get();
+  variables_.emplace(name, std::move(v));
+  return raw;
+}
+
+std::map<std::string, Tensor> ResourceMgr::VariableSnapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, Tensor> snap;
+  for (const auto& [name, var] : variables_) {
+    if (var->initialized()) {
+      auto r = var->Read();
+      if (r.ok()) snap.emplace(name, *r);
+    }
+  }
+  return snap;
+}
+
+void ResourceMgr::RestoreVariables(const std::map<std::string, Tensor>& vars) {
+  for (const auto& [name, tensor] : vars) {
+    LookupOrCreateVariable(name)->Write(tensor);
+  }
+}
+
+void ResourceMgr::CloseAllQueues() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, q] : queues_) q->Close();
+}
+
+}  // namespace tfhpc

@@ -1,0 +1,39 @@
+#include "runtime/session.h"
+
+#include "graph/ops.h"
+
+namespace tfhpc {
+
+Session::Session(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
+                 DeviceName default_device)
+    : graph_(graph),
+      executor_(graph, devices, resources, std::move(default_device)) {}
+
+Result<std::vector<Tensor>> Session::Run(
+    const std::map<std::string, Tensor>& feeds,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets, const RunOptions& options,
+    RunMetadata* metadata) {
+  return executor_.Run(feeds, fetches, targets, options, metadata);
+}
+
+Result<std::string> Session::DevicePlacement(const std::string& node_name) {
+  const Node* n = graph_->FindNode(node_name);
+  if (n == nullptr) return NotFound("node '" + node_name + "' not found");
+  TFHPC_ASSIGN_OR_RETURN(Device * d, executor_.PlaceNode(*n));
+  return d->name_string();
+}
+
+LocalRuntime::LocalRuntime(int num_gpus, ComputeModel gpu_model)
+    : devices_(DeviceMgr::CreateLocal("localhost", 0, num_gpus,
+                                      std::move(gpu_model))) {}
+
+std::unique_ptr<Session> LocalRuntime::NewSession() {
+  DeviceName default_device;
+  default_device.job = "localhost";
+  default_device.task = 0;
+  return std::make_unique<Session>(&graph_, devices_.get(), &resources_,
+                                   default_device);
+}
+
+}  // namespace tfhpc

@@ -1,0 +1,57 @@
+// Session: the client-facing execution handle (tf.Session). A session binds
+// a graph to a device set and a resource manager and runs fetch requests.
+// LocalRuntime bundles graph + devices + resources for single-process use —
+// the examples and tests build on it; distributed execution wraps sessions
+// per task (src/distrib).
+#pragma once
+
+#include <memory>
+
+#include "graph/ops.h"
+#include "graph/passes.h"
+#include "runtime/executor.h"
+
+namespace tfhpc {
+
+class Session {
+ public:
+  // The graph/devices/resources must outlive the session.
+  Session(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
+          DeviceName default_device);
+
+  Result<std::vector<Tensor>> Run(const std::map<std::string, Tensor>& feeds,
+                                  const std::vector<std::string>& fetches,
+                                  const std::vector<std::string>& targets = {},
+                                  const RunOptions& options = {},
+                                  RunMetadata* metadata = nullptr);
+
+  // Placement report for one node (tests, debug).
+  Result<std::string> DevicePlacement(const std::string& node_name);
+
+ private:
+  Graph* graph_;
+  Executor executor_;
+};
+
+// Single-process runtime: one task, one CPU device + `num_gpus` simulated
+// GPUs, its own graph and resources.
+class LocalRuntime {
+ public:
+  explicit LocalRuntime(int num_gpus = 1,
+                        ComputeModel gpu_model = models::Gk210());
+
+  Graph& graph() { return graph_; }
+  Scope root_scope() { return Scope(&graph_); }
+  DeviceMgr& devices() { return *devices_; }
+  ResourceMgr& resources() { return resources_; }
+
+  // A new session over this runtime's graph and devices.
+  std::unique_ptr<Session> NewSession();
+
+ private:
+  Graph graph_;
+  std::unique_ptr<DeviceMgr> devices_;
+  ResourceMgr resources_;
+};
+
+}  // namespace tfhpc

@@ -1,0 +1,26 @@
+#include "sim/event.h"
+
+namespace tfhpc::sim {
+
+void Simulation::ScheduleAt(SimTime t, std::function<void()> fn) {
+  TFHPC_CHECK_GE(t, now_) << "scheduling into the past";
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved
+  // out before pop, so copy the header and steal the callable.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void Simulation::Run() {
+  while (Step()) {
+  }
+}
+
+}  // namespace tfhpc::sim

@@ -1,0 +1,55 @@
+// Discrete-event simulation core: a virtual clock and an event queue.
+// Everything performance-related in tfhpc's benchmarks runs through this —
+// compute ops on device timelines, flows on the network — so figure
+// reproduction never depends on the host machine's wall clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace tfhpc::sim {
+
+using SimTime = double;  // seconds of virtual time
+
+class Simulation {
+ public:
+  SimTime now() const { return now_; }
+
+  // Schedules fn at absolute virtual time t (>= now).
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+  void ScheduleAfter(SimTime dt, std::function<void()> fn) {
+    ScheduleAt(now_ + dt, std::move(fn));
+  }
+
+  // Runs events in time order until the queue is empty. Events scheduled at
+  // equal times run in scheduling order (stable).
+  void Run();
+
+  // Steps one event; returns false when the queue is empty.
+  bool Step();
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace tfhpc::sim

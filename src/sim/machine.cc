@@ -1,0 +1,279 @@
+#include "sim/machine.h"
+
+namespace tfhpc::sim {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kGrpc: return "gRPC";
+    case Protocol::kMpi: return "MPI";
+    case Protocol::kRdma: return "RDMA";
+  }
+  return "?";
+}
+
+const char* GpuKindName(GpuKind k) {
+  switch (k) {
+    case GpuKind::kK420: return "K420";
+    case GpuKind::kK80: return "K80";
+    case GpuKind::kV100: return "V100";
+  }
+  return "?";
+}
+
+MachineConfig TegnerConfig(GpuKind kind) {
+  MachineConfig c;
+  c.name = "Tegner";
+  c.gpu_kind = kind;
+  // EDR InfiniBand: 12 GB/s theoretical; effective verbs bandwidth
+  // calibrated to the paper's >6 GB/s host-to-host RDMA measurement.
+  c.nic_bps = 8.4e9;
+  c.eth_bps = 1.10e9;         // 10 GbE management network (gRPC resolves here)
+  c.qpi_bps = 25e9;
+  c.hostmem_bps = 40e9;       // single-threaded staging copy share
+  c.serialize_bps = 1.30e9;   // MPI-module tensor serialize (calibrates 318 MB/s)
+  c.grpc_serialize_bps = 0.95e9;
+  c.disk_bps = 1.6e9;         // Lustre per-client effective
+  c.grpc_over_ethernet = true;  // paper: "gRPC connection resolved to Ethernet"
+  c.cpu_model = models::HostCpu();
+  if (kind == GpuKind::kK420) {
+    c.gpus_per_node = 1;      // Table I
+    c.paired_engines = false;
+    c.pcie_bps = 1.45e9;      // K420's effective D2H/H2D (calibrates 1300 MB/s)
+    c.card_bps = 0;
+    c.gpu_model = models::QuadroK420();
+  } else {
+    TFHPC_CHECK(kind == GpuKind::kK80) << "Tegner has K420 or K80 nodes";
+    c.gpus_per_node = 2;      // one K80 card = two GK210 engines
+    c.paired_engines = true;
+    c.pcie_bps = 5.0e9;
+    c.card_bps = 9.0e9;       // card's PCIe switch uplink
+    c.gpu_model = models::Gk210();
+  }
+  return c;
+}
+
+MachineConfig KebnekaiseConfig(GpuKind kind) {
+  MachineConfig c;
+  c.name = "Kebnekaise";
+  c.gpu_kind = kind;
+  // FDR InfiniBand: ~6.8 GB/s theoretical, lower effective.
+  c.nic_bps = 5.2e9;
+  c.eth_bps = 1.10e9;
+  c.qpi_bps = 28e9;
+  c.hostmem_bps = 45e9;
+  c.serialize_bps = 1.85e9;   // newer CPUs/GCC (calibrates ~480 MB/s MPI)
+  c.grpc_serialize_bps = 1.80e9;  // gRPC ~= MPI on Kebnekaise (paper Fig. 7)
+  c.disk_bps = 1.95e9;
+  c.grpc_over_ethernet = false;   // gRPC rides IPoIB here
+  c.cpu_model = models::HostCpu();
+  if (kind == GpuKind::kK80) {
+    c.gpus_per_node = 4;      // Table I: 4 instances/node (2 K80 cards)
+    c.paired_engines = true;
+    c.pcie_bps = 2.4e9;       // per-engine share (calibrates <2300 MB/s RDMA)
+    c.card_bps = 5.0e9;
+    c.gpu_model = models::Gk210();
+  } else {
+    TFHPC_CHECK(kind == GpuKind::kV100) << "Kebnekaise has K80 or V100 nodes";
+    c.gpus_per_node = 2;
+    c.paired_engines = false;
+    c.pcie_bps = 11.0e9;      // PCIe 3.0 x16
+    c.card_bps = 0;
+    c.gpu_model = models::V100();
+  }
+  return c;
+}
+
+ClusterModel::ClusterModel(MachineConfig cfg, int num_gpus,
+                           int extra_host_nodes)
+    : cfg_(std::move(cfg)), num_gpus_(num_gpus) {
+  TFHPC_CHECK_GE(num_gpus, 0);
+  const int gpu_nodes =
+      (num_gpus + cfg_.gpus_per_node - 1) / cfg_.gpus_per_node;
+  num_nodes_ = gpu_nodes + extra_host_nodes;
+  TFHPC_CHECK_GT(num_nodes_, 0);
+
+  // Ablation: contention off = every shared per-node resource gets the full
+  // aggregate bandwidth per instance (equivalent to private links).
+  const double share =
+      cfg_.contention ? 1.0 : static_cast<double>(cfg_.gpus_per_node);
+
+  nodes_.resize(static_cast<size_t>(num_nodes_));
+  for (int n = 0; n < num_nodes_; ++n) {
+    NodeLinks& links = nodes_[static_cast<size_t>(n)];
+    const std::string p = "n" + std::to_string(n) + ":";
+    for (int g = 0; g < cfg_.gpus_per_node; ++g) {
+      links.pcie.push_back(
+          net_.AddLink(p + "pcie" + std::to_string(g), cfg_.pcie_bps));
+    }
+    if (cfg_.paired_engines && cfg_.card_bps > 0) {
+      const int cards = (cfg_.gpus_per_node + 1) / 2;
+      for (int cidx = 0; cidx < cards; ++cidx) {
+        links.card.push_back(net_.AddLink(p + "card" + std::to_string(cidx),
+                                          cfg_.card_bps * share));
+      }
+    }
+    links.qpi = net_.AddLink(p + "qpi", cfg_.qpi_bps * share);
+    links.nic = net_.AddLink(p + "nic", cfg_.nic_bps * share);
+    links.eth = net_.AddLink(p + "eth", cfg_.eth_bps * share);
+    links.hostmem = net_.AddLink(p + "hostmem", cfg_.hostmem_bps * share);
+    links.serialize =
+        net_.AddLink(p + "serialize", cfg_.serialize_bps * share);
+    links.disk = net_.AddLink(p + "disk", cfg_.disk_bps * share);
+  }
+}
+
+Loc ClusterModel::GpuLoc(int rank) const {
+  TFHPC_CHECK_GE(rank, 0);
+  TFHPC_CHECK_LT(rank, num_gpus_);
+  return Loc{rank / cfg_.gpus_per_node, rank % cfg_.gpus_per_node};
+}
+
+int ClusterModel::IslandOf(const Loc& loc) const {
+  if (loc.is_host()) return cfg_.nic_island;  // staging buffers near the NIC
+  if (cfg_.gpus_per_node == 1) return 0;
+  if (cfg_.gpus_per_node == 2) {
+    // Tegner K80: both engines of the single card on island 0.
+    // Kebnekaise V100: one GPU per island.
+    return cfg_.paired_engines ? 0 : loc.gpu;
+  }
+  // Kebnekaise K80: engines 0,1 (card 0) island 0; engines 2,3 island 1.
+  return loc.gpu / 2;
+}
+
+std::vector<LinkId> ClusterModel::LocalPath(const Loc& loc,
+                                            bool to_wire) const {
+  const NodeLinks& n = nodes_[static_cast<size_t>(loc.node)];
+  std::vector<LinkId> path;
+  if (!loc.is_host()) {
+    path.push_back(n.pcie[static_cast<size_t>(loc.gpu)]);
+    if (!n.card.empty()) {
+      path.push_back(n.card[static_cast<size_t>(loc.gpu / 2)]);
+    }
+  } else {
+    path.push_back(n.hostmem);
+  }
+  if (to_wire && IslandOf(loc) != cfg_.nic_island) {
+    path.push_back(n.qpi);  // Fig. 9: crossing to the I/O island
+  }
+  return path;
+}
+
+LinkId ClusterModel::WireLink(int node, Protocol proto) const {
+  const NodeLinks& n = nodes_[static_cast<size_t>(node)];
+  if (proto == Protocol::kGrpc && cfg_.grpc_over_ethernet) return n.eth;
+  return n.nic;
+}
+
+double ClusterModel::WireLatency(Protocol proto) const {
+  return proto == Protocol::kGrpc ? cfg_.grpc_latency_s : cfg_.rpc_latency_s;
+}
+
+OpId ClusterModel::GpuCompute(int rank, double flops, int64_t bytes, bool fp64,
+                              std::vector<OpId> deps, std::string label) {
+  const Loc loc = GpuLoc(rank);
+  const std::string device =
+      "n" + std::to_string(loc.node) + ":gpu" + std::to_string(loc.gpu);
+  return trace_.AddCompute(device, GpuSeconds(flops, bytes, fp64),
+                           std::move(deps), std::move(label));
+}
+
+OpId ClusterModel::HostCompute(int node, int lane, double flops, int64_t bytes,
+                               std::vector<OpId> deps, std::string label) {
+  const std::string device =
+      "n" + std::to_string(node) + ":cpu" + std::to_string(lane);
+  return trace_.AddCompute(device, HostSeconds(flops, bytes), std::move(deps),
+                           std::move(label));
+}
+
+OpId ClusterModel::Transfer(const Loc& from, const Loc& to, int64_t bytes,
+                            Protocol proto, std::vector<OpId> deps,
+                            std::string label) {
+  const bool cross_node = from.node != to.node;
+
+  if (proto == Protocol::kRdma) {
+    // Cut-through: one flow across the whole path; its rate is the max-min
+    // share of the narrowest link, which is exactly how a pipelined verbs
+    // transfer behaves.
+    std::vector<LinkId> path = LocalPath(from, cross_node);
+    if (cross_node) {
+      path.push_back(WireLink(from.node, proto));
+      path.push_back(WireLink(to.node, proto));
+    }
+    for (LinkId l : LocalPath(to, cross_node)) path.push_back(l);
+    OpId lat = trace_.AddDelay(WireLatency(proto), std::move(deps),
+                               label + "/lat");
+    return trace_.AddTransfer(std::move(path), bytes, {lat}, std::move(label));
+  }
+
+  // MPI / gRPC: store-and-forward staging (the paper: GPUDirect is off, so
+  // tensors are copied and serialized through host memory first).
+  const NodeLinks& src = nodes_[static_cast<size_t>(from.node)];
+  const NodeLinks& dst = nodes_[static_cast<size_t>(to.node)];
+  const LinkId ser_src = src.serialize;
+  const LinkId ser_dst = dst.serialize;
+  const double ser_scale =
+      proto == Protocol::kGrpc
+          ? cfg_.serialize_bps / cfg_.grpc_serialize_bps
+          : 1.0;  // gRPC serializes slower: inflate its byte count
+  const auto ser_bytes = static_cast<int64_t>(
+      static_cast<double>(bytes) * ser_scale);
+
+  OpId prev = trace_.AddDelay(WireLatency(proto), std::move(deps),
+                              label + "/lat");
+  if (!from.is_host()) {
+    std::vector<LinkId> d2h = LocalPath(from, /*to_wire=*/false);
+    d2h.push_back(src.hostmem);
+    prev = trace_.AddTransfer(std::move(d2h), bytes, {prev}, label + "/d2h");
+  }
+  prev = trace_.AddTransfer({ser_src}, ser_bytes, {prev}, label + "/ser");
+  if (cross_node) {
+    std::vector<LinkId> wire;
+    if (IslandOf(HostLoc(from.node)) != cfg_.nic_island) wire.push_back(src.qpi);
+    wire.push_back(WireLink(from.node, proto));
+    wire.push_back(WireLink(to.node, proto));
+    if (IslandOf(HostLoc(to.node)) != cfg_.nic_island) wire.push_back(dst.qpi);
+    prev = trace_.AddTransfer(std::move(wire), bytes, {prev}, label + "/wire");
+  }
+  prev = trace_.AddTransfer({ser_dst}, ser_bytes, {prev}, label + "/deser");
+  if (!to.is_host()) {
+    std::vector<LinkId> h2d = LocalPath(to, /*to_wire=*/false);
+    h2d.push_back(dst.hostmem);
+    prev = trace_.AddTransfer(std::move(h2d), bytes, {prev}, label + "/h2d");
+  }
+  return prev;
+}
+
+OpId ClusterModel::DiskRead(int node, int64_t bytes, std::vector<OpId> deps,
+                            std::string label) {
+  const NodeLinks& n = nodes_[static_cast<size_t>(node)];
+  return trace_.AddTransfer({n.disk, n.hostmem}, bytes, std::move(deps),
+                            std::move(label));
+}
+
+OpId ClusterModel::HostIngest(int node, int lane, int64_t bytes,
+                              std::vector<OpId> deps, std::string label,
+                              double bps) {
+  auto key = std::make_pair(node, lane);
+  auto it = ingest_links_.find(key);
+  if (it == ingest_links_.end()) {
+    const LinkId link = net_.AddLink(
+        "n" + std::to_string(node) + ":ingest" + std::to_string(lane),
+        bps > 0 ? bps : cfg_.ingest_bps);
+    it = ingest_links_.emplace(key, link).first;
+  }
+  return trace_.AddTransfer({it->second}, bytes, std::move(deps),
+                            std::move(label));
+}
+
+OpId ClusterModel::Delay(double seconds, std::vector<OpId> deps,
+                         std::string label) {
+  return trace_.AddDelay(seconds, std::move(deps), std::move(label));
+}
+
+Result<ReplayResult> ClusterModel::Replay() {
+  if (replayed_) return FailedPrecondition("ClusterModel::Replay called twice");
+  replayed_ = true;
+  return trace_.Replay(&sim_);
+}
+
+}  // namespace tfhpc::sim

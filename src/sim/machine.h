@@ -1,0 +1,171 @@
+// Machine models of the paper's two platforms (§V, Table I, Fig. 9) and the
+// ClusterModel façade the application drivers use to emit timed traces.
+//
+// A ClusterModel instantiates per-node links (GPU PCIe, per-card shared PCIe
+// switch, QPI between NUMA islands, InfiniBand NIC, Ethernet, host-memory
+// staging, a serialization "link" modelling CPU-bound protobuf work, and a
+// Lustre disk link), places GPUs on nodes exactly as the paper does
+// (instances-per-node per Table I), and translates application-level events
+// — GPU kernels, host work, protocol transfers, tile loads — into SimOps.
+//
+// Link bandwidths are *effective* calibrated values (what verbs/MPI achieve,
+// not datasheet numbers); the calibration targets are the measured medians
+// in the paper's Fig. 7 and the scaling factors of Figs. 8/10/11, recorded
+// in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/device.h"
+#include "sim/trace.h"
+
+namespace tfhpc::sim {
+
+enum class Protocol { kGrpc, kMpi, kRdma };
+const char* ProtocolName(Protocol p);
+
+enum class GpuKind { kK420, kK80, kV100 };
+const char* GpuKindName(GpuKind k);
+
+struct MachineConfig {
+  std::string name;      // "Tegner" | "Kebnekaise"
+  GpuKind gpu_kind = GpuKind::kK80;
+  int gpus_per_node = 1;          // TF instances per node (Table I)
+  int islands_per_node = 2;       // NUMA islands
+  // Which island each local GPU sits on, and whether engine pairs share a
+  // per-card PCIe switch link (K80 cards hold two GK210 engines).
+  bool paired_engines = false;
+
+  // Effective bandwidths, bytes/second.
+  double pcie_bps = 0;        // per-GPU PCIe
+  double card_bps = 0;        // per-card shared link (0 = none)
+  double qpi_bps = 0;         // inter-island interconnect
+  double nic_bps = 0;         // InfiniBand per node
+  double eth_bps = 0;         // Ethernet per node
+  double hostmem_bps = 0;     // host staging-copy bandwidth
+  double serialize_bps = 0;   // MPI tensor serialization rate (CPU-bound)
+  double grpc_serialize_bps = 0;  // protobuf+framing rate for gRPC
+  double disk_bps = 0;        // Lustre read bandwidth per node
+  bool grpc_over_ethernet = false;  // Tegner: gRPC resolves to the eth iface
+  double rpc_latency_s = 30e-6;     // per-message overhead
+  double grpc_latency_s = 120e-6;
+  // Client-side cost of dispatching one session step / queue op: Python
+  // dispatch, GIL, RPC setup, executor startup. Dominates latency-bound
+  // phases (CG's scalar reductions) and throttles small transfers.
+  double step_overhead_s = 1e-3;
+  // Rate at which a single Python consumer (reducer/merger task) can drain
+  // its queue into host arrays — the paper's §VIII "Python's relatively low
+  // performance" bottleneck; one link per consumer task. Store-only
+  // consumers (the FFT merger) run at this default; consumers doing per-
+  // element work override it (the matmul reducers' decode + accumulate).
+  double ingest_bps = 2.8e9;
+
+  ComputeModel gpu_model;
+  ComputeModel cpu_model;
+
+  // Fig. 9: the NIC and I/O hang off island 0 only.
+  int nic_island = 0;
+  // Ablation switch: false multiplies shared links by the per-node instance
+  // count, i.e. removes all intra-node contention.
+  bool contention = true;
+};
+
+// The paper's platforms. Tegner supports K420 (1 instance/node) and K80
+// (2 instances/node); Kebnekaise supports K80 (4/node) and V100 (2/node).
+MachineConfig TegnerConfig(GpuKind kind);
+MachineConfig KebnekaiseConfig(GpuKind kind);
+
+// A physical location: a node plus either a GPU (gpu >= 0) or the host CPU.
+struct Loc {
+  int node = 0;
+  int gpu = -1;  // local GPU index on that node; -1 = host
+  bool is_host() const { return gpu < 0; }
+};
+
+class ClusterModel {
+ public:
+  // Builds enough nodes to host `num_gpus` at cfg.gpus_per_node each
+  // (+`extra_host_nodes` GPU-less nodes for parameter servers/reducers, as
+  // the paper's STREAM places PS and worker on distinct nodes).
+  ClusterModel(MachineConfig cfg, int num_gpus, int extra_host_nodes = 0);
+
+  const MachineConfig& config() const { return cfg_; }
+  int num_nodes() const { return num_nodes_; }
+  int num_gpus() const { return num_gpus_; }
+
+  // Global GPU rank -> location (ranks fill nodes in order).
+  Loc GpuLoc(int rank) const;
+  Loc HostLoc(int node) const { return Loc{node, -1}; }
+  int IslandOf(const Loc& loc) const;
+
+  // --- trace building -------------------------------------------------------
+  // GPU kernel: roofline-timed, serialized per GPU.
+  OpId GpuCompute(int rank, double flops, int64_t bytes, bool fp64,
+                  std::vector<OpId> deps, std::string label = "");
+  // Host work on a numbered lane (distinct lanes run concurrently; host
+  // memory contention is modelled by the hostmem link for copies, not here).
+  OpId HostCompute(int node, int lane, double flops, int64_t bytes,
+                   std::vector<OpId> deps, std::string label = "");
+  // Protocol transfer between two locations. RDMA is one cut-through flow;
+  // MPI/gRPC are staged: D2H copy, serialize, wire, deserialize, H2D.
+  // Returns the id of the final stage.
+  OpId Transfer(const Loc& from, const Loc& to, int64_t bytes, Protocol proto,
+                std::vector<OpId> deps, std::string label = "");
+  // Lustre tile read into host memory of `node`.
+  OpId DiskRead(int node, int64_t bytes, std::vector<OpId> deps,
+                std::string label = "");
+  // Queue-drain by the single consumer task on (node, lane): tiles pass a
+  // per-consumer ingest link. `bps` overrides cfg.ingest_bps (0 = default);
+  // consumers that post-process each element (decode + accumulate) are
+  // slower than ones that only store. The first call for a (node, lane)
+  // fixes that consumer's rate.
+  OpId HostIngest(int node, int lane, int64_t bytes, std::vector<OpId> deps,
+                  std::string label = "", double bps = 0);
+  // Fixed host-side delay (client/Python overheads).
+  OpId Delay(double seconds, std::vector<OpId> deps, std::string label = "");
+  // Convenience: one client step-dispatch overhead.
+  OpId StepOverhead(std::vector<OpId> deps, std::string label = "step") {
+    return Delay(cfg_.step_overhead_s, std::move(deps), std::move(label));
+  }
+
+  // Timing helpers exposed for app-side sizing decisions.
+  double GpuSeconds(double flops, int64_t bytes, bool fp64) const {
+    return cfg_.gpu_model.EstimateSeconds(flops, bytes, fp64);
+  }
+  double HostSeconds(double flops, int64_t bytes) const {
+    return cfg_.cpu_model.EstimateSeconds(flops, bytes, true);
+  }
+
+  Result<ReplayResult> Replay();
+
+ private:
+  struct NodeLinks {
+    std::vector<LinkId> pcie;  // per local GPU
+    std::vector<LinkId> card;  // per card (paired engines)
+    LinkId qpi = -1;
+    LinkId nic = -1;
+    LinkId eth = -1;
+    LinkId hostmem = -1;
+    LinkId serialize = -1;
+    LinkId disk = -1;
+  };
+
+  // Links from a GPU/host down to that node's wire attach point; `to_wire`
+  // appends QPI when the source island differs from the NIC island.
+  std::vector<LinkId> LocalPath(const Loc& loc, bool to_wire) const;
+  LinkId WireLink(int node, Protocol proto) const;
+  double WireLatency(Protocol proto) const;
+
+  MachineConfig cfg_;
+  int num_gpus_;
+  int num_nodes_;
+  Simulation sim_;
+  FlowNetwork net_{&sim_};
+  TraceReplayer trace_{&net_};
+  std::vector<NodeLinks> nodes_;
+  std::map<std::pair<int, int>, LinkId> ingest_links_;  // (node, lane)
+  bool replayed_ = false;
+};
+
+}  // namespace tfhpc::sim

@@ -1,0 +1,131 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace tfhpc::sim {
+
+LinkId FlowNetwork::AddLink(std::string name, double bandwidth_bps,
+                            double latency_s) {
+  TFHPC_CHECK_GT(bandwidth_bps, 0) << "link " << name;
+  links_.push_back(Link{std::move(name), bandwidth_bps, latency_s});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+FlowId FlowNetwork::StartFlow(const std::vector<LinkId>& path, int64_t bytes,
+                              std::function<void()> done) {
+  double latency = 0;
+  for (LinkId l : path) {
+    TFHPC_CHECK_GE(l, 0);
+    TFHPC_CHECK_LT(l, num_links());
+    latency += links_[static_cast<size_t>(l)].latency_s;
+  }
+  const FlowId id = next_flow_id_++;
+  if (bytes <= 0 || path.empty()) {
+    // Pure-latency completion; does not contend for bandwidth.
+    sim_->ScheduleAfter(latency, std::move(done));
+    return id;
+  }
+  // The latency is modelled as a start delay before bytes begin flowing.
+  sim_->ScheduleAfter(latency, [this, id, path, bytes,
+                                done = std::move(done)]() mutable {
+    Advance();
+    Flow f;
+    f.path = path;
+    f.remaining_bytes = static_cast<double>(bytes);
+    f.done = std::move(done);
+    flows_.emplace(id, std::move(f));
+    Reallocate();
+  });
+  return id;
+}
+
+double FlowNetwork::FlowRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNetwork::Advance() {
+  const SimTime now = sim_->now();
+  const double dt = now - last_update_;
+  if (dt > 0) {
+    for (auto& [id, f] : flows_) {
+      f.remaining_bytes = std::max(0.0, f.remaining_bytes - f.rate * dt);
+    }
+  }
+  last_update_ = now;
+}
+
+void FlowNetwork::Reallocate() {
+  // Max-min fair allocation by progressive filling: repeatedly find the most
+  // constrained link among links carrying unfrozen flows, freeze its flows at
+  // the fair share, subtract, repeat.
+  std::map<FlowId, bool> frozen;
+  std::vector<double> residual(links_.size());
+  for (size_t i = 0; i < links_.size(); ++i) residual[i] = links_[i].bandwidth_bps;
+  for (auto& [id, f] : flows_) {
+    frozen[id] = false;
+    f.rate = 0;
+  }
+
+  int unfrozen = static_cast<int>(flows_.size());
+  while (unfrozen > 0) {
+    // Count unfrozen flows per link.
+    std::map<LinkId, int> count;
+    for (const auto& [id, f] : flows_) {
+      if (frozen[id]) continue;
+      for (LinkId l : f.path) count[l]++;
+    }
+    // Find bottleneck share.
+    double best_share = std::numeric_limits<double>::infinity();
+    LinkId best_link = -1;
+    for (const auto& [l, c] : count) {
+      const double share = residual[static_cast<size_t>(l)] / c;
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    TFHPC_CHECK_GE(best_link, 0);
+    // Freeze all unfrozen flows crossing the bottleneck link.
+    for (auto& [id, f] : flows_) {
+      if (frozen[id]) continue;
+      if (std::find(f.path.begin(), f.path.end(), best_link) == f.path.end())
+        continue;
+      f.rate = best_share;
+      frozen[id] = true;
+      --unfrozen;
+      for (LinkId l : f.path) {
+        residual[static_cast<size_t>(l)] =
+            std::max(0.0, residual[static_cast<size_t>(l)] - best_share);
+      }
+    }
+  }
+
+  // Reschedule each flow's completion under the new rates.
+  for (auto& [id, f] : flows_) {
+    f.epoch++;
+    const uint64_t epoch = f.epoch;
+    const FlowId fid = id;
+    TFHPC_CHECK_GT(f.rate, 0) << "flow with zero allocation";
+    const double eta = f.remaining_bytes / f.rate;
+    sim_->ScheduleAfter(eta, [this, fid, epoch] {
+      auto it = flows_.find(fid);
+      if (it == flows_.end() || it->second.epoch != epoch) return;  // stale
+      FinishFlow(fid);
+    });
+  }
+}
+
+void FlowNetwork::FinishFlow(FlowId id) {
+  Advance();
+  auto it = flows_.find(id);
+  TFHPC_CHECK(it != flows_.end());
+  auto done = std::move(it->second.done);
+  flows_.erase(it);
+  Reallocate();
+  if (done) done();
+}
+
+}  // namespace tfhpc::sim

@@ -1,0 +1,69 @@
+// Fluid-flow network model with max-min fair bandwidth sharing.
+//
+// Links are capacity-limited resources (PCIe lanes, QPI, NIC, Ethernet, host
+// memory). A flow occupies a path of links and transfers a byte count; all
+// concurrently active flows share every link max-min fairly (water-filling),
+// recomputed on each flow arrival/departure. This is what produces the
+// paper's Kebnekaise contention story (Fig. 9): four TensorFlow instances
+// per node pushing tiles through shared PCIe/QPI/NIC links.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/event.h"
+
+namespace tfhpc::sim {
+
+using LinkId = int;
+using FlowId = int64_t;
+
+struct Link {
+  std::string name;
+  double bandwidth_bps = 0;  // bytes per second
+  double latency_s = 0;      // per-flow fixed latency contribution
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(Simulation* sim) : sim_(sim) {}
+
+  LinkId AddLink(std::string name, double bandwidth_bps, double latency_s = 0);
+  const Link& link(LinkId id) const { return links_[static_cast<size_t>(id)]; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+
+  // Starts a flow of `bytes` over `path` at the current sim time; `done`
+  // fires (as a sim event) when the last byte arrives. Zero-byte flows
+  // complete after latency only. An empty path is an intra-device move and
+  // completes immediately after latency 0.
+  FlowId StartFlow(const std::vector<LinkId>& path, int64_t bytes,
+                   std::function<void()> done);
+
+  // Current max-min fair rate of an active flow (bytes/s); 0 if finished.
+  double FlowRate(FlowId id) const;
+  int active_flows() const { return static_cast<int>(flows_.size()); }
+
+ private:
+  struct Flow {
+    std::vector<LinkId> path;
+    double remaining_bytes = 0;
+    double rate = 0;          // current fair-share allocation
+    uint64_t epoch = 0;       // invalidates stale completion events
+    std::function<void()> done;
+  };
+
+  // Recomputes all flow rates (water-filling) and reschedules completions.
+  void Reallocate();
+  void Advance();  // progress remaining_bytes to sim_->now()
+  void FinishFlow(FlowId id);
+
+  Simulation* sim_;
+  std::vector<Link> links_;
+  std::map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 0;
+  SimTime last_update_ = 0;
+};
+
+}  // namespace tfhpc::sim

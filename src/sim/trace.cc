@@ -1,0 +1,142 @@
+#include "sim/trace.h"
+
+#include <deque>
+
+namespace tfhpc::sim {
+
+OpId TraceReplayer::Add(SimOp op) {
+  const OpId id = static_cast<OpId>(ops_.size());
+  for (OpId d : op.deps) {
+    TFHPC_CHECK_GE(d, 0);
+    TFHPC_CHECK_LT(d, id) << "dep must precede op";
+  }
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+OpId TraceReplayer::AddCompute(std::string device, double duration_s,
+                               std::vector<OpId> deps, std::string label) {
+  SimOp op;
+  op.kind = SimOp::Kind::kCompute;
+  op.device = std::move(device);
+  op.duration_s = duration_s;
+  op.deps = std::move(deps);
+  op.label = std::move(label);
+  return Add(std::move(op));
+}
+
+OpId TraceReplayer::AddTransfer(std::vector<LinkId> path, int64_t bytes,
+                                std::vector<OpId> deps, std::string label) {
+  SimOp op;
+  op.kind = SimOp::Kind::kTransfer;
+  op.path = std::move(path);
+  op.bytes = bytes;
+  op.deps = std::move(deps);
+  op.label = std::move(label);
+  return Add(std::move(op));
+}
+
+OpId TraceReplayer::AddDelay(double duration_s, std::vector<OpId> deps,
+                             std::string label) {
+  SimOp op;
+  op.kind = SimOp::Kind::kDelay;
+  op.duration_s = duration_s;
+  op.deps = std::move(deps);
+  op.label = std::move(label);
+  return Add(std::move(op));
+}
+
+Result<ReplayResult> TraceReplayer::Replay(Simulation* sim) {
+  const int n = num_ops();
+  ReplayResult result;
+  result.timings.resize(static_cast<size_t>(n));
+
+  // Dataflow bookkeeping.
+  std::vector<int> pending(static_cast<size_t>(n), 0);
+  std::vector<std::vector<OpId>> consumers(static_cast<size_t>(n));
+  for (OpId i = 0; i < n; ++i) {
+    pending[static_cast<size_t>(i)] =
+        static_cast<int>(ops_[static_cast<size_t>(i)].deps.size());
+    for (OpId d : ops_[static_cast<size_t>(i)].deps) {
+      consumers[static_cast<size_t>(d)].push_back(i);
+    }
+  }
+
+  // Per-device FIFO of waiting compute ops + busy flag (one op per device —
+  // the single-stream model).
+  struct DeviceState {
+    std::deque<OpId> waiting;
+    bool busy = false;
+  };
+  std::map<std::string, DeviceState> devices;
+  int completed = 0;
+
+  // Forward declarations via std::function for mutual recursion.
+  std::function<void(OpId)> on_ready;
+  std::function<void(OpId)> on_finish;
+  std::function<void(const std::string&)> pump_device;
+
+  auto start_compute = [&](OpId id) {
+    const SimOp& op = ops_[static_cast<size_t>(id)];
+    result.timings[static_cast<size_t>(id)].start = sim->now();
+    result.device_busy_s[op.device] += op.duration_s;
+    sim->ScheduleAfter(op.duration_s, [&, id] { on_finish(id); });
+  };
+
+  pump_device = [&](const std::string& device) {
+    DeviceState& ds = devices[device];
+    if (ds.busy || ds.waiting.empty()) return;
+    const OpId id = ds.waiting.front();
+    ds.waiting.pop_front();
+    ds.busy = true;
+    start_compute(id);
+  };
+
+  on_ready = [&](OpId id) {
+    const SimOp& op = ops_[static_cast<size_t>(id)];
+    switch (op.kind) {
+      case SimOp::Kind::kCompute: {
+        devices[op.device].waiting.push_back(id);
+        pump_device(op.device);
+        break;
+      }
+      case SimOp::Kind::kTransfer: {
+        result.timings[static_cast<size_t>(id)].start = sim->now();
+        net_->StartFlow(op.path, op.bytes, [&, id] { on_finish(id); });
+        break;
+      }
+      case SimOp::Kind::kDelay: {
+        result.timings[static_cast<size_t>(id)].start = sim->now();
+        sim->ScheduleAfter(op.duration_s, [&, id] { on_finish(id); });
+        break;
+      }
+    }
+  };
+
+  on_finish = [&](OpId id) {
+    const SimOp& op = ops_[static_cast<size_t>(id)];
+    result.timings[static_cast<size_t>(id)].finish = sim->now();
+    result.makespan = std::max(result.makespan, sim->now());
+    ++completed;
+    if (op.kind == SimOp::Kind::kCompute) {
+      devices[op.device].busy = false;
+      pump_device(op.device);
+    }
+    for (OpId c : consumers[static_cast<size_t>(id)]) {
+      if (--pending[static_cast<size_t>(c)] == 0) on_ready(c);
+    }
+  };
+
+  for (OpId i = 0; i < n; ++i) {
+    if (pending[static_cast<size_t>(i)] == 0) on_ready(i);
+  }
+  sim->Run();
+
+  if (completed != n) {
+    return Internal("trace replay deadlock: " + std::to_string(n - completed) +
+                    " of " + std::to_string(n) + " ops never ran");
+  }
+  return result;
+}
+
+}  // namespace tfhpc::sim

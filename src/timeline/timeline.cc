@@ -1,0 +1,105 @@
+#include "timeline/timeline.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace tfhpc::timeline {
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events) {
+  // Tracks become numeric pids with name metadata, matching how TensorFlow's
+  // Timeline labels device rows.
+  std::map<std::string, int> pids;
+  for (const auto& e : events) {
+    pids.emplace(e.track, static_cast<int>(pids.size()));
+  }
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, pid] : pids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"" << Escape(track)
+       << "\"}}";
+  }
+  for (const auto& e : events) {
+    os << ",{\"ph\":\"X\",\"pid\":" << pids[e.track]
+       << ",\"tid\":0,\"ts\":" << e.start_us << ",\"dur\":" << e.duration_us
+       << ",\"name\":\"" << Escape(e.name) << "\",\"cat\":\""
+       << Escape(e.category.empty() ? "op" : e.category) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::vector<TraceEvent> FromRunMetadata(const RunMetadata& metadata) {
+  std::vector<TraceEvent> events;
+  events.reserve(metadata.nodes.size());
+  for (const auto& n : metadata.nodes) {
+    TraceEvent e;
+    e.name = n.name + " (" + n.op + ")";
+    e.category = n.op;
+    e.track = n.device;
+    e.start_us = n.start_us;
+    e.duration_us = std::max(0.01, n.end_us - n.start_us);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> FromReplay(const sim::ReplayResult& result,
+                                   const std::vector<std::string>& labels,
+                                   const std::vector<std::string>& tracks) {
+  std::vector<TraceEvent> events;
+  events.reserve(result.timings.size());
+  for (size_t i = 0; i < result.timings.size(); ++i) {
+    TraceEvent e;
+    e.name = i < labels.size() && !labels[i].empty()
+                 ? labels[i]
+                 : "op" + std::to_string(i);
+    e.track = i < tracks.size() && !tracks[i].empty() ? tracks[i] : "sim";
+    e.start_us = result.timings[i].start * 1e6;
+    e.duration_us =
+        std::max(0.01, (result.timings[i].finish - result.timings[i].start) * 1e6);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Unavailable("cannot open " + path);
+  f << ToChromeTraceJson(events);
+  if (!f) return Unavailable("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace tfhpc::timeline

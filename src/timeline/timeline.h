@@ -1,0 +1,39 @@
+// TensorFlow-Timeline-style tracing (the paper's Fig. 3): converts executed
+// op records — real RunMetadata or simulated ReplayResults — into Chrome
+// trace-event JSON loadable in chrome://tracing / Perfetto.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "runtime/executor.h"
+#include "sim/trace.h"
+
+namespace tfhpc::timeline {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::string track;   // one row per device ("pid" in the chrome format)
+  double start_us = 0;
+  double duration_us = 0;
+};
+
+// Renders complete ("X" phase) events as a chrome trace JSON document.
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events);
+
+// From a real execution's RunMetadata (wall-clock microseconds per op).
+std::vector<TraceEvent> FromRunMetadata(const RunMetadata& metadata);
+
+// From a simulated replay: one event per SimOp with virtual timings.
+// `labels`/`tracks` indexed by OpId (tracks may be empty -> "sim").
+std::vector<TraceEvent> FromReplay(const sim::ReplayResult& result,
+                                   const std::vector<std::string>& labels,
+                                   const std::vector<std::string>& tracks);
+
+// Writes the JSON to a file.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace tfhpc::timeline

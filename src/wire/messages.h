@@ -1,0 +1,101 @@
+// Message schemas serialized with the protobuf wire format (wire/coded.h):
+// tensors, graph definitions, cluster definitions and RPC envelopes. These
+// correspond to TensorFlow's TensorProto / NodeDef / GraphDef / ClusterDef
+// and the framing used by its gRPC worker service; field numbers are local
+// to tfhpc but the encoding rules are protobuf-compatible (unknown fields
+// are skipped on parse).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace tfhpc::wire {
+
+// ---- TensorProto ----------------------------------------------------------
+// field 1: dtype (varint)      field 2: dims (repeated varint)
+// field 3: content (bytes)     field 4: is_meta (bool)
+std::string SerializeTensor(const Tensor& t);
+Result<Tensor> ParseTensor(const std::string& data);
+Result<Tensor> ParseTensor(const void* data, size_t size);
+
+// ---- AttrValue -------------------------------------------------------------
+// A graph-attribute value: exactly one of the members is meaningful.
+struct AttrValue {
+  enum class Kind { kNone, kInt, kFloat, kString, kType, kShape, kBool };
+  Kind kind = Kind::kNone;
+  int64_t i = 0;
+  double f = 0;
+  std::string s;
+  DType type = DType::kInvalid;
+  Shape shape;
+  bool b = false;
+
+  static AttrValue Int(int64_t v);
+  static AttrValue Float(double v);
+  static AttrValue Str(std::string v);
+  static AttrValue Type(DType v);
+  static AttrValue OfShape(Shape v);
+  static AttrValue Bool(bool v);
+
+  bool operator==(const AttrValue& o) const;
+
+  std::string Serialize() const;
+  static Result<AttrValue> Parse(const void* data, size_t size);
+};
+
+// ---- NodeDef / GraphDef -----------------------------------------------------
+struct NodeDef {
+  std::string name;                 // field 1
+  std::string op;                   // field 2
+  std::vector<std::string> inputs;  // field 3; "^name" = control dependency
+  std::string device;               // field 4; e.g. "/job:worker/task:0/gpu:0"
+  std::map<std::string, AttrValue> attrs;  // field 5 (nested key=1, value=2)
+
+  std::string Serialize() const;
+  static Result<NodeDef> Parse(const void* data, size_t size);
+  bool operator==(const NodeDef& o) const;
+};
+
+struct GraphDef {
+  std::vector<NodeDef> nodes;  // field 1
+  int64_t version = 1;         // field 2
+
+  std::string Serialize() const;
+  static Result<GraphDef> Parse(const std::string& data);
+};
+
+// ---- ClusterDef -------------------------------------------------------------
+struct JobDef {
+  std::string name;                     // field 1
+  std::vector<std::string> task_addrs;  // field 2: index in vector == task id
+
+  std::string Serialize() const;
+  static Result<JobDef> Parse(const void* data, size_t size);
+};
+
+struct ClusterDef {
+  std::vector<JobDef> jobs;  // field 1
+
+  std::string Serialize() const;
+  static Result<ClusterDef> Parse(const std::string& data);
+};
+
+// ---- RPC envelope ------------------------------------------------------------
+// Framing for the in-process transports: one envelope per message.
+struct RpcEnvelope {
+  std::string method;    // field 1 (e.g. "RecvTensor", "Enqueue")
+  uint64_t request_id = 0;  // field 2
+  std::string payload;   // field 3 (method-specific serialized body)
+  int32_t status_code = 0;  // field 4 (tfhpc::Code as int)
+  std::string status_msg;   // field 5
+
+  std::string Serialize() const;
+  static Result<RpcEnvelope> Parse(const std::string& data);
+};
+
+}  // namespace tfhpc::wire

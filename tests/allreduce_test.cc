@@ -1,0 +1,75 @@
+// Tests for the ring-allreduce extension (paper §VIII future work).
+#include <gtest/gtest.h>
+
+#include "apps/allreduce.h"
+
+namespace tfhpc::apps {
+namespace {
+
+class RingSizeTest
+    : public ::testing::TestWithParam<std::pair<int, int64_t>> {};
+
+TEST_P(RingSizeTest, SumsVerifiedOnEveryRank) {
+  const auto [workers, elements] = GetParam();
+  auto r = RunRingAllreduceFunctional(workers, elements, 7,
+                                      distrib::WireProtocol::kRdma);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_elements(), elements);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rings, RingSizeTest,
+    ::testing::Values(std::make_pair(2, 64), std::make_pair(3, 33),
+                      std::make_pair(4, 1024), std::make_pair(5, 100),
+                      std::make_pair(8, 256)));
+
+TEST(RingAllreduceTest, AllProtocolsAgree) {
+  Tensor ref;
+  for (auto proto : {distrib::WireProtocol::kGrpc, distrib::WireProtocol::kMpi,
+                     distrib::WireProtocol::kRdma}) {
+    auto r = RunRingAllreduceFunctional(4, 128, 11, proto);
+    ASSERT_TRUE(r.ok()) << distrib::WireProtocolName(proto);
+    if (!ref.valid()) {
+      ref = *r;
+    } else {
+      EXPECT_TRUE(r->BitwiseEquals(ref));
+    }
+  }
+}
+
+TEST(RingAllreduceTest, RejectsBadShapes) {
+  EXPECT_FALSE(
+      RunRingAllreduceFunctional(0, 64, 1, distrib::WireProtocol::kRdma).ok());
+  EXPECT_FALSE(
+      RunRingAllreduceFunctional(3, 64, 1, distrib::WireProtocol::kRdma).ok());
+  EXPECT_FALSE(
+      RunRingAllreduceFunctional(2, 0, 1, distrib::WireProtocol::kRdma).ok());
+}
+
+TEST(ReduceComparisonTest, RingBeatsPsAndGapWidens) {
+  const auto cfg = sim::KebnekaiseConfig(sim::GpuKind::kV100);
+  auto at = [&](int gpus) {
+    auto r = SimulateReduceComparison(cfg, sim::Protocol::kRdma, gpus,
+                                      64 << 20);
+    TFHPC_CHECK(r.ok()) << r.status().ToString();
+    return *r;
+  };
+  const auto r4 = at(4);
+  const auto r16 = at(16);
+  EXPECT_LT(r4.ring_seconds, r4.ps_seconds);
+  EXPECT_LT(r16.ring_seconds, r16.ps_seconds);
+  // PS cost grows ~linearly with W; ring saturates: the gap must widen.
+  EXPECT_GT(r16.ps_seconds / r16.ring_seconds,
+            r4.ps_seconds / r4.ring_seconds);
+}
+
+TEST(ReduceComparisonTest, RejectsDegenerateConfigs) {
+  const auto cfg = sim::TegnerConfig(sim::GpuKind::kK420);
+  EXPECT_FALSE(
+      SimulateReduceComparison(cfg, sim::Protocol::kRdma, 1, 1024).ok());
+  EXPECT_FALSE(
+      SimulateReduceComparison(cfg, sim::Protocol::kRdma, 2, 0).ok());
+}
+
+}  // namespace
+}  // namespace tfhpc::apps

@@ -1,0 +1,167 @@
+// Tests for the Slurm cluster resolver: nodelist grammar, plane task
+// distribution, GPU exposure masks, ClusterSpec generation (paper §III).
+#include <gtest/gtest.h>
+
+#include "cluster/slurm.h"
+
+namespace tfhpc::cluster {
+namespace {
+
+// ---- Nodelist expansion ------------------------------------------------------
+
+TEST(NodeListTest, SingleHost) {
+  auto r = ExpandNodeList("t01n05");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"t01n05"}));
+}
+
+TEST(NodeListTest, CommaSeparatedHosts) {
+  auto r = ExpandNodeList("alpha,beta,gamma");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[2], "gamma");
+}
+
+TEST(NodeListTest, SimpleRange) {
+  auto r = ExpandNodeList("t01n[01-03]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"t01n01", "t01n02", "t01n03"}));
+}
+
+TEST(NodeListTest, ZeroPaddingPreserved) {
+  auto r = ExpandNodeList("n[08-11]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"n08", "n09", "n10", "n11"}));
+}
+
+TEST(NodeListTest, PaddingGrowsPastWidth) {
+  auto r = ExpandNodeList("n[098-101]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"n098", "n099", "n100", "n101"}));
+}
+
+TEST(NodeListTest, MixedRangesAndSingles) {
+  auto r = ExpandNodeList("t01n[01-02,07],t02n09");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"t01n01", "t01n02", "t01n07",
+                                          "t02n09"}));
+}
+
+TEST(NodeListTest, SuffixAfterBrackets) {
+  auto r = ExpandNodeList("rack[1-2]-gpu");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"rack1-gpu", "rack2-gpu"}));
+}
+
+TEST(NodeListTest, SingleElementRange) {
+  auto r = ExpandNodeList("n[5]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"n5"}));
+}
+
+TEST(NodeListTest, Errors) {
+  EXPECT_FALSE(ExpandNodeList("").ok());
+  EXPECT_FALSE(ExpandNodeList("n[1-").ok());
+  EXPECT_FALSE(ExpandNodeList("n1]").ok());
+  EXPECT_FALSE(ExpandNodeList("n[]").ok());
+  EXPECT_FALSE(ExpandNodeList("n[3-1]").ok());       // descending
+  EXPECT_FALSE(ExpandNodeList("n[a-b]").ok());       // non-numeric
+  EXPECT_FALSE(ExpandNodeList("n[1-2][3-4]").ok());  // multiple groups
+}
+
+// ---- Resolver -------------------------------------------------------------------
+
+TEST(SlurmResolverTest, PaperStreamLayout) {
+  // The paper's STREAM: ps on one node, worker on the other (Listing 2).
+  SlurmClusterResolver resolver({{"ps", 1}, {"worker", 1}}, "t01n[01-02]",
+                                /*tasks_per_node=*/1, /*gpus_per_node=*/1);
+  auto spec = resolver.ClusterSpec();
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec->jobs.size(), 2u);
+  EXPECT_EQ(spec->jobs[0].name, "ps");
+  EXPECT_EQ(spec->jobs[0].task_addrs[0], "t01n01:8888");
+  EXPECT_EQ(spec->jobs[1].task_addrs[0], "t01n02:8888");
+}
+
+TEST(SlurmResolverTest, PlaneDistributionFillsNodeFirst) {
+  SlurmClusterResolver resolver({{"worker", 4}}, "a,b",
+                                /*tasks_per_node=*/2, /*gpus_per_node=*/2);
+  auto assignments = resolver.Assignments();
+  ASSERT_TRUE(assignments.ok());
+  ASSERT_EQ(assignments->size(), 4u);
+  EXPECT_EQ((*assignments)[0].host, "a");
+  EXPECT_EQ((*assignments)[1].host, "a");
+  EXPECT_EQ((*assignments)[2].host, "b");
+  EXPECT_EQ((*assignments)[3].host, "b");
+  // Distinct ports for co-located tasks.
+  EXPECT_NE((*assignments)[0].port, (*assignments)[1].port);
+}
+
+TEST(SlurmResolverTest, GpuMasksSplitEvenly) {
+  // Kebnekaise K80 layout: 4 tasks per node, 4 engines per node.
+  SlurmClusterResolver resolver({{"worker", 4}}, "kn01",
+                                /*tasks_per_node=*/4, /*gpus_per_node=*/4);
+  auto assignments = resolver.Assignments();
+  ASSERT_TRUE(assignments.ok());
+  for (int t = 0; t < 4; ++t) {
+    const auto& a = (*assignments)[static_cast<size_t>(t)];
+    ASSERT_EQ(a.visible_gpus.size(), 1u) << t;
+    EXPECT_EQ(a.visible_gpus[0], t);
+  }
+}
+
+TEST(SlurmResolverTest, GpuRemainderGoesToEarlierSlots) {
+  SlurmClusterResolver resolver({{"worker", 2}}, "host",
+                                /*tasks_per_node=*/2, /*gpus_per_node=*/3);
+  auto assignments = resolver.Assignments();
+  ASSERT_TRUE(assignments.ok());
+  EXPECT_EQ((*assignments)[0].visible_gpus,
+            (std::vector<int>{0, 1}));
+  EXPECT_EQ((*assignments)[1].visible_gpus, (std::vector<int>{2}));
+}
+
+TEST(SlurmResolverTest, MultiJobSpansNodes) {
+  SlurmClusterResolver resolver({{"ps", 1}, {"worker", 3}}, "n[1-2]",
+                                /*tasks_per_node=*/2, /*gpus_per_node=*/2);
+  auto assignments = resolver.Assignments();
+  ASSERT_TRUE(assignments.ok());
+  // slot 0: ps on n1; slots 1-3: workers on n1 (1) and n2 (2).
+  EXPECT_EQ((*assignments)[0].job, "ps");
+  EXPECT_EQ((*assignments)[0].host, "n1");
+  EXPECT_EQ((*assignments)[1].job, "worker");
+  EXPECT_EQ((*assignments)[1].host, "n1");
+  EXPECT_EQ((*assignments)[2].host, "n2");
+  EXPECT_EQ((*assignments)[3].host, "n2");
+  // task indices are per job.
+  EXPECT_EQ((*assignments)[1].task_index, 0);
+  EXPECT_EQ((*assignments)[3].task_index, 2);
+}
+
+TEST(SlurmResolverTest, OverSubscriptionRejected) {
+  SlurmClusterResolver resolver({{"worker", 5}}, "n[1-2]",
+                                /*tasks_per_node=*/2, /*gpus_per_node=*/1);
+  EXPECT_EQ(resolver.Assignments().status().code(), Code::kResourceExhausted);
+}
+
+TEST(SlurmResolverTest, BadSpecsRejected) {
+  EXPECT_FALSE(SlurmClusterResolver({{"", 1}}, "n1", 1, 1).Assignments().ok());
+  EXPECT_FALSE(
+      SlurmClusterResolver({{"w", 0}}, "n1", 1, 1).Assignments().ok());
+  EXPECT_FALSE(
+      SlurmClusterResolver({{"w", 1}}, "n1", 0, 1).Assignments().ok());
+  EXPECT_FALSE(
+      SlurmClusterResolver({{"w", 1}}, "n[", 1, 1).Assignments().ok());
+}
+
+TEST(SlurmResolverTest, ClusterSpecRoundTripsThroughWire) {
+  SlurmClusterResolver resolver({{"ps", 1}, {"worker", 2}}, "n[1-3]", 1, 2);
+  auto spec = resolver.ClusterSpec();
+  ASSERT_TRUE(spec.ok());
+  auto parsed = wire::ClusterDef::Parse(spec->Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->jobs.size(), 2u);
+  EXPECT_EQ(parsed->jobs[1].task_addrs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tfhpc::cluster

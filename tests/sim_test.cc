@@ -1,0 +1,351 @@
+// Tests for the discrete-event engine, the max-min fair flow network, trace
+// replay, and the machine models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/event.h"
+#include "sim/machine.h"
+#include "sim/network.h"
+#include "sim/trace.h"
+
+namespace tfhpc::sim {
+namespace {
+
+// ---- Simulation -------------------------------------------------------------
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulationTest, EqualTimesStable) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] {
+    ++fired;
+    sim.ScheduleAfter(0.5, [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.5);
+}
+
+TEST(SimulationTest, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+// ---- FlowNetwork ----------------------------------------------------------------
+
+TEST(FlowNetworkTest, SingleFlowUsesFullBandwidth) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId l = net.AddLink("wire", 1e9);
+  double done_at = -1;
+  net.StartFlow({l}, 1'000'000'000, [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, LatencyDelaysCompletion) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId l = net.AddLink("wire", 1e9, /*latency_s=*/0.25);
+  double done_at = -1;
+  net.StartFlow({l}, 1'000'000'000, [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 1.25, 1e-9);
+}
+
+TEST(FlowNetworkTest, TwoFlowsShareFairly) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId l = net.AddLink("wire", 1e9);
+  double d1 = -1, d2 = -1;
+  net.StartFlow({l}, 1'000'000'000, [&] { d1 = sim.now(); });
+  net.StartFlow({l}, 1'000'000'000, [&] { d2 = sim.now(); });
+  sim.Run();
+  // Both flows get 0.5 GB/s: each takes 2s.
+  EXPECT_NEAR(d1, 2.0, 1e-9);
+  EXPECT_NEAR(d2, 2.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, DepartureSpeedsUpSurvivor) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId l = net.AddLink("wire", 1e9);
+  double small_done = -1, big_done = -1;
+  net.StartFlow({l}, 500'000'000, [&] { small_done = sim.now(); });
+  net.StartFlow({l}, 1'500'000'000, [&] { big_done = sim.now(); });
+  sim.Run();
+  // Shared 0.5 GB/s each: small finishes at t=1. Big has 1.0 GB left, now
+  // alone at 1 GB/s: finishes at t=2.
+  EXPECT_NEAR(small_done, 1.0, 1e-6);
+  EXPECT_NEAR(big_done, 2.0, 1e-6);
+}
+
+TEST(FlowNetworkTest, LateArrivalSlowsExisting) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId l = net.AddLink("wire", 1e9);
+  double d1 = -1;
+  net.StartFlow({l}, 1'000'000'000, [&] { d1 = sim.now(); });
+  sim.ScheduleAt(0.5, [&] {
+    net.StartFlow({l}, 1'000'000'000, [] {});
+  });
+  sim.Run();
+  // Flow 1: 0.5 GB in first 0.5s, then shares -> 0.5 GB at 0.5 GB/s = 1s
+  // more: done at 1.5s.
+  EXPECT_NEAR(d1, 1.5, 1e-6);
+}
+
+TEST(FlowNetworkTest, BottleneckIsNarrowestLink) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId fast = net.AddLink("fast", 10e9);
+  LinkId slow = net.AddLink("slow", 1e9);
+  double done = -1;
+  net.StartFlow({fast, slow, fast}, 1'000'000'000, [&] { done = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done, 1.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, MaxMinAllocationRespectsPerLinkFairness) {
+  // Flow A crosses links 1+2; flow B crosses link 1; flow C crosses link 2.
+  // Link1 = 1 GB/s, link2 = 2 GB/s. Max-min: A and B get 0.5 each on link1
+  // (bottleneck); C gets the rest of link2 = 1.5.
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId l1 = net.AddLink("l1", 1e9);
+  LinkId l2 = net.AddLink("l2", 2e9);
+  FlowId a = net.StartFlow({l1, l2}, 5'000'000'000, [] {});
+  FlowId b = net.StartFlow({l1}, 5'000'000'000, [] {});
+  FlowId c = net.StartFlow({l2}, 5'000'000'000, [] {});
+  // Rates are set once the start-latency events fire; step a few events.
+  while (sim.pending() > 0 && net.active_flows() < 3) sim.Step();
+  EXPECT_NEAR(net.FlowRate(a), 0.5e9, 1e6);
+  EXPECT_NEAR(net.FlowRate(b), 0.5e9, 1e6);
+  EXPECT_NEAR(net.FlowRate(c), 1.5e9, 1e6);
+  sim.Run();
+}
+
+TEST(FlowNetworkTest, ZeroByteFlowCompletesAfterLatency) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId l = net.AddLink("wire", 1e9, 0.1);
+  double done = -1;
+  net.StartFlow({l}, 0, [&] { done = sim.now(); });
+  sim.Run();
+  EXPECT_NEAR(done, 0.1, 1e-12);
+}
+
+TEST(FlowNetworkTest, ManyFlowsConserveBandwidth) {
+  // N equal flows through one link must finish together at N * t1.
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId l = net.AddLink("wire", 1e9);
+  const int n = 8;
+  std::vector<double> done(n, -1);
+  for (int i = 0; i < n; ++i) {
+    net.StartFlow({l}, 125'000'000, [&done, i, &sim] { done[static_cast<size_t>(i)] = sim.now(); });
+  }
+  sim.Run();
+  for (double d : done) EXPECT_NEAR(d, 1.0, 1e-6);
+}
+
+// ---- TraceReplayer -----------------------------------------------------------------
+
+TEST(TraceReplayTest, SerialChainAccumulates) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  TraceReplayer tr(&net);
+  OpId a = tr.AddCompute("gpu0", 1.0, {});
+  OpId b = tr.AddCompute("gpu0", 2.0, {a});
+  auto r = tr.Replay(&sim);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->timings[static_cast<size_t>(b)].finish, 3.0, 1e-9);
+  EXPECT_NEAR(r->makespan, 3.0, 1e-9);
+  EXPECT_NEAR(r->device_busy_s.at("gpu0"), 3.0, 1e-9);
+}
+
+TEST(TraceReplayTest, IndependentOpsOnDistinctDevicesOverlap) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  TraceReplayer tr(&net);
+  tr.AddCompute("gpu0", 1.0, {});
+  tr.AddCompute("gpu1", 1.0, {});
+  auto r = tr.Replay(&sim);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->makespan, 1.0, 1e-9);
+}
+
+TEST(TraceReplayTest, SameDeviceSerializes) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  TraceReplayer tr(&net);
+  tr.AddCompute("gpu0", 1.0, {});
+  tr.AddCompute("gpu0", 1.0, {});
+  auto r = tr.Replay(&sim);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->makespan, 2.0, 1e-9);
+}
+
+TEST(TraceReplayTest, TransferBetweenComputes) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  LinkId wire = net.AddLink("wire", 1e9);
+  TraceReplayer tr(&net);
+  OpId produce = tr.AddCompute("gpu0", 1.0, {});
+  OpId xfer = tr.AddTransfer({wire}, 1'000'000'000, {produce});
+  OpId consume = tr.AddCompute("gpu1", 0.5, {xfer});
+  auto r = tr.Replay(&sim);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->timings[static_cast<size_t>(consume)].finish, 2.5, 1e-9);
+}
+
+TEST(TraceReplayTest, DiamondJoinWaitsForBothBranches) {
+  Simulation sim;
+  FlowNetwork net(&sim);
+  TraceReplayer tr(&net);
+  OpId src = tr.AddDelay(0.0, {});
+  OpId fast = tr.AddCompute("a", 1.0, {src});
+  OpId slow = tr.AddCompute("b", 3.0, {src});
+  OpId join = tr.AddDelay(0.0, {fast, slow});
+  auto r = tr.Replay(&sim);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->timings[static_cast<size_t>(join)].finish, 3.0, 1e-9);
+}
+
+TEST(TraceReplayTest, DeadlockIsDetected) {
+  // An op depending on itself cannot be expressed (deps must precede), so
+  // deadlock here means: empty trace with no ops completes fine, and ops
+  // gated behind a dep that never runs is impossible by construction —
+  // verify instead that the replayer flags an internal inconsistency when
+  // the network never fires a callback (zero-bandwidth link is forbidden by
+  // AddLink, so use a flow on an empty trace instead).
+  Simulation sim;
+  FlowNetwork net(&sim);
+  TraceReplayer tr(&net);
+  auto r = tr.Replay(&sim);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->makespan, 0.0);
+}
+
+// ---- ComputeModel roofline sanity -----------------------------------------------------
+
+TEST(MachineTest, TegnerConfigsMatchTableOne) {
+  auto k420 = TegnerConfig(GpuKind::kK420);
+  EXPECT_EQ(k420.gpus_per_node, 1);  // Table I: 1 process/node
+  EXPECT_EQ(k420.gpu_model.mem_bytes, int64_t{1} << 30);  // 1 GB
+  auto k80 = TegnerConfig(GpuKind::kK80);
+  EXPECT_EQ(k80.gpus_per_node, 2);  // Table I: 2 processes/node
+  EXPECT_EQ(k80.gpu_model.mem_bytes, int64_t{12} << 30);
+}
+
+TEST(MachineTest, KebnekaiseConfigsMatchTableOne) {
+  auto k80 = KebnekaiseConfig(GpuKind::kK80);
+  EXPECT_EQ(k80.gpus_per_node, 4);  // Table I: 4 processes/node
+  auto v100 = KebnekaiseConfig(GpuKind::kV100);
+  EXPECT_EQ(v100.gpus_per_node, 2);
+  EXPECT_EQ(v100.gpu_model.mem_bytes, int64_t{16} << 30);
+}
+
+TEST(MachineTest, GpuPlacementFillsNodes) {
+  ClusterModel cm(KebnekaiseConfig(GpuKind::kK80), 8);
+  EXPECT_EQ(cm.num_nodes(), 2);
+  EXPECT_EQ(cm.GpuLoc(0).node, 0);
+  EXPECT_EQ(cm.GpuLoc(3).node, 0);
+  EXPECT_EQ(cm.GpuLoc(4).node, 1);
+  EXPECT_EQ(cm.GpuLoc(7).gpu, 3);
+}
+
+TEST(MachineTest, KebnekaiseIslandsSplitEngines) {
+  // Fig. 9: engines 0,1 (card 0) on island 0; engines 2,3 on island 1.
+  ClusterModel cm(KebnekaiseConfig(GpuKind::kK80), 4);
+  EXPECT_EQ(cm.IslandOf(cm.GpuLoc(0)), 0);
+  EXPECT_EQ(cm.IslandOf(cm.GpuLoc(1)), 0);
+  EXPECT_EQ(cm.IslandOf(cm.GpuLoc(2)), 1);
+  EXPECT_EQ(cm.IslandOf(cm.GpuLoc(3)), 1);
+}
+
+TEST(MachineTest, RdmaFasterThanMpiFasterThanGrpcOnTegner) {
+  // Qualitative Fig. 7 check at the model level: one 128 MB GPU-to-GPU
+  // transfer between two nodes under each protocol.
+  const int64_t bytes = 128 << 20;
+  std::map<Protocol, double> t;
+  for (Protocol p : {Protocol::kGrpc, Protocol::kMpi, Protocol::kRdma}) {
+    ClusterModel cm(TegnerConfig(GpuKind::kK420), 2);
+    cm.Transfer(cm.GpuLoc(0), cm.GpuLoc(1), bytes, p, {});
+    auto r = cm.Replay();
+    ASSERT_TRUE(r.ok());
+    t[p] = r->makespan;
+  }
+  EXPECT_LT(t[Protocol::kRdma], t[Protocol::kMpi]);
+  EXPECT_LT(t[Protocol::kMpi], t[Protocol::kGrpc]);
+}
+
+TEST(MachineTest, HostToHostRdmaExceedsHalfTheoreticalEdr) {
+  // The paper: >6 GB/s of the 12 GB/s EDR on host-resident tensors.
+  const int64_t bytes = 128 << 20;
+  ClusterModel cm(TegnerConfig(GpuKind::kK420), 2);
+  cm.Transfer(cm.HostLoc(0), cm.HostLoc(1), bytes, Protocol::kRdma, {});
+  auto r = cm.Replay();
+  ASSERT_TRUE(r.ok());
+  const double gbps = static_cast<double>(bytes) / r->makespan / 1e9;
+  EXPECT_GT(gbps, 6.0);
+  EXPECT_LT(gbps, 12.0);
+}
+
+TEST(MachineTest, ContentionAblationRemovesSharing) {
+  // Four concurrent GPU->remote transfers on a Kebnekaise K80 node: with
+  // contention the aggregate takes longer than without.
+  auto run = [](bool contention) {
+    MachineConfig cfg = KebnekaiseConfig(GpuKind::kK80);
+    cfg.contention = contention;
+    ClusterModel cm(cfg, 8);
+    for (int g = 0; g < 4; ++g) {
+      cm.Transfer(cm.GpuLoc(g), cm.GpuLoc(4 + g), 64 << 20, Protocol::kRdma,
+                  {});
+    }
+    auto r = cm.Replay();
+    TFHPC_CHECK(r.ok());
+    return r->makespan;
+  };
+  EXPECT_GT(run(true), 1.5 * run(false));
+}
+
+TEST(MachineTest, ReplayTwiceFails) {
+  ClusterModel cm(TegnerConfig(GpuKind::kK420), 1);
+  cm.Delay(1.0, {});
+  ASSERT_TRUE(cm.Replay().ok());
+  EXPECT_FALSE(cm.Replay().ok());
+}
+
+TEST(MachineTest, GpuComputeUsesRoofline) {
+  ClusterModel cm(KebnekaiseConfig(GpuKind::kV100), 2);
+  // 7 Tflop/s DP * 0.7 efficiency = 4.9e12: 4.9e12 flops ~= 1 s.
+  cm.GpuCompute(0, 4.9e12, 0, /*fp64=*/true, {});
+  auto r = cm.Replay();
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->makespan, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace tfhpc::sim

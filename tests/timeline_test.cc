@@ -1,0 +1,85 @@
+// Tests for the Chrome-trace Timeline exporter (paper Fig. 3 analogue).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/ops.h"
+#include "runtime/session.h"
+#include "timeline/timeline.h"
+
+namespace tfhpc::timeline {
+namespace {
+
+TEST(TimelineTest, JsonContainsProcessMetadataAndEvents) {
+  std::vector<TraceEvent> events;
+  events.push_back({"matmul (MatMul)", "MatMul", "/gpu:0", 10.0, 5.0});
+  events.push_back({"add (Add)", "Add", "/cpu:0", 15.0, 1.0});
+  const std::string json = ToChromeTraceJson(events);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("/gpu:0"), std::string::npos);
+  EXPECT_NE(json.find("matmul (MatMul)"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TimelineTest, EscapesSpecialCharacters) {
+  std::vector<TraceEvent> events;
+  events.push_back({"weird\"name\\x", "cat", "dev\n", 0, 1});
+  const std::string json = ToChromeTraceJson(events);
+  EXPECT_NE(json.find("weird\\\"name\\\\x"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(TimelineTest, FromRunMetadataMapsDevicesToTracks) {
+  LocalRuntime rt(1);
+  Scope s = rt.root_scope();
+  auto a = ops::RandomUniform(s.WithDevice("/cpu:0"), Shape{4, 4},
+                              DType::kF32, 1);
+  auto b = ops::RandomUniform(s.WithDevice("/cpu:0"), Shape{4, 4},
+                              DType::kF32, 2);
+  auto c = ops::MatMul(s.WithDevice("/gpu:0"), a, b);
+  RunOptions opts;
+  opts.trace = true;
+  RunMetadata meta;
+  ASSERT_TRUE(rt.NewSession()->Run({}, {c.name()}, {}, opts, &meta).ok());
+  auto events = FromRunMetadata(meta);
+  ASSERT_EQ(events.size(), 3u);
+  bool saw_gpu = false;
+  for (const auto& e : events) {
+    EXPECT_GT(e.duration_us, 0);
+    if (e.track == "/job:localhost/task:0/gpu:0") saw_gpu = true;
+  }
+  EXPECT_TRUE(saw_gpu);
+}
+
+TEST(TimelineTest, FromReplayUsesVirtualTimes) {
+  sim::ReplayResult result;
+  result.timings = {{0.0, 1.5}, {1.5, 2.0}};
+  auto events = FromReplay(result, {"load", "gemm"}, {"disk", "gpu0"});
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "load");
+  EXPECT_DOUBLE_EQ(events[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(events[0].duration_us, 1.5e6);
+  EXPECT_EQ(events[1].track, "gpu0");
+}
+
+TEST(TimelineTest, WriteFileAndReload) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tfhpc_trace.json").string();
+  std::vector<TraceEvent> events;
+  events.push_back({"op", "cat", "dev", 0, 1});
+  ASSERT_TRUE(WriteChromeTrace(path, events).ok());
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, ToChromeTraceJson(events));
+  std::filesystem::remove(path);
+}
+
+TEST(TimelineTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteChromeTrace("/no/such/dir/trace.json", {}).ok());
+}
+
+}  // namespace
+}  // namespace tfhpc::timeline

@@ -1,0 +1,352 @@
+// Unit tests for the protobuf wire format subset and message schemas.
+#include <gtest/gtest.h>
+
+#include "wire/coded.h"
+#include "wire/messages.h"
+
+namespace tfhpc::wire {
+namespace {
+
+// ---- Varints / primitives ---------------------------------------------------
+
+TEST(CodedTest, VarintRoundTrip) {
+  for (uint64_t v : std::vector<uint64_t>{0, 1, 127, 128, 300, 16383, 16384,
+                                          uint64_t{1} << 32, UINT64_MAX}) {
+    std::string buf;
+    CodedOutput out(&buf);
+    out.WriteVarint(v);
+    CodedInput in(buf);
+    uint64_t got;
+    ASSERT_TRUE(in.ReadVarint(&got).ok());
+    EXPECT_EQ(got, v);
+    EXPECT_TRUE(in.AtEnd());
+  }
+}
+
+TEST(CodedTest, VarintKnownEncoding) {
+  // 300 = 0b10 0101100 -> AC 02 (protobuf spec example).
+  std::string buf;
+  CodedOutput out(&buf);
+  out.WriteVarint(300);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0xAC);
+  EXPECT_EQ(static_cast<uint8_t>(buf[1]), 0x02);
+}
+
+TEST(CodedTest, TruncatedVarintFails) {
+  std::string buf = "\xAC";  // continuation bit set, no next byte
+  CodedInput in(buf);
+  uint64_t v;
+  EXPECT_EQ(in.ReadVarint(&v).code(), Code::kOutOfRange);
+}
+
+TEST(CodedTest, OverlongVarintFails) {
+  std::string buf(11, '\x80');  // 11 continuation bytes > max 10
+  CodedInput in(buf);
+  uint64_t v;
+  EXPECT_FALSE(in.ReadVarint(&v).ok());
+}
+
+TEST(CodedTest, ZigZag) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{12345}, int64_t{-98765},
+                    INT64_MIN, INT64_MAX}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(CodedTest, FixedWidthRoundTrip) {
+  std::string buf;
+  CodedOutput out(&buf);
+  out.WriteFixed32(0xDEADBEEF);
+  out.WriteFixed64(0x0123456789ABCDEFull);
+  CodedInput in(buf);
+  uint32_t a;
+  uint64_t b;
+  ASSERT_TRUE(in.ReadFixed32(&a).ok());
+  ASSERT_TRUE(in.ReadFixed64(&b).ok());
+  EXPECT_EQ(a, 0xDEADBEEF);
+  EXPECT_EQ(b, 0x0123456789ABCDEFull);
+}
+
+TEST(CodedTest, DoubleFloatRoundTrip) {
+  std::string buf;
+  CodedOutput out(&buf);
+  out.WriteDouble(1, 3.14159);
+  out.WriteFloat(2, -2.5f);
+  CodedInput in(buf);
+  uint32_t field;
+  WireType wt;
+  double d;
+  float f;
+  ASSERT_TRUE(in.ReadTag(&field, &wt).ok());
+  EXPECT_EQ(field, 1u);
+  EXPECT_EQ(wt, WireType::kFixed64);
+  ASSERT_TRUE(in.ReadDouble(&d).ok());
+  EXPECT_EQ(d, 3.14159);
+  ASSERT_TRUE(in.ReadTag(&field, &wt).ok());
+  ASSERT_TRUE(in.ReadFloat(&f).ok());
+  EXPECT_EQ(f, -2.5f);
+}
+
+TEST(CodedTest, TagFieldZeroRejected) {
+  std::string buf;
+  CodedOutput out(&buf);
+  out.WriteVarint(0);  // tag with field 0
+  CodedInput in(buf);
+  uint32_t field;
+  WireType wt;
+  EXPECT_FALSE(in.ReadTag(&field, &wt).ok());
+}
+
+TEST(CodedTest, GroupWireTypesRejected) {
+  std::string buf;
+  CodedOutput out(&buf);
+  out.WriteVarint((1 << 3) | 3);  // start-group
+  CodedInput in(buf);
+  uint32_t field;
+  WireType wt;
+  EXPECT_FALSE(in.ReadTag(&field, &wt).ok());
+}
+
+TEST(CodedTest, SkipUnknownFields) {
+  std::string buf;
+  CodedOutput out(&buf);
+  out.WriteUInt64(10, 7);
+  out.WriteString(11, "skip me");
+  out.WriteDouble(12, 1.5);
+  out.WriteFloat(13, 2.5f);
+  out.WriteUInt64(1, 42);
+  CodedInput in(buf);
+  uint64_t found = 0;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    WireType wt;
+    ASSERT_TRUE(in.ReadTag(&field, &wt).ok());
+    if (field == 1) {
+      ASSERT_TRUE(in.ReadVarint(&found).ok());
+    } else {
+      ASSERT_TRUE(in.SkipField(wt).ok());
+    }
+  }
+  EXPECT_EQ(found, 42u);
+}
+
+TEST(CodedTest, TruncatedLengthDelimitedFails) {
+  std::string buf;
+  CodedOutput out(&buf);
+  out.WriteTag(1, WireType::kLengthDelimited);
+  out.WriteVarint(100);  // declares 100 bytes, none present
+  CodedInput in(buf);
+  uint32_t field;
+  WireType wt;
+  ASSERT_TRUE(in.ReadTag(&field, &wt).ok());
+  const uint8_t* d;
+  size_t s;
+  EXPECT_EQ(in.ReadBytesView(&d, &s).code(), Code::kOutOfRange);
+}
+
+// ---- TensorProto --------------------------------------------------------------
+
+TEST(TensorProtoTest, RoundTripF32Matrix) {
+  Tensor t = Tensor::FromVector(Shape{2, 3},
+                                std::vector<float>{1, 2, 3, 4, 5, 6});
+  auto r = ParseTensor(SerializeTensor(t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->BitwiseEquals(t));
+}
+
+TEST(TensorProtoTest, RoundTripScalar) {
+  Tensor t = Tensor::Scalar(2.75);
+  auto r = ParseTensor(SerializeTensor(t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->scalar<double>(), 2.75);
+  EXPECT_TRUE(r->shape().IsScalar());
+}
+
+TEST(TensorProtoTest, RoundTripComplex) {
+  Tensor t(DType::kC128, Shape{4});
+  t.mutable_data<std::complex<double>>()[2] = {1.5, -2.5};
+  auto r = ParseTensor(SerializeTensor(t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->BitwiseEquals(t));
+}
+
+TEST(TensorProtoTest, RoundTripMeta) {
+  Tensor t = Tensor::Meta(DType::kF64, Shape{1 << 20, 1 << 10});
+  const std::string s = SerializeTensor(t);
+  EXPECT_LT(s.size(), 64u);  // meta tensors serialize without payload
+  auto r = ParseTensor(s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_meta());
+  EXPECT_EQ(r->shape(), t.shape());
+  EXPECT_EQ(r->dtype(), DType::kF64);
+}
+
+TEST(TensorProtoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseTensor(std::string("not a proto")).ok());
+}
+
+TEST(TensorProtoTest, RejectsUnknownDtypeEnum) {
+  // A corrupted dtype varint must yield a parse error, not abort (found by
+  // the checkpoint fuzz campaign).
+  std::string buf;
+  CodedOutput co(&buf);
+  co.WriteUInt64(1, 200);  // no such dtype
+  auto r = ParseTensor(buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kInvalidArgument);
+}
+
+TEST(TensorProtoTest, RejectsImplausibleDims) {
+  std::string buf;
+  CodedOutput co(&buf);
+  co.WriteUInt64(1, static_cast<uint64_t>(DType::kF64));
+  co.WriteUInt64(2, uint64_t{1} << 60);  // would overflow num_elements
+  co.WriteUInt64(2, uint64_t{1} << 60);
+  EXPECT_FALSE(ParseTensor(buf).ok());
+}
+
+TEST(TensorProtoTest, RejectsContentSizeMismatch) {
+  Tensor t = Tensor::FromVector(std::vector<float>{1, 2, 3});
+  std::string s = SerializeTensor(t);
+  s.pop_back();  // corrupt: drop last content byte
+  EXPECT_FALSE(ParseTensor(s).ok());
+}
+
+// ---- AttrValue ------------------------------------------------------------------
+
+TEST(AttrValueTest, RoundTripAllKinds) {
+  std::vector<AttrValue> vals = {
+      AttrValue::Int(-42),
+      AttrValue::Float(2.718),
+      AttrValue::Str("hello"),
+      AttrValue::Type(DType::kC128),
+      AttrValue::OfShape(Shape{3, 4, 5}),
+      AttrValue::OfShape(Shape{}),  // scalar shape must survive
+      AttrValue::Bool(true),
+  };
+  for (const auto& v : vals) {
+    std::string s = v.Serialize();
+    auto r = AttrValue::Parse(s.data(), s.size());
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(*r == v);
+  }
+}
+
+// ---- NodeDef / GraphDef ------------------------------------------------------------
+
+NodeDef MakeNode() {
+  NodeDef n;
+  n.name = "matmul_0";
+  n.op = "MatMul";
+  n.inputs = {"a", "b", "^init"};
+  n.device = "/job:worker/task:0/gpu:0";
+  n.attrs["T"] = AttrValue::Type(DType::kF32);
+  n.attrs["transpose_a"] = AttrValue::Bool(false);
+  return n;
+}
+
+TEST(NodeDefTest, RoundTrip) {
+  NodeDef n = MakeNode();
+  std::string s = n.Serialize();
+  auto r = NodeDef::Parse(s.data(), s.size());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r == n);
+}
+
+TEST(NodeDefTest, EmptyNameRejected) {
+  NodeDef n;
+  n.op = "NoOp";
+  std::string s = n.Serialize();
+  EXPECT_FALSE(NodeDef::Parse(s.data(), s.size()).ok());
+}
+
+TEST(GraphDefTest, RoundTrip) {
+  GraphDef g;
+  g.version = 3;
+  g.nodes.push_back(MakeNode());
+  NodeDef n2;
+  n2.name = "c";
+  n2.op = "Const";
+  g.nodes.push_back(n2);
+  auto r = GraphDef::Parse(g.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->version, 3);
+  ASSERT_EQ(r->nodes.size(), 2u);
+  EXPECT_TRUE(r->nodes[0] == g.nodes[0]);
+  EXPECT_EQ(r->nodes[1].name, "c");
+}
+
+TEST(GraphDefTest, EmptyGraph) {
+  GraphDef g;
+  auto r = GraphDef::Parse(g.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->nodes.empty());
+}
+
+// ---- ClusterDef -------------------------------------------------------------------
+
+TEST(ClusterDefTest, RoundTrip) {
+  ClusterDef c;
+  JobDef ps;
+  ps.name = "ps";
+  ps.task_addrs = {"t01n01:8888"};
+  JobDef worker;
+  worker.name = "worker";
+  worker.task_addrs = {"t01n02:8888", "t01n03:8888"};
+  c.jobs = {ps, worker};
+  auto r = ClusterDef::Parse(c.Serialize());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->jobs.size(), 2u);
+  EXPECT_EQ(r->jobs[0].name, "ps");
+  EXPECT_EQ(r->jobs[1].task_addrs.size(), 2u);
+  EXPECT_EQ(r->jobs[1].task_addrs[1], "t01n03:8888");
+}
+
+// ---- RpcEnvelope -------------------------------------------------------------------
+
+TEST(RpcEnvelopeTest, RoundTrip) {
+  RpcEnvelope e;
+  e.method = "RecvTensor";
+  e.request_id = 77;
+  e.payload = std::string("\x00\x01\x02", 3);
+  e.status_code = static_cast<int32_t>(Code::kNotFound);
+  e.status_msg = "no such key";
+  auto r = RpcEnvelope::Parse(e.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method, "RecvTensor");
+  EXPECT_EQ(r->request_id, 77u);
+  EXPECT_EQ(r->payload, e.payload);
+  EXPECT_EQ(r->status_code, e.status_code);
+  EXPECT_EQ(r->status_msg, "no such key");
+}
+
+TEST(RpcEnvelopeTest, DefaultStatusOmitted) {
+  RpcEnvelope e;
+  e.method = "Ping";
+  auto r = RpcEnvelope::Parse(e.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status_code, 0);
+  EXPECT_TRUE(r->status_msg.empty());
+}
+
+// Serialized tensors embedded in envelopes survive binary payloads.
+TEST(RpcEnvelopeTest, CarriesSerializedTensor) {
+  Tensor t(DType::kF64, Shape{100});
+  for (int i = 0; i < 100; ++i) t.mutable_data<double>()[i] = i * 0.5;
+  RpcEnvelope e;
+  e.method = "Enqueue";
+  e.payload = SerializeTensor(t);
+  auto r = RpcEnvelope::Parse(e.Serialize());
+  ASSERT_TRUE(r.ok());
+  auto t2 = ParseTensor(r->payload);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t2->BitwiseEquals(t));
+}
+
+}  // namespace
+}  // namespace tfhpc::wire
