@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reducers.dir/ablation_reducers.cc.o"
+  "CMakeFiles/ablation_reducers.dir/ablation_reducers.cc.o.d"
+  "ablation_reducers"
+  "ablation_reducers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reducers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_reducers.
+# This may be replaced when dependencies are built.

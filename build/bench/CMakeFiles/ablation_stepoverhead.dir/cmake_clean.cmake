@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stepoverhead.dir/ablation_stepoverhead.cc.o"
+  "CMakeFiles/ablation_stepoverhead.dir/ablation_stepoverhead.cc.o.d"
+  "ablation_stepoverhead"
+  "ablation_stepoverhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stepoverhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

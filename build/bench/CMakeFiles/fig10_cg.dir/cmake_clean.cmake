@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cg.dir/fig10_cg.cc.o"
+  "CMakeFiles/fig10_cg.dir/fig10_cg.cc.o.d"
+  "fig10_cg"
+  "fig10_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

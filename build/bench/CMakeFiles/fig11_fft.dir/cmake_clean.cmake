@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fft.dir/fig11_fft.cc.o"
+  "CMakeFiles/fig11_fft.dir/fig11_fft.cc.o.d"
+  "fig11_fft"
+  "fig11_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_stream.dir/fig7_stream.cc.o"
+  "CMakeFiles/fig7_stream.dir/fig7_stream.cc.o.d"
+  "fig7_stream"
+  "fig7_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

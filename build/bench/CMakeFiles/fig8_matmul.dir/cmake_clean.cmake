@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_matmul.dir/fig8_matmul.cc.o"
+  "CMakeFiles/fig8_matmul.dir/fig8_matmul.cc.o.d"
+  "fig8_matmul"
+  "fig8_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

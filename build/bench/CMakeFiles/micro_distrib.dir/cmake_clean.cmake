@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_distrib.dir/micro_distrib.cc.o"
+  "CMakeFiles/micro_distrib.dir/micro_distrib.cc.o.d"
+  "micro_distrib"
+  "micro_distrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slurm_resolver_demo.dir/slurm_resolver_demo.cpp.o"
+  "CMakeFiles/slurm_resolver_demo.dir/slurm_resolver_demo.cpp.o.d"
+  "slurm_resolver_demo"
+  "slurm_resolver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slurm_resolver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_probe.dir/stream_probe.cpp.o"
+  "CMakeFiles/stream_probe.dir/stream_probe.cpp.o.d"
+  "stream_probe"
+  "stream_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_matmul_demo.dir/tiled_matmul_demo.cpp.o"
+  "CMakeFiles/tiled_matmul_demo.dir/tiled_matmul_demo.cpp.o.d"
+  "tiled_matmul_demo"
+  "tiled_matmul_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_matmul_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/allreduce.cc" "src/CMakeFiles/tfhpc.dir/apps/allreduce.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/apps/allreduce.cc.o.d"
+  "/root/repo/src/apps/cg.cc" "src/CMakeFiles/tfhpc.dir/apps/cg.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/apps/cg.cc.o.d"
+  "/root/repo/src/apps/fft.cc" "src/CMakeFiles/tfhpc.dir/apps/fft.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/apps/fft.cc.o.d"
+  "/root/repo/src/apps/stream.cc" "src/CMakeFiles/tfhpc.dir/apps/stream.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/apps/stream.cc.o.d"
+  "/root/repo/src/apps/tiled_matmul.cc" "src/CMakeFiles/tfhpc.dir/apps/tiled_matmul.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/apps/tiled_matmul.cc.o.d"
+  "/root/repo/src/cluster/slurm.cc" "src/CMakeFiles/tfhpc.dir/cluster/slurm.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/cluster/slurm.cc.o.d"
+  "/root/repo/src/core/buffer.cc" "src/CMakeFiles/tfhpc.dir/core/buffer.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/core/buffer.cc.o.d"
+  "/root/repo/src/core/device_name.cc" "src/CMakeFiles/tfhpc.dir/core/device_name.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/core/device_name.cc.o.d"
+  "/root/repo/src/core/dtype.cc" "src/CMakeFiles/tfhpc.dir/core/dtype.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/core/dtype.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/tfhpc.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/core/rng.cc.o.d"
+  "/root/repo/src/core/shape.cc" "src/CMakeFiles/tfhpc.dir/core/shape.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/core/shape.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/CMakeFiles/tfhpc.dir/core/status.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/core/status.cc.o.d"
+  "/root/repo/src/core/tensor.cc" "src/CMakeFiles/tfhpc.dir/core/tensor.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/core/tensor.cc.o.d"
+  "/root/repo/src/core/threadpool.cc" "src/CMakeFiles/tfhpc.dir/core/threadpool.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/core/threadpool.cc.o.d"
+  "/root/repo/src/distrib/barrier.cc" "src/CMakeFiles/tfhpc.dir/distrib/barrier.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/distrib/barrier.cc.o.d"
+  "/root/repo/src/distrib/client.cc" "src/CMakeFiles/tfhpc.dir/distrib/client.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/distrib/client.cc.o.d"
+  "/root/repo/src/distrib/cluster_spec.cc" "src/CMakeFiles/tfhpc.dir/distrib/cluster_spec.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/distrib/cluster_spec.cc.o.d"
+  "/root/repo/src/distrib/dist_session.cc" "src/CMakeFiles/tfhpc.dir/distrib/dist_session.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/distrib/dist_session.cc.o.d"
+  "/root/repo/src/distrib/partition.cc" "src/CMakeFiles/tfhpc.dir/distrib/partition.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/distrib/partition.cc.o.d"
+  "/root/repo/src/distrib/server.cc" "src/CMakeFiles/tfhpc.dir/distrib/server.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/distrib/server.cc.o.d"
+  "/root/repo/src/distrib/transport.cc" "src/CMakeFiles/tfhpc.dir/distrib/transport.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/distrib/transport.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/tfhpc.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/op_def.cc" "src/CMakeFiles/tfhpc.dir/graph/op_def.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/graph/op_def.cc.o.d"
+  "/root/repo/src/graph/ops.cc" "src/CMakeFiles/tfhpc.dir/graph/ops.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/graph/ops.cc.o.d"
+  "/root/repo/src/graph/passes.cc" "src/CMakeFiles/tfhpc.dir/graph/passes.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/graph/passes.cc.o.d"
+  "/root/repo/src/io/checkpoint.cc" "src/CMakeFiles/tfhpc.dir/io/checkpoint.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/io/checkpoint.cc.o.d"
+  "/root/repo/src/io/dataset.cc" "src/CMakeFiles/tfhpc.dir/io/dataset.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/io/dataset.cc.o.d"
+  "/root/repo/src/io/npy.cc" "src/CMakeFiles/tfhpc.dir/io/npy.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/io/npy.cc.o.d"
+  "/root/repo/src/io/tile_store.cc" "src/CMakeFiles/tfhpc.dir/io/tile_store.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/io/tile_store.cc.o.d"
+  "/root/repo/src/kernels/array_kernels.cc" "src/CMakeFiles/tfhpc.dir/kernels/array_kernels.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/kernels/array_kernels.cc.o.d"
+  "/root/repo/src/kernels/fft_impl.cc" "src/CMakeFiles/tfhpc.dir/kernels/fft_impl.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/kernels/fft_impl.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/CMakeFiles/tfhpc.dir/kernels/gemm.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/kernels/gemm.cc.o.d"
+  "/root/repo/src/kernels/kernel.cc" "src/CMakeFiles/tfhpc.dir/kernels/kernel.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/kernels/kernel.cc.o.d"
+  "/root/repo/src/kernels/math_kernels.cc" "src/CMakeFiles/tfhpc.dir/kernels/math_kernels.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/kernels/math_kernels.cc.o.d"
+  "/root/repo/src/kernels/sendrecv_kernels.cc" "src/CMakeFiles/tfhpc.dir/kernels/sendrecv_kernels.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/kernels/sendrecv_kernels.cc.o.d"
+  "/root/repo/src/kernels/source_kernels.cc" "src/CMakeFiles/tfhpc.dir/kernels/source_kernels.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/kernels/source_kernels.cc.o.d"
+  "/root/repo/src/kernels/state_kernels.cc" "src/CMakeFiles/tfhpc.dir/kernels/state_kernels.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/kernels/state_kernels.cc.o.d"
+  "/root/repo/src/runtime/const_fold.cc" "src/CMakeFiles/tfhpc.dir/runtime/const_fold.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/runtime/const_fold.cc.o.d"
+  "/root/repo/src/runtime/debug.cc" "src/CMakeFiles/tfhpc.dir/runtime/debug.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/runtime/debug.cc.o.d"
+  "/root/repo/src/runtime/device.cc" "src/CMakeFiles/tfhpc.dir/runtime/device.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/runtime/device.cc.o.d"
+  "/root/repo/src/runtime/eager.cc" "src/CMakeFiles/tfhpc.dir/runtime/eager.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/runtime/eager.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/CMakeFiles/tfhpc.dir/runtime/executor.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/runtime/executor.cc.o.d"
+  "/root/repo/src/runtime/optimize.cc" "src/CMakeFiles/tfhpc.dir/runtime/optimize.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/runtime/optimize.cc.o.d"
+  "/root/repo/src/runtime/rendezvous.cc" "src/CMakeFiles/tfhpc.dir/runtime/rendezvous.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/runtime/rendezvous.cc.o.d"
+  "/root/repo/src/runtime/resource_mgr.cc" "src/CMakeFiles/tfhpc.dir/runtime/resource_mgr.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/runtime/resource_mgr.cc.o.d"
+  "/root/repo/src/runtime/session.cc" "src/CMakeFiles/tfhpc.dir/runtime/session.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/runtime/session.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/CMakeFiles/tfhpc.dir/sim/event.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/sim/event.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/tfhpc.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/tfhpc.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/tfhpc.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/sim/trace.cc.o.d"
+  "/root/repo/src/timeline/timeline.cc" "src/CMakeFiles/tfhpc.dir/timeline/timeline.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/timeline/timeline.cc.o.d"
+  "/root/repo/src/wire/coded.cc" "src/CMakeFiles/tfhpc.dir/wire/coded.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/wire/coded.cc.o.d"
+  "/root/repo/src/wire/messages.cc" "src/CMakeFiles/tfhpc.dir/wire/messages.cc.o" "gcc" "src/CMakeFiles/tfhpc.dir/wire/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("wire")
+subdirs("io")
+subdirs("graph")
+subdirs("kernels")
+subdirs("runtime")
+subdirs("distrib")
+subdirs("cluster")
+subdirs("sim")
+subdirs("timeline")
+subdirs("apps")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_kernels_test.dir/array_kernels_test.cc.o"
+  "CMakeFiles/array_kernels_test.dir/array_kernels_test.cc.o.d"
+  "array_kernels_test"
+  "array_kernels_test.pdb"
+  "array_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

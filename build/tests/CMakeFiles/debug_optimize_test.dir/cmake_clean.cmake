@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_optimize_test.dir/debug_optimize_test.cc.o"
+  "CMakeFiles/debug_optimize_test.dir/debug_optimize_test.cc.o.d"
+  "debug_optimize_test"
+  "debug_optimize_test.pdb"
+  "debug_optimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

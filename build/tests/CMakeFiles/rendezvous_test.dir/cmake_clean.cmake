@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rendezvous_test.dir/rendezvous_test.cc.o"
+  "CMakeFiles/rendezvous_test.dir/rendezvous_test.cc.o.d"
+  "rendezvous_test"
+  "rendezvous_test.pdb"
+  "rendezvous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rendezvous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
