@@ -2,19 +2,53 @@
 
 namespace tfhpc::distrib {
 
+namespace {
+// Process-unique client ids; id 0 is reserved for "no dedup".
+uint64_t NextClientId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+RemoteTask::RemoteTask(InProcessRouter* router, std::string addr,
+                       WireProtocol proto, RetryPolicy retry)
+    : router_(router),
+      addr_(std::move(addr)),
+      proto_(proto),
+      retry_(retry),
+      client_id_(NextClientId()) {}
+
 Result<std::string> RemoteTask::Call(const std::string& method,
                                      const std::string& payload) {
   wire::RpcEnvelope req;
   req.method = method;
+  req.client_id = client_id_;
+  // One request id per *logical* call: every retry below resends the same
+  // id, so the server's dedup cache replays (not re-applies) ops whose
+  // response was lost in flight.
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   req.payload = payload;
-  TFHPC_ASSIGN_OR_RETURN(wire::RpcEnvelope resp,
-                         router_->Call(addr_, proto_, req));
-  if (resp.status_code != 0) {
-    return Status(static_cast<Code>(resp.status_code),
-                  addr_ + "/" + method + ": " + resp.status_msg);
+  req.checksum = wire::PayloadChecksum(payload);
+
+  std::string out;
+  int64_t retries = 0;
+  Status st = CallWithRetry(
+      retry_, req.request_id,
+      [&]() -> Status {
+        auto r = router_->Call(addr_, proto_, req);
+        if (!r.ok()) return r.status();
+        if (r->status_code != 0) {
+          return Status(static_cast<Code>(r->status_code), r->status_msg);
+        }
+        out = std::move(r->payload);
+        return Status::OK();
+      },
+      &retries);
+  retries_.fetch_add(retries, std::memory_order_relaxed);
+  if (!st.ok()) {
+    return Status(st.code(), addr_ + "/" + method + ": " + st.message());
   }
-  return std::move(resp.payload);
+  return std::move(out);
 }
 
 Status RemoteTask::Ping() {
@@ -60,6 +94,16 @@ Result<Tensor> RemoteTask::VarRead(const std::string& var) {
       std::string payload,
       Call("VarRead", EncodeVarPayload(var, nullptr, false, false)));
   return wire::ParseTensor(payload);
+}
+
+Result<std::map<std::string, Tensor>> RemoteTask::VarSnapshot() {
+  TFHPC_ASSIGN_OR_RETURN(std::string payload, Call("VarSnapshot", ""));
+  return DecodeNamedTensors(payload);
+}
+
+Status RemoteTask::VarRestore(const std::map<std::string, Tensor>& vars) {
+  auto r = Call("VarRestore", EncodeNamedTensors(vars));
+  return r.ok() ? Status::OK() : r.status();
 }
 
 Status RemoteTask::RendezvousSend(const std::string& key,

@@ -4,6 +4,7 @@
 // to the parameter server, drivers running worker steps).
 #pragma once
 
+#include "distrib/retry.h"
 #include "distrib/server.h"
 
 namespace tfhpc::distrib {
@@ -11,12 +12,22 @@ namespace tfhpc::distrib {
 class RemoteTask {
  public:
   // `addr` must name a server registered on `router`; all calls ride the
-  // chosen wire protocol.
-  RemoteTask(InProcessRouter* router, std::string addr, WireProtocol proto)
-      : router_(router), addr_(std::move(addr)), proto_(proto) {}
+  // chosen wire protocol. `retry` bounds every call with a deadline and
+  // retries transient (kUnavailable) failures; the default NoRetry policy
+  // surfaces the first error, preserving fail-fast semantics. Each task
+  // handle gets a process-unique client id; retried sends reuse the same
+  // (client_id, request_id), which is what lets the server deduplicate
+  // non-idempotent ops (Enqueue, VarAssignAdd, RunStep) to exactly-once.
+  RemoteTask(InProcessRouter* router, std::string addr, WireProtocol proto,
+             RetryPolicy retry = RetryPolicy::NoRetry());
 
   const std::string& address() const { return addr_; }
   WireProtocol protocol() const { return proto_; }
+  uint64_t client_id() const { return client_id_; }
+  void set_retry_policy(RetryPolicy retry) { retry_ = retry; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  // Transport-level retries performed by this handle so far.
+  int64_t retries() const { return retries_.load(); }
 
   Status Ping();
 
@@ -32,6 +43,11 @@ class RemoteTask {
   // explicitly suppresses the fetch to avoid doubling traffic).
   Status VarAssignAdd(const std::string& var, const Tensor& tensor);
   Result<Tensor> VarRead(const std::string& var);
+  // All initialized variables on the task (name -> value) — the wire half
+  // of distributed checkpointing.
+  Result<std::map<std::string, Tensor>> VarSnapshot();
+  // Bulk-restores variables on the task from a snapshot map.
+  Status VarRestore(const std::map<std::string, Tensor>& vars);
 
   // -- rendezvous ----------------------------------------------------------------
   // Deposits a tensor into the remote task's rendezvous (the wire half of a
@@ -57,7 +73,10 @@ class RemoteTask {
   InProcessRouter* router_;
   std::string addr_;
   WireProtocol proto_;
+  RetryPolicy retry_;
+  uint64_t client_id_;
   std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<int64_t> retries_{0};
 };
 
 }  // namespace tfhpc::distrib

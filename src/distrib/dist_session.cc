@@ -1,10 +1,27 @@
 #include "distrib/dist_session.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
+#include "io/checkpoint.h"
+
 namespace tfhpc::distrib {
+
+std::string FaultReport::ToString() const {
+  std::string out = "FaultReport{attempts=" + std::to_string(step_attempts) +
+                    ", rpc_retries=" + std::to_string(rpc_retries);
+  if (!failed_partition.empty()) out += ", failed=" + failed_partition;
+  if (!first_error.ok()) out += ", first_error=" + first_error.ToString();
+  if (checkpoint_saved) out += ", checkpoint_saved";
+  if (variables_restored > 0) {
+    out += ", vars_restored=" + std::to_string(variables_restored);
+  }
+  out += recovered ? ", recovered" : ", not_recovered";
+  out += ", final=" + final_status.ToString() + "}";
+  return out;
+}
 
 Result<std::unique_ptr<DistributedSession>> DistributedSession::Create(
     InProcessRouter* router, const ClusterSpec& cluster, WireProtocol protocol,
@@ -38,6 +55,13 @@ Result<std::string> DistributedSession::TaskOf(
 Result<std::vector<Tensor>> DistributedSession::Run(
     const std::map<std::string, Tensor>& feeds,
     const std::vector<std::string>& fetches) {
+  return Run(feeds, fetches, StepRecoveryOptions{}, nullptr);
+}
+
+Result<std::vector<Tensor>> DistributedSession::RunOnce(
+    const std::map<std::string, Tensor>& feeds,
+    const std::vector<std::string>& fetches, const RetryPolicy& rpc_retry,
+    int64_t* rpc_retries, std::string* failed_partition) {
   // Route feeds and fetches to their owning partitions.
   struct StepPlan {
     std::map<std::string, Tensor> feeds;
@@ -84,7 +108,7 @@ Result<std::vector<Tensor>> DistributedSession::Run(
     threads.emplace_back([&, pi] {
       const Partition& part = partitions_[pi];
       const StepPlan& plan = plans[part.addr];
-      RemoteTask task(router_, part.addr, protocol_);
+      RemoteTask task(router_, part.addr, protocol_, rpc_retry);
       Status st;
       auto r = task.RunStep(plan.feeds, plan.fetches, part.all_nodes);
       if (!r.ok()) {
@@ -97,6 +121,7 @@ Result<std::vector<Tensor>> DistributedSession::Run(
         }
       }
       std::lock_guard<std::mutex> lk(mu);
+      if (rpc_retries != nullptr) *rpc_retries += task.retries();
       status[pi] = std::move(st);
       ++done;
       if (!status[pi].ok()) failed = true;
@@ -109,6 +134,8 @@ Result<std::vector<Tensor>> DistributedSession::Run(
     cv.wait(lk, [&] { return done == partitions_.size() || failed; });
     if (failed && done < partitions_.size()) {
       // Cancel stragglers; their RunSteps fail with Cancelled and unwind.
+      // Control RPCs go without retry: a dead task's abort must not burn
+      // another deadline, and a live task aborts on the first try.
       for (const Partition& part : partitions_) {
         RemoteTask(router_, part.addr, protocol_).AbortStep("peer failed");
       }
@@ -118,20 +145,125 @@ Result<std::vector<Tensor>> DistributedSession::Run(
   for (auto& t : threads) t.join();
 
   Status first;
-  for (const Status& s : status) {
+  for (size_t pi = 0; pi < status.size(); ++pi) {
     // Prefer the root cause over Cancelled fallout from the abort.
-    if (!s.ok() && (first.ok() || first.code() == Code::kCancelled)) {
-      first = s;
+    if (!status[pi].ok() &&
+        (first.ok() || first.code() == Code::kCancelled)) {
+      first = status[pi];
+      if (failed_partition != nullptr) *failed_partition = partitions_[pi].addr;
     }
   }
-  if (!first.ok()) {
-    // Return the tasks to a clean state so the session stays usable.
-    for (const Partition& part : partitions_) {
-      RemoteTask(router_, part.addr, protocol_).ResetStep();
-    }
-    return first;
-  }
+  if (!first.ok()) return first;
   return results;
+}
+
+void DistributedSession::AbortAndResetAllTasks() {
+  // Short bounded retry: enough to get the cleanup through a lossy (but
+  // alive) link, cheap enough that a dead task costs ~200ms, not a full
+  // RPC deadline. Failures are ignored — an unreachable task is cleaned
+  // up when it heals or fails the next attempt fast.
+  RetryPolicy cleanup;
+  cleanup.max_attempts = 8;
+  cleanup.initial_backoff_ms = 1;
+  cleanup.max_backoff_ms = 8;
+  cleanup.deadline_ms = 200;
+  for (const Partition& part : partitions_) {
+    RemoteTask(router_, part.addr, protocol_, cleanup)
+        .AbortStep("step recovery");
+  }
+  for (const Partition& part : partitions_) {
+    RemoteTask(router_, part.addr, protocol_, cleanup).ResetStep();
+  }
+}
+
+Result<std::vector<Tensor>> DistributedSession::Run(
+    const std::map<std::string, Tensor>& feeds,
+    const std::vector<std::string>& fetches,
+    const StepRecoveryOptions& recovery, FaultReport* report) {
+  FaultReport local_report;
+  FaultReport& rep = report != nullptr ? *report : local_report;
+  rep = FaultReport{};
+
+  // Snapshot all task variables into the checkpoint before touching
+  // anything, so every re-attempt restarts from a consistent state even if
+  // attempt #1 half-applied its updates.
+  if (!recovery.checkpoint_path.empty()) {
+    std::map<std::string, Tensor> snapshot;
+    for (const Partition& part : partitions_) {
+      RemoteTask task(router_, part.addr, protocol_, recovery.rpc_retry);
+      auto vars = task.VarSnapshot();
+      rep.rpc_retries += task.retries();
+      if (!vars.ok()) {
+        rep.final_status = vars.status();
+        return vars.status();
+      }
+      for (auto& [name, tensor] : *vars) {
+        snapshot.emplace(part.addr + "|" + name, std::move(tensor));
+      }
+    }
+    Status st = io::SaveCheckpoint(recovery.checkpoint_path, snapshot);
+    if (!st.ok()) {
+      rep.final_status = st;
+      return st;
+    }
+    rep.checkpoint_saved = true;
+  }
+
+  const int budget = std::max(1, recovery.max_step_attempts);
+  for (int attempt = 1;; ++attempt) {
+    rep.step_attempts = attempt;
+    std::string failed_partition;
+    auto r = RunOnce(feeds, fetches, recovery.rpc_retry, &rep.rpc_retries,
+                     &failed_partition);
+    if (r.ok()) {
+      rep.recovered = attempt > 1;
+      rep.final_status = Status::OK();
+      return r;
+    }
+    if (rep.first_error.ok()) {
+      rep.first_error = r.status();
+      rep.failed_partition = failed_partition;
+    }
+    // Unwind the failed step everywhere so the session stays usable:
+    // wake parked _Recvs, then clear the poisoned rendezvous. Unreachable
+    // tasks are skipped (their control RPCs fail fast, uncounted).
+    AbortAndResetAllTasks();
+
+    // Only fault fallout is worth re-attempting; semantic errors (missing
+    // node, bad feed, resource limits) would fail identically again.
+    const Code code = r.status().code();
+    const bool recoverable = code == Code::kUnavailable ||
+                             code == Code::kDeadlineExceeded ||
+                             code == Code::kCancelled;
+    if (attempt >= budget || !recoverable) {
+      rep.final_status = r.status();
+      return r.status();
+    }
+
+    // Recovery path: restore variables from the checkpoint, then re-run.
+    if (rep.checkpoint_saved) {
+      auto loaded = io::LoadCheckpoint(recovery.checkpoint_path);
+      if (!loaded.ok()) {
+        rep.final_status = loaded.status();
+        return loaded.status();
+      }
+      for (const Partition& part : partitions_) {
+        std::map<std::string, Tensor> task_vars;
+        const std::string prefix = part.addr + "|";
+        for (const auto& [key, tensor] : *loaded) {
+          if (key.rfind(prefix, 0) == 0) {
+            task_vars.emplace(key.substr(prefix.size()), tensor);
+          }
+        }
+        if (task_vars.empty()) continue;
+        RemoteTask task(router_, part.addr, protocol_, recovery.rpc_retry);
+        if (task.VarRestore(task_vars).ok()) {
+          rep.variables_restored += static_cast<int>(task_vars.size());
+        }
+        rep.rpc_retries += task.retries();
+      }
+    }
+  }
 }
 
 }  // namespace tfhpc::distrib

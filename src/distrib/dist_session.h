@@ -9,6 +9,14 @@
 // Simplification vs TensorFlow: every Run executes all partitions in full
 // (no cross-partition pruning), which keeps send/recv pairs matched by
 // construction.
+//
+// Fault tolerance: Run can re-attempt a step that failed with a transient
+// fault (lost rank, dropped messages). Recovery unwinds in-flight _Recvs on
+// every task (AbortStep), returns the rendezvous to a clean state
+// (ResetStep), optionally restores variables from an io::checkpoint
+// snapshot taken before the first attempt, and re-runs — up to a
+// configurable budget. A FaultReport records what failed and which recovery
+// path was taken.
 #pragma once
 
 #include <memory>
@@ -17,6 +25,37 @@
 #include "distrib/partition.h"
 
 namespace tfhpc::distrib {
+
+// Knobs for fault-tolerant Run. The defaults reproduce the historical
+// fail-fast behaviour (one attempt, no RPC retries, no checkpointing).
+struct StepRecoveryOptions {
+  // Total step attempts (1 = no step-level recovery).
+  int max_step_attempts = 1;
+  // Retry/deadline policy applied to every RPC the step issues (RunStep,
+  // plus the servers' rendezvous sends are governed by ServerDef).
+  RetryPolicy rpc_retry = RetryPolicy::NoRetry();
+  // When non-empty: before the first attempt all task variables are
+  // snapshotted (VarSnapshot per task) into this checkpoint file; before
+  // every re-attempt they are restored from it, so a step that half-applied
+  // variable updates re-runs from consistent state. Keys are
+  // "<task addr>|<var name>" — names may repeat across tasks.
+  std::string checkpoint_path;
+};
+
+// What happened to one fault-tolerant Run: which partition failed first,
+// how much retrying it took, and how the step was (or wasn't) recovered.
+struct FaultReport {
+  int step_attempts = 0;      // attempts consumed (1 = clean first run)
+  int64_t rpc_retries = 0;    // transport-level retries across all attempts
+  bool checkpoint_saved = false;
+  int variables_restored = 0;  // total vars restored across re-attempts
+  bool recovered = false;      // true iff a re-attempt succeeded
+  std::string failed_partition;  // task addr of the first failure (if any)
+  Status first_error;            // root cause of the first failed attempt
+  Status final_status;           // what Run returned
+
+  std::string ToString() const;
+};
 
 class DistributedSession {
  public:
@@ -32,6 +71,13 @@ class DistributedSession {
   Result<std::vector<Tensor>> Run(const std::map<std::string, Tensor>& feeds,
                                   const std::vector<std::string>& fetches);
 
+  // Fault-tolerant Run: same contract, plus step-level recovery under
+  // `recovery`. If `report` is non-null it is filled in either way.
+  Result<std::vector<Tensor>> Run(const std::map<std::string, Tensor>& feeds,
+                                  const std::vector<std::string>& fetches,
+                                  const StepRecoveryOptions& recovery,
+                                  FaultReport* report);
+
   int num_partitions() const { return static_cast<int>(partitions_.size()); }
   // Owning task of a node (tests / diagnostics).
   Result<std::string> TaskOf(const std::string& node_name) const;
@@ -44,6 +90,18 @@ class DistributedSession {
     std::string addr;
     std::vector<std::string> all_nodes;  // run targets (full execution)
   };
+
+  // One step attempt across all partitions. On failure, fills
+  // *failed_partition with the first failing task's address.
+  Result<std::vector<Tensor>> RunOnce(
+      const std::map<std::string, Tensor>& feeds,
+      const std::vector<std::string>& fetches, const RetryPolicy& rpc_retry,
+      int64_t* rpc_retries, std::string* failed_partition);
+
+  // Unwinds a failed step on every task: AbortStep (wake parked _Recvs),
+  // then ResetStep (clean rendezvous). Errors from unreachable tasks are
+  // ignored — a partitioned task is reset when it heals or re-fails fast.
+  void AbortAndResetAllTasks();
 
   InProcessRouter* router_;
   WireProtocol protocol_;

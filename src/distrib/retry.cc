@@ -1,0 +1,104 @@
+#include "distrib/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/rng.h"
+
+namespace tfhpc::distrib {
+
+namespace {
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RetryPolicy RetryPolicy::Aggressive(int64_t deadline_ms) {
+  RetryPolicy p;
+  p.max_attempts = 1 << 20;  // deadline-bound, not attempt-bound
+  p.initial_backoff_ms = 1;
+  p.max_backoff_ms = 16;
+  p.deadline_ms = deadline_ms;
+  return p;
+}
+
+bool IsRetryableCode(Code code) {
+  // kUnavailable covers lost requests, lost responses, corrupted frames and
+  // partitioned/unbound addresses — all transient in a cluster where the
+  // rank may come back. Every other code is either a caller bug
+  // (InvalidArgument, NotFound), a permanent condition (ResourceExhausted:
+  // the 2 GB GraphDef ceiling), or fault fallout that the step-level
+  // recovery in DistributedSession owns (Cancelled, DeadlineExceeded).
+  return code == Code::kUnavailable;
+}
+
+RetryState::RetryState(const RetryPolicy& policy, uint64_t call_key)
+    : policy_(policy),
+      call_key_(call_key),
+      backoff_ms_(std::max<int64_t>(policy.initial_backoff_ms, 0)),
+      start_ns_(NowNs()) {}
+
+int64_t RetryState::elapsed_ms() const {
+  return (NowNs() - start_ns_) / 1000000;
+}
+
+bool RetryState::BackoffAndRetry(const Status& last, Status* final) {
+  ++attempts_;
+  if (!IsRetryableCode(last.code())) {
+    *final = last;
+    return false;
+  }
+  if (attempts_ >= policy_.max_attempts) {
+    *final = last;
+    return false;
+  }
+  // Jittered backoff: uniform in [backoff*(1-jitter), backoff].
+  int64_t sleep_ms = backoff_ms_;
+  if (policy_.jitter > 0 && sleep_ms > 0) {
+    Philox philox(policy_.seed ^ call_key_);
+    const double u = UniformFloat(philox(static_cast<uint64_t>(attempts_)).v[0]);
+    sleep_ms -= static_cast<int64_t>(policy_.jitter * u *
+                                     static_cast<double>(sleep_ms));
+  }
+  if (policy_.deadline_ms > 0 &&
+      elapsed_ms() + sleep_ms >= policy_.deadline_ms) {
+    *final = DeadlineExceeded(
+        "deadline of " + std::to_string(policy_.deadline_ms) + "ms exceeded after " +
+        std::to_string(attempts_) + " attempt(s); last error: " + last.ToString());
+    return false;
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  backoff_ms_ = std::min<int64_t>(
+      policy_.max_backoff_ms,
+      static_cast<int64_t>(static_cast<double>(backoff_ms_) *
+                           policy_.backoff_multiplier) +
+          1);
+  return true;
+}
+
+Status CallWithRetry(const RetryPolicy& policy, uint64_t call_key,
+                     const std::function<Status()>& attempt,
+                     int64_t* retries_out) {
+  RetryState state(policy, call_key);
+  int64_t calls = 0;
+  for (;;) {
+    ++calls;
+    Status st = attempt();
+    if (st.ok()) {
+      if (retries_out != nullptr) *retries_out += calls - 1;
+      return st;
+    }
+    Status final;
+    if (!state.BackoffAndRetry(st, &final)) {
+      if (retries_out != nullptr) *retries_out += calls - 1;
+      return final;
+    }
+  }
+}
+
+}  // namespace tfhpc::distrib

@@ -1,0 +1,84 @@
+// Retry/deadline policy for distributed RPCs. The paper's PS/worker
+// formulations assume every RPC succeeds; real clusters drop messages and
+// lose ranks, and the original TensorFlow runtime treats retried sends and
+// partial failure as first-class (Abadi et al., OSDI 2016 §4.3). A
+// RetryPolicy bounds each *logical* call with a deadline and retries
+// transient failures with exponential backoff + deterministic jitter.
+// Exactly-once semantics for non-idempotent ops come from the server-side
+// request-id dedup cache (distrib/server.h): retries reuse the same
+// (client_id, request_id), so a retry after a lost *response* replays the
+// cached result instead of re-applying the op.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/status.h"
+
+namespace tfhpc::distrib {
+
+struct RetryPolicy {
+  // Attempts per logical call (1 = no retry). The policy stops at whichever
+  // of max_attempts / deadline_ms trips first.
+  int max_attempts = 1;
+  int64_t initial_backoff_ms = 1;
+  int64_t max_backoff_ms = 64;
+  double backoff_multiplier = 2.0;
+  // Fraction of the backoff randomized away (0..1): sleep is uniform in
+  // [backoff*(1-jitter), backoff]. Jitter is drawn from a Philox keyed on
+  // (seed, call key, attempt), so schedules are reproducible.
+  double jitter = 0.25;
+  // Wall-clock budget for the whole logical call, retries included.
+  // Expiring returns kDeadlineExceeded (never a hang). <= 0 means no
+  // deadline.
+  int64_t deadline_ms = 30000;
+  uint64_t seed = 0x7f4a7c159e3779b9ull;
+
+  static RetryPolicy NoRetry() { return RetryPolicy{}; }
+  // A profile tuned for the chaos tests/benches: many fast attempts under
+  // one deadline.
+  static RetryPolicy Aggressive(int64_t deadline_ms = 5000);
+};
+
+// Codes that indicate a transient transport-level failure worth retrying.
+// Everything else (bad arguments, missing nodes, exhausted resources,
+// cancellation) is surfaced immediately.
+bool IsRetryableCode(Code code);
+
+// Per-call retry driver: tracks attempts and the deadline, and sleeps the
+// backoff between attempts.
+class RetryState {
+ public:
+  // `call_key` seeds the jitter stream (use the request id so concurrent
+  // calls desynchronize).
+  RetryState(const RetryPolicy& policy, uint64_t call_key);
+
+  // Decides what to do after an attempt failed with `last`. Returns true
+  // after sleeping the backoff (caller should retry). Returns false when
+  // the policy is exhausted and fills *final: either `last` itself
+  // (non-retryable or attempts spent) or kDeadlineExceeded (budget spent).
+  bool BackoffAndRetry(const Status& last, Status* final);
+
+  int attempts() const { return attempts_; }
+  // Retries performed so far (attempts - 1, min 0).
+  int retries() const { return attempts_ > 0 ? attempts_ - 1 : 0; }
+  // Milliseconds since the logical call started.
+  int64_t elapsed_ms() const;
+
+ private:
+  RetryPolicy policy_;
+  uint64_t call_key_;
+  int attempts_ = 0;
+  int64_t backoff_ms_;
+  int64_t start_ns_;
+};
+
+// Runs `attempt` under `policy`. `attempt` returns the per-try Status;
+// the wrapper returns the first success, the first non-retryable error, or
+// kDeadlineExceeded. If `retries_out` is non-null it accumulates the number
+// of retries performed.
+Status CallWithRetry(const RetryPolicy& policy, uint64_t call_key,
+                     const std::function<Status()>& attempt,
+                     int64_t* retries_out = nullptr);
+
+}  // namespace tfhpc::distrib

@@ -4,6 +4,37 @@
 
 namespace tfhpc::distrib {
 
+// ----- ReplayCache -----------------------------------------------------------
+
+bool ReplayCache::Lookup(uint64_t client_id, uint64_t request_id,
+                         wire::RpcEnvelope* response) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = responses_.find(Key{client_id, request_id});
+  if (it == responses_.end()) return false;
+  *response = it->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ReplayCache::Insert(uint64_t client_id, uint64_t request_id,
+                         const wire::RpcEnvelope& response) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Key key{client_id, request_id};
+  auto [it, inserted] = responses_.emplace(key, response);
+  (void)it;
+  if (!inserted) return;
+  order_.push_back(key);
+  while (order_.size() > capacity_) {
+    responses_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+size_t ReplayCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return responses_.size();
+}
+
 // ----- payload codecs ---------------------------------------------------------
 
 std::string RunStepRequest::Serialize() const {
@@ -186,6 +217,58 @@ Result<std::vector<Tensor>> DecodeTensorList(const std::string& payload) {
   return tensors;
 }
 
+std::string EncodeNamedTensors(const std::map<std::string, Tensor>& vars) {
+  std::string out;
+  wire::CodedOutput co(&out);
+  for (const auto& [name, tensor] : vars) {
+    std::string entry;
+    wire::CodedOutput eo(&entry);
+    eo.WriteString(1, name);
+    eo.WriteMessage(2, wire::SerializeTensor(tensor));
+    co.WriteMessage(1, entry);
+  }
+  return out;
+}
+
+Result<std::map<std::string, Tensor>> DecodeNamedTensors(
+    const std::string& payload) {
+  wire::CodedInput in(payload);
+  std::map<std::string, Tensor> vars;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    wire::WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    if (field != 1) {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+      continue;
+    }
+    const uint8_t* d;
+    size_t s;
+    TFHPC_RETURN_IF_ERROR(in.ReadBytesView(&d, &s));
+    wire::CodedInput ein(d, s);
+    std::string name;
+    Tensor tensor;
+    while (!ein.AtEnd()) {
+      uint32_t ef;
+      wire::WireType ewt;
+      TFHPC_RETURN_IF_ERROR(ein.ReadTag(&ef, &ewt));
+      if (ef == 1) {
+        TFHPC_RETURN_IF_ERROR(ein.ReadString(&name));
+      } else if (ef == 2) {
+        const uint8_t* td;
+        size_t ts;
+        TFHPC_RETURN_IF_ERROR(ein.ReadBytesView(&td, &ts));
+        TFHPC_ASSIGN_OR_RETURN(tensor, wire::ParseTensor(td, ts));
+      } else {
+        TFHPC_RETURN_IF_ERROR(ein.SkipField(ewt));
+      }
+    }
+    if (name.empty()) return InvalidArgument("named tensor entry without name");
+    vars.emplace(std::move(name), std::move(tensor));
+  }
+  return vars;
+}
+
 // ----- Server ----------------------------------------------------------------
 
 Result<std::unique_ptr<Server>> Server::Create(ServerDef def,
@@ -201,24 +284,45 @@ Result<std::unique_ptr<Server>> Server::Create(ServerDef def,
   return server;
 }
 
+namespace {
+// Server-side client identities for outgoing rendezvous sends. Shares the
+// id space with RemoteTask clients (both are "clients" to the receiver);
+// starts high to stay visibly distinct in traces.
+uint64_t NextServerClientId() {
+  static std::atomic<uint64_t> next{1u << 20};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 Server::Server(ServerDef def, InProcessRouter* router, std::string address)
-    : def_(std::move(def)), router_(router), address_(std::move(address)) {
+    : def_(std::move(def)),
+      router_(router),
+      address_(std::move(address)),
+      send_client_id_(NextServerClientId()) {
   devices_ = DeviceMgr::CreateLocal(def_.job, def_.task, def_.num_gpus,
                                     def_.gpu_model);
   // Give kernels a path to remote rendezvous (_Send with a target): a
-  // RendezvousSend RPC over this server's configured protocol.
+  // RendezvousSend RPC over this server's configured protocol, retried
+  // under def.send_retry. The receiver dedups on (client_id, request_id),
+  // so a retry after a lost response does not double-deposit the tensor.
   resources_.set_remote_send([this](const std::string& addr,
                                     const std::string& key,
                                     const Tensor& tensor) -> Status {
     wire::RpcEnvelope req;
     req.method = "RendezvousSend";
+    req.client_id = send_client_id_;
+    req.request_id =
+        next_send_request_id_.fetch_add(1, std::memory_order_relaxed);
     req.payload = EncodeQueuePayload(key, &tensor, 0);
-    TFHPC_ASSIGN_OR_RETURN(wire::RpcEnvelope resp,
-                           router_->Call(addr, def_.protocol, req));
-    if (resp.status_code != 0) {
-      return Status(static_cast<Code>(resp.status_code), resp.status_msg);
-    }
-    return Status::OK();
+    req.checksum = wire::PayloadChecksum(req.payload);
+    return CallWithRetry(def_.send_retry, req.request_id, [&]() -> Status {
+      TFHPC_ASSIGN_OR_RETURN(wire::RpcEnvelope resp,
+                             router_->Call(addr, def_.protocol, req));
+      if (resp.status_code != 0) {
+        return Status(static_cast<Code>(resp.status_code), resp.status_msg);
+      }
+      return Status::OK();
+    });
   });
 }
 
@@ -246,12 +350,42 @@ wire::RpcEnvelope Server::Handle(const wire::RpcEnvelope& request) {
   wire::RpcEnvelope response;
   response.method = request.method;
   response.request_id = request.request_id;
+
+  // Integrity first: a frame corrupted in flight must neither be applied
+  // nor poison the dedup cache. The reject is kUnavailable so clients
+  // retry the (uncorrupted) send.
+  if (request.checksum != 0 &&
+      wire::PayloadChecksum(request.payload) != request.checksum) {
+    checksum_rejects_.fetch_add(1, std::memory_order_relaxed);
+    const Status st = Unavailable("payload checksum mismatch for " +
+                                  request.method + " (corrupted in flight)");
+    response.status_code = static_cast<int32_t>(st.code());
+    response.status_msg = st.message();
+    return response;
+  }
+
+  // Exactly-once: a retried or network-duplicated request replays the
+  // cached response instead of re-running a non-idempotent handler.
+  if (request.client_id != 0 &&
+      replay_cache_.Lookup(request.client_id, request.request_id, &response)) {
+    response.request_id = request.request_id;
+    return response;
+  }
+
   auto result = Dispatch(request.method, request.payload);
   if (result.ok()) {
     response.payload = std::move(*result);
   } else {
     response.status_code = static_cast<int32_t>(result.status().code());
     response.status_msg = result.status().message();
+  }
+  // Cache successes and permanent errors. Retryable failures (a transient
+  // kUnavailable from e.g. a remote send inside RunStep) stay uncached so
+  // the client's retry of the same request id re-runs the handler instead
+  // of replaying the stale error.
+  if (request.client_id != 0 &&
+      !IsRetryableCode(static_cast<Code>(response.status_code))) {
+    replay_cache_.Insert(request.client_id, request.request_id, response);
   }
   return response;
 }
@@ -365,6 +499,16 @@ Result<std::string> Server::Dispatch(const std::string& method,
     TFHPC_RETURN_IF_ERROR(DecodeQueuePayload(payload, &key, &tensor, &capacity));
     if (!tensor.valid()) return InvalidArgument("RendezvousSend without tensor");
     TFHPC_RETURN_IF_ERROR(resources_.rendezvous().Send(key, std::move(tensor)));
+    return std::string();
+  }
+
+  if (method == "VarSnapshot") {
+    return EncodeNamedTensors(resources_.VariableSnapshot());
+  }
+
+  if (method == "VarRestore") {
+    TFHPC_ASSIGN_OR_RETURN(auto vars, DecodeNamedTensors(payload));
+    resources_.RestoreVariables(vars);
     return std::string();
   }
 

@@ -13,17 +13,58 @@
 //   CloseQueue  — payload: queue name
 //   VarWrite    — payload: var name + tensor + accumulate? + want_value?
 //   VarRead     — payload: var name; response carries tensor
+//   VarSnapshot — empty payload; response: all initialized variables
+//   VarRestore  — payload: named tensor map; bulk-restores variables
 //   RendezvousSend — payload: key + tensor; deposits into this task's
 //                    rendezvous (the receiving half of a cross-task _Send)
+//
+// Exactly-once under retries/duplication: requests carrying a non-zero
+// client_id are deduplicated on (client_id, request_id) — a replayed
+// request returns the cached response without re-running the handler, so
+// retried/duplicated Enqueue, VarWrite(accumulate) and RunStep apply once.
+// Requests carrying a non-zero checksum are verified before dispatch;
+// corrupted frames get a retryable kUnavailable.
 #pragma once
 
+#include <deque>
 #include <memory>
 
 #include "distrib/cluster_spec.h"
+#include "distrib/retry.h"
 #include "distrib/transport.h"
 #include "runtime/session.h"
 
 namespace tfhpc::distrib {
+
+// Bounded (client_id, request_id) -> response cache giving non-idempotent
+// service methods exactly-once semantics under retry and duplication.
+// Oldest entries are evicted FIFO; capacity need only cover the window in
+// which a retry of an already-applied request can still arrive.
+class ReplayCache {
+ public:
+  explicit ReplayCache(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Returns true and fills *response if (client_id, request_id) was served
+  // before. Thread-safe; the lock is never held across handler execution,
+  // so two *concurrent* first deliveries of the same request may both run —
+  // the in-process chaos transport replays duplicates sequentially, which
+  // is the case this defends.
+  bool Lookup(uint64_t client_id, uint64_t request_id,
+              wire::RpcEnvelope* response);
+  void Insert(uint64_t client_id, uint64_t request_id,
+              const wire::RpcEnvelope& response);
+
+  int64_t hits() const { return hits_.load(); }
+  size_t size() const;
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, wire::RpcEnvelope> responses_;
+  std::deque<Key> order_;  // insertion order, for FIFO eviction
+  std::atomic<int64_t> hits_{0};
+};
 
 struct ServerDef {
   ClusterSpec cluster;
@@ -33,6 +74,10 @@ struct ServerDef {
   ComputeModel gpu_model = models::Gk210();
   // Wire protocol this server uses for outgoing traffic (rendezvous sends).
   WireProtocol protocol = WireProtocol::kRdma;
+  // Retry/deadline policy for outgoing rendezvous sends (the _Send half of
+  // cross-task edges). Default NoRetry preserves fail-fast steps; the
+  // fault-tolerant DistributedSession raises it.
+  RetryPolicy send_retry = RetryPolicy::NoRetry();
   // TensorFlow's ProtoBuf ceiling: "computation graphs ... cannot exceed
   // two gigabytes in size" (paper §IV). ExtendGraph rejects larger defs;
   // the workaround is the paper's: keep loop state in variables and ship
@@ -69,6 +114,12 @@ class Server {
   // Service entry point (invoked by the router on caller threads).
   wire::RpcEnvelope Handle(const wire::RpcEnvelope& request);
 
+  // Dedup cache hits — how many retried/duplicated requests were answered
+  // from cache instead of re-applied (tests assert exactly-once this way).
+  int64_t dedup_hits() const { return replay_cache_.hits(); }
+  // Requests rejected because their payload checksum did not match.
+  int64_t checksum_rejects() const { return checksum_rejects_.load(); }
+
  private:
   Server(ServerDef def, InProcessRouter* router, std::string address);
 
@@ -83,6 +134,12 @@ class Server {
   ResourceMgr resources_;
   std::mutex graph_mu_;  // guards ExtendGraph vs RunStep
   bool shutdown_ = false;
+  ReplayCache replay_cache_;
+  std::atomic<int64_t> checksum_rejects_{0};
+  // Outgoing rendezvous sends carry this server's own client identity so
+  // the receiving task can dedup retried sends.
+  uint64_t send_client_id_ = 0;
+  std::atomic<uint64_t> next_send_request_id_{1};
 };
 
 // ----- payload codecs (exposed for the client and tests) --------------------
@@ -109,5 +166,10 @@ Status DecodeVarPayload(const std::string& payload, std::string* var,
 
 std::string EncodeTensorList(const std::vector<Tensor>& tensors);
 Result<std::vector<Tensor>> DecodeTensorList(const std::string& payload);
+
+// name -> tensor maps (VarSnapshot/VarRestore payloads).
+std::string EncodeNamedTensors(const std::map<std::string, Tensor>& vars);
+Result<std::map<std::string, Tensor>> DecodeNamedTensors(
+    const std::string& payload);
 
 }  // namespace tfhpc::distrib

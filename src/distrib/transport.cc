@@ -1,6 +1,10 @@
 #include "distrib/transport.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "core/rng.h"
 
 namespace tfhpc::distrib {
 
@@ -11,6 +15,79 @@ const char* WireProtocolName(WireProtocol p) {
     case WireProtocol::kRdma: return "rdma";
   }
   return "?";
+}
+
+void TransportStats::Reset() {
+  calls.store(0);
+  payload_bytes.store(0);
+  bytes_serialized.store(0);
+  bytes_copied.store(0);
+  faults_dropped_request.store(0);
+  faults_dropped_response.store(0);
+  faults_duplicated.store(0);
+  faults_delayed.store(0);
+  faults_corrupted.store(0);
+  faults_partition_refused.store(0);
+}
+
+void InProcessRouter::ResetStats() {
+  for (TransportStats& st : stats_) st.Reset();
+}
+
+void InProcessRouter::EnableChaos(const ChaosConfig& config) {
+  std::lock_guard<std::mutex> lk(mu_);
+  chaos_ = config;
+  chaos_enabled_ = true;
+  chaos_counter_.store(0);
+}
+
+void InProcessRouter::DisableChaos() {
+  std::lock_guard<std::mutex> lk(mu_);
+  chaos_enabled_ = false;
+}
+
+void InProcessRouter::Partition(const std::string& addr) {
+  std::lock_guard<std::mutex> lk(mu_);
+  partitioned_.insert(addr);
+}
+
+void InProcessRouter::Heal(const std::string& addr) {
+  std::lock_guard<std::mutex> lk(mu_);
+  partitioned_.erase(addr);
+}
+
+bool InProcessRouter::IsPartitioned(const std::string& addr) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return partitioned_.count(addr) > 0;
+}
+
+InProcessRouter::ChaosDraw InProcessRouter::DrawChaos() {
+  ChaosDraw draw;
+  ChaosConfig cfg;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!chaos_enabled_) return draw;
+    cfg = chaos_;
+  }
+  // Each call consumes one Philox block: four independent 32-bit draws,
+  // one per fault dimension. Deterministic in (seed, call index).
+  const uint64_t idx =
+      static_cast<uint64_t>(chaos_counter_.fetch_add(1, std::memory_order_relaxed));
+  const Philox::Block block = Philox(cfg.seed)(idx);
+  const float u_fail = UniformFloat(block.v[0]);
+  // One budget split between the two drop kinds: request loss first, then
+  // response loss in the adjacent probability band.
+  draw.drop_request = u_fail < cfg.drop_request_rate;
+  draw.drop_response =
+      !draw.drop_request &&
+      u_fail < cfg.drop_request_rate + cfg.drop_response_rate;
+  draw.duplicate = UniformFloat(block.v[1]) < cfg.duplicate_rate;
+  draw.corrupt = UniformFloat(block.v[2]) < cfg.corrupt_rate;
+  if (UniformFloat(block.v[3]) < cfg.delay_rate && cfg.max_delay_ms > 0) {
+    draw.delay_ms = 1 + static_cast<int64_t>(block.v[3] %
+                                             static_cast<uint32_t>(cfg.max_delay_ms));
+  }
+  return draw;
 }
 
 Status InProcessRouter::Register(const std::string& addr,
@@ -62,10 +139,24 @@ Status InProcessRouter::ConsumeFault(const std::string& addr,
 Result<wire::RpcEnvelope> InProcessRouter::Call(
     const std::string& addr, WireProtocol proto,
     const wire::RpcEnvelope& request) {
+  TransportStats& st = stats_[static_cast<size_t>(proto)];
+  if (IsPartitioned(addr)) {
+    st.faults_partition_refused.fetch_add(1, std::memory_order_relaxed);
+    return Unavailable("network partition: " + addr + " unreachable");
+  }
   ServiceHandler handler = LookupHandler(addr);
   if (!handler) return Unavailable("no server at " + addr);
   TFHPC_RETURN_IF_ERROR(ConsumeFault(addr, request.method));
-  TransportStats& st = stats_[static_cast<size_t>(proto)];
+  const ChaosDraw draw = DrawChaos();
+  if (draw.delay_ms > 0) {
+    st.faults_delayed.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(draw.delay_ms));
+  }
+  if (draw.drop_request) {
+    st.faults_dropped_request.fetch_add(1, std::memory_order_relaxed);
+    return Unavailable("chaos: request to " + addr + "/" + request.method +
+                       " dropped in flight");
+  }
   st.calls.fetch_add(1, std::memory_order_relaxed);
   st.payload_bytes.fetch_add(static_cast<int64_t>(request.payload.size()),
                              std::memory_order_relaxed);
@@ -121,7 +212,28 @@ Result<wire::RpcEnvelope> InProcessRouter::Call(
     }
   }
 
+  if (draw.corrupt && !delivered.payload.empty()) {
+    // Flip one deterministic byte in flight. The server detects the
+    // mismatch against the envelope checksum and answers with retryable
+    // kUnavailable instead of acting on garbage.
+    st.faults_corrupted.fetch_add(1, std::memory_order_relaxed);
+    delivered.payload[delivered.payload.size() / 2] ^= 0x5a;
+  }
+
   wire::RpcEnvelope response = handler(delivered);
+  if (draw.duplicate) {
+    // The network delivered the request twice: the handler runs again with
+    // the identical envelope. Servers dedup on (client_id, request_id), so
+    // non-idempotent ops still apply exactly once; the duplicate's response
+    // is discarded, as a real client would discard it.
+    st.faults_duplicated.fetch_add(1, std::memory_order_relaxed);
+    (void)handler(delivered);
+  }
+  if (draw.drop_response) {
+    st.faults_dropped_response.fetch_add(1, std::memory_order_relaxed);
+    return Unavailable("chaos: response from " + addr + "/" + request.method +
+                       " dropped in flight");
+  }
   // Responses ride the same protocol; count their payload too.
   st.payload_bytes.fetch_add(static_cast<int64_t>(response.payload.size()),
                              std::memory_order_relaxed);

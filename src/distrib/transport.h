@@ -17,6 +17,12 @@
 //
 // TransportStats counts those bytes so tests can verify the staging
 // behaviour; virtual-time costs are charged by the DES, not here.
+//
+// The router is also the fault-injection point for the fault-tolerance
+// layer: a seeded ChaosConfig schedule can drop, delay, duplicate or
+// corrupt any call, and Partition(addr) hard-fails an address until healed.
+// Clients recover via distrib/retry.h policies plus the servers' request-id
+// dedup (exactly-once for non-idempotent ops).
 #pragma once
 
 #include <atomic>
@@ -24,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "core/status.h"
@@ -39,6 +46,43 @@ struct TransportStats {
   std::atomic<int64_t> payload_bytes{0};
   std::atomic<int64_t> bytes_serialized{0};  // protobuf-encoded bytes
   std::atomic<int64_t> bytes_copied{0};      // staging + wire memcpy bytes
+  // Chaos fault counters (per protocol, all faults this transport injected).
+  std::atomic<int64_t> faults_dropped_request{0};
+  std::atomic<int64_t> faults_dropped_response{0};
+  std::atomic<int64_t> faults_duplicated{0};
+  std::atomic<int64_t> faults_delayed{0};
+  std::atomic<int64_t> faults_corrupted{0};
+  std::atomic<int64_t> faults_partition_refused{0};
+
+  int64_t total_faults() const {
+    return faults_dropped_request.load() + faults_dropped_response.load() +
+           faults_duplicated.load() + faults_delayed.load() +
+           faults_corrupted.load() + faults_partition_refused.load();
+  }
+  // Zeroes every counter (per-phase measurement without process restarts).
+  void Reset();
+};
+
+// A seeded, deterministic fault schedule: whether call #i is faulted — and
+// how — is a pure function of (seed, i), so chaos runs are reproducible.
+// Rates are independent probabilities evaluated per call.
+struct ChaosConfig {
+  uint64_t seed = 0;
+  // Drop the request before it reaches the handler (op NOT applied);
+  // caller sees kUnavailable.
+  double drop_request_rate = 0;
+  // Run the handler, then drop the response (op APPLIED, caller sees
+  // kUnavailable) — the case that makes blind retry at-least-twice and
+  // requires server-side dedup for exactly-once.
+  double drop_response_rate = 0;
+  // Deliver the request to the handler a second time (network duplication).
+  double duplicate_rate = 0;
+  // Sleep a deterministic duration in [1, max_delay_ms] before delivery.
+  double delay_rate = 0;
+  int64_t max_delay_ms = 5;
+  // Flip one payload byte in flight. Servers detect this via the envelope
+  // checksum and answer with retryable kUnavailable.
+  double corrupt_rate = 0;
 };
 
 // A service endpoint: handles one request, returns one response.
@@ -60,6 +104,9 @@ class InProcessRouter {
   const TransportStats& stats(WireProtocol proto) const {
     return stats_[static_cast<size_t>(proto)];
   }
+  // Zeroes all per-protocol counters so benches and chaos tests can measure
+  // per-phase traffic without process restarts.
+  void ResetStats();
 
   // Failure injection for tests: the next `times` calls matching (addr,
   // method) fail with `error` before reaching the handler. method "*"
@@ -68,6 +115,20 @@ class InProcessRouter {
                    Status error, int times = 1);
   // Drops all pending injected faults.
   void ClearFaults();
+
+  // -- chaos schedule ---------------------------------------------------------
+  // Installs a seeded fault schedule applied to every subsequent call (on
+  // top of InjectFault one-shots). Replaces any previous schedule.
+  void EnableChaos(const ChaosConfig& config);
+  void DisableChaos();
+  // Calls examined by the chaos schedule so far (the schedule's counter).
+  int64_t chaos_calls() const { return chaos_counter_.load(); }
+
+  // Hard partition: every call to `addr` is refused with kUnavailable until
+  // Heal(addr) — a lost rank, as opposed to the probabilistic drops above.
+  void Partition(const std::string& addr);
+  void Heal(const std::string& addr);
+  bool IsPartitioned(const std::string& addr) const;
 
  private:
   ServiceHandler LookupHandler(const std::string& addr);
@@ -81,9 +142,23 @@ class InProcessRouter {
     int remaining = 0;
   };
 
-  std::mutex mu_;
+  // The chaos decision for one call, drawn from Philox(seed)(call index).
+  struct ChaosDraw {
+    bool drop_request = false;
+    bool drop_response = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    int64_t delay_ms = 0;  // 0 = no delay
+  };
+  ChaosDraw DrawChaos();
+
+  mutable std::mutex mu_;
   std::map<std::string, ServiceHandler> handlers_;
   std::vector<Fault> faults_;
+  std::set<std::string> partitioned_;
+  bool chaos_enabled_ = false;
+  ChaosConfig chaos_;
+  std::atomic<int64_t> chaos_counter_{0};
   mutable TransportStats stats_[3];
 };
 

@@ -410,6 +410,8 @@ std::string RpcEnvelope::Serialize() const {
   co.WriteString(3, payload);
   if (status_code != 0) co.WriteInt64(4, status_code);
   if (!status_msg.empty()) co.WriteString(5, status_msg);
+  if (client_id != 0) co.WriteUInt64(6, client_id);
+  if (checksum != 0) co.WriteUInt64(7, checksum);
   return out;
 }
 
@@ -439,11 +441,28 @@ Result<RpcEnvelope> RpcEnvelope::Parse(const std::string& data) {
       case 5:
         TFHPC_RETURN_IF_ERROR(in.ReadString(&e.status_msg));
         break;
+      case 6:
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+        e.client_id = v;
+        break;
+      case 7:
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+        e.checksum = v;
+        break;
       default:
         TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
     }
   }
   return e;
+}
+
+uint64_t PayloadChecksum(const std::string& data) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
 }
 
 }  // namespace tfhpc::wire

@@ -93,9 +93,19 @@ struct RpcEnvelope {
   std::string payload;   // field 3 (method-specific serialized body)
   int32_t status_code = 0;  // field 4 (tfhpc::Code as int)
   std::string status_msg;   // field 5
+  // Fault-tolerance fields. (client_id, request_id) identifies one logical
+  // call: retried sends reuse the pair so servers can deduplicate
+  // non-idempotent ops. client_id == 0 means "no dedup" (legacy callers).
+  uint64_t client_id = 0;  // field 6
+  // FNV-1a of payload, set by clients so servers can reject frames corrupted
+  // in flight with a retryable error. 0 means "unchecked".
+  uint64_t checksum = 0;  // field 7
 
   std::string Serialize() const;
   static Result<RpcEnvelope> Parse(const std::string& data);
 };
+
+// FNV-1a 64-bit over `data` — the RpcEnvelope::checksum function.
+uint64_t PayloadChecksum(const std::string& data);
 
 }  // namespace tfhpc::wire

@@ -209,6 +209,78 @@ TEST_F(ServerTest, CloseQueueUnblocksDequeue) {
   EXPECT_EQ(r.status().code(), Code::kOutOfRange);
 }
 
+TEST_F(ServerTest, ClosedQueueDrainsThenOutOfRange) {
+  // TF's closed-queue contract: pending elements drain, then kOutOfRange.
+  auto c = Client("t01n01:8888");
+  ASSERT_TRUE(c.Enqueue("drainq", Tensor::Scalar(1.0)).ok());
+  ASSERT_TRUE(c.Enqueue("drainq", Tensor::Scalar(2.0)).ok());
+  ASSERT_TRUE(c.CloseQueue("drainq").ok());
+  EXPECT_DOUBLE_EQ(c.Dequeue("drainq")->scalar<double>(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Dequeue("drainq")->scalar<double>(), 2.0);
+  EXPECT_EQ(c.Dequeue("drainq").status().code(), Code::kOutOfRange);
+  // And it stays that way.
+  EXPECT_EQ(c.Dequeue("drainq").status().code(), Code::kOutOfRange);
+}
+
+TEST_F(ServerTest, EnqueueAfterCloseFailsCleanly) {
+  auto c = Client("t01n01:8888");
+  ASSERT_TRUE(c.Enqueue("closedq", Tensor::Scalar(1.0)).ok());
+  ASSERT_TRUE(c.CloseQueue("closedq").ok());
+  auto st = c.Enqueue("closedq", Tensor::Scalar(2.0));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Code::kCancelled);
+  // The element enqueued before the close is still drainable.
+  EXPECT_DOUBLE_EQ(c.Dequeue("closedq")->scalar<double>(), 1.0);
+}
+
+TEST_F(ServerTest, ConcurrentCloseVsDequeueNeverHangs) {
+  // Many consumers parked on an empty queue race a close: every dequeue
+  // must return (value or kOutOfRange), and nothing may hang. Repeated to
+  // shake out interleavings.
+  for (int round = 0; round < 5; ++round) {
+    const std::string q = "race_" + std::to_string(round);
+    constexpr int kConsumers = 4;
+    std::vector<std::thread> consumers;
+    std::vector<Status> results(kConsumers);
+    for (int i = 0; i < kConsumers; ++i) {
+      consumers.emplace_back([this, &results, i, q] {
+        results[i] = Client("t01n01:8888").Dequeue(q).status();
+      });
+    }
+    // One element for at most one consumer; then close under contention.
+    ASSERT_TRUE(Client("t01n01:8888").Enqueue(q, Tensor::Scalar(1.0)).ok());
+    ASSERT_TRUE(Client("t01n01:8888").CloseQueue(q).ok());
+    for (auto& t : consumers) t.join();
+    int got_value = 0;
+    for (const Status& st : results) {
+      if (st.ok()) {
+        ++got_value;
+      } else {
+        EXPECT_EQ(st.code(), Code::kOutOfRange) << st.ToString();
+      }
+    }
+    EXPECT_LE(got_value, 1);
+  }
+}
+
+TEST_F(ServerTest, ResetStatsZeroesAllProtocols) {
+  ASSERT_TRUE(Client("t01n01:8888", WireProtocol::kGrpc).Ping().ok());
+  ASSERT_TRUE(Client("t01n01:8888", WireProtocol::kMpi).Ping().ok());
+  EXPECT_GT(router_.stats(WireProtocol::kGrpc).calls.load(), 0);
+  router_.ResetStats();
+  for (WireProtocol p :
+       {WireProtocol::kGrpc, WireProtocol::kMpi, WireProtocol::kRdma}) {
+    EXPECT_EQ(router_.stats(p).calls.load(), 0) << WireProtocolName(p);
+    EXPECT_EQ(router_.stats(p).payload_bytes.load(), 0);
+    EXPECT_EQ(router_.stats(p).bytes_copied.load(), 0);
+    EXPECT_EQ(router_.stats(p).bytes_serialized.load(), 0);
+    EXPECT_EQ(router_.stats(p).total_faults(), 0);
+  }
+  // Stats keep counting after a reset (per-phase measurement).
+  ASSERT_TRUE(Client("t01n01:8888", WireProtocol::kRdma).Ping().ok());
+  EXPECT_EQ(router_.stats(WireProtocol::kRdma).calls.load(), 1);
+}
+
 TEST_F(ServerTest, ExtendGraphAndRunStep) {
   // Client builds a graph locally, ships it to worker 0, runs a step with a
   // feed — the TF client/worker split.

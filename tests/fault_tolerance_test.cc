@@ -1,0 +1,494 @@
+// Fault-tolerance layer tests: chaos transport schedules (drop / delay /
+// duplicate / corrupt / partition), retry policies with deadlines,
+// server-side request dedup (exactly-once for non-idempotent ops) and
+// DistributedSession step-level recovery with checkpoint restore.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/rng.h"
+#include "distrib/dist_session.h"
+#include "distrib/server.h"
+#include "graph/ops.h"
+
+namespace tfhpc::distrib {
+namespace {
+
+wire::ClusterDef FtCluster() {
+  wire::ClusterDef def;
+  wire::JobDef ps;
+  ps.name = "ps";
+  ps.task_addrs = {"ft-ps:1"};
+  wire::JobDef workers;
+  workers.name = "worker";
+  workers.task_addrs = {"ft-w0:1", "ft-w1:1"};
+  def.jobs = {ps, workers};
+  return def;
+}
+
+DeviceName WorkerDev() {
+  DeviceName d;
+  d.job = "worker";
+  d.task = 0;
+  return d;
+}
+
+// Chaos profile from the acceptance criteria: drops + duplicates + delays
+// at >= 10% aggregate fault rate, deterministic in the seed.
+ChaosConfig AcceptanceChaos(uint64_t seed) {
+  ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.drop_request_rate = 0.05;
+  chaos.drop_response_rate = 0.05;
+  chaos.duplicate_rate = 0.05;
+  chaos.delay_rate = 0.05;
+  chaos.max_delay_ms = 2;
+  chaos.corrupt_rate = 0.03;
+  return chaos;
+}
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = std::make_unique<ClusterSpec>(
+        ClusterSpec::Create(FtCluster()).value());
+    RetryPolicy send_retry = RetryPolicy::Aggressive(5000);
+    ServerDef ps_def{*spec_, "ps", 0, 0};
+    ServerDef w0_def{*spec_, "worker", 0, 0};
+    ServerDef w1_def{*spec_, "worker", 1, 0};
+    ps_def.send_retry = w0_def.send_retry = w1_def.send_retry = send_retry;
+    ps_ = Server::Create(ps_def, &router_).value();
+    w0_ = Server::Create(w0_def, &router_).value();
+    w1_ = Server::Create(w1_def, &router_).value();
+  }
+
+  InProcessRouter router_;
+  std::unique_ptr<ClusterSpec> spec_;
+  std::unique_ptr<Server> ps_, w0_, w1_;
+};
+
+// ---- retry policy unit behaviour ------------------------------------------------
+
+TEST(RetryPolicyTest, RetryableCodeClassification) {
+  EXPECT_TRUE(IsRetryableCode(Code::kUnavailable));
+  EXPECT_FALSE(IsRetryableCode(Code::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableCode(Code::kNotFound));
+  EXPECT_FALSE(IsRetryableCode(Code::kResourceExhausted));
+  EXPECT_FALSE(IsRetryableCode(Code::kCancelled));
+  EXPECT_FALSE(IsRetryableCode(Code::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryableCode(Code::kOk));
+}
+
+TEST(RetryPolicyTest, RetriesUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_ms = 0;
+  int calls = 0;
+  int64_t retries = 0;
+  Status st = CallWithRetry(
+      policy, 1,
+      [&]() -> Status {
+        return ++calls < 4 ? Unavailable("flaky") : Status::OK();
+      },
+      &retries);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(retries, 3);
+}
+
+TEST(RetryPolicyTest, NonRetryableSurfacesImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  int calls = 0;
+  Status st = CallWithRetry(policy, 1, [&]() -> Status {
+    ++calls;
+    return InvalidArgument("bad");
+  });
+  EXPECT_EQ(st.code(), Code::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, AttemptBudgetReturnsLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 0;
+  int calls = 0;
+  Status st = CallWithRetry(policy, 1, [&]() -> Status {
+    ++calls;
+    return Unavailable("always down");
+  });
+  EXPECT_EQ(st.code(), Code::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, DeadlineExpiryReturnsDeadlineExceeded) {
+  RetryPolicy policy = RetryPolicy::Aggressive(/*deadline_ms=*/150);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = CallWithRetry(policy, 1,
+                            [&]() -> Status { return Unavailable("down"); });
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_EQ(st.code(), Code::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 5000) << "deadline must bound the retry loop";
+}
+
+// ---- chaos transport ------------------------------------------------------------
+
+TEST(ChaosTransportTest, ScheduleIsDeterministicInSeed) {
+  // Two routers with the same seed inject the identical fault sequence.
+  auto run_schedule = [](uint64_t seed) {
+    InProcessRouter router;
+    EXPECT_TRUE(router
+                    .Register("c:1",
+                              [](const wire::RpcEnvelope& req) {
+                                wire::RpcEnvelope resp;
+                                resp.request_id = req.request_id;
+                                return resp;
+                              })
+                    .ok());
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.drop_request_rate = 0.2;
+    chaos.duplicate_rate = 0.1;
+    router.EnableChaos(chaos);
+    std::vector<bool> dropped;
+    for (int i = 0; i < 64; ++i) {
+      wire::RpcEnvelope req;
+      req.method = "Ping";
+      dropped.push_back(!router.Call("c:1", WireProtocol::kRdma, req).ok());
+    }
+    return dropped;
+  };
+  EXPECT_EQ(run_schedule(7), run_schedule(7));
+  EXPECT_NE(run_schedule(7), run_schedule(8));
+}
+
+TEST(ChaosTransportTest, StatsCountFaultsPerProtocolAndReset) {
+  InProcessRouter router;
+  ASSERT_TRUE(router
+                  .Register("c:1",
+                            [](const wire::RpcEnvelope& req) {
+                              wire::RpcEnvelope resp;
+                              resp.request_id = req.request_id;
+                              return resp;
+                            })
+                  .ok());
+  ChaosConfig chaos;
+  chaos.seed = 99;
+  chaos.drop_request_rate = 0.5;
+  router.EnableChaos(chaos);
+  for (int i = 0; i < 100; ++i) {
+    wire::RpcEnvelope req;
+    req.method = "Ping";
+    (void)router.Call("c:1", WireProtocol::kGrpc, req);
+  }
+  const TransportStats& st = router.stats(WireProtocol::kGrpc);
+  EXPECT_GT(st.faults_dropped_request.load(), 20);
+  EXPECT_LT(st.faults_dropped_request.load(), 80);
+  EXPECT_EQ(router.stats(WireProtocol::kRdma).total_faults(), 0);
+
+  router.ResetStats();
+  EXPECT_EQ(st.calls.load(), 0);
+  EXPECT_EQ(st.total_faults(), 0);
+}
+
+TEST_F(FaultToleranceTest, PartitionRefusesCallsUntilHealed) {
+  RemoteTask ps(&router_, "ft-ps:1", WireProtocol::kRdma);
+  ASSERT_TRUE(ps.Ping().ok());
+  router_.Partition("ft-ps:1");
+  EXPECT_TRUE(router_.IsPartitioned("ft-ps:1"));
+  EXPECT_EQ(ps.Ping().code(), Code::kUnavailable);
+  // Other tasks are unaffected.
+  EXPECT_TRUE(RemoteTask(&router_, "ft-w0:1", WireProtocol::kRdma).Ping().ok());
+  router_.Heal("ft-ps:1");
+  EXPECT_TRUE(ps.Ping().ok());
+  EXPECT_GT(
+      router_.stats(WireProtocol::kRdma).faults_partition_refused.load(), 0);
+}
+
+TEST_F(FaultToleranceTest, CorruptedPayloadIsRejectedNotApplied) {
+  ChaosConfig chaos;
+  chaos.seed = 5;
+  chaos.corrupt_rate = 1.0;  // corrupt every call
+  router_.EnableChaos(chaos);
+  RemoteTask ps(&router_, "ft-ps:1", WireProtocol::kGrpc);
+  auto st = ps.VarAssign("x", Tensor::Scalar(1.0));
+  EXPECT_EQ(st.code(), Code::kUnavailable);
+  EXPECT_GT(ps_->checksum_rejects(), 0);
+  router_.DisableChaos();
+  // The corrupted write was never applied.
+  EXPECT_EQ(ps.VarRead("x").status().code(), Code::kFailedPrecondition);
+}
+
+// ---- exactly-once under retry + duplication -------------------------------------
+
+TEST_F(FaultToleranceTest, LostResponseRetryDoesNotDoubleApply) {
+  // Every first response is dropped; with retry the op must apply once, not
+  // once per attempt.
+  ChaosConfig chaos;
+  chaos.seed = 11;
+  chaos.drop_response_rate = 0.5;
+  router_.EnableChaos(chaos);
+
+  RemoteTask ps(&router_, "ft-ps:1", WireProtocol::kRdma,
+                RetryPolicy::Aggressive(10000));
+  const int kPushes = 50;
+  for (int i = 0; i < kPushes; ++i) {
+    ASSERT_TRUE(ps.VarAssignAdd("acc", Tensor::Scalar(1.0)).ok());
+  }
+  router_.DisableChaos();
+  EXPECT_DOUBLE_EQ(ps.VarRead("acc")->scalar<double>(),
+                   static_cast<double>(kPushes));
+  // The chaos dropped some responses, so some retries replayed from cache.
+  EXPECT_GT(ps.retries(), 0);
+  EXPECT_GT(ps_->dedup_hits(), 0);
+}
+
+TEST_F(FaultToleranceTest, DuplicatedEnqueueAppliesOnce) {
+  ChaosConfig chaos;
+  chaos.seed = 23;
+  chaos.duplicate_rate = 1.0;  // every request delivered twice
+  router_.EnableChaos(chaos);
+
+  RemoteTask ps(&router_, "ft-ps:1", WireProtocol::kMpi);
+  const int kItems = 10;
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(
+        ps.Enqueue("dupq", Tensor::Scalar(static_cast<double>(i))).ok());
+  }
+  router_.DisableChaos();
+  ASSERT_TRUE(ps.CloseQueue("dupq").ok());
+  // Exactly kItems survive (each duplicate was deduped), in order.
+  for (int i = 0; i < kItems; ++i) {
+    auto r = ps.Dequeue("dupq");
+    ASSERT_TRUE(r.ok()) << "item " << i;
+    EXPECT_DOUBLE_EQ(r->scalar<double>(), static_cast<double>(i));
+  }
+  EXPECT_EQ(ps.Dequeue("dupq").status().code(), Code::kOutOfRange);
+  EXPECT_GE(ps_->dedup_hits(), kItems);
+}
+
+// ---- the acceptance scenario: STREAM + matmul step under chaos -------------------
+
+TEST_F(FaultToleranceTest, ChaoticStreamStepMatchesFaultFreeRun) {
+  // The paper's STREAM push: workers assign_add partial sums into a PS
+  // variable. Run it fault-free, then replay under a seeded chaos schedule
+  // (drops + duplicates + delays + corruption >= 10% aggregate) — the final
+  // variable must be numerically identical.
+  auto run_stream = [&](const std::string& var, bool chaotic) -> double {
+    if (chaotic) router_.EnableChaos(AcceptanceChaos(20260806));
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 2; ++w) {
+      workers.emplace_back([&, w] {
+        RemoteTask ps(&router_, "ft-ps:1", WireProtocol::kRdma,
+                      RetryPolicy::Aggressive(20000));
+        for (int i = 0; i < 40; ++i) {
+          Tensor delta = Tensor::FromVector(
+              std::vector<double>{1.0 * (w + 1), 0.5 * (i + 1)});
+          ASSERT_TRUE(ps.VarAssignAdd(var, delta).ok());
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    if (chaotic) router_.DisableChaos();
+    RemoteTask reader(&router_, "ft-ps:1", WireProtocol::kRdma,
+                      RetryPolicy::Aggressive(20000));
+    auto v = reader.VarRead(var);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v->data<double>()[0] + v->data<double>()[1];
+  };
+
+  const double clean = run_stream("stream_clean", false);
+  const double chaotic = run_stream("stream_chaos", true);
+  EXPECT_DOUBLE_EQ(clean, chaotic);
+  // The schedule actually faulted a nontrivial share of the traffic.
+  EXPECT_GT(router_.stats(WireProtocol::kRdma).total_faults(), 5);
+}
+
+TEST_F(FaultToleranceTest, ChaoticMatmulStepMatchesFaultFreeRun) {
+  // A cross-task matmul pipeline (x@w1 on worker 0, @w2 on worker 1) run
+  // through DistributedSession, fault-free vs chaotic: identical outputs.
+  const int64_t n = 12;
+  Tensor x(DType::kF32, Shape{n, n});
+  Tensor w1(DType::kF32, Shape{n, n});
+  Tensor w2(DType::kF32, Shape{n, n});
+  FillUniform(x, 101);
+  FillUniform(w1, 102, -0.1, 0.1);
+  FillUniform(w2, 103, -0.1, 0.1);
+
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto h = ops::MatMul(t0, ops::Const(t0, x), ops::Const(t0, w1));
+  auto y = ops::MatMul(t1, h, ops::Const(t1, w2));
+
+  auto session =
+      DistributedSession::Create(&router_, *spec_, WireProtocol::kRdma,
+                                 g.ToGraphDef(), WorkerDev());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  auto clean = (*session)->Run({}, {y.name()});
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  // A single step issues only a handful of RPCs (two RunSteps plus one
+  // rendezvous send), so run several chaotic steps to give the 23% schedule
+  // a wide enough window that drawing zero faults is astronomically unlikely.
+  router_.EnableChaos(AcceptanceChaos(424242));
+  StepRecoveryOptions recovery;
+  recovery.max_step_attempts = 8;
+  recovery.rpc_retry = RetryPolicy::Aggressive(20000);
+  const auto want = (*clean)[0].data<float>();
+  for (int step = 0; step < 8; ++step) {
+    FaultReport report;
+    auto chaotic = (*session)->Run({}, {y.name()}, recovery, &report);
+    ASSERT_TRUE(chaotic.ok()) << "step " << step << ": "
+                              << chaotic.status().ToString() << " "
+                              << report.ToString();
+    const auto got = (*chaotic)[0].data<float>();
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i], got[i])
+          << "step " << step << " index " << i;  // bitwise identical
+    }
+  }
+  router_.DisableChaos();
+  EXPECT_GT(router_.chaos_calls(), 20);
+  EXPECT_GT(router_.stats(WireProtocol::kRdma).total_faults(), 0);
+}
+
+// ---- deadlines: a lost rank fails the step, never hangs it -----------------------
+
+TEST_F(FaultToleranceTest, PartitionedTaskFailsRunWithDeadlineNotHang) {
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto a = ops::Const(t0, Tensor::Scalar(5.0), "a");
+  auto y = ops::Mul(t1, a, ops::Const(t1, Tensor::Scalar(2.0)));
+
+  auto session =
+      DistributedSession::Create(&router_, *spec_, WireProtocol::kRdma,
+                                 g.ToGraphDef(), WorkerDev());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  router_.Partition("ft-w0:1");
+  StepRecoveryOptions recovery;
+  recovery.max_step_attempts = 2;
+  recovery.rpc_retry = RetryPolicy::Aggressive(/*deadline_ms=*/300);
+  FaultReport report;
+  const auto start = std::chrono::steady_clock::now();
+  auto r = (*session)->Run({}, {y.name()}, recovery, &report);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kDeadlineExceeded)
+      << r.status().ToString();
+  EXPECT_EQ(report.final_status.code(), Code::kDeadlineExceeded);
+  EXPECT_EQ(report.failed_partition, "ft-w0:1");
+  EXPECT_EQ(report.step_attempts, 2);
+  EXPECT_FALSE(report.recovered);
+  // Two attempts, each deadline-bounded at 300ms, plus overhead: well under
+  // a hang. Generous bound for slow CI.
+  EXPECT_LT(elapsed_ms, 10000);
+
+  // Heal and re-run: the session recovered its tasks (abort/reset) and the
+  // same step now succeeds.
+  router_.Heal("ft-w0:1");
+  auto r2 = (*session)->Run({}, {y.name()});
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_DOUBLE_EQ((*r2)[0].scalar<double>(), 10.0);
+}
+
+// ---- step-level recovery with checkpoint restore ---------------------------------
+
+TEST_F(FaultToleranceTest, StepRecoveryRestoresVariablesAndReruns) {
+  // The step accumulates into a task-0 variable (AssignAdd) and fetches the
+  // result on task 1. A transient fault mid-step would double-accumulate on
+  // blind re-run; checkpoint restore makes the re-run start from the
+  // pre-step value, so the recovered result equals the fault-free one.
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto v = ops::Variable(t0, "acc", DType::kF64, Shape{});
+  auto bump = ops::AssignAdd(t0, v, ops::Const(t0, Tensor::Scalar(1.0)));
+  auto y = ops::Mul(t1, bump, ops::Const(t1, Tensor::Scalar(10.0)));
+
+  auto session =
+      DistributedSession::Create(&router_, *spec_, WireProtocol::kRdma,
+                                 g.ToGraphDef(), WorkerDev());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // Initialize acc = 5 on worker 0.
+  RemoteTask w0(&router_, "ft-w0:1", WireProtocol::kRdma);
+  ASSERT_TRUE(w0.VarAssign("acc", Tensor::Scalar(5.0)).ok());
+
+  const std::string ckpt =
+      ::testing::TempDir() + "/ft_step_recovery.ckpt";
+  std::remove(ckpt.c_str());
+
+  // Worker 0's step application fails once (after the AssignAdd may have
+  // run), then works. Recovery must restore acc=5 before the re-run.
+  router_.InjectFault("ft-w1:1", "RunStep", Unavailable("rank lost"), 1);
+  StepRecoveryOptions recovery;
+  recovery.max_step_attempts = 3;
+  recovery.rpc_retry = RetryPolicy::NoRetry();  // force step-level path
+  recovery.checkpoint_path = ckpt;
+  FaultReport report;
+  auto r = (*session)->Run({}, {y.name()}, recovery, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " " << report.ToString();
+
+  // Exactly one effective increment: (5+1)*10.
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 60.0);
+  EXPECT_DOUBLE_EQ(w0.VarRead("acc")->scalar<double>(), 6.0);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_TRUE(report.checkpoint_saved);
+  EXPECT_GT(report.variables_restored, 0);
+  EXPECT_EQ(report.step_attempts, 2);
+  EXPECT_EQ(report.first_error.code(), Code::kUnavailable);
+  std::remove(ckpt.c_str());
+}
+
+TEST_F(FaultToleranceTest, SemanticErrorsAreNotRetriedAtStepLevel) {
+  Graph g;
+  Scope s(&g);
+  ops::Const(s.WithDevice("/job:worker/task:0/cpu:0"), Tensor::Scalar(1.0),
+             "c");
+  auto session =
+      DistributedSession::Create(&router_, *spec_, WireProtocol::kRdma,
+                                 g.ToGraphDef(), WorkerDev());
+  ASSERT_TRUE(session.ok());
+  StepRecoveryOptions recovery;
+  recovery.max_step_attempts = 5;
+  FaultReport report;
+  auto r = (*session)->Run({}, {"ghost"}, recovery, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(report.step_attempts, 1) << "NotFound must not be re-attempted";
+}
+
+// ---- VarSnapshot / VarRestore wire surface --------------------------------------
+
+TEST_F(FaultToleranceTest, VarSnapshotRoundTripsThroughRestore) {
+  RemoteTask ps(&router_, "ft-ps:1", WireProtocol::kGrpc);
+  ASSERT_TRUE(ps.VarAssign("a", Tensor::Scalar(1.5)).ok());
+  ASSERT_TRUE(
+      ps.VarAssign("b", Tensor::FromVector(std::vector<double>{1, 2, 3}))
+          .ok());
+  auto snap = ps.VarSnapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap->size(), 2u);
+
+  ASSERT_TRUE(ps.VarAssign("a", Tensor::Scalar(-9.0)).ok());
+  ASSERT_TRUE(ps.VarRestore(*snap).ok());
+  EXPECT_DOUBLE_EQ(ps.VarRead("a")->scalar<double>(), 1.5);
+  EXPECT_DOUBLE_EQ(ps.VarRead("b")->data<double>()[2], 3.0);
+}
+
+}  // namespace
+}  // namespace tfhpc::distrib
