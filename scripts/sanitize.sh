@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under ThreadSanitizer and AddressSanitizer.
+#
+# The whole library is rebuilt instrumented (TFHPC_SANITIZE cache var, see the
+# root CMakeLists.txt) into build-tsan/ and build-asan/ next to the source
+# tree, so repeated runs are incremental. Usage:
+#
+#   scripts/sanitize.sh                 # both sanitizers, all tests
+#   scripts/sanitize.sh thread          # one sanitizer
+#   scripts/sanitize.sh both 'Liveness|JobRecovery'   # filter tests (ctest -R)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+which="${1:-both}"
+filter="${2:-}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+case "$which" in
+  thread|address) sanitizers=("$which") ;;
+  both) sanitizers=(thread address) ;;
+  *) echo "usage: $0 [thread|address|both] [ctest -R filter]" >&2; exit 2 ;;
+esac
+
+# Halt on the first report instead of logging and limping on: a sanitized
+# suite that "passes" with findings in the log is a false green.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 abort_on_error=1}"
+
+status=0
+for san in "${sanitizers[@]}"; do
+  build="$repo/build-${san:0:1}san"
+  echo "==== $san sanitizer -> $build ===="
+  cmake -B "$build" -S "$repo" -DTFHPC_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$build" -j "$jobs"
+  if ! (cd "$build" && ctest --output-on-failure -j "$jobs" \
+        ${filter:+-R "$filter"}); then
+    echo "==== $san sanitizer: FAILED ===="
+    status=1
+  else
+    echo "==== $san sanitizer: clean ===="
+  fi
+done
+exit $status

@@ -53,6 +53,36 @@ Result<std::string> ClusterSpec::TaskAddress(const std::string& job,
   return NotFound("no job '" + job + "' in cluster");
 }
 
+Result<std::pair<std::string, int>> ClusterSpec::FindTask(
+    const std::string& addr) const {
+  for (const auto& j : def_.jobs) {
+    for (size_t t = 0; t < j.task_addrs.size(); ++t) {
+      if (j.task_addrs[t] == addr) {
+        return std::make_pair(j.name, static_cast<int>(t));
+      }
+    }
+  }
+  return NotFound("no task at address '" + addr + "' in cluster");
+}
+
+Result<ClusterSpec> ClusterSpec::WithTaskReplaced(
+    const std::string& old_addr, const std::string& new_addr) const {
+  wire::ClusterDef def = def_;
+  bool replaced = false;
+  for (auto& j : def.jobs) {
+    for (auto& a : j.task_addrs) {
+      if (a == old_addr) {
+        a = new_addr;
+        replaced = true;
+      }
+    }
+  }
+  if (!replaced) {
+    return NotFound("no task at address '" + old_addr + "' to replace");
+  }
+  return Create(std::move(def));  // re-validates (uniqueness, ':' form)
+}
+
 int ClusterSpec::TotalTasks() const {
   int n = 0;
   for (const auto& j : def_.jobs) n += static_cast<int>(j.task_addrs.size());

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/status.h"
@@ -20,6 +21,15 @@ class ClusterSpec {
   int NumTasks(const std::string& job) const;
   Result<std::string> TaskAddress(const std::string& job, int task) const;
   int TotalTasks() const;
+
+  // Reverse lookup: the (job, task index) that owns `addr`.
+  Result<std::pair<std::string, int>> FindTask(const std::string& addr) const;
+
+  // A spec with `old_addr`'s slot reassigned to `new_addr` — job-level
+  // recovery replacing a dead worker with a spare. Task indices are stable:
+  // the spare assumes the failed slot, so device placements keep resolving.
+  Result<ClusterSpec> WithTaskReplaced(const std::string& old_addr,
+                                       const std::string& new_addr) const;
 
  private:
   explicit ClusterSpec(wire::ClusterDef def) : def_(std::move(def)) {}

@@ -1,13 +1,42 @@
 #include "distrib/dist_session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
-#include "io/checkpoint.h"
-
 namespace tfhpc::distrib {
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Marker appended to an evicted task's address when the cluster shrinks:
+// the slot stays (indices must not shift) but no server answers there.
+constexpr const char* kTombstoneSuffix = "#dead";
+
+bool IsTombstone(const std::string& addr) {
+  const std::string suffix = kTombstoneSuffix;
+  return addr.size() > suffix.size() &&
+         addr.compare(addr.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string WorkerFaultRecord::ToString() const {
+  std::string out = "WorkerFault{" + addr + " " + verdict;
+  if (!successor.empty()) {
+    out += shrunk ? ", shrunk_onto=" : ", replaced_by=";
+    out += successor;
+  }
+  out += ", detect_ms=" + std::to_string(detect_ms) +
+         ", recover_ms=" + std::to_string(recover_ms) + "}";
+  return out;
+}
 
 std::string FaultReport::ToString() const {
   std::string out = "FaultReport{attempts=" + std::to_string(step_attempts) +
@@ -17,6 +46,14 @@ std::string FaultReport::ToString() const {
   if (checkpoint_saved) out += ", checkpoint_saved";
   if (variables_restored > 0) {
     out += ", vars_restored=" + std::to_string(variables_restored);
+  }
+  if (workers_evicted > 0) {
+    out += ", evicted=" + std::to_string(workers_evicted);
+    for (const auto& f : worker_faults) out += ", " + f.ToString();
+    out += ", mttr_ms=" + std::to_string(mttr_ms);
+  }
+  if (checkpoint_restored_version > 0) {
+    out += ", restored_version=" + std::to_string(checkpoint_restored_version);
   }
   out += recovered ? ", recovered" : ", not_recovered";
   out += ", final=" + final_status.ToString() + "}";
@@ -31,18 +68,63 @@ Result<std::unique_ptr<DistributedSession>> DistributedSession::Create(
   TFHPC_ASSIGN_OR_RETURN(PartitionResult parts,
                          PartitionGraph(*graph, cluster, default_device));
 
-  std::unique_ptr<DistributedSession> session(
-      new DistributedSession(router, protocol));
-  session->node_task_ = std::move(parts.node_task);
-  for (auto& [addr, part_def] : parts.partitions) {
-    RemoteTask task(router, addr, protocol);
-    TFHPC_RETURN_IF_ERROR(task.ExtendGraph(part_def));
+  std::unique_ptr<DistributedSession> session(new DistributedSession(
+      router, protocol, cluster, def, default_device));
+  TFHPC_RETURN_IF_ERROR(
+      session->ShipPartitions(parts, RetryPolicy::NoRetry()));
+  return session;
+}
+
+Status DistributedSession::ShipPartitions(const PartitionResult& parts,
+                                          const RetryPolicy& retry) {
+  // Pass 1 (no side effects): per address, split each partition into nodes
+  // the server already holds and nodes it still needs. A rebuild that would
+  // have to *change* a node already extended into a server graph is
+  // unshippable — graphs are append-only — so reject it up front. This is
+  // what makes shrink re-placement safe: an adoptive task whose existing
+  // nodes would be rewired (e.g. it consumed the dead task's outputs via a
+  // _Recv that re-placement turns into a direct edge) produces a clear
+  // error instead of silently diverging from the shipped graph.
+  std::map<std::string, wire::GraphDef> deltas;
+  for (const auto& [addr, part_def] : parts.partitions) {
+    const auto shipped = shipped_.find(addr);
+    wire::GraphDef delta;
+    for (const auto& nd : part_def.nodes) {
+      if (shipped != shipped_.end()) {
+        auto prev = shipped->second.find(nd.name);
+        if (prev != shipped->second.end()) {
+          if (!(prev->second == nd)) {
+            return FailedPrecondition(
+                "rebuild would modify already-shipped node '" + nd.name +
+                "' on " + addr +
+                " (re-placement rewired one of its edges); this shrink "
+                "target cannot adopt the evicted task's nodes");
+          }
+          continue;  // already on the server, unchanged
+        }
+      }
+      delta.nodes.push_back(nd);
+    }
+    if (!delta.nodes.empty()) deltas.emplace(addr, std::move(delta));
+  }
+
+  // Pass 2: ship the per-address deltas and commit the bookkeeping.
+  for (auto& [addr, delta] : deltas) {
+    RemoteTask task(router_, addr, protocol_, retry);
+    TFHPC_RETURN_IF_ERROR(task.ExtendGraph(delta));
+    auto& have = shipped_[addr];
+    for (auto& nd : delta.nodes) have.emplace(nd.name, nd);
+  }
+
+  partitions_.clear();
+  for (const auto& [addr, part_def] : parts.partitions) {
     Partition p;
     p.addr = addr;
     for (const auto& nd : part_def.nodes) p.all_nodes.push_back(nd.name);
-    session->partitions_.push_back(std::move(p));
+    partitions_.push_back(std::move(p));
   }
-  return session;
+  node_task_ = parts.node_task;
+  return Status::OK();
 }
 
 Result<std::string> DistributedSession::TaskOf(
@@ -50,6 +132,16 @@ Result<std::string> DistributedSession::TaskOf(
   auto it = node_task_.find(node_name);
   if (it == node_task_.end()) return NotFound("unknown node " + node_name);
   return it->second;
+}
+
+std::string DistributedSession::ResolveAddr(std::string addr) const {
+  // Chains: w0 died onto spare1, spare1 died onto spare2, ...
+  for (size_t hops = 0; hops <= addr_remap_.size(); ++hops) {
+    auto it = addr_remap_.find(addr);
+    if (it == addr_remap_.end()) return addr;
+    addr = it->second;
+  }
+  return addr;
 }
 
 Result<std::vector<Tensor>> DistributedSession::Run(
@@ -60,8 +152,10 @@ Result<std::vector<Tensor>> DistributedSession::Run(
 
 Result<std::vector<Tensor>> DistributedSession::RunOnce(
     const std::map<std::string, Tensor>& feeds,
-    const std::vector<std::string>& fetches, const RetryPolicy& rpc_retry,
-    int64_t* rpc_retries, std::string* failed_partition) {
+    const std::vector<std::string>& fetches,
+    const StepRecoveryOptions& recovery, int64_t* rpc_retries,
+    std::string* failed_partition, std::string* fenced_addr,
+    int64_t* fence_detect_ms) {
   // Route feeds and fetches to their owning partitions.
   struct StepPlan {
     std::map<std::string, Tensor> feeds;
@@ -98,6 +192,7 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
   // on every peer so the whole Run unwinds instead of hanging.
   std::vector<Tensor> results(fetches.size());
   std::vector<Status> status(partitions_.size());
+  std::vector<char> part_done(partitions_.size(), 0);
   std::mutex mu;
   std::condition_variable cv;
   size_t done = 0;
@@ -108,7 +203,7 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
     threads.emplace_back([&, pi] {
       const Partition& part = partitions_[pi];
       const StepPlan& plan = plans[part.addr];
-      RemoteTask task(router_, part.addr, protocol_, rpc_retry);
+      RemoteTask task(router_, part.addr, protocol_, recovery.rpc_retry);
       Status st;
       auto r = task.RunStep(plan.feeds, plan.fetches, part.all_nodes);
       if (!r.ok()) {
@@ -123,6 +218,7 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
       std::lock_guard<std::mutex> lk(mu);
       if (rpc_retries != nullptr) *rpc_retries += task.retries();
       status[pi] = std::move(st);
+      part_done[pi] = 1;
       ++done;
       if (!status[pi].ok()) failed = true;
       cv.notify_all();
@@ -131,7 +227,43 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
 
   {
     std::unique_lock<std::mutex> lk(mu);
-    cv.wait(lk, [&] { return done == partitions_.size() || failed; });
+    const auto all_done = [&] { return done == partitions_.size() || failed; };
+    const bool watchdog_armed =
+        recovery.stuck_step_timeout_ms > 0 && recovery.health != nullptr;
+    if (!watchdog_armed) {
+      cv.wait(lk, all_done);
+    } else {
+      // Stuck-step watchdog: a partition past the step timeout is either
+      // hung or merely slow. The lease verdict distinguishes them — a DEAD
+      // laggard is fenced (Kill aborts its in-flight RPCs, including calls
+      // parked inside a Hang), an ALIVE one is left to finish. Verdicts
+      // come from the HealthMonitor, never from this thread blocking.
+      const int64_t started_ms = SteadyNowMs();
+      std::set<std::string> fenced;
+      while (!all_done()) {
+        cv.wait_for(lk,
+                    std::chrono::milliseconds(
+                        std::max<int64_t>(1, recovery.watchdog_poll_ms)),
+                    all_done);
+        if (all_done()) break;
+        const int64_t elapsed = SteadyNowMs() - started_ms;
+        if (elapsed < recovery.stuck_step_timeout_ms) continue;
+        for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+          if (part_done[pi]) continue;
+          const std::string addr = partitions_[pi].addr;
+          if (fenced.count(addr)) continue;
+          if (recovery.health->health(addr) != TaskHealth::kDead) continue;
+          fenced.insert(addr);
+          lk.unlock();
+          router_->Kill(addr);  // fence: releases the stuck RunStep
+          lk.lock();
+          if (fenced_addr != nullptr && fenced_addr->empty()) {
+            *fenced_addr = addr;
+            if (fence_detect_ms != nullptr) *fence_detect_ms = elapsed;
+          }
+        }
+      }
+    }
     if (failed && done < partitions_.size()) {
       // Cancel stragglers; their RunSteps fail with Cancelled and unwind.
       // Control RPCs go without retry: a dead task's abort must not burn
@@ -176,6 +308,143 @@ void DistributedSession::AbortAndResetAllTasks() {
   }
 }
 
+Result<std::map<std::string, Tensor>> DistributedSession::SnapshotAllTasks(
+    const RetryPolicy& retry, int64_t* rpc_retries) {
+  std::map<std::string, Tensor> snapshot;
+  for (const Partition& part : partitions_) {
+    RemoteTask task(router_, part.addr, protocol_, retry);
+    auto vars = task.VarSnapshot();
+    if (rpc_retries != nullptr) *rpc_retries += task.retries();
+    TFHPC_RETURN_IF_ERROR(vars.status());
+    for (auto& [name, tensor] : *vars) {
+      snapshot.emplace(part.addr + "|" + name, std::move(tensor));
+    }
+  }
+  return snapshot;
+}
+
+void DistributedSession::RestoreSnapshotMap(
+    const std::map<std::string, Tensor>& snapshot, const RetryPolicy& retry,
+    FaultReport* report) {
+  // Snapshot keys name the task that owned each variable when the snapshot
+  // was taken; eviction may have moved that slot since. Resolve through the
+  // remap chain so a dead worker's state lands on its successor.
+  std::set<std::string> current;
+  for (const Partition& part : partitions_) current.insert(part.addr);
+
+  std::map<std::string, std::map<std::string, Tensor>> per_task;
+  for (const auto& [key, tensor] : snapshot) {
+    const size_t bar = key.find('|');
+    if (bar == std::string::npos) continue;
+    const std::string addr = ResolveAddr(key.substr(0, bar));
+    if (!current.count(addr)) continue;  // no surviving owner for this slot
+    per_task[addr].emplace(key.substr(bar + 1), tensor);
+  }
+  for (const auto& [addr, vars] : per_task) {
+    RemoteTask task(router_, addr, protocol_, retry);
+    if (task.VarRestore(vars).ok() && report != nullptr) {
+      report->variables_restored += static_cast<int>(vars.size());
+    }
+    if (report != nullptr) report->rpc_retries += task.retries();
+  }
+}
+
+Result<int64_t> DistributedSession::SaveDurableCheckpoint(
+    io::CheckpointManager* manager, const RetryPolicy& retry) {
+  auto snapshot = SnapshotAllTasks(retry, nullptr);
+  TFHPC_RETURN_IF_ERROR(snapshot.status());
+  return manager->Save(*snapshot);
+}
+
+Status DistributedSession::EvictAndRebuild(const std::string& dead_addr,
+                                           const StepRecoveryOptions& recovery,
+                                           WorkerFaultRecord* record) {
+  // Fence first: even if the worker is a zombie (hung, then wakes up), its
+  // address is dead to the cluster from here on. Idempotent.
+  router_->Kill(dead_addr);
+  if (recovery.health != nullptr) recovery.health->Unwatch(dead_addr);
+  shipped_.erase(dead_addr);
+
+  // Prefer a hot spare: the slot keeps its (job, task) identity, so every
+  // survivor's nodes — including rendezvous keys, which embed the *consumer
+  // address* but never the producer's — are untouched; only new send nodes
+  // targeting the spare are shipped.
+  std::string spare;
+  for (const std::string& s : recovery.spare_addrs) {
+    if (s.empty() || addr_remap_.count(s)) continue;   // already consumed+died
+    if (cluster_.FindTask(s).ok()) continue;           // already in the cluster
+    spare = s;
+    break;
+  }
+
+  Result<ClusterSpec> rebuilt = [&]() -> Result<ClusterSpec> {
+    if (!spare.empty()) return cluster_.WithTaskReplaced(dead_addr, spare);
+    if (!recovery.allow_shrink) {
+      return FailedPrecondition(
+          "worker " + dead_addr +
+          " is dead, no spare is available and shrink is disabled");
+    }
+    // Shrink: tombstone the slot (indices must not shift — device strings
+    // and shipped partitions address tasks by index) and re-place the dead
+    // task's nodes on a surviving task of the same job.
+    return cluster_.WithTaskReplaced(dead_addr, dead_addr + kTombstoneSuffix);
+  }();
+  TFHPC_RETURN_IF_ERROR(rebuilt.status());
+
+  std::string successor = spare;
+  if (spare.empty()) {
+    // Pick the adoptive task: first live non-tombstone task in the dead
+    // worker's job, else any surviving task.
+    TFHPC_ASSIGN_OR_RETURN(auto job_task, cluster_.FindTask(dead_addr));
+    std::string adoptive;
+    for (const auto& job : rebuilt->def().jobs) {
+      for (const auto& a : job.task_addrs) {
+        if (a == dead_addr || IsTombstone(a) || addr_remap_.count(a)) continue;
+        if (adoptive.empty()) adoptive = a;
+        if (job.name == job_task.first) {
+          adoptive = a;
+          goto picked;
+        }
+      }
+    }
+  picked:
+    if (adoptive.empty()) {
+      return FailedPrecondition("no surviving task to shrink onto after " +
+                                dead_addr + " died");
+    }
+    TFHPC_ASSIGN_OR_RETURN(auto adoptive_slot, rebuilt->FindTask(adoptive));
+    // Re-place the dead task's nodes: rewrite their device strings to the
+    // adoptive slot, preserving device type/index where specified.
+    for (auto& nd : def_.nodes) {
+      auto owner = node_task_.find(nd.name);
+      if (owner == node_task_.end() || owner->second != dead_addr) continue;
+      TFHPC_ASSIGN_OR_RETURN(DeviceName dev, DeviceName::Parse(nd.device));
+      dev.job = adoptive_slot.first;
+      dev.task = adoptive_slot.second;
+      nd.device = dev.ToString();
+    }
+    successor = adoptive;
+    record->shrunk = true;
+  }
+  record->successor = successor;
+
+  cluster_ = std::move(*rebuilt);
+  addr_remap_[dead_addr] = successor;
+
+  // Re-partition the (possibly re-placed) graph against the rebuilt cluster
+  // and ship the diff: survivors receive only nodes they don't have yet.
+  TFHPC_ASSIGN_OR_RETURN(std::unique_ptr<Graph> graph,
+                         Graph::FromGraphDef(def_));
+  TFHPC_ASSIGN_OR_RETURN(PartitionResult parts,
+                         PartitionGraph(*graph, cluster_, default_device_));
+  TFHPC_RETURN_IF_ERROR(ShipPartitions(parts, recovery.rpc_retry));
+
+  if (recovery.health != nullptr && !spare.empty()) {
+    recovery.health->Watch(spare);
+  }
+  return Status::OK();
+}
+
 Result<std::vector<Tensor>> DistributedSession::Run(
     const std::map<std::string, Tensor>& feeds,
     const std::vector<std::string>& fetches,
@@ -188,20 +457,12 @@ Result<std::vector<Tensor>> DistributedSession::Run(
   // anything, so every re-attempt restarts from a consistent state even if
   // attempt #1 half-applied its updates.
   if (!recovery.checkpoint_path.empty()) {
-    std::map<std::string, Tensor> snapshot;
-    for (const Partition& part : partitions_) {
-      RemoteTask task(router_, part.addr, protocol_, recovery.rpc_retry);
-      auto vars = task.VarSnapshot();
-      rep.rpc_retries += task.retries();
-      if (!vars.ok()) {
-        rep.final_status = vars.status();
-        return vars.status();
-      }
-      for (auto& [name, tensor] : *vars) {
-        snapshot.emplace(part.addr + "|" + name, std::move(tensor));
-      }
+    auto snapshot = SnapshotAllTasks(recovery.rpc_retry, &rep.rpc_retries);
+    if (!snapshot.ok()) {
+      rep.final_status = snapshot.status();
+      return snapshot.status();
     }
-    Status st = io::SaveCheckpoint(recovery.checkpoint_path, snapshot);
+    Status st = io::SaveCheckpoint(recovery.checkpoint_path, *snapshot);
     if (!st.ok()) {
       rep.final_status = st;
       return st;
@@ -213,11 +474,24 @@ Result<std::vector<Tensor>> DistributedSession::Run(
   for (int attempt = 1;; ++attempt) {
     rep.step_attempts = attempt;
     std::string failed_partition;
-    auto r = RunOnce(feeds, fetches, recovery.rpc_retry, &rep.rpc_retries,
-                     &failed_partition);
+    std::string fenced_addr;
+    int64_t fence_detect_ms = 0;
+    auto r = RunOnce(feeds, fetches, recovery, &rep.rpc_retries,
+                     &failed_partition, &fenced_addr, &fence_detect_ms);
     if (r.ok()) {
       rep.recovered = attempt > 1;
       rep.final_status = Status::OK();
+      ++steps_completed_;
+      if (recovery.checkpoints != nullptr &&
+          recovery.checkpoint_every_n_steps > 0 &&
+          steps_completed_ % recovery.checkpoint_every_n_steps == 0) {
+        // Off the step path: snapshot now, write in the background.
+        auto snap = SnapshotAllTasks(recovery.rpc_retry, &rep.rpc_retries);
+        if (snap.ok()) {
+          recovery.checkpoints->SaveAsync(std::move(*snap));
+          rep.checkpoint_saved = true;
+        }
+      }
       return r;
     }
     if (rep.first_error.ok()) {
@@ -240,28 +514,88 @@ Result<std::vector<Tensor>> DistributedSession::Run(
       return r.status();
     }
 
-    // Recovery path: restore variables from the checkpoint, then re-run.
-    if (rep.checkpoint_saved) {
+    // Job-level recovery: when the lease protocol confirms the failed
+    // worker DEAD, evict it and restore durable state. A transient fault
+    // (chaos drop, slow link) never reaches a DEAD verdict inside
+    // dead_verdict_wait_ms, so it stays on the cheap step-retry path.
+    if (recovery.health != nullptr) {
+      // Conviction scans every current partition, not just the one whose
+      // error was chosen as the root cause: when a worker dies mid-step,
+      // the survivors' rendezvous sends to it usually hit their deadline
+      // first and the step failure is attributed to an ALIVE task. Only
+      // tasks the monitor actually leases can be convicted; an unwatched
+      // address yields no evidence either way.
+      const int64_t wait_start = SteadyNowMs();
+      std::vector<std::string> dead;
+      for (;;) {
+        dead.clear();
+        for (const Partition& p : partitions_) {
+          if (addr_remap_.count(p.addr)) continue;
+          if (recovery.health->lease_age_ms(p.addr) < 0) continue;
+          if (recovery.health->health(p.addr) == TaskHealth::kDead) {
+            dead.push_back(p.addr);
+          }
+        }
+        if (!dead.empty()) break;
+        if (SteadyNowMs() - wait_start >= recovery.dead_verdict_wait_ms) {
+          break;  // nobody provably dead: treat the failure as transient
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      const int64_t waited = SteadyNowMs() - wait_start;
+      bool evicted_any = false;
+      for (const std::string& addr : dead) {
+        WorkerFaultRecord rec;
+        rec.addr = addr;
+        if (addr == fenced_addr) {
+          rec.verdict = "hung";  // watchdog fenced it mid-step
+          rec.detect_ms = fence_detect_ms;
+        } else {
+          // Instant verdict = the lease had already expired when the step
+          // failed; a delayed one = the failure beat the detector.
+          rec.verdict = waited <= 2 ? "lease-expired" : "fail-stop";
+          rec.detect_ms = waited;
+        }
+        const int64_t recover_start = SteadyNowMs();
+        Status st = EvictAndRebuild(addr, recovery, &rec);
+        if (!st.ok()) {
+          rep.final_status = st;
+          return st;
+        }
+        rec.recover_ms = SteadyNowMs() - recover_start;
+        rep.worker_faults.push_back(rec);
+        evicted_any = true;
+      }
+      if (evicted_any) {
+        rep.workers_evicted = static_cast<int>(rep.worker_faults.size());
+        // Roll every task back to the newest durable checkpoint so the
+        // successors start from the same state the survivors re-run from.
+        if (recovery.checkpoints != nullptr) {
+          int64_t version = 0;
+          auto loaded = recovery.checkpoints->RestoreLatest(&version);
+          if (loaded.ok()) {
+            RestoreSnapshotMap(*loaded, recovery.rpc_retry, &rep);
+            rep.checkpoint_restored_version = version;
+          }
+        }
+        int64_t total = 0;
+        for (const auto& f : rep.worker_faults) {
+          total += f.detect_ms + f.recover_ms;
+        }
+        rep.mttr_ms = total / static_cast<int64_t>(rep.worker_faults.size());
+      }
+    }
+
+    // Step-snapshot restore: the pre-step snapshot is at least as fresh as
+    // any durable checkpoint, so it wins when both exist (its keys are
+    // remapped onto successors the same way).
+    if (rep.checkpoint_saved && !recovery.checkpoint_path.empty()) {
       auto loaded = io::LoadCheckpoint(recovery.checkpoint_path);
       if (!loaded.ok()) {
         rep.final_status = loaded.status();
         return loaded.status();
       }
-      for (const Partition& part : partitions_) {
-        std::map<std::string, Tensor> task_vars;
-        const std::string prefix = part.addr + "|";
-        for (const auto& [key, tensor] : *loaded) {
-          if (key.rfind(prefix, 0) == 0) {
-            task_vars.emplace(key.substr(prefix.size()), tensor);
-          }
-        }
-        if (task_vars.empty()) continue;
-        RemoteTask task(router_, part.addr, protocol_, recovery.rpc_retry);
-        if (task.VarRestore(task_vars).ok()) {
-          rep.variables_restored += static_cast<int>(task_vars.size());
-        }
-        rep.rpc_retries += task.retries();
-      }
+      RestoreSnapshotMap(*loaded, recovery.rpc_retry, &rep);
     }
   }
 }

@@ -10,24 +10,39 @@
 // (no cross-partition pruning), which keeps send/recv pairs matched by
 // construction.
 //
-// Fault tolerance: Run can re-attempt a step that failed with a transient
-// fault (lost rank, dropped messages). Recovery unwinds in-flight _Recvs on
-// every task (AbortStep), returns the rendezvous to a clean state
-// (ResetStep), optionally restores variables from an io::checkpoint
-// snapshot taken before the first attempt, and re-runs — up to a
-// configurable budget. A FaultReport records what failed and which recovery
-// path was taken.
+// Fault tolerance, two levels:
+//
+//  * Step-level (PR 1): Run re-attempts a step that failed with a transient
+//    fault. Recovery unwinds in-flight _Recvs on every task (AbortStep),
+//    returns the rendezvous to a clean state (ResetStep), optionally
+//    restores variables from a pre-step snapshot, and re-runs — up to a
+//    configurable budget.
+//
+//  * Job-level (PR 2): when a HealthMonitor's lease protocol declares a
+//    worker DEAD — fail-stop crash or a hang caught by the stuck-step
+//    watchdog — the session evicts it: fences the address
+//    (InProcessRouter::Kill), rebuilds the ClusterSpec (a spare assumes the
+//    failed slot, or the cluster shrinks and the dead task's nodes are
+//    re-placed on a survivor), re-partitions and diff-ships the graph,
+//    restores all tasks from the newest durable checkpoint
+//    (io::CheckpointManager), and resumes the step loop. A FaultReport
+//    records per-worker attribution (verdict, successor, detection and
+//    recovery latency) and the run's MTTR.
 #pragma once
 
 #include <memory>
+#include <set>
 
 #include "distrib/client.h"
+#include "distrib/health.h"
 #include "distrib/partition.h"
+#include "io/checkpoint.h"
 
 namespace tfhpc::distrib {
 
 // Knobs for fault-tolerant Run. The defaults reproduce the historical
-// fail-fast behaviour (one attempt, no RPC retries, no checkpointing).
+// fail-fast behaviour (one attempt, no RPC retries, no checkpointing, no
+// liveness-driven eviction).
 struct StepRecoveryOptions {
   // Total step attempts (1 = no step-level recovery).
   int max_step_attempts = 1;
@@ -40,6 +55,44 @@ struct StepRecoveryOptions {
   // variable updates re-runs from consistent state. Keys are
   // "<task addr>|<var name>" — names may repeat across tasks.
   std::string checkpoint_path;
+
+  // ---- job-level recovery (liveness-driven) --------------------------------
+  // Lease verdicts for the watchdog and for eviction decisions. Without a
+  // monitor, failed workers are only retried, never evicted.
+  HealthMonitor* health = nullptr;
+  // Durable checkpoint source/target. Periodic saves feed it; job-level
+  // recovery restores all tasks from its newest restorable version.
+  io::CheckpointManager* checkpoints = nullptr;
+  // Save a checkpoint (async) every N successful steps; 0 disables.
+  int checkpoint_every_n_steps = 0;
+  // Hot-standby addresses, consumed in order. Each spare must already be a
+  // Server registered on the router and provisioned for the job/task slot
+  // it may assume (its devices resolve that slot's placements).
+  std::vector<std::string> spare_addrs;
+  // With no spare left: tombstone the dead slot and re-place its nodes on a
+  // surviving task of the same job (shrink). Indices do not shift.
+  bool allow_shrink = false;
+  // Stuck-step watchdog: when a partition has not finished after this long,
+  // consult `health` — a DEAD laggard is fenced (its blocked RPCs abort), a
+  // merely-slow ALIVE one is left to finish. 0 disables the watchdog.
+  int64_t stuck_step_timeout_ms = 0;
+  int64_t watchdog_poll_ms = 10;
+  // After a partition fails, how long to wait for the monitor to confirm a
+  // DEAD verdict before treating the failure as transient (step retry).
+  int64_t dead_verdict_wait_ms = 1000;
+};
+
+// One evicted worker: who, why, who took over, how long detection and
+// recovery took.
+struct WorkerFaultRecord {
+  std::string addr;
+  std::string verdict;      // "fail-stop" | "hung" | "lease-expired"
+  std::string successor;    // spare or adoptive task addr; "" if none
+  bool shrunk = false;      // true when the slot was tombstoned, not filled
+  int64_t detect_ms = 0;    // step-failure (or step-start) to DEAD verdict
+  int64_t recover_ms = 0;   // evict + rebuild + re-ship + restore
+
+  std::string ToString() const;
 };
 
 // What happened to one fault-tolerant Run: which partition failed first,
@@ -53,6 +106,14 @@ struct FaultReport {
   std::string failed_partition;  // task addr of the first failure (if any)
   Status first_error;            // root cause of the first failed attempt
   Status final_status;           // what Run returned
+
+  // Job-level recovery attribution.
+  std::vector<WorkerFaultRecord> worker_faults;
+  int workers_evicted = 0;
+  int64_t checkpoint_restored_version = 0;  // durable version used; 0 = none
+  // Mean time to recover across this Run's eviction incidents
+  // (detect_ms + recover_ms averaged); 0 when nothing was evicted.
+  int64_t mttr_ms = 0;
 
   std::string ToString() const;
 };
@@ -71,20 +132,36 @@ class DistributedSession {
   Result<std::vector<Tensor>> Run(const std::map<std::string, Tensor>& feeds,
                                   const std::vector<std::string>& fetches);
 
-  // Fault-tolerant Run: same contract, plus step-level recovery under
+  // Fault-tolerant Run: same contract, plus step-level recovery and
+  // (when `recovery.health` is set) job-level eviction/restore under
   // `recovery`. If `report` is non-null it is filled in either way.
   Result<std::vector<Tensor>> Run(const std::map<std::string, Tensor>& feeds,
                                   const std::vector<std::string>& fetches,
                                   const StepRecoveryOptions& recovery,
                                   FaultReport* report);
 
+  // Snapshots every task's variables into `manager` now (synchronously).
+  // Returns the version written. The step loop's periodic checkpoints use
+  // the async path; this is for seeding and tests.
+  Result<int64_t> SaveDurableCheckpoint(io::CheckpointManager* manager,
+                                        const RetryPolicy& retry);
+
   int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  const ClusterSpec& cluster() const { return cluster_; }
+  // Successful fault-tolerant steps completed (drives checkpoint cadence).
+  int64_t steps_completed() const { return steps_completed_; }
   // Owning task of a node (tests / diagnostics).
   Result<std::string> TaskOf(const std::string& node_name) const;
 
  private:
-  DistributedSession(InProcessRouter* router, WireProtocol protocol)
-      : router_(router), protocol_(protocol) {}
+  DistributedSession(InProcessRouter* router, WireProtocol protocol,
+                     ClusterSpec cluster, wire::GraphDef def,
+                     DeviceName default_device)
+      : router_(router),
+        protocol_(protocol),
+        cluster_(std::move(cluster)),
+        def_(std::move(def)),
+        default_device_(default_device) {}
 
   struct Partition {
     std::string addr;
@@ -92,21 +169,60 @@ class DistributedSession {
   };
 
   // One step attempt across all partitions. On failure, fills
-  // *failed_partition with the first failing task's address.
+  // *failed_partition with the first failing task's address. When the
+  // watchdog is armed (recovery.stuck_step_timeout_ms > 0 with a health
+  // monitor), a DEAD laggard is fenced mid-step; *fenced_addr/*detect_ms
+  // report it.
   Result<std::vector<Tensor>> RunOnce(
       const std::map<std::string, Tensor>& feeds,
-      const std::vector<std::string>& fetches, const RetryPolicy& rpc_retry,
-      int64_t* rpc_retries, std::string* failed_partition);
+      const std::vector<std::string>& fetches,
+      const StepRecoveryOptions& recovery, int64_t* rpc_retries,
+      std::string* failed_partition, std::string* fenced_addr,
+      int64_t* fence_detect_ms);
 
   // Unwinds a failed step on every task: AbortStep (wake parked _Recvs),
   // then ResetStep (clean rendezvous). Errors from unreachable tasks are
   // ignored — a partitioned task is reset when it heals or re-fails fast.
   void AbortAndResetAllTasks();
 
+  // Ships `parts` to the cluster: new nodes are ExtendGraph'd (per-address
+  // diff against what was already shipped), partitions_/node_task_ are
+  // rebuilt. Rejects a rebuild that would need to *modify* an
+  // already-shipped node (only possible via shrink re-placement).
+  Status ShipPartitions(const PartitionResult& parts,
+                        const RetryPolicy& retry);
+
+  // Evicts `dead_addr`: fence, rebuild the ClusterSpec (spare or shrink),
+  // re-partition + diff-ship, update the health watch set. Fills
+  // *record.successor/shrunk.
+  Status EvictAndRebuild(const std::string& dead_addr,
+                         const StepRecoveryOptions& recovery,
+                         WorkerFaultRecord* record);
+
+  // VarSnapshot every partition into "<addr>|<var>" keys.
+  Result<std::map<std::string, Tensor>> SnapshotAllTasks(
+      const RetryPolicy& retry, int64_t* rpc_retries);
+
+  // Restores a "<addr>|<var>" snapshot to the (possibly remapped) owning
+  // tasks; counts restored variables into `report`.
+  void RestoreSnapshotMap(const std::map<std::string, Tensor>& snapshot,
+                          const RetryPolicy& retry, FaultReport* report);
+
+  // Applies addr_remap_ transitively (dead -> successor -> ...).
+  std::string ResolveAddr(std::string addr) const;
+
   InProcessRouter* router_;
   WireProtocol protocol_;
+  ClusterSpec cluster_;
+  wire::GraphDef def_;          // current graph (devices rewritten on shrink)
+  DeviceName default_device_;
   std::vector<Partition> partitions_;
   std::map<std::string, std::string> node_task_;
+  // What each server has been sent, by node name — rebuilds ship diffs.
+  std::map<std::string, std::map<std::string, wire::NodeDef>> shipped_;
+  // Evicted address -> successor address (chains across evictions).
+  std::map<std::string, std::string> addr_remap_;
+  int64_t steps_completed_ = 0;
 };
 
 }  // namespace tfhpc::distrib

@@ -1,0 +1,222 @@
+#include "distrib/health.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "distrib/client.h"
+
+namespace tfhpc::distrib {
+
+const char* TaskHealthName(TaskHealth h) {
+  switch (h) {
+    case TaskHealth::kAlive: return "ALIVE";
+    case TaskHealth::kSuspect: return "SUSPECT";
+    case TaskHealth::kDead: return "DEAD";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(InProcessRouter* router, HealthOptions options)
+    : router_(router), options_(std::move(options)) {
+  if (!options_.clock_ms) {
+    options_.clock_ms = [] {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
+}
+
+HealthMonitor::~HealthMonitor() { Stop(); }
+
+int64_t HealthMonitor::NowMs() const { return options_.clock_ms(); }
+
+void HealthMonitor::Watch(const std::string& addr) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto [it, inserted] = tasks_.emplace(addr, TaskState{});
+  if (!inserted) return;
+  // A fresh task starts with a full lease: it gets a whole missed-lease
+  // window before SUSPECT, rather than being born half-expired.
+  it->second.last_ack_ms = NowMs();
+  if (running_ && options_.auto_start_pingers) {
+    it->second.pinger =
+        std::make_unique<std::thread>([this, addr] { PingLoop(addr); });
+  }
+}
+
+void HealthMonitor::Unwatch(const std::string& addr) {
+  std::unique_ptr<std::thread> pinger;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = tasks_.find(addr);
+    if (it == tasks_.end()) return;
+    pinger = std::move(it->second.pinger);
+    tasks_.erase(it);
+    cv_.notify_all();
+  }
+  if (pinger && pinger->joinable()) pinger->join();
+}
+
+void HealthMonitor::Start() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (running_) return;
+  running_ = true;
+  if (options_.auto_start_pingers) {
+    for (auto& [addr, task] : tasks_) {
+      task.pinger = std::make_unique<std::thread>(
+          [this, a = addr] { PingLoop(a); });
+    }
+    evaluator_ =
+        std::make_unique<std::thread>([this] { EvaluateLoop(); });
+  }
+}
+
+void HealthMonitor::Stop() {
+  std::vector<std::unique_ptr<std::thread>> joinable;
+  std::unique_ptr<std::thread> evaluator;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!running_) return;
+    running_ = false;
+    for (auto& [addr, task] : tasks_) {
+      if (task.pinger) joinable.push_back(std::move(task.pinger));
+    }
+    evaluator = std::move(evaluator_);
+    cv_.notify_all();
+  }
+  for (auto& t : joinable) {
+    if (t->joinable()) t->join();
+  }
+  if (evaluator && evaluator->joinable()) evaluator->join();
+}
+
+void HealthMonitor::AddListener(Listener listener) {
+  std::unique_lock<std::mutex> lk(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+TaskHealth HealthMonitor::health(const std::string& addr) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = tasks_.find(addr);
+  return it == tasks_.end() ? TaskHealth::kDead : it->second.state;
+}
+
+std::map<std::string, TaskHealth> HealthMonitor::Snapshot() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::map<std::string, TaskHealth> out;
+  for (const auto& [addr, task] : tasks_) out.emplace(addr, task.state);
+  return out;
+}
+
+std::vector<std::string> HealthMonitor::DeadTasks() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  for (const auto& [addr, task] : tasks_) {
+    if (task.state == TaskHealth::kDead) out.push_back(addr);
+  }
+  return out;
+}
+
+int64_t HealthMonitor::lease_age_ms(const std::string& addr) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = tasks_.find(addr);
+  if (it == tasks_.end()) return -1;
+  return NowMs() - it->second.last_ack_ms;
+}
+
+int64_t HealthMonitor::transitions(const std::string& addr) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = tasks_.find(addr);
+  return it == tasks_.end() ? 0 : it->second.transitions;
+}
+
+int64_t HealthMonitor::heartbeats(const std::string& addr) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = tasks_.find(addr);
+  return it == tasks_.end() ? 0 : it->second.heartbeats;
+}
+
+void HealthMonitor::SetStateLocked(const std::string& addr, TaskState& task,
+                                   TaskHealth next,
+                                   std::vector<std::function<void()>>* fire) {
+  if (task.state == next) return;
+  const TaskHealth from = task.state;
+  task.state = next;
+  ++task.transitions;
+  for (const Listener& l : listeners_) {
+    fire->push_back([l, addr, from, next] { l(addr, from, next); });
+  }
+}
+
+void HealthMonitor::RecordHeartbeat(const std::string& addr) {
+  std::vector<std::function<void()>> fire;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = tasks_.find(addr);
+    if (it == tasks_.end()) return;
+    TaskState& task = it->second;
+    task.last_ack_ms = NowMs();
+    ++task.heartbeats;
+    // A live heartbeat clears suspicion, but never resurrects a DEAD task:
+    // the eviction verdict must stay stable while recovery acts on it.
+    if (task.state == TaskHealth::kSuspect) {
+      SetStateLocked(addr, task, TaskHealth::kAlive, &fire);
+    }
+  }
+  for (auto& f : fire) f();
+}
+
+void HealthMonitor::Evaluate() {
+  std::vector<std::function<void()>> fire;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    const int64_t now = NowMs();
+    for (auto& [addr, task] : tasks_) {
+      if (task.state == TaskHealth::kDead) continue;  // sticky
+      const int64_t age = now - task.last_ack_ms;
+      if (age >= options_.dead_after_ms) {
+        SetStateLocked(addr, task, TaskHealth::kDead, &fire);
+      } else if (age >= options_.suspect_after_ms) {
+        SetStateLocked(addr, task, TaskHealth::kSuspect, &fire);
+      } else {
+        SetStateLocked(addr, task, TaskHealth::kAlive, &fire);
+      }
+    }
+  }
+  for (auto& f : fire) f();
+}
+
+void HealthMonitor::PingLoop(const std::string& addr) {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!running_ || !tasks_.count(addr)) return;
+    }
+    // The Ping may block (hung worker) or fail (dead / partitioned). Either
+    // way the lease simply does not refresh; the evaluator's clock decides.
+    RemoteTask probe(router_, addr, options_.protocol);
+    if (probe.Ping().ok()) RecordHeartbeat(addr);
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!running_ || !tasks_.count(addr)) return;
+    cv_.wait_for(lk,
+                 std::chrono::milliseconds(options_.heartbeat_interval_ms),
+                 [&] { return !running_ || !tasks_.count(addr); });
+  }
+}
+
+void HealthMonitor::EvaluateLoop() {
+  const int64_t cadence_ms =
+      std::max<int64_t>(1, options_.heartbeat_interval_ms / 2);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!running_) return;
+      cv_.wait_for(lk, std::chrono::milliseconds(cadence_ms),
+                   [&] { return !running_; });
+      if (!running_) return;
+    }
+    Evaluate();
+  }
+}
+
+}  // namespace tfhpc::distrib

@@ -1,0 +1,132 @@
+// Cluster liveness: a heartbeat/lease failure detector in the style of the
+// TensorFlow/Borg worker-liveness machinery. A HealthMonitor pings every
+// watched task on a fixed cadence and drives a per-task state machine from
+// the age of the last acknowledged lease:
+//
+//   ALIVE --(no ack for suspect_after_ms)--> SUSPECT
+//   SUSPECT --(ack arrives)--> ALIVE            (false-positive recovery)
+//   SUSPECT --(no ack for dead_after_ms)--> DEAD
+//
+// DEAD is sticky: a fail-stop verdict is a *decision*, not an observation,
+// and the evicting recovery path fences the address (InProcessRouter::Kill)
+// so a zombie that wakes up after the verdict cannot keep serving. A task
+// that was merely slow recovers from SUSPECT the moment a heartbeat lands.
+//
+// Pings run on one thread per task so a hung worker (whose Ping blocks)
+// stalls only its own pinger — the verdict comes from lease timestamps, not
+// from the ping call returning. Tests can run the monitor without threads
+// (auto_start_pingers = false) and drive RecordHeartbeat/Evaluate against an
+// injected clock for fully deterministic transition coverage.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distrib/transport.h"
+
+namespace tfhpc::distrib {
+
+enum class TaskHealth { kAlive, kSuspect, kDead };
+const char* TaskHealthName(TaskHealth h);
+
+struct HealthOptions {
+  // Lease ping cadence, and the missed-lease windows for the two verdicts.
+  int64_t heartbeat_interval_ms = 10;
+  int64_t suspect_after_ms = 50;
+  int64_t dead_after_ms = 150;
+  WireProtocol protocol = WireProtocol::kRdma;
+  // When false, Start() runs no pinger threads: tests feed RecordHeartbeat
+  // and call Evaluate() themselves (pair with a fake `clock_ms`).
+  bool auto_start_pingers = true;
+  // Millisecond clock used for lease ages. Defaults to steady_clock; tests
+  // inject a fake to step time deterministically.
+  std::function<int64_t()> clock_ms;
+};
+
+class HealthMonitor {
+ public:
+  // (addr, from, to) — fired outside the monitor lock on every transition.
+  using Listener =
+      std::function<void(const std::string&, TaskHealth, TaskHealth)>;
+
+  HealthMonitor(InProcessRouter* router, HealthOptions options = {});
+  ~HealthMonitor();
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  // Adds a task to the watch set (idempotent). If the monitor is running,
+  // its pinger thread starts immediately.
+  void Watch(const std::string& addr);
+  // Drops a task from the watch set and joins its pinger. An evicted DEAD
+  // worker should be unwatched so the monitor stops burning pings on it.
+  void Unwatch(const std::string& addr);
+
+  void Start();
+  // Stops pinger/evaluator threads. A pinger blocked inside a Hang()ed call
+  // is released by Kill/Unhang or the hang cap, so Stop() must run before
+  // the router is torn down.
+  void Stop();
+
+  void AddListener(Listener listener);
+
+  // Current verdict for `addr`; unknown addresses read as DEAD (a task the
+  // monitor never leased is not provably alive).
+  TaskHealth health(const std::string& addr) const;
+  std::map<std::string, TaskHealth> Snapshot() const;
+  std::vector<std::string> DeadTasks() const;
+
+  // Acknowledges a lease for `addr` now: refreshes the timestamp and lifts
+  // SUSPECT back to ALIVE. Pingers call this on every successful Ping; tests
+  // call it directly. Ignored for DEAD tasks (the verdict is sticky).
+  void RecordHeartbeat(const std::string& addr);
+
+  // One evaluation pass over all tasks: applies the missed-lease windows to
+  // the current clock and fires transitions. The evaluator thread calls this
+  // on a cadence; tests call it after stepping their fake clock.
+  void Evaluate();
+
+  // Milliseconds since the last acknowledged lease (-1 if never watched).
+  int64_t lease_age_ms(const std::string& addr) const;
+  // State transitions recorded for `addr` (ALIVE->SUSPECT, SUSPECT->ALIVE,
+  // SUSPECT->DEAD, ...).
+  int64_t transitions(const std::string& addr) const;
+  int64_t heartbeats(const std::string& addr) const;
+
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  struct TaskState {
+    TaskHealth state = TaskHealth::kAlive;
+    int64_t last_ack_ms = 0;
+    int64_t transitions = 0;
+    int64_t heartbeats = 0;
+    std::unique_ptr<std::thread> pinger;
+  };
+
+  int64_t NowMs() const;
+  void PingLoop(const std::string& addr);
+  void EvaluateLoop();
+  // Applies a transition under mu_ and returns the listener calls to fire
+  // after the lock is released.
+  void SetStateLocked(const std::string& addr, TaskState& task,
+                      TaskHealth next,
+                      std::vector<std::function<void()>>* fire);
+
+  InProcessRouter* router_;
+  HealthOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // wakes pingers/evaluator for fast Stop
+  bool running_ = false;
+  std::map<std::string, TaskState> tasks_;
+  std::vector<Listener> listeners_;
+  std::unique_ptr<std::thread> evaluator_;
+};
+
+}  // namespace tfhpc::distrib

@@ -1,17 +1,47 @@
 #include "distrib/server.h"
 
+#include <chrono>
+
 #include "wire/coded.h"
 
 namespace tfhpc::distrib {
 
 // ----- ReplayCache -----------------------------------------------------------
 
+int64_t ReplayCache::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ReplayCache::ExpireLocked(int64_t now_ms) {
+  if (options_.ttl_ms <= 0) return;
+  // Recency order doubles as touch order (Lookup refreshes both), so the
+  // LRU tail is always the stalest entry: sweep from there and stop at the
+  // first live one.
+  while (!lru_.empty()) {
+    auto it = responses_.find(lru_.back());
+    if (it == responses_.end()) {  // defensive; should not happen
+      lru_.pop_back();
+      continue;
+    }
+    if (now_ms - it->second.last_touch_ms < options_.ttl_ms) break;
+    responses_.erase(it);
+    lru_.pop_back();
+    expirations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 bool ReplayCache::Lookup(uint64_t client_id, uint64_t request_id,
                          wire::RpcEnvelope* response) {
   std::lock_guard<std::mutex> lk(mu_);
+  const int64_t now = NowMs();
+  ExpireLocked(now);
   auto it = responses_.find(Key{client_id, request_id});
   if (it == responses_.end()) return false;
-  *response = it->second;
+  *response = it->second.response;
+  it->second.last_touch_ms = now;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);  // refresh recency
   hits_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -19,15 +49,17 @@ bool ReplayCache::Lookup(uint64_t client_id, uint64_t request_id,
 void ReplayCache::Insert(uint64_t client_id, uint64_t request_id,
                          const wire::RpcEnvelope& response) {
   std::lock_guard<std::mutex> lk(mu_);
+  const int64_t now = NowMs();
+  ExpireLocked(now);
   const Key key{client_id, request_id};
-  auto [it, inserted] = responses_.emplace(key, response);
-  (void)it;
-  if (!inserted) return;
-  order_.push_back(key);
-  while (order_.size() > capacity_) {
-    responses_.erase(order_.front());
-    order_.pop_front();
+  if (responses_.count(key)) return;
+  while (responses_.size() >= std::max<size_t>(1, options_.max_entries)) {
+    responses_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+  lru_.push_front(key);
+  responses_.emplace(key, Entry{response, lru_.begin(), now});
 }
 
 size_t ReplayCache::size() const {
@@ -298,6 +330,8 @@ Server::Server(ServerDef def, InProcessRouter* router, std::string address)
     : def_(std::move(def)),
       router_(router),
       address_(std::move(address)),
+      replay_cache_(ReplayCacheOptions{def_.replay_cache_entries,
+                                       def_.replay_cache_ttl_ms}),
       send_client_id_(NextServerClientId()) {
   devices_ = DeviceMgr::CreateLocal(def_.job, def_.task, def_.num_gpus,
                                     def_.gpu_model);

@@ -26,7 +26,7 @@
 // corrupted frames get a retryable kUnavailable.
 #pragma once
 
-#include <deque>
+#include <list>
 #include <memory>
 
 #include "distrib/cluster_spec.h"
@@ -36,13 +36,27 @@
 
 namespace tfhpc::distrib {
 
+struct ReplayCacheOptions {
+  // Hard cap on resident entries; the least-recently-used entry is evicted
+  // when a new insert would exceed it. Dedup state on a long job is thereby
+  // bounded regardless of how many requests it serves.
+  size_t max_entries = 4096;
+  // When > 0, entries untouched for this long are expired. The TTL need
+  // only cover the window in which a retry of an already-applied request
+  // can still arrive (the client's retry deadline), not the job lifetime.
+  int64_t ttl_ms = 0;
+};
+
 // Bounded (client_id, request_id) -> response cache giving non-idempotent
 // service methods exactly-once semantics under retry and duplication.
-// Oldest entries are evicted FIFO; capacity need only cover the window in
-// which a retry of an already-applied request can still arrive.
+// Growth is bounded two ways: an LRU max-entry cap and an optional
+// time-to-live, both refreshed on Lookup (a replayed request is recent
+// evidence the entry is still in its retry window).
 class ReplayCache {
  public:
-  explicit ReplayCache(size_t capacity = 4096) : capacity_(capacity) {}
+  explicit ReplayCache(size_t capacity = 4096)
+      : ReplayCache(ReplayCacheOptions{capacity, 0}) {}
+  explicit ReplayCache(ReplayCacheOptions options) : options_(options) {}
 
   // Returns true and fills *response if (client_id, request_id) was served
   // before. Thread-safe; the lock is never held across handler execution,
@@ -55,15 +69,29 @@ class ReplayCache {
               const wire::RpcEnvelope& response);
 
   int64_t hits() const { return hits_.load(); }
+  int64_t evictions() const { return evictions_.load(); }    // LRU cap
+  int64_t expirations() const { return expirations_.load(); }  // TTL
   size_t size() const;
 
  private:
   using Key = std::pair<uint64_t, uint64_t>;
-  const size_t capacity_;
+  struct Entry {
+    wire::RpcEnvelope response;
+    std::list<Key>::iterator lru_pos;
+    int64_t last_touch_ms = 0;
+  };
+  int64_t NowMs() const;
+  // Drops entries whose TTL lapsed, sweeping from the LRU tail. Caller
+  // holds mu_.
+  void ExpireLocked(int64_t now_ms);
+
+  const ReplayCacheOptions options_;
   mutable std::mutex mu_;
-  std::map<Key, wire::RpcEnvelope> responses_;
-  std::deque<Key> order_;  // insertion order, for FIFO eviction
+  std::map<Key, Entry> responses_;
+  std::list<Key> lru_;  // front = most recently used
   std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> expirations_{0};
 };
 
 struct ServerDef {
@@ -83,6 +111,9 @@ struct ServerDef {
   // the workaround is the paper's: keep loop state in variables and ship
   // only the loop body. Overridable for tests.
   int64_t max_graphdef_bytes = int64_t{2} << 30;
+  // Bounds for the exactly-once dedup cache (see ReplayCacheOptions).
+  size_t replay_cache_entries = 4096;
+  int64_t replay_cache_ttl_ms = 0;
 };
 
 class Server {
@@ -117,6 +148,7 @@ class Server {
   // Dedup cache hits — how many retried/duplicated requests were answered
   // from cache instead of re-applied (tests assert exactly-once this way).
   int64_t dedup_hits() const { return replay_cache_.hits(); }
+  const ReplayCache& replay_cache() const { return replay_cache_; }
   // Requests rejected because their payload checksum did not match.
   int64_t checksum_rejects() const { return checksum_rejects_.load(); }
 

@@ -28,6 +28,8 @@ void TransportStats::Reset() {
   faults_delayed.store(0);
   faults_corrupted.store(0);
   faults_partition_refused.store(0);
+  faults_kill_refused.store(0);
+  faults_hang_blocked.store(0);
 }
 
 void InProcessRouter::ResetStats() {
@@ -59,6 +61,70 @@ void InProcessRouter::Heal(const std::string& addr) {
 bool InProcessRouter::IsPartitioned(const std::string& addr) const {
   std::lock_guard<std::mutex> lk(mu_);
   return partitioned_.count(addr) > 0;
+}
+
+void InProcessRouter::Kill(const std::string& addr) {
+  std::lock_guard<std::mutex> lk(mu_);
+  killed_.insert(addr);
+  liveness_cv_.notify_all();
+}
+
+void InProcessRouter::Hang(const std::string& addr, int64_t max_block_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hung_[addr] = max_block_ms;
+  liveness_cv_.notify_all();
+}
+
+void InProcessRouter::Unhang(const std::string& addr) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hung_.erase(addr);
+  liveness_cv_.notify_all();
+}
+
+void InProcessRouter::Revive(const std::string& addr) {
+  std::lock_guard<std::mutex> lk(mu_);
+  killed_.erase(addr);
+  hung_.erase(addr);
+  liveness_cv_.notify_all();
+}
+
+bool InProcessRouter::IsKilled(const std::string& addr) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return killed_.count(addr) > 0;
+}
+
+bool InProcessRouter::IsHung(const std::string& addr) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hung_.count(addr) > 0;
+}
+
+Status InProcessRouter::AdmitCall(const std::string& addr,
+                                  TransportStats& st) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (killed_.count(addr)) {
+    st.faults_kill_refused.fetch_add(1, std::memory_order_relaxed);
+    return Unavailable("fail-stop: worker " + addr + " is dead");
+  }
+  auto it = hung_.find(addr);
+  if (it == hung_.end()) return Status::OK();
+  // The peer is wedged: the caller's thread blocks here the way it would on
+  // a stalled TCP connection. A Kill releases it with the connection-reset
+  // error; Unhang/Revive let it proceed; the cap bounds test teardown.
+  st.faults_hang_blocked.fetch_add(1, std::memory_order_relaxed);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(it->second);
+  while (hung_.count(addr) && !killed_.count(addr)) {
+    if (liveness_cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        hung_.count(addr) && !killed_.count(addr)) {
+      return DeadlineExceeded("rpc to hung worker " + addr + " timed out");
+    }
+  }
+  if (killed_.count(addr)) {
+    st.faults_kill_refused.fetch_add(1, std::memory_order_relaxed);
+    return Unavailable("fail-stop: worker " + addr +
+                       " died while the call was in flight");
+  }
+  return Status::OK();
 }
 
 InProcessRouter::ChaosDraw InProcessRouter::DrawChaos() {
@@ -140,6 +206,7 @@ Result<wire::RpcEnvelope> InProcessRouter::Call(
     const std::string& addr, WireProtocol proto,
     const wire::RpcEnvelope& request) {
   TransportStats& st = stats_[static_cast<size_t>(proto)];
+  TFHPC_RETURN_IF_ERROR(AdmitCall(addr, st));
   if (IsPartitioned(addr)) {
     st.faults_partition_refused.fetch_add(1, std::memory_order_relaxed);
     return Unavailable("network partition: " + addr + " unreachable");

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -53,11 +54,14 @@ struct TransportStats {
   std::atomic<int64_t> faults_delayed{0};
   std::atomic<int64_t> faults_corrupted{0};
   std::atomic<int64_t> faults_partition_refused{0};
+  std::atomic<int64_t> faults_kill_refused{0};  // calls to a Kill()ed address
+  std::atomic<int64_t> faults_hang_blocked{0};  // calls that entered hang-wait
 
   int64_t total_faults() const {
     return faults_dropped_request.load() + faults_dropped_response.load() +
            faults_duplicated.load() + faults_delayed.load() +
-           faults_corrupted.load() + faults_partition_refused.load();
+           faults_corrupted.load() + faults_partition_refused.load() +
+           faults_kill_refused.load() + faults_hang_blocked.load();
   }
   // Zeroes every counter (per-phase measurement without process restarts).
   void Reset();
@@ -130,10 +134,31 @@ class InProcessRouter {
   void Heal(const std::string& addr);
   bool IsPartitioned(const std::string& addr) const;
 
+  // -- fail-stop / fail-slow switches ----------------------------------------
+  // Kill: the worker crashed. New calls are refused with kUnavailable and any
+  // call blocked in a Hang() wait on the address is released with the same
+  // error (the connection reset a real crash would produce). Kill also acts
+  // as the *fence* in job-level recovery: once a DEAD verdict evicts a
+  // worker, killing its address guarantees a zombie cannot keep serving.
+  void Kill(const std::string& addr);
+  // Hang: the worker is alive but wedged — calls block (holding the caller's
+  // thread, as a stalled TCP peer would) until Unhang/Kill/Revive, or until
+  // `max_block_ms` elapses, whereupon the call fails with kDeadlineExceeded.
+  // The cap is a backstop so test teardown can always join caller threads.
+  void Hang(const std::string& addr, int64_t max_block_ms = 30000);
+  void Unhang(const std::string& addr);
+  // Clears both the kill and hang switches for `addr`.
+  void Revive(const std::string& addr);
+  bool IsKilled(const std::string& addr) const;
+  bool IsHung(const std::string& addr) const;
+
  private:
   ServiceHandler LookupHandler(const std::string& addr);
   // Returns the injected error for this call, or OK.
   Status ConsumeFault(const std::string& addr, const std::string& method);
+  // Kill/hang gate: blocks while `addr` is hung, then admits the call (OK)
+  // or refuses it (killed / hang cap expired).
+  Status AdmitCall(const std::string& addr, TransportStats& st);
 
   struct Fault {
     std::string addr;
@@ -153,9 +178,12 @@ class InProcessRouter {
   ChaosDraw DrawChaos();
 
   mutable std::mutex mu_;
+  std::condition_variable liveness_cv_;  // wakes hang-waits on state change
   std::map<std::string, ServiceHandler> handlers_;
   std::vector<Fault> faults_;
   std::set<std::string> partitioned_;
+  std::set<std::string> killed_;
+  std::map<std::string, int64_t> hung_;  // addr -> max_block_ms
   bool chaos_enabled_ = false;
   ChaosConfig chaos_;
   std::atomic<int64_t> chaos_counter_{0};

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 
 #include "core/rng.h"
@@ -488,6 +489,386 @@ TEST_F(FaultToleranceTest, VarSnapshotRoundTripsThroughRestore) {
   ASSERT_TRUE(ps.VarRestore(*snap).ok());
   EXPECT_DOUBLE_EQ(ps.VarRead("a")->scalar<double>(), 1.5);
   EXPECT_DOUBLE_EQ(ps.VarRead("b")->data<double>()[2], 3.0);
+}
+
+// ---- job-level recovery: eviction, spare replacement, shrink, watchdog ----------
+
+ClusterSpec WorkerCluster(const std::vector<std::string>& addrs) {
+  wire::ClusterDef def;
+  wire::JobDef workers;
+  workers.name = "worker";
+  workers.task_addrs = addrs;
+  def.jobs = {workers};
+  return ClusterSpec::Create(def).value();
+}
+
+// Two-worker rig with a hot spare provisioned for slot 1, a lease monitor
+// over both workers, and a durable CheckpointManager — everything the
+// job-level recovery path consumes. The spare server is created against the
+// *rebuilt* cluster spec (spare assumes slot 1) so its devices resolve that
+// slot's placements; that is the contract for provisioning standbys.
+class JobRecoveryRig {
+ public:
+  JobRecoveryRig(const std::string& tag, int64_t dead_after_ms = 120)
+      : w0_addr_(tag + "-w0:1"),
+        w1_addr_(tag + "-w1:1"),
+        spare_addr_(tag + "-spare:1"),
+        cluster_(WorkerCluster({w0_addr_, w1_addr_})),
+        spare_cluster_(WorkerCluster({w0_addr_, spare_addr_})),
+        ckpt_dir_(::testing::TempDir() + "/jobrec_" + tag) {
+    std::filesystem::remove_all(ckpt_dir_);
+    RetryPolicy send_retry = RetryPolicy::Aggressive(1000);
+    ServerDef w0{cluster_, "worker", 0, 0};
+    ServerDef w1{cluster_, "worker", 1, 0};
+    ServerDef spare{spare_cluster_, "worker", 1, 0};
+    w0.send_retry = w1.send_retry = spare.send_retry = send_retry;
+    w0_ = Server::Create(w0, &router_).value();
+    w1_ = Server::Create(w1, &router_).value();
+    spare_ = Server::Create(spare, &router_).value();
+
+    HealthOptions health;
+    health.heartbeat_interval_ms = 5;
+    health.suspect_after_ms = 40;
+    health.dead_after_ms = dead_after_ms;
+    monitor_ = std::make_unique<HealthMonitor>(&router_, health);
+    monitor_->Watch(w0_addr_);
+    monitor_->Watch(w1_addr_);
+    monitor_->Start();
+
+    checkpoints_ = std::make_unique<io::CheckpointManager>(
+        io::CheckpointManagerOptions{ckpt_dir_, "job", 3});
+  }
+
+  ~JobRecoveryRig() {
+    monitor_->Stop();
+    // Drain + destroy the manager before deleting its directory: the async
+    // save worker may still be publishing a version into it.
+    (void)checkpoints_->WaitForPending();
+    checkpoints_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(ckpt_dir_, ec);
+  }
+
+  // acc lives on task 0, sum on task 1; each step does acc += 1 then
+  // sum += 10*acc across the task boundary. State on BOTH sides of the
+  // rendezvous, so recovery must restore the dead side from the durable
+  // checkpoint for results to stay correct.
+  std::string BuildGraphAndSession() {
+    Graph g;
+    Scope s(&g);
+    auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+    auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+    auto acc = ops::Variable(t0, "acc", DType::kF64, Shape{});
+    auto bump = ops::AssignAdd(t0, acc, ops::Const(t0, Tensor::Scalar(1.0)));
+    auto sum = ops::Variable(t1, "sum", DType::kF64, Shape{});
+    auto total = ops::AssignAdd(
+        t1, sum, ops::Mul(t1, bump, ops::Const(t1, Tensor::Scalar(10.0))));
+    DeviceName dev;
+    dev.job = "worker";
+    dev.task = 0;
+    session_ = DistributedSession::Create(&router_, cluster_,
+                                          WireProtocol::kRdma, g.ToGraphDef(),
+                                          dev)
+                   .value();
+    EXPECT_TRUE(RemoteTask(&router_, w0_addr_, WireProtocol::kRdma)
+                    .VarAssign("acc", Tensor::Scalar(0.0))
+                    .ok());
+    EXPECT_TRUE(RemoteTask(&router_, w1_addr_, WireProtocol::kRdma)
+                    .VarAssign("sum", Tensor::Scalar(0.0))
+                    .ok());
+    return total.name();
+  }
+
+  StepRecoveryOptions Recovery() {
+    StepRecoveryOptions r;
+    r.max_step_attempts = 3;
+    r.rpc_retry = RetryPolicy::Aggressive(500);
+    r.health = monitor_.get();
+    r.checkpoints = checkpoints_.get();
+    r.checkpoint_every_n_steps = 1;
+    r.spare_addrs = {spare_addr_};
+    r.dead_verdict_wait_ms = 5000;
+    return r;
+  }
+
+  InProcessRouter router_;
+  std::string w0_addr_, w1_addr_, spare_addr_;
+  ClusterSpec cluster_, spare_cluster_;
+  std::string ckpt_dir_;
+  std::unique_ptr<Server> w0_, w1_, spare_;
+  std::unique_ptr<HealthMonitor> monitor_;
+  std::unique_ptr<io::CheckpointManager> checkpoints_;
+  std::unique_ptr<DistributedSession> session_;
+};
+
+TEST(JobRecoveryTest, FailStopWorkerIsEvictedOntoSpareAndJobCompletes) {
+  JobRecoveryRig rig("js");
+  const std::string fetch = rig.BuildGraphAndSession();
+  const StepRecoveryOptions recovery = rig.Recovery();
+
+  // Two clean steps, each followed by an async durable checkpoint:
+  // acc=1,sum=10 then acc=2,sum=30.
+  for (int step = 1; step <= 2; ++step) {
+    auto r = rig.session_->Run({}, {fetch}, recovery, nullptr);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  ASSERT_TRUE(rig.checkpoints_->WaitForPending().ok());
+  ASSERT_GT(rig.checkpoints_->latest_version(), 0);
+
+  // Worker 1 crashes mid-job (fail-stop). The next step must complete with
+  // the correct value anyway: lease expiry convicts it, the spare assumes
+  // slot 1, durable state is restored, the step re-runs.
+  rig.router_.Kill(rig.w1_addr_);
+  FaultReport report;
+  auto r = rig.session_->Run({}, {fetch}, recovery, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " " << report.ToString();
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 60.0)
+      << "restored acc=2,sum=30, so the re-run step must yield sum=60";
+
+  ASSERT_EQ(report.workers_evicted, 1) << report.ToString();
+  EXPECT_EQ(report.worker_faults[0].addr, rig.w1_addr_);
+  EXPECT_EQ(report.worker_faults[0].successor, rig.spare_addr_);
+  EXPECT_FALSE(report.worker_faults[0].shrunk);
+  EXPECT_GT(report.checkpoint_restored_version, 0);
+  EXPECT_GE(report.mttr_ms, 0);
+  EXPECT_TRUE(report.recovered);
+
+  // The cluster now names the spare in slot 1, and the state lives there.
+  EXPECT_TRUE(rig.session_->cluster().FindTask(rig.spare_addr_).ok());
+  RemoteTask spare(&rig.router_, rig.spare_addr_, WireProtocol::kRdma);
+  EXPECT_DOUBLE_EQ(spare.VarRead("sum")->scalar<double>(), 60.0);
+
+  // And the job keeps stepping on the rebuilt cluster.
+  auto r2 = rig.session_->Run({}, {fetch}, recovery, nullptr);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_DOUBLE_EQ((*r2)[0].scalar<double>(), 100.0);  // acc=4, sum=60+40
+}
+
+TEST(JobRecoveryTest, HungWorkerIsFencedByWatchdogNotWaitedOnForever) {
+  JobRecoveryRig rig("jh");
+  const std::string fetch = rig.BuildGraphAndSession();
+  StepRecoveryOptions recovery = rig.Recovery();
+  recovery.stuck_step_timeout_ms = 200;
+
+  auto warm = rig.session_->Run({}, {fetch}, recovery, nullptr);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_TRUE(rig.checkpoints_->WaitForPending().ok());
+
+  // Worker 1 wedges: its RPCs block indefinitely (far beyond any step
+  // timeout) instead of failing. Without a watchdog this step would sit in
+  // the hang for the full 60s cap; with one, the lease expires, the
+  // watchdog fences the worker and recovery proceeds.
+  rig.router_.Hang(rig.w1_addr_, /*max_block_ms=*/60000);
+  const auto start = std::chrono::steady_clock::now();
+  FaultReport report;
+  auto r = rig.session_->Run({}, {fetch}, recovery, &report);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " " << report.ToString();
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 30.0);  // acc=1,sum=10 -> 2,30
+
+  EXPECT_LT(elapsed_ms, 20000) << "watchdog must beat the 60s hang cap";
+  ASSERT_EQ(report.workers_evicted, 1) << report.ToString();
+  EXPECT_EQ(report.worker_faults[0].verdict, "hung");
+  EXPECT_EQ(report.worker_faults[0].successor, rig.spare_addr_);
+  EXPECT_GT(report.worker_faults[0].detect_ms, 0);
+}
+
+TEST(JobRecoveryTest, SlowWorkerIsLeftToFinishNotEvicted) {
+  // Hung vs slow: the worker stalls longer than the step timeout but its
+  // leases stay comfortably fresh (long windows), so the watchdog must NOT
+  // fence it — the step finishes on attempt 1 once the stall clears.
+  JobRecoveryRig rig("jw", /*dead_after_ms=*/30000);
+  const std::string fetch = rig.BuildGraphAndSession();
+  StepRecoveryOptions recovery = rig.Recovery();
+  recovery.stuck_step_timeout_ms = 50;
+  recovery.rpc_retry = RetryPolicy::Aggressive(10000);
+
+  rig.router_.Hang(rig.w1_addr_, /*max_block_ms=*/60000);
+  std::thread unstall([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    rig.router_.Unhang(rig.w1_addr_);
+  });
+  FaultReport report;
+  auto r = rig.session_->Run({}, {fetch}, recovery, &report);
+  unstall.join();
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " " << report.ToString();
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 10.0);
+  EXPECT_EQ(report.step_attempts, 1) << "a slow worker is not a fault";
+  EXPECT_EQ(report.workers_evicted, 0);
+  EXPECT_EQ(rig.monitor_->health(rig.w1_addr_), TaskHealth::kAlive);
+}
+
+TEST(JobRecoveryTest, TransientFaultStaysOnStepRetryPathWithoutEviction) {
+  JobRecoveryRig rig("jt");
+  const std::string fetch = rig.BuildGraphAndSession();
+  StepRecoveryOptions recovery = rig.Recovery();
+  recovery.rpc_retry = RetryPolicy::NoRetry();  // surface the fault to Run
+  recovery.dead_verdict_wait_ms = 300;
+  // Step-level retry path: the pre-step snapshot rolls back the half-applied
+  // AssignAdd on the healthy worker before the re-attempt.
+  recovery.checkpoint_path = ::testing::TempDir() + "/jobrec_jt_step.ckpt";
+
+  rig.router_.InjectFault(rig.w1_addr_, "RunStep", Unavailable("blip"), 1);
+  FaultReport report;
+  auto r = rig.session_->Run({}, {fetch}, recovery, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " " << report.ToString();
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 10.0);
+  EXPECT_EQ(report.step_attempts, 2);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_EQ(report.workers_evicted, 0)
+      << "a live worker must never be evicted for one lost RPC: "
+      << report.ToString();
+  EXPECT_EQ(rig.monitor_->health(rig.w1_addr_), TaskHealth::kAlive);
+}
+
+TEST(JobRecoveryTest, ShrinkTombstonesTheSlotAndAdoptsItsNodes) {
+  // No spare this time: the cluster shrinks. Task 1's (independent) nodes
+  // are re-placed on task 0, the slot is tombstoned so indices stay stable,
+  // and task 1's variable state comes back from the durable checkpoint.
+  InProcessRouter router;
+  ClusterSpec cluster = WorkerCluster({"sh-w0:1", "sh-w1:1"});
+  RetryPolicy send_retry = RetryPolicy::Aggressive(1000);
+  ServerDef d0{cluster, "worker", 0, 0};
+  ServerDef d1{cluster, "worker", 1, 0};
+  d0.send_retry = d1.send_retry = send_retry;
+  auto w0 = Server::Create(d0, &router).value();
+  auto w1 = Server::Create(d1, &router).value();
+
+  HealthOptions health;
+  health.heartbeat_interval_ms = 5;
+  health.suspect_after_ms = 40;
+  health.dead_after_ms = 120;
+  HealthMonitor monitor(&router, health);
+  monitor.Watch("sh-w0:1");
+  monitor.Watch("sh-w1:1");
+  monitor.Start();
+
+  const std::string dir = ::testing::TempDir() + "/jobrec_shrink";
+  std::filesystem::remove_all(dir);
+  io::CheckpointManager checkpoints(
+      io::CheckpointManagerOptions{dir, "job", 3});
+
+  // Disjoint per-task subgraphs (no cross-task edges): shrink re-placement
+  // is sound because no shipped node's wiring changes.
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto a = ops::Variable(t0, "a", DType::kF64, Shape{});
+  auto step0 = ops::AssignAdd(t0, a, ops::Const(t0, Tensor::Scalar(1.0)));
+  auto b = ops::Variable(t1, "b", DType::kF64, Shape{});
+  auto step1 = ops::AssignAdd(t1, b, ops::Const(t1, Tensor::Scalar(2.0)));
+
+  DeviceName dev;
+  dev.job = "worker";
+  dev.task = 0;
+  auto session = DistributedSession::Create(&router, cluster,
+                                            WireProtocol::kRdma,
+                                            g.ToGraphDef(), dev)
+                     .value();
+  ASSERT_TRUE(RemoteTask(&router, "sh-w0:1", WireProtocol::kRdma)
+                  .VarAssign("a", Tensor::Scalar(0.0))
+                  .ok());
+  ASSERT_TRUE(RemoteTask(&router, "sh-w1:1", WireProtocol::kRdma)
+                  .VarAssign("b", Tensor::Scalar(5.0))
+                  .ok());
+
+  StepRecoveryOptions recovery;
+  recovery.max_step_attempts = 3;
+  recovery.rpc_retry = RetryPolicy::Aggressive(500);
+  recovery.health = &monitor;
+  recovery.checkpoints = &checkpoints;
+  recovery.checkpoint_every_n_steps = 1;
+  recovery.allow_shrink = true;
+  recovery.dead_verdict_wait_ms = 5000;
+
+  auto warm = session->Run({}, {step0.name(), step1.name()}, recovery,
+                           nullptr);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();  // a=1, b=7
+  ASSERT_TRUE(checkpoints.WaitForPending().ok());
+
+  router.Kill("sh-w1:1");
+  FaultReport report;
+  auto r = session->Run({}, {step0.name(), step1.name()}, recovery, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " " << report.ToString();
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 2.0);
+  EXPECT_DOUBLE_EQ((*r)[1].scalar<double>(), 9.0)
+      << "b restored to 7 from the checkpoint, then += 2 on the adopter";
+
+  ASSERT_EQ(report.workers_evicted, 1) << report.ToString();
+  EXPECT_TRUE(report.worker_faults[0].shrunk);
+  EXPECT_EQ(report.worker_faults[0].successor, "sh-w0:1");
+  // Slot 1 is tombstoned, not removed: indices must not shift.
+  auto slot1 = session->cluster().TaskAddress("worker", 1);
+  ASSERT_TRUE(slot1.ok());
+  EXPECT_EQ(*slot1, "sh-w1:1#dead");
+  // The adopted state now lives on worker 0.
+  RemoteTask adopter(&router, "sh-w0:1", WireProtocol::kRdma);
+  EXPECT_DOUBLE_EQ(adopter.VarRead("b")->scalar<double>(), 9.0);
+
+  monitor.Stop();
+  // The recovery run's periodic save may still be in flight.
+  ASSERT_TRUE(checkpoints.WaitForPending().ok());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(JobRecoveryTest, ShrinkRefusesToRewireAlreadyShippedConsumers) {
+  // The unsound shrink: task 1 produces a tensor task 0 consumes. Moving
+  // the producer onto its consumer would rewrite the consumer's shipped
+  // node (the _Recv edge becomes a direct edge), which graphs being
+  // append-only cannot express — recovery must fail with a clear error,
+  // not silently diverge.
+  InProcessRouter router;
+  ClusterSpec cluster = WorkerCluster({"sr-w0:1", "sr-w1:1"});
+  ServerDef d0{cluster, "worker", 0, 0};
+  ServerDef d1{cluster, "worker", 1, 0};
+  auto w0 = Server::Create(d0, &router).value();
+  auto w1 = Server::Create(d1, &router).value();
+
+  HealthOptions health;
+  health.heartbeat_interval_ms = 5;
+  health.suspect_after_ms = 40;
+  health.dead_after_ms = 120;
+  HealthMonitor monitor(&router, health);
+  monitor.Watch("sr-w0:1");
+  monitor.Watch("sr-w1:1");
+  monitor.Start();
+
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto p = ops::Const(t1, Tensor::Scalar(3.0), "p");
+  auto y = ops::Mul(t0, p, ops::Const(t0, Tensor::Scalar(2.0)));
+
+  DeviceName dev;
+  dev.job = "worker";
+  dev.task = 0;
+  auto session = DistributedSession::Create(&router, cluster,
+                                            WireProtocol::kRdma,
+                                            g.ToGraphDef(), dev)
+                     .value();
+  ASSERT_TRUE(session->Run({}, {y.name()}).ok());
+
+  router.Kill("sr-w1:1");
+  StepRecoveryOptions recovery;
+  recovery.max_step_attempts = 3;
+  recovery.rpc_retry = RetryPolicy::Aggressive(300);
+  recovery.health = &monitor;
+  recovery.allow_shrink = true;
+  recovery.dead_verdict_wait_ms = 5000;
+  FaultReport report;
+  auto r = session->Run({}, {y.name()}, recovery, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kFailedPrecondition)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("already-shipped"), std::string::npos)
+      << r.status().ToString();
+  monitor.Stop();
 }
 
 }  // namespace

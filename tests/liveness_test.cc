@@ -1,0 +1,493 @@
+// Liveness-layer tests: the router's fail-stop/fail-slow switches (Kill /
+// Hang), the HealthMonitor lease state machine (deterministic under a fake
+// clock, end-to-end under real pinger threads), the bounded LRU/TTL
+// ReplayCache and the versioned durable CheckpointManager.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "distrib/client.h"
+#include "distrib/health.h"
+#include "distrib/server.h"
+#include "io/checkpoint.h"
+
+namespace tfhpc::distrib {
+namespace {
+
+using ::tfhpc::io::CheckpointManager;
+using ::tfhpc::io::CheckpointManagerOptions;
+
+// Registers an always-healthy echo endpoint (enough for Ping).
+void RegisterEcho(InProcessRouter* router, const std::string& addr) {
+  ASSERT_TRUE(router
+                  ->Register(addr,
+                             [](const wire::RpcEnvelope& req) {
+                               wire::RpcEnvelope resp;
+                               resp.method = req.method;
+                               resp.request_id = req.request_id;
+                               resp.payload = req.payload;
+                               return resp;
+                             })
+                  .ok());
+}
+
+// ---- router fail-stop / fail-slow switches ---------------------------------------
+
+TEST(LivenessSwitchTest, KillRefusesCallsUntilRevive) {
+  InProcessRouter router;
+  RegisterEcho(&router, "lv-a:1");
+  RemoteTask task(&router, "lv-a:1", WireProtocol::kRdma);
+  ASSERT_TRUE(task.Ping().ok());
+
+  router.Kill("lv-a:1");
+  EXPECT_TRUE(router.IsKilled("lv-a:1"));
+  Status st = task.Ping();
+  EXPECT_EQ(st.code(), Code::kUnavailable);
+  EXPECT_GT(router.stats(WireProtocol::kRdma).faults_kill_refused.load(), 0);
+
+  router.Revive("lv-a:1");
+  EXPECT_FALSE(router.IsKilled("lv-a:1"));
+  EXPECT_TRUE(task.Ping().ok());
+}
+
+TEST(LivenessSwitchTest, HangBlocksCallUntilUnhang) {
+  InProcessRouter router;
+  RegisterEcho(&router, "lv-b:1");
+  router.Hang("lv-b:1");
+
+  std::atomic<bool> returned{false};
+  Status st;
+  std::thread caller([&] {
+    st = RemoteTask(&router, "lv-b:1", WireProtocol::kGrpc).Ping();
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(returned) << "call must block while the worker is hung";
+  EXPECT_GT(router.stats(WireProtocol::kGrpc).faults_hang_blocked.load(), 0);
+
+  router.Unhang("lv-b:1");
+  caller.join();
+  EXPECT_TRUE(returned);
+  EXPECT_TRUE(st.ok()) << "an unhung worker serves the blocked call: "
+                       << st.ToString();
+}
+
+TEST(LivenessSwitchTest, KillReleasesCallBlockedInHang) {
+  // The fence property job-level recovery relies on: killing a hung address
+  // aborts the RPCs parked inside it (a real crash resets the connection).
+  InProcessRouter router;
+  RegisterEcho(&router, "lv-c:1");
+  router.Hang("lv-c:1");
+
+  Status st;
+  std::thread caller(
+      [&] { st = RemoteTask(&router, "lv-c:1", WireProtocol::kRdma).Ping(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  router.Kill("lv-c:1");
+  caller.join();
+  EXPECT_EQ(st.code(), Code::kUnavailable) << st.ToString();
+}
+
+TEST(LivenessSwitchTest, HangCapBoundsTheBlock) {
+  InProcessRouter router;
+  RegisterEcho(&router, "lv-d:1");
+  router.Hang("lv-d:1", /*max_block_ms=*/40);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = RemoteTask(&router, "lv-d:1", WireProtocol::kRdma).Ping();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_EQ(st.code(), Code::kDeadlineExceeded) << st.ToString();
+  EXPECT_GE(elapsed, 35);
+  router.Revive("lv-d:1");
+}
+
+// ---- HealthMonitor state machine under a fake clock -----------------------------
+
+class FakeClockMonitorTest : public ::testing::Test {
+ protected:
+  FakeClockMonitorTest() {
+    HealthOptions opts;
+    opts.heartbeat_interval_ms = 10;
+    opts.suspect_after_ms = 50;
+    opts.dead_after_ms = 150;
+    opts.auto_start_pingers = false;  // test drives heartbeats + Evaluate
+    opts.clock_ms = [this] { return now_ms_; };
+    monitor_ = std::make_unique<HealthMonitor>(&router_, opts);
+  }
+
+  InProcessRouter router_;
+  int64_t now_ms_ = 1000;
+  std::unique_ptr<HealthMonitor> monitor_;
+};
+
+TEST_F(FakeClockMonitorTest, LeaseExpiryWalksAliveSuspectDead) {
+  monitor_->Watch("w:1");
+  EXPECT_EQ(monitor_->health("w:1"), TaskHealth::kAlive);
+
+  now_ms_ += 49;  // within the suspect window
+  monitor_->Evaluate();
+  EXPECT_EQ(monitor_->health("w:1"), TaskHealth::kAlive);
+
+  now_ms_ += 2;  // 51ms without an ack
+  monitor_->Evaluate();
+  EXPECT_EQ(monitor_->health("w:1"), TaskHealth::kSuspect);
+
+  now_ms_ += 100;  // 151ms without an ack
+  monitor_->Evaluate();
+  EXPECT_EQ(monitor_->health("w:1"), TaskHealth::kDead);
+  EXPECT_EQ(monitor_->DeadTasks(), std::vector<std::string>{"w:1"});
+  EXPECT_EQ(monitor_->transitions("w:1"), 2);
+}
+
+TEST_F(FakeClockMonitorTest, HeartbeatRecoversASuspectFalsePositive) {
+  monitor_->Watch("w:1");
+  now_ms_ += 60;
+  monitor_->Evaluate();
+  ASSERT_EQ(monitor_->health("w:1"), TaskHealth::kSuspect);
+
+  monitor_->RecordHeartbeat("w:1");  // the worker was only slow
+  EXPECT_EQ(monitor_->health("w:1"), TaskHealth::kAlive);
+  EXPECT_EQ(monitor_->lease_age_ms("w:1"), 0);
+
+  now_ms_ += 49;  // lease is fresh again: stays alive
+  monitor_->Evaluate();
+  EXPECT_EQ(monitor_->health("w:1"), TaskHealth::kAlive);
+}
+
+TEST_F(FakeClockMonitorTest, DeadVerdictIsSticky) {
+  monitor_->Watch("w:1");
+  now_ms_ += 200;
+  monitor_->Evaluate();
+  ASSERT_EQ(monitor_->health("w:1"), TaskHealth::kDead);
+
+  // A zombie heartbeat after the verdict must not resurrect the task: the
+  // eviction decision has been made and the address fenced.
+  monitor_->RecordHeartbeat("w:1");
+  monitor_->Evaluate();
+  EXPECT_EQ(monitor_->health("w:1"), TaskHealth::kDead);
+}
+
+TEST_F(FakeClockMonitorTest, ListenersSeeEveryTransition) {
+  std::vector<std::string> events;
+  monitor_->AddListener([&](const std::string& addr, TaskHealth from,
+                            TaskHealth to) {
+    events.push_back(addr + ":" + TaskHealthName(from) + "->" +
+                     TaskHealthName(to));
+  });
+  monitor_->Watch("w:1");
+  now_ms_ += 60;
+  monitor_->Evaluate();
+  monitor_->RecordHeartbeat("w:1");
+  now_ms_ += 200;
+  monitor_->Evaluate();
+  // The second expiry blows straight past both windows between Evaluate
+  // calls, so the sparse evaluator legitimately reports one ALIVE->DEAD
+  // jump rather than synthesizing an intermediate SUSPECT it never saw.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], "w:1:ALIVE->SUSPECT");
+  EXPECT_EQ(events[1], "w:1:SUSPECT->ALIVE");
+  EXPECT_EQ(events[2], "w:1:ALIVE->DEAD");
+}
+
+TEST_F(FakeClockMonitorTest, UnknownAddressReadsDead) {
+  EXPECT_EQ(monitor_->health("never-watched:1"), TaskHealth::kDead);
+  EXPECT_EQ(monitor_->lease_age_ms("never-watched:1"), -1);
+}
+
+// ---- HealthMonitor end-to-end (pinger threads over the router) -------------------
+
+TEST(HealthMonitorE2ETest, PingersKeepLeasesFreshUntilKill) {
+  InProcessRouter router;
+  RegisterEcho(&router, "hm-a:1");
+  HealthOptions opts;
+  opts.heartbeat_interval_ms = 5;
+  opts.suspect_after_ms = 40;
+  opts.dead_after_ms = 100;
+  HealthMonitor monitor(&router, opts);
+  monitor.Watch("hm-a:1");
+  monitor.Start();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(monitor.health("hm-a:1"), TaskHealth::kAlive)
+      << "a responsive worker must stay ALIVE past the dead window";
+  EXPECT_GT(monitor.heartbeats("hm-a:1"), 0);
+
+  router.Kill("hm-a:1");  // fail-stop
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (monitor.health("hm-a:1") != TaskHealth::kDead &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(monitor.health("hm-a:1"), TaskHealth::kDead);
+  monitor.Stop();
+}
+
+TEST(HealthMonitorE2ETest, HungWorkerExpiresItsLease) {
+  // The pinger blocks inside the hang; the verdict must come from the lease
+  // age, not from the ping returning.
+  InProcessRouter router;
+  RegisterEcho(&router, "hm-b:1");
+  HealthOptions opts;
+  opts.heartbeat_interval_ms = 5;
+  opts.suspect_after_ms = 30;
+  opts.dead_after_ms = 80;
+  HealthMonitor monitor(&router, opts);
+  monitor.Watch("hm-b:1");
+  monitor.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_EQ(monitor.health("hm-b:1"), TaskHealth::kAlive);
+
+  router.Hang("hm-b:1", /*max_block_ms=*/2000);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (monitor.health("hm-b:1") != TaskHealth::kDead &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(monitor.health("hm-b:1"), TaskHealth::kDead);
+
+  router.Kill("hm-b:1");  // fence: releases the pinger parked in the hang
+  monitor.Stop();
+}
+
+// ---- ReplayCache bounds -----------------------------------------------------------
+
+wire::RpcEnvelope CannedResponse(const std::string& tag) {
+  wire::RpcEnvelope resp;
+  resp.payload = tag;
+  return resp;
+}
+
+TEST(ReplayCacheBoundsTest, LruCapEvictsTheColdestEntry) {
+  ReplayCache cache(ReplayCacheOptions{/*max_entries=*/2, /*ttl_ms=*/0});
+  cache.Insert(1, 1, CannedResponse("a"));
+  cache.Insert(1, 2, CannedResponse("b"));
+  cache.Insert(1, 3, CannedResponse("c"));  // evicts (1,1)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+
+  wire::RpcEnvelope out;
+  EXPECT_FALSE(cache.Lookup(1, 1, &out));
+  EXPECT_TRUE(cache.Lookup(1, 2, &out));
+  EXPECT_EQ(out.payload, "b");
+  EXPECT_TRUE(cache.Lookup(1, 3, &out));
+}
+
+TEST(ReplayCacheBoundsTest, LookupRefreshesRecency) {
+  ReplayCache cache(ReplayCacheOptions{2, 0});
+  cache.Insert(1, 1, CannedResponse("a"));
+  cache.Insert(1, 2, CannedResponse("b"));
+  wire::RpcEnvelope out;
+  ASSERT_TRUE(cache.Lookup(1, 1, &out));  // (1,1) is now the hottest
+  cache.Insert(1, 3, CannedResponse("c"));  // must evict (1,2), not (1,1)
+  EXPECT_TRUE(cache.Lookup(1, 1, &out));
+  EXPECT_FALSE(cache.Lookup(1, 2, &out));
+}
+
+TEST(ReplayCacheBoundsTest, TtlExpiresStaleEntries) {
+  ReplayCache cache(ReplayCacheOptions{/*max_entries=*/64, /*ttl_ms=*/30});
+  cache.Insert(1, 1, CannedResponse("a"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  wire::RpcEnvelope out;
+  EXPECT_FALSE(cache.Lookup(1, 1, &out))
+      << "an entry past its retry window must expire";
+  EXPECT_EQ(cache.expirations(), 1);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ReplayCacheBoundsTest, ServerHonoursConfiguredBounds) {
+  // A tiny cache still dedups the *recent* retry it exists for.
+  InProcessRouter router;
+  auto spec = ClusterSpec::Create([] {
+    wire::ClusterDef def;
+    wire::JobDef job;
+    job.name = "ps";
+    job.task_addrs = {"rc-ps:1"};
+    def.jobs = {job};
+    return def;
+  }());
+  ASSERT_TRUE(spec.ok());
+  ServerDef def{*spec, "ps", 0, 0};
+  def.replay_cache_entries = 4;
+  auto server = Server::Create(def, &router);
+  ASSERT_TRUE(server.ok());
+
+  RemoteTask task(&router, "rc-ps:1", WireProtocol::kGrpc);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(task.VarAssignAdd("x", Tensor::Scalar(1.0)).ok());
+  }
+  EXPECT_LE((*server)->replay_cache().size(), 4u);
+  EXPECT_GT((*server)->replay_cache().evictions(), 0);
+  EXPECT_DOUBLE_EQ(task.VarRead("x")->scalar<double>(), 32.0);
+}
+
+// ---- CheckpointManager ------------------------------------------------------------
+
+class CheckpointManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ckpt_mgr_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::map<std::string, Tensor> Vars(double seed) {
+    std::map<std::string, Tensor> vars;
+    vars["w|a"] = Tensor::Scalar(seed);
+    vars["w|b"] = Tensor::FromVector(std::vector<double>{seed, seed + 1});
+    return vars;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointManagerTest, SaveRestoreRoundTripsAndVersions) {
+  CheckpointManager mgr(CheckpointManagerOptions{dir_, "ckpt", 3});
+  auto v1 = mgr.Save(Vars(1.0));
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  auto v2 = mgr.Save(Vars(2.0));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v1, 1);
+  EXPECT_EQ(*v2, 2);
+  EXPECT_EQ(mgr.latest_version(), 2);
+
+  auto restored = mgr.Restore(*v1);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->at("w|a").scalar<double>(), 1.0);
+
+  int64_t latest = 0;
+  auto newest = mgr.RestoreLatest(&latest);
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(latest, 2);
+  EXPECT_DOUBLE_EQ(newest->at("w|a").scalar<double>(), 2.0);
+}
+
+TEST_F(CheckpointManagerTest, RetentionDeletesRotatedVersions) {
+  CheckpointManager mgr(CheckpointManagerOptions{dir_, "ckpt", 2});
+  for (double s = 1; s <= 4; ++s) ASSERT_TRUE(mgr.Save(Vars(s)).ok());
+  EXPECT_EQ(mgr.Versions(), (std::vector<int64_t>{3, 4}));
+  EXPECT_FALSE(std::filesystem::exists(mgr.PathFor(1)));
+  EXPECT_FALSE(std::filesystem::exists(mgr.PathFor(2)));
+  EXPECT_TRUE(std::filesystem::exists(mgr.PathFor(4)));
+  EXPECT_FALSE(mgr.Restore(1).ok()) << "rotated versions are gone";
+}
+
+TEST_F(CheckpointManagerTest, ManifestResumesTheVersionSequence) {
+  {
+    CheckpointManager mgr(CheckpointManagerOptions{dir_, "ckpt", 3});
+    ASSERT_TRUE(mgr.Save(Vars(1.0)).ok());
+    ASSERT_TRUE(mgr.Save(Vars(2.0)).ok());
+  }
+  // A restarted job must continue the sequence, not restart at 1 (which
+  // would silently overwrite history).
+  CheckpointManager resumed(CheckpointManagerOptions{dir_, "ckpt", 3});
+  EXPECT_EQ(resumed.latest_version(), 2);
+  auto v3 = resumed.Save(Vars(3.0));
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(*v3, 3);
+  int64_t latest = 0;
+  ASSERT_TRUE(resumed.RestoreLatest(&latest).ok());
+  EXPECT_EQ(latest, 3);
+}
+
+TEST_F(CheckpointManagerTest, RestoreLatestFallsBackPastACorruptFile) {
+  CheckpointManager mgr(CheckpointManagerOptions{dir_, "ckpt", 3});
+  ASSERT_TRUE(mgr.Save(Vars(1.0)).ok());
+  ASSERT_TRUE(mgr.Save(Vars(2.0)).ok());
+
+  // Flip bytes in the middle of the newest file: its CRC no longer matches.
+  {
+    std::fstream f(mgr.PathFor(2),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(24);
+    const char junk[4] = {'\x5a', '\x5a', '\x5a', '\x5a'};
+    f.write(junk, sizeof(junk));
+  }
+  ASSERT_FALSE(mgr.Restore(2).ok()) << "corruption must be detected";
+
+  int64_t latest = 0;
+  auto restored = mgr.RestoreLatest(&latest);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(latest, 1) << "fallback must reach the older intact version";
+  EXPECT_DOUBLE_EQ(restored->at("w|a").scalar<double>(), 1.0);
+}
+
+TEST_F(CheckpointManagerTest, AsyncSavesDrainAndLatestWins) {
+  CheckpointManager mgr(CheckpointManagerOptions{dir_, "ckpt", 8});
+  for (double s = 1; s <= 6; ++s) mgr.SaveAsync(Vars(s));
+  ASSERT_TRUE(mgr.WaitForPending().ok());
+  ASSERT_GE(mgr.saves(), 1);
+
+  int64_t latest = 0;
+  auto restored = mgr.RestoreLatest(&latest);
+  ASSERT_TRUE(restored.ok());
+  // Queued snapshots may be superseded (latest wins) but the final state
+  // must be the last snapshot queued.
+  EXPECT_DOUBLE_EQ(restored->at("w|a").scalar<double>(), 6.0);
+}
+
+// ---- checkpoint file format hardening ---------------------------------------------
+
+TEST(CheckpointFormatTest, RejectsAMismatchedFormatVersion) {
+  const std::string path = ::testing::TempDir() + "/fmt_version.ckpt";
+  std::map<std::string, Tensor> vars;
+  vars["x"] = Tensor::Scalar(7.0);
+  ASSERT_TRUE(io::SaveCheckpoint(path, vars).ok());
+
+  // Header starts with field 1 (version) as "0x08 <varint>"; bump the
+  // version value in place.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    char tag = 0;
+    f.read(&tag, 1);
+    ASSERT_EQ(tag, 0x08);
+    f.seekp(1);
+    const char v99 = 99;
+    f.write(&v99, 1);
+  }
+  auto loaded = io::LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Code::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("format version"),
+            std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFormatTest, DetectsFlippedPayloadBytes) {
+  const std::string path = ::testing::TempDir() + "/fmt_crc.ckpt";
+  std::map<std::string, Tensor> vars;
+  vars["weights"] =
+      Tensor::FromVector(std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_TRUE(io::SaveCheckpoint(path, vars).ok());
+
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(-9, std::ios::end);  // inside the tensor bytes
+    const char junk = '\x5a';
+    f.write(&junk, 1);
+  }
+  auto loaded = io::LoadCheckpoint(path);
+  EXPECT_FALSE(loaded.ok()) << "bit rot inside an entry must not load";
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFormatTest, Crc32MatchesTheIeeeReferenceVector) {
+  const char* kCheck = "123456789";
+  EXPECT_EQ(io::Crc32(kCheck, 9), 0xCBF43926u);
+  EXPECT_EQ(io::Crc32("", 0), 0u);
+}
+
+}  // namespace
+}  // namespace tfhpc::distrib
