@@ -2,7 +2,10 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tfhpc::bench {
 
@@ -15,5 +18,83 @@ inline void Rule() {
   std::printf("-------------------------------------------------------------"
               "-------------\n");
 }
+
+// Machine-readable benchmark results: one top-level object carrying the
+// benchmark name, flat metadata, and a "results" array of flat records.
+// Benchmarks emit a BENCH_<name>.json next to their stdout tables so runs
+// can be diffed/plotted without re-parsing text.
+class JsonResults {
+ public:
+  explicit JsonResults(std::string name) : name_(std::move(name)) {}
+
+  JsonResults& Meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, Quote(value));
+    return *this;
+  }
+  JsonResults& Meta(const std::string& key, double value) {
+    meta_.emplace_back(key, Number(value));
+    return *this;
+  }
+
+  // Starts a new record; subsequent Num/Str calls fill it.
+  JsonResults& Record() {
+    records_.emplace_back();
+    return *this;
+  }
+  JsonResults& Num(const std::string& key, double value) {
+    records_.back().emplace_back(key, Number(value));
+    return *this;
+  }
+  JsonResults& Str(const std::string& key, const std::string& value) {
+    records_.back().emplace_back(key, Quote(value));
+    return *this;
+  }
+
+  // Writes the document; returns false (and prints) on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": " << Quote(name_);
+    for (const auto& [key, value] : meta_) {
+      out << ",\n  " << Quote(key) << ": " << value;
+    }
+    out << ",\n  \"results\": [";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    {";
+      const auto& fields = records_[i];
+      for (size_t f = 0; f < fields.size(); ++f) {
+        out << (f == 0 ? "" : ", ") << Quote(fields[f].first) << ": "
+            << fields[f].second;
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("results -> %s\n", path.c_str());
+    return out.good();
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+  static std::string Number(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 }  // namespace tfhpc::bench

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: configure + build + ctest (tier 1),
+# then a ThreadSanitizer smoke over the concurrency-heavy distributed and
+# recovery suites. Usage:
+#
+#   scripts/ci.sh           # tier-1 suite + TSan smoke
+#   scripts/ci.sh --fast    # tier-1 suite only (skip the sanitizer rebuild)
+#
+# Builds into build/ (and build-tsan/ via scripts/sanitize.sh); both are
+# incremental across runs.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==== tier 1: configure + build + ctest ===="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+(cd "$repo/build" && ctest --output-on-failure -j "$jobs")
+
+if [[ "$fast" == 1 ]]; then
+  echo "==== ci: tier 1 OK (sanitizer smoke skipped) ===="
+  exit 0
+fi
+
+# TSan over the suites that exercise cross-thread step execution: the
+# executable cache under concurrent Runs, the distributed step path, and
+# fault/liveness recovery. Address sanitizer runs in the nightly
+# `scripts/sanitize.sh both` sweep, not per-commit.
+echo "==== tier 2: ThreadSanitizer smoke ===="
+"$repo/scripts/sanitize.sh" thread \
+  'ExecutableCache|DistSession|DistStep|FaultTolerance|StepRecovery|JobRecovery|Liveness|Rendezvous'
+
+echo "==== ci: all gates passed ===="

@@ -141,4 +141,34 @@ Result<std::vector<Tensor>> RemoteTask::RunStep(
   return DecodeTensorList(payload);
 }
 
+Result<uint64_t> RemoteTask::RegisterStep(
+    const std::vector<std::string>& feed_names,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets) {
+  wire::RegisterStepRequest req;
+  req.feeds = feed_names;
+  req.fetches = fetches;
+  req.targets = targets;
+  TFHPC_ASSIGN_OR_RETURN(std::string payload,
+                         Call("RegisterStep", req.Serialize()));
+  TFHPC_ASSIGN_OR_RETURN(wire::RegisterStepResponse resp,
+                         wire::RegisterStepResponse::Parse(payload));
+  if (resp.handle == 0) {
+    return Internal(addr_ + "/RegisterStep returned a null handle");
+  }
+  return resp.handle;
+}
+
+Result<std::vector<Tensor>> RemoteTask::RunRegisteredStep(
+    uint64_t handle, const std::map<std::string, Tensor>& feeds,
+    bool simulate) {
+  RunStepRequest req;
+  req.feeds = feeds;
+  req.simulate = simulate;
+  req.step_handle = handle;
+  TFHPC_ASSIGN_OR_RETURN(std::string payload,
+                         Call("RunStep", req.Serialize()));
+  return DecodeTensorList(payload);
+}
+
 }  // namespace tfhpc::distrib

@@ -65,6 +65,18 @@ class RemoteTask {
       const std::map<std::string, Tensor>& feeds,
       const std::vector<std::string>& fetches,
       const std::vector<std::string>& targets = {}, bool simulate = false);
+  // Compile-once steps: registers a run signature (feed *names*, fetches,
+  // targets) with the task, which compiles it into an Executable and
+  // returns a step handle for RunRegisteredStep. Fails with kNotFound once
+  // the task restarts or evicts the handle — re-register and retry.
+  Result<uint64_t> RegisterStep(const std::vector<std::string>& feed_names,
+                                const std::vector<std::string>& fetches,
+                                const std::vector<std::string>& targets = {});
+  // Runs a registered step: only the handle and the feed tensors ride the
+  // wire; fetches/targets were fixed at registration.
+  Result<std::vector<Tensor>> RunRegisteredStep(
+      uint64_t handle, const std::map<std::string, Tensor>& feeds,
+      bool simulate = false);
 
  private:
   Result<std::string> Call(const std::string& method,

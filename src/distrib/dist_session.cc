@@ -124,7 +124,139 @@ Status DistributedSession::ShipPartitions(const PartitionResult& parts,
     partitions_.push_back(std::move(p));
   }
   node_task_ = parts.node_task;
+  send_defs_ = parts.sends;
+
+  // Any rebuild invalidates compiled step plans: node ownership and send
+  // sets may have changed, and worker-side step handles don't survive a
+  // replacement server. The next Run recompiles and re-registers.
+  {
+    std::lock_guard<std::mutex> lk(step_mu_);
+    step_cache_.clear();
+  }
   return Status::OK();
+}
+
+Result<std::shared_ptr<DistributedSession::CompiledStep>>
+DistributedSession::GetOrBuildStepPlan(
+    const std::map<std::string, Tensor>& feeds,
+    const std::vector<std::string>& fetches) {
+  // Cache key: feed *names* + fetches (tensor values are irrelevant to the
+  // plan). std::map iteration delivers the feed keys pre-sorted.
+  RunSignature sig;
+  for (const auto& [key, tensor] : feeds) sig.feeds.push_back(key);
+  sig.fetches = fetches;
+  const std::string key = sig.Key();
+
+  {
+    std::lock_guard<std::mutex> lk(step_mu_);
+    auto it = step_cache_.find(key);
+    if (it != step_cache_.end()) {
+      ++plan_cache_hits_;
+      return it->second;
+    }
+  }
+
+  // Fed nodes cut the closure: anything only needed to produce a fed value
+  // is not executed anywhere in the cluster.
+  std::set<std::string> fed;
+  for (const auto& [feed_key, tensor] : feeds) {
+    std::string name = feed_key;
+    const size_t colon = name.find(':');
+    if (colon != std::string::npos) name = name.substr(0, colon);
+    if (!node_task_.count(name)) {
+      return NotFound("feed of unknown node " + feed_key);
+    }
+    fed.insert(std::move(name));
+  }
+
+  // Fetch closure over the *client* graph (original nodes only — sends and
+  // recvs are a per-partition artifact handled below).
+  std::map<std::string, const wire::NodeDef*> by_name;
+  for (const auto& nd : def_.nodes) by_name.emplace(nd.name, &nd);
+
+  std::set<std::string> closure;
+  std::vector<std::string> stack;
+  for (const std::string& fetch : fetches) {
+    std::string name = fetch;
+    const size_t colon = name.find(':');
+    if (colon != std::string::npos) name = name.substr(0, colon);
+    if (!node_task_.count(name)) {
+      return NotFound("fetch of unknown node " + fetch);
+    }
+    stack.push_back(std::move(name));
+  }
+  while (!stack.empty()) {
+    std::string name = std::move(stack.back());
+    stack.pop_back();
+    if (!closure.insert(name).second) continue;
+    if (fed.count(name)) continue;  // fed: its inputs are not needed
+    auto it = by_name.find(name);
+    if (it == by_name.end()) continue;
+    for (const std::string& input : it->second->inputs) {
+      std::string in_name = input;
+      if (!in_name.empty() && in_name[0] == '^') in_name = in_name.substr(1);
+      const size_t colon = in_name.find(':');
+      if (colon != std::string::npos) in_name = in_name.substr(0, colon);
+      stack.push_back(std::move(in_name));
+    }
+  }
+
+  // Split the closure per partition. Targets are the partition's unfed
+  // closure nodes plus its active sends: a send runs iff some consumer
+  // across the cut is in the closure and not fed — the consumer's own
+  // (server-side) closure then includes the matching _Recv, so every recv
+  // that waits has a sender and every send has a waiting recv.
+  auto plan = std::make_shared<CompiledStep>();
+  std::map<std::string, size_t> part_index;  // addr -> index into parts
+  auto part_for = [&](const std::string& addr) -> CompiledStep::Part& {
+    auto it = part_index.find(addr);
+    if (it == part_index.end()) {
+      it = part_index.emplace(addr, plan->parts.size()).first;
+      plan->parts.push_back(CompiledStep::Part{});
+      plan->parts.back().addr = addr;
+    }
+    return plan->parts[it->second];
+  };
+
+  for (const std::string& name : closure) {
+    if (fed.count(name)) continue;
+    part_for(node_task_.at(name)).targets.push_back(name);
+  }
+  for (const auto& [addr, sends] : send_defs_) {
+    for (const SendDef& send : sends) {
+      for (const std::string& consumer : send.consumers) {
+        if (closure.count(consumer) && !fed.count(consumer)) {
+          part_for(addr).targets.push_back(send.name);
+          break;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    std::string name = fetches[i];
+    const size_t colon = name.find(':');
+    if (colon != std::string::npos) name = name.substr(0, colon);
+    CompiledStep::Part& part = part_for(node_task_.at(name));
+    part.fetches.push_back(fetches[i]);
+    part.fetch_positions.push_back(i);
+  }
+  // Feeds go to the owning partition — but only if that partition has work
+  // (a feed nobody in the closure consumes is simply dropped).
+  for (const auto& [feed_key, tensor] : feeds) {
+    std::string name = feed_key;
+    const size_t colon = name.find(':');
+    if (colon != std::string::npos) name = name.substr(0, colon);
+    const std::string& addr = node_task_.at(name);
+    auto it = part_index.find(addr);
+    if (it == part_index.end()) continue;
+    plan->parts[it->second].feed_keys.push_back(feed_key);
+  }
+
+  std::lock_guard<std::mutex> lk(step_mu_);
+  auto [it, inserted] = step_cache_.emplace(key, plan);
+  if (!inserted) return it->second;  // concurrent compile won the race
+  ++plans_compiled_;
+  return plan;
 }
 
 Result<std::string> DistributedSession::TaskOf(
@@ -156,63 +288,80 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
     const StepRecoveryOptions& recovery, int64_t* rpc_retries,
     std::string* failed_partition, std::string* fenced_addr,
     int64_t* fence_detect_ms) {
-  // Route feeds and fetches to their owning partitions.
-  struct StepPlan {
-    std::map<std::string, Tensor> feeds;
-    std::vector<std::string> fetches;              // this partition's share
-    std::vector<size_t> fetch_positions;           // into the global result
-  };
-  std::map<std::string, StepPlan> plans;
-  for (const auto& p : partitions_) plans[p.addr];
+  // The compiled plan for this signature: per-partition fetch/target/feed
+  // routing with the closure already pruned. Cached — repeat signatures
+  // skip straight to execution.
+  TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<CompiledStep> plan,
+                         GetOrBuildStepPlan(feeds, fetches));
 
-  for (const auto& [key, tensor] : feeds) {
-    std::string name = key;
-    const size_t colon = name.find(':');
-    if (colon != std::string::npos) name = name.substr(0, colon);
-    auto it = node_task_.find(name);
-    if (it == node_task_.end()) return NotFound("feed of unknown node " + key);
-    plans[it->second].feeds.emplace(key, tensor);
-  }
-  for (size_t i = 0; i < fetches.size(); ++i) {
-    std::string name = fetches[i];
-    const size_t colon = name.find(':');
-    if (colon != std::string::npos) name = name.substr(0, colon);
-    auto it = node_task_.find(name);
-    if (it == node_task_.end()) {
-      return NotFound("fetch of unknown node " + fetches[i]);
+  // Distribute this Run's feed tensors along the plan's routing.
+  std::vector<std::map<std::string, Tensor>> part_feeds(plan->parts.size());
+  for (size_t pi = 0; pi < plan->parts.size(); ++pi) {
+    for (const std::string& feed_key : plan->parts[pi].feed_keys) {
+      part_feeds[pi].emplace(feed_key, feeds.at(feed_key));
     }
-    plans[it->second].fetches.push_back(fetches[i]);
-    plans[it->second].fetch_positions.push_back(i);
   }
 
-  // Drive every partition concurrently: cross-task edges rendezvous inside
-  // the servers, so partitions must run simultaneously. If any partition
-  // fails, the others may be parked in _Recv waiting for tensors that will
-  // never be sent — the first error triggers step cancellation (AbortStep)
-  // on every peer so the whole Run unwinds instead of hanging.
+  // Runs one partition's share through its registered step handle, lazily
+  // registering on first use and re-registering once on kNotFound (the
+  // worker restarted or evicted the handle).
+  auto run_part = [&](size_t pi,
+                      RemoteTask& task) -> Result<std::vector<Tensor>> {
+    CompiledStep::Part& part = plan->parts[pi];
+    uint64_t handle = 0;
+    {
+      std::lock_guard<std::mutex> lk(plan->handles_mu);
+      handle = part.handle;
+    }
+    if (handle == 0) {
+      TFHPC_ASSIGN_OR_RETURN(
+          handle, task.RegisterStep(part.feed_keys, part.fetches,
+                                    part.targets));
+      std::lock_guard<std::mutex> lk(plan->handles_mu);
+      part.handle = handle;
+    }
+    auto r = task.RunRegisteredStep(handle, part_feeds[pi]);
+    if (!r.ok() && r.status().code() == Code::kNotFound) {
+      TFHPC_ASSIGN_OR_RETURN(
+          handle, task.RegisterStep(part.feed_keys, part.fetches,
+                                    part.targets));
+      {
+        std::lock_guard<std::mutex> lk(plan->handles_mu);
+        part.handle = handle;
+      }
+      r = task.RunRegisteredStep(handle, part_feeds[pi]);
+    }
+    return r;
+  };
+
+  // Drive the involved partitions concurrently: cross-task edges rendezvous
+  // inside the servers, so partitions must run simultaneously. If any
+  // partition fails, the others may be parked in _Recv waiting for tensors
+  // that will never be sent — the first error triggers step cancellation
+  // (AbortStep) on every peer so the whole Run unwinds instead of hanging.
+  const size_t num_parts = plan->parts.size();
   std::vector<Tensor> results(fetches.size());
-  std::vector<Status> status(partitions_.size());
-  std::vector<char> part_done(partitions_.size(), 0);
+  std::vector<Status> status(num_parts);
+  std::vector<char> part_done(num_parts, 0);
   std::mutex mu;
   std::condition_variable cv;
   size_t done = 0;
   bool failed = false;
 
   std::vector<std::thread> threads;
-  for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+  for (size_t pi = 0; pi < num_parts; ++pi) {
     threads.emplace_back([&, pi] {
-      const Partition& part = partitions_[pi];
-      const StepPlan& plan = plans[part.addr];
+      CompiledStep::Part& part = plan->parts[pi];
       RemoteTask task(router_, part.addr, protocol_, recovery.rpc_retry);
       Status st;
-      auto r = task.RunStep(plan.feeds, plan.fetches, part.all_nodes);
+      auto r = run_part(pi, task);
       if (!r.ok()) {
         st = r.status();
-      } else if (r->size() != plan.fetches.size()) {
+      } else if (r->size() != part.fetches.size()) {
         st = Internal("partition returned wrong fetch count");
       } else {
-        for (size_t f = 0; f < plan.fetch_positions.size(); ++f) {
-          results[plan.fetch_positions[f]] = std::move((*r)[f]);
+        for (size_t f = 0; f < part.fetch_positions.size(); ++f) {
+          results[part.fetch_positions[f]] = std::move((*r)[f]);
         }
       }
       std::lock_guard<std::mutex> lk(mu);
@@ -227,7 +376,7 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
 
   {
     std::unique_lock<std::mutex> lk(mu);
-    const auto all_done = [&] { return done == partitions_.size() || failed; };
+    const auto all_done = [&] { return done == num_parts || failed; };
     const bool watchdog_armed =
         recovery.stuck_step_timeout_ms > 0 && recovery.health != nullptr;
     if (!watchdog_armed) {
@@ -248,9 +397,9 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
         if (all_done()) break;
         const int64_t elapsed = SteadyNowMs() - started_ms;
         if (elapsed < recovery.stuck_step_timeout_ms) continue;
-        for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+        for (size_t pi = 0; pi < num_parts; ++pi) {
           if (part_done[pi]) continue;
-          const std::string addr = partitions_[pi].addr;
+          const std::string addr = plan->parts[pi].addr;
           if (fenced.count(addr)) continue;
           if (recovery.health->health(addr) != TaskHealth::kDead) continue;
           fenced.insert(addr);
@@ -264,14 +413,16 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
         }
       }
     }
-    if (failed && done < partitions_.size()) {
+    if (failed && done < num_parts) {
       // Cancel stragglers; their RunSteps fail with Cancelled and unwind.
       // Control RPCs go without retry: a dead task's abort must not burn
-      // another deadline, and a live task aborts on the first try.
+      // another deadline, and a live task aborts on the first try. Every
+      // task is aborted, not just the involved parts — a peer's rendezvous
+      // may hold tensors from a half-delivered send.
       for (const Partition& part : partitions_) {
         RemoteTask(router_, part.addr, protocol_).AbortStep("peer failed");
       }
-      cv.wait(lk, [&] { return done == partitions_.size(); });
+      cv.wait(lk, [&] { return done == num_parts; });
     }
   }
   for (auto& t : threads) t.join();
@@ -282,7 +433,9 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
     if (!status[pi].ok() &&
         (first.ok() || first.code() == Code::kCancelled)) {
       first = status[pi];
-      if (failed_partition != nullptr) *failed_partition = partitions_[pi].addr;
+      if (failed_partition != nullptr) {
+        *failed_partition = plan->parts[pi].addr;
+      }
     }
   }
   if (!first.ok()) return first;

@@ -1,14 +1,24 @@
 // DistributedSession: the client half of TensorFlow's distributed
 // execution. Takes one graph with nodes placed on multiple tasks,
 // partitions it (distrib/partition.h), ships each partition to its server
-// once, and on every Run drives all partitions concurrently — cross-task
-// tensors flow through the rendezvous _Send/_Recv pairs the partitioner
-// inserted. Feeds and fetches are routed to the owning partition
-// automatically.
+// once, and on every Run drives the involved partitions concurrently —
+// cross-task tensors flow through the rendezvous _Send/_Recv pairs the
+// partitioner inserted. Feeds and fetches are routed to the owning
+// partition automatically.
 //
-// Simplification vs TensorFlow: every Run executes all partitions in full
-// (no cross-partition pruning), which keeps send/recv pairs matched by
-// construction.
+// Compile-once, pruned steps: each (feed names, fetches) signature is
+// compiled into a step plan — the fetch closure over the client graph, cut
+// at fed nodes, split per partition. A partition's targets are its closure
+// nodes plus the _Send nodes whose consumers (on other tasks) are in the
+// closure and not fed; the consuming side's own closure pulls in the
+// matching _Recv, so send/recv pairs stay matched under pruning. Partitions
+// with no closure work are skipped entirely (no RPC). The plan is
+// registered with each involved worker once (RegisterStep -> step handle);
+// subsequent Runs of the same signature ship only the handle plus feed
+// tensors, and the worker executes its cached Executable. Plans and handles
+// are invalidated whenever partitions are rebuilt/re-shipped (eviction,
+// shrink); a worker that lost its handle (restart, registry eviction)
+// answers kNotFound and the client re-registers transparently.
 //
 // Fault tolerance, two levels:
 //
@@ -31,6 +41,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <set>
 
 #include "distrib/client.h"
@@ -153,6 +164,15 @@ class DistributedSession {
   // Owning task of a node (tests / diagnostics).
   Result<std::string> TaskOf(const std::string& node_name) const;
 
+  // ---- step-plan cache observability ---------------------------------------
+  // Step plans compiled (cache misses); repeat signatures reuse a plan.
+  int64_t plans_compiled() const { return plans_compiled_; }
+  int64_t plan_cache_hits() const { return plan_cache_hits_; }
+  size_t plan_cache_size() const {
+    std::lock_guard<std::mutex> lk(step_mu_);
+    return step_cache_.size();
+  }
+
  private:
   DistributedSession(InProcessRouter* router, WireProtocol protocol,
                      ClusterSpec cluster, wire::GraphDef def,
@@ -165,8 +185,31 @@ class DistributedSession {
 
   struct Partition {
     std::string addr;
-    std::vector<std::string> all_nodes;  // run targets (full execution)
+    std::vector<std::string> all_nodes;  // every node shipped to this task
   };
+
+  // One compiled (feed names, fetches) signature: the per-partition share
+  // of the pruned step, plus the step handles registered with the workers.
+  // Only partitions with closure work appear — the rest see no RPC at all.
+  struct CompiledStep {
+    struct Part {
+      std::string addr;
+      std::vector<std::string> feed_keys;  // feed keys routed here
+      std::vector<std::string> fetches;    // this partition's share
+      std::vector<size_t> fetch_positions;  // into the global result
+      std::vector<std::string> targets;  // closure nodes + active sends
+      uint64_t handle = 0;  // 0 = not registered yet (guarded by handles_mu)
+    };
+    std::vector<Part> parts;
+    std::mutex handles_mu;  // parts run on concurrent threads
+  };
+
+  // Returns the cached plan for this signature, compiling on miss: fetch
+  // closure over the client graph cut at fed nodes, split per partition
+  // with active sends appended (see file comment).
+  Result<std::shared_ptr<CompiledStep>> GetOrBuildStepPlan(
+      const std::map<std::string, Tensor>& feeds,
+      const std::vector<std::string>& fetches);
 
   // One step attempt across all partitions. On failure, fills
   // *failed_partition with the first failing task's address. When the
@@ -218,11 +261,21 @@ class DistributedSession {
   DeviceName default_device_;
   std::vector<Partition> partitions_;
   std::map<std::string, std::string> node_task_;
+  // Producer task -> its _Send nodes (for pruned step targeting).
+  std::map<std::string, std::vector<SendDef>> send_defs_;
   // What each server has been sent, by node name — rebuilds ship diffs.
   std::map<std::string, std::map<std::string, wire::NodeDef>> shipped_;
   // Evicted address -> successor address (chains across evictions).
   std::map<std::string, std::string> addr_remap_;
   int64_t steps_completed_ = 0;
+
+  // Signature-keyed cache of compiled step plans. Cleared whenever the
+  // partitioning changes (ShipPartitions): node ownership, send sets and
+  // worker-side handles are all stale after a rebuild.
+  mutable std::mutex step_mu_;
+  std::map<std::string, std::shared_ptr<CompiledStep>> step_cache_;
+  int64_t plans_compiled_ = 0;
+  int64_t plan_cache_hits_ = 0;
 };
 
 }  // namespace tfhpc::distrib

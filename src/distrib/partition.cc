@@ -59,6 +59,10 @@ Result<PartitionResult> PartitionGraph(const Graph& graph,
   std::map<std::string, PartitionBuilder> builders;
   // (producer id, slot, dst task) -> recv node name, deduplicating sends.
   std::map<std::tuple<int, int, std::string>, std::string> edge_recv;
+  // Same key -> (producer task, index into result.sends[task]) so every
+  // consumer of a deduplicated send is recorded in its SendDef.
+  std::map<std::tuple<int, int, std::string>, std::pair<std::string, size_t>>
+      edge_send;
 
   for (int id = 0; id < graph.num_nodes(); ++id) {
     const Node* n = graph.node(id);
@@ -79,6 +83,7 @@ Result<PartitionResult> PartitionGraph(const Graph& graph,
       if (it == edge_recv.end()) {
         const std::string key = EdgeKey(producer->name(), slot, my_task);
         const std::string recv_name = RecvName(producer->name(), slot);
+        std::string send_name;
 
         // Producer side: a _Send in the source partition.
         PartitionBuilder& theirs = builders[src_task];
@@ -94,6 +99,7 @@ Result<PartitionResult> PartitionGraph(const Graph& graph,
           token.inputs = {"^" + producer->name()};
           wire::NodeDef send;
           send.name = "_send/" + producer->name() + "/ctrl/" + SanitizeForName(my_task);
+          send_name = send.name;
           send.op = "_Send";
           send.device = producer->def().device;
           send.inputs = {token.name};
@@ -105,6 +111,7 @@ Result<PartitionResult> PartitionGraph(const Graph& graph,
           wire::NodeDef send;
           send.name = "_send/" + producer->name() + "_" +
                       std::to_string(slot) + "/" + SanitizeForName(my_task);
+          send_name = send.name;
           send.op = "_Send";
           send.device = producer->def().device;
           send.inputs = {slot == 0 ? producer->name()
@@ -123,6 +130,15 @@ Result<PartitionResult> PartitionGraph(const Graph& graph,
         recv.attrs["key"] = wire::AttrValue::Str(key);
         mine.nodes.push_back(std::move(recv));
         it = edge_recv.emplace(key_tuple, recv_name).first;
+
+        auto& sends = result.sends[src_task];
+        sends.push_back(SendDef{send_name, producer->name(), e.control,
+                                {n->name()}});
+        edge_send.emplace(key_tuple,
+                          std::make_pair(src_task, sends.size() - 1));
+      } else {
+        const auto& [send_task, idx] = edge_send.at(key_tuple);
+        result.sends[send_task][idx].consumers.push_back(n->name());
       }
       def.inputs[i] = e.control ? "^" + it->second : it->second;
     }

@@ -82,6 +82,7 @@ std::string RunStepRequest::Serialize() const {
   for (const auto& f : fetches) co.WriteString(2, f);
   for (const auto& t : targets) co.WriteString(3, t);
   co.WriteBool(4, simulate);
+  if (step_handle != 0) co.WriteUInt64(5, step_handle);
   return out;
 }
 
@@ -134,6 +135,10 @@ Result<RunStepRequest> RunStepRequest::Parse(const std::string& payload) {
         uint64_t v;
         TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
         req.simulate = v != 0;
+        break;
+      }
+      case 5: {
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&req.step_handle));
         break;
       }
       default:
@@ -335,6 +340,12 @@ Server::Server(ServerDef def, InProcessRouter* router, std::string address)
       send_client_id_(NextServerClientId()) {
   devices_ = DeviceMgr::CreateLocal(def_.job, def_.task, def_.num_gpus,
                                     def_.gpu_model);
+  // One long-lived session shared by every step: compiled Executables (and
+  // their placement/kernel work) survive across RunStep requests instead of
+  // dying with a per-request session.
+  session_ = NewSession();
+  session_->set_max_cached_executables(
+      std::max<size_t>(1, def_.max_registered_steps));
   // Give kernels a path to remote rendezvous (_Send with a target): a
   // RendezvousSend RPC over this server's configured protocol, retried
   // under def.send_retry. The receiver dedups on (client_id, request_id),
@@ -378,6 +389,14 @@ std::unique_ptr<Session> Server::NewSession() {
   default_device.task = def_.task;
   return std::make_unique<Session>(&graph_, devices_.get(), &resources_,
                                    default_device);
+}
+
+Result<std::shared_ptr<const Executable>> Server::PrepareLocked(
+    const std::vector<std::string>& feed_keys,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets) {
+  std::lock_guard<std::mutex> lk(graph_mu_);
+  return session_->Prepare(feed_keys, fetches, targets);
 }
 
 wire::RpcEnvelope Server::Handle(const wire::RpcEnvelope& request) {
@@ -445,14 +464,68 @@ Result<std::string> Server::Dispatch(const std::string& method,
     return std::string();
   }
 
+  if (method == "RegisterStep") {
+    TFHPC_ASSIGN_OR_RETURN(wire::RegisterStepRequest req,
+                           wire::RegisterStepRequest::Parse(payload));
+    TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<const Executable> exe,
+                           PrepareLocked(req.feeds, req.fetches, req.targets));
+    wire::RegisterStepResponse resp;
+    resp.graph_version = exe->graph_version();
+    {
+      std::lock_guard<std::mutex> lk(steps_mu_);
+      // FIFO eviction: drop the oldest handle; its client re-registers on
+      // the resulting kNotFound.
+      while (registered_steps_.size() >=
+             std::max<size_t>(1, def_.max_registered_steps)) {
+        registered_steps_.erase(registered_steps_.begin());
+      }
+      resp.handle = next_step_handle_++;
+      registered_steps_.emplace(
+          resp.handle, RegisteredStep{std::move(req.feeds),
+                                      std::move(req.fetches),
+                                      std::move(req.targets), std::move(exe)});
+    }
+    steps_registered_.fetch_add(1, std::memory_order_relaxed);
+    return resp.Serialize();
+  }
+
   if (method == "RunStep") {
     TFHPC_ASSIGN_OR_RETURN(RunStepRequest req, RunStepRequest::Parse(payload));
     RunOptions options;
     options.simulate = req.simulate;
-    auto session = NewSession();
-    TFHPC_ASSIGN_OR_RETURN(
-        std::vector<Tensor> outputs,
-        session->Run(req.feeds, req.fetches, req.targets, options));
+    std::shared_ptr<const Executable> exe;
+    if (req.step_handle != 0) {
+      RegisteredStep step;
+      {
+        std::lock_guard<std::mutex> lk(steps_mu_);
+        auto it = registered_steps_.find(req.step_handle);
+        if (it == registered_steps_.end()) {
+          return NotFound("unknown step handle " +
+                          std::to_string(req.step_handle) +
+                          " (worker restarted or handle evicted); "
+                          "re-register the step");
+        }
+        step = it->second;
+      }
+      exe = step.executable;
+      if (exe->stale(graph_)) {
+        // The graph was extended after this step compiled: recompile the
+        // registered signature transparently and re-pin the handle.
+        TFHPC_ASSIGN_OR_RETURN(
+            exe, PrepareLocked(step.feeds, step.fetches, step.targets));
+        std::lock_guard<std::mutex> lk(steps_mu_);
+        auto it = registered_steps_.find(req.step_handle);
+        if (it != registered_steps_.end()) it->second.executable = exe;
+      }
+    } else {
+      std::vector<std::string> feed_keys;
+      feed_keys.reserve(req.feeds.size());
+      for (const auto& [key, tensor] : req.feeds) feed_keys.push_back(key);
+      TFHPC_ASSIGN_OR_RETURN(
+          exe, PrepareLocked(feed_keys, req.fetches, req.targets));
+    }
+    TFHPC_ASSIGN_OR_RETURN(std::vector<Tensor> outputs,
+                           session_->RunPrepared(*exe, req.feeds, options));
     return EncodeTensorList(outputs);
   }
 

@@ -7,7 +7,15 @@
 // Service methods (RpcEnvelope.method):
 //   Ping        — liveness, echoes payload
 //   ExtendGraph — payload: GraphDef; appends nodes to the server's graph
-//   RunStep     — payload: RunStepRequest; runs fetches/targets with feeds
+//   RegisterStep— payload: RegisterStepRequest (feed names + fetches +
+//                 targets); compiles the signature once into an Executable
+//                 and returns a step handle (RegisterStepResponse)
+//   RunStep     — payload: RunStepRequest; runs fetches/targets with feeds.
+//                 With step_handle set, executes the registered Executable
+//                 (no graph walk); a handle compiled before a graph
+//                 mutation is transparently recompiled, an unknown handle
+//                 (restarted/evicted worker, registry eviction) fails with
+//                 kNotFound so the client re-registers
 //   Enqueue     — payload: queue name + tensor (+capacity); blocking
 //   Dequeue     — payload: queue name; blocking; response carries tensor
 //   CloseQueue  — payload: queue name
@@ -114,6 +122,10 @@ struct ServerDef {
   // Bounds for the exactly-once dedup cache (see ReplayCacheOptions).
   size_t replay_cache_entries = 4096;
   int64_t replay_cache_ttl_ms = 0;
+  // Registered-step capacity: oldest handles are dropped beyond this (the
+  // client re-registers on kNotFound). Also caps the shared session's
+  // signature-keyed executable cache.
+  size_t max_registered_steps = 1024;
 };
 
 class Server {
@@ -141,6 +153,15 @@ class Server {
   // A session bound to this server's graph/devices/resources, with default
   // device "/job:<job>/task:<task>".
   std::unique_ptr<Session> NewSession();
+  // The long-lived session every RunStep executes through; holds the
+  // executable cache, so repeat signatures compile once per worker.
+  Session& session() { return *session_; }
+
+  // Total graph nodes executed by this worker's steps (fed nodes excluded).
+  // The distributed partial-closure tests assert pruning with this.
+  int64_t nodes_executed() const { return session_->nodes_executed(); }
+  // RegisterStep requests served (handle registrations, not dedup replays).
+  int64_t steps_registered() const { return steps_registered_.load(); }
 
   // Service entry point (invoked by the router on caller threads).
   wire::RpcEnvelope Handle(const wire::RpcEnvelope& request);
@@ -158,14 +179,36 @@ class Server {
   Result<std::string> Dispatch(const std::string& method,
                                const std::string& payload);
 
+  // Compiles (through the shared session's cache) under graph_mu_ so a
+  // concurrent ExtendGraph cannot mutate the graph mid-compile. Execution
+  // itself runs without the lock.
+  Result<std::shared_ptr<const Executable>> PrepareLocked(
+      const std::vector<std::string>& feed_keys,
+      const std::vector<std::string>& fetches,
+      const std::vector<std::string>& targets);
+
   ServerDef def_;
   InProcessRouter* router_;
   std::string address_;
   Graph graph_;
   std::unique_ptr<DeviceMgr> devices_;
   ResourceMgr resources_;
-  std::mutex graph_mu_;  // guards ExtendGraph vs RunStep
+  std::unique_ptr<Session> session_;  // shared across steps; owns exe cache
+  std::mutex graph_mu_;  // guards ExtendGraph vs step compiles
   bool shutdown_ = false;
+
+  // Registered steps: handle -> compiled signature. A stale executable
+  // (graph mutated since compile) is recompiled on next use.
+  struct RegisteredStep {
+    std::vector<std::string> feeds;  // feed keys the signature expects
+    std::vector<std::string> fetches;
+    std::vector<std::string> targets;
+    std::shared_ptr<const Executable> executable;
+  };
+  std::mutex steps_mu_;
+  std::map<uint64_t, RegisteredStep> registered_steps_;
+  uint64_t next_step_handle_ = 1;
+  std::atomic<int64_t> steps_registered_{0};
   ReplayCache replay_cache_;
   std::atomic<int64_t> checksum_rejects_{0};
   // Outgoing rendezvous sends carry this server's own client identity so
@@ -181,6 +224,10 @@ struct RunStepRequest {
   std::vector<std::string> fetches;
   std::vector<std::string> targets;
   bool simulate = false;
+  // When non-zero, the worker executes the Executable registered under this
+  // handle (fetches/targets above are ignored — they were fixed at
+  // RegisterStep time) and only the feed tensors ride the wire.
+  uint64_t step_handle = 0;
 
   std::string Serialize() const;
   static Result<RunStepRequest> Parse(const std::string& payload);

@@ -128,7 +128,18 @@ Result<Node*> Graph::AddNode(wire::NodeDef def) {
   Node* raw = node.get();
   by_name_[node->def_.name] = node->id_;
   nodes_.push_back(std::move(node));
+  ++version_;
   return raw;
+}
+
+Status Graph::SetNodeDevice(const std::string& name,
+                            const std::string& device) {
+  Node* n = FindNode(name);
+  if (n == nullptr) return NotFound("node '" + name + "' not found");
+  if (n->def_.device == device) return Status::OK();
+  n->def_.device = device;
+  ++version_;
+  return Status::OK();
 }
 
 Node* Graph::FindNode(const std::string& name) {

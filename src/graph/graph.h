@@ -70,6 +70,18 @@ class Graph {
   // refer to already-added nodes. The op must be registered.
   Result<Node*> AddNode(wire::NodeDef def);
 
+  // Re-pins an existing node to a different device spec. This is the one
+  // in-place mutation the runtime performs (job-level recovery re-places an
+  // evicted task's nodes); it bumps version() so compiled executables and
+  // per-node placement caches tied to the old placement are invalidated.
+  Status SetNodeDevice(const std::string& name, const std::string& device);
+
+  // Monotonic mutation counter: bumped by every AddNode/SetNodeDevice.
+  // Anything derived from graph structure (pruned closures, placements,
+  // instantiated kernels) is valid only for the version it was built
+  // against.
+  int64_t version() const { return version_; }
+
   Node* FindNode(const std::string& name);
   const Node* FindNode(const std::string& name) const;
   Node* node(int id) { return nodes_[static_cast<size_t>(id)].get(); }
@@ -96,6 +108,7 @@ class Graph {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<std::string, int> by_name_;
   std::map<std::string, int> name_counters_;
+  int64_t version_ = 0;
 };
 
 }  // namespace tfhpc

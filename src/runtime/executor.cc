@@ -50,9 +50,17 @@ Executor::Executor(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
       resources_(resources),
       default_device_(std::move(default_device)) {}
 
+void Executor::InvalidateCachesIfStaleLocked() {
+  if (cache_version_ == graph_->version()) return;
+  placement_cache_.clear();
+  kernel_cache_.clear();
+  cache_version_ = graph_->version();
+}
+
 Result<Device*> Executor::PlaceNode(const Node& node) {
   {
     std::lock_guard<std::mutex> lk(cache_mu_);
+    InvalidateCachesIfStaleLocked();
     auto it = placement_cache_.find(node.id());
     if (it != placement_cache_.end()) return it->second;
   }
@@ -99,6 +107,7 @@ Result<Device*> Executor::PlaceNode(const Node& node) {
                     "')");
   }
   std::lock_guard<std::mutex> lk(cache_mu_);
+  InvalidateCachesIfStaleLocked();
   placement_cache_[node.id()] = device;
   return device;
 }
@@ -107,6 +116,7 @@ Result<std::shared_ptr<OpKernel>> Executor::KernelFor(const Node& node,
                                                       Device* device) {
   {
     std::lock_guard<std::mutex> lk(cache_mu_);
+    InvalidateCachesIfStaleLocked();
     auto it = kernel_cache_.find(node.id());
     if (it != kernel_cache_.end()) return it->second;
   }
@@ -115,18 +125,20 @@ Result<std::shared_ptr<OpKernel>> Executor::KernelFor(const Node& node,
       KernelRegistry::Global().Create(node.op(), device->type()));
   std::shared_ptr<OpKernel> shared = std::move(kernel);
   std::lock_guard<std::mutex> lk(cache_mu_);
+  InvalidateCachesIfStaleLocked();
   kernel_cache_[node.id()] = shared;
   return shared;
 }
 
-Result<std::vector<Tensor>> Executor::Run(
-    const std::map<std::string, Tensor>& feeds,
+Result<std::shared_ptr<const Executable>> Executor::Compile(
+    const std::vector<std::string>& feed_keys,
     const std::vector<std::string>& fetches,
-    const std::vector<std::string>& targets, const RunOptions& options,
-    RunMetadata* metadata) {
+    const std::vector<std::string>& targets) {
+  const int64_t version = graph_->version();
+
   // ---- Closure computation, with feeds acting as graph cut points. -------
   std::set<std::string> fed_names;
-  for (const auto& [key, tensor] : feeds) {
+  for (const std::string& key : feed_keys) {
     fed_names.insert(SplitTensorName(key).first);
   }
 
@@ -154,66 +166,121 @@ Result<std::vector<Tensor>> Executor::Run(
     }
   }
 
-  // ---- Dataflow state ------------------------------------------------------
-  struct NodeState {
-    int pending = 0;
-    std::vector<int> consumers;  // node ids inside the closure
-  };
-  std::map<int, NodeState> state;
-  for (int id : closure) state[id];  // default-construct all
+  // ---- Bake flat tables. Node ids are topological (construction order),
+  // and std::set iterates ids ascending, so dense indexes are topological
+  // too.
+  auto exe = std::make_shared<Executable>();
+  exe->graph_version_ = version;
+  exe->nodes_.reserve(closure.size());
+  std::map<int, int> dense;  // node id -> index into exe->nodes_
   for (int id : closure) {
-    const Node* n = graph_->node(id);
-    if (fed_names.count(n->name())) continue;
-    for (const InEdge& e : n->in_edges()) {
-      state[id].pending++;
-      state[e.node_id].consumers.push_back(id);
+    dense.emplace(id, static_cast<int>(exe->nodes_.size()));
+    Executable::CompiledNode cn;
+    cn.node = graph_->node(id);
+    cn.fed = fed_names.count(cn.node->name()) > 0;
+    cn.blocking = cn.node->op_def().is_blocking;
+    cn.num_outputs = std::max(1, cn.node->op_def().num_outputs);
+    exe->nodes_.push_back(std::move(cn));
+  }
+
+  for (auto& cn : exe->nodes_) {
+    if (cn.fed) continue;
+    for (const InEdge& e : cn.node->in_edges()) {
+      const int producer = dense.at(e.node_id);
+      if (!e.control) cn.data_inputs.emplace_back(producer, e.output_index);
+      // Fed producers complete before the step starts; they neither gate
+      // readiness nor notify consumers.
+      if (exe->nodes_[static_cast<size_t>(producer)].fed) continue;
+      cn.initial_pending++;
+    }
+  }
+  for (size_t i = 0; i < exe->nodes_.size(); ++i) {
+    const auto& cn = exe->nodes_[i];
+    if (cn.fed) continue;
+    for (const InEdge& e : cn.node->in_edges()) {
+      const int producer = dense.at(e.node_id);
+      if (exe->nodes_[static_cast<size_t>(producer)].fed) continue;
+      exe->nodes_[static_cast<size_t>(producer)].consumers.push_back(
+          static_cast<int>(i));
+    }
+  }
+  for (size_t i = 0; i < exe->nodes_.size(); ++i) {
+    if (exe->nodes_[i].fed) continue;
+    exe->num_scheduled_++;
+    if (exe->nodes_[i].initial_pending == 0) {
+      exe->initial_ready_.push_back(static_cast<int>(i));
     }
   }
 
+  // ---- Placement + kernel instantiation for every scheduled node. --------
+  for (auto& cn : exe->nodes_) {
+    if (cn.fed) continue;
+    TFHPC_ASSIGN_OR_RETURN(cn.device, PlaceNode(*cn.node));
+    TFHPC_ASSIGN_OR_RETURN(cn.kernel, KernelFor(*cn.node, cn.device));
+  }
+
+  // ---- Feed/fetch bindings. ----------------------------------------------
+  for (const std::string& key : feed_keys) {
+    const auto [name, slot] = SplitTensorName(key);
+    const Node* n = graph_->FindNode(name);
+    if (n == nullptr) continue;  // feeding an unknown node: ignored
+    auto it = dense.find(n->id());
+    if (it == dense.end()) continue;  // pruned from the closure: ignored
+    if (slot >= exe->nodes_[static_cast<size_t>(it->second)].num_outputs) {
+      return OutOfRange("feed slot out of range: " + key);
+    }
+    exe->feed_bindings_.push_back({key, it->second, slot});
+  }
+  for (const std::string& f : fetches) {
+    const auto [name, slot] = SplitTensorName(f);
+    const Node* n = graph_->FindNode(name);
+    TFHPC_CHECK(n != nullptr);  // was a closure root
+    exe->fetch_bindings_.push_back({f, dense.at(n->id()), slot});
+  }
+  exe->fetch_keys_ = fetches;
+  return std::shared_ptr<const Executable>(std::move(exe));
+}
+
+Result<std::vector<Tensor>> Executor::Execute(
+    const Executable& exe, const std::map<std::string, Tensor>& feeds,
+    const RunOptions& options, RunMetadata* metadata) {
+  const size_t n_nodes = exe.nodes_.size();
+
+  // ---- Dataflow state: flat, pre-sized, no map lookups on the hot path. --
+  std::vector<int> pending(n_nodes);
+  for (size_t i = 0; i < n_nodes; ++i) pending[i] = exe.nodes_[i].initial_pending;
+  std::vector<std::vector<Tensor>> outputs(n_nodes);
+  std::vector<char> has_output(n_nodes, 0);
+
   std::mutex mu;
   std::condition_variable done_cv;
-  std::deque<int> ready;
-  int remaining = static_cast<int>(closure.size());
+  std::deque<int> ready(exe.initial_ready_.begin(), exe.initial_ready_.end());
+  int remaining = static_cast<int>(n_nodes);
   int inflight = 0;  // scheduled but not yet finished
   Status first_error;
   bool stop = false;
-  std::map<int, std::vector<Tensor>> outputs;
   std::vector<std::thread> blocking_threads;
   const double step_start_us = NowUs();
 
-  // Seed pass 1: fed nodes complete immediately (their consumers' pending
-  // counts drop). Pass 2: every non-fed node whose pending count is zero
-  // becomes ready — done as a separate pass so a node unblocked by a feed is
-  // not enqueued twice.
-  {
-    std::lock_guard<std::mutex> lk(mu);
-    for (int id : closure) {
-      const Node* n = graph_->node(id);
-      if (!fed_names.count(n->name())) continue;
-      std::vector<Tensor> outs(
-          static_cast<size_t>(std::max(1, n->op_def().num_outputs)));
-      for (const auto& [key, tensor] : feeds) {
-        const auto [name, slot] = SplitTensorName(key);
-        if (name == n->name()) {
-          if (slot >= static_cast<int>(outs.size())) {
-            return OutOfRange("feed slot out of range: " + key);
-          }
-          outs[static_cast<size_t>(slot)] =
-              options.simulate && !tensor.is_meta()
-                  ? Tensor::Meta(tensor.dtype(), tensor.shape())
-                  : tensor;
-        }
-      }
-      outputs[id] = std::move(outs);
-      remaining--;
-      for (int consumer : state[id].consumers) --state[consumer].pending;
+  // Seed fed nodes: their outputs come straight from the feed tensors; the
+  // compiled pending counts already exclude fed producers.
+  for (size_t i = 0; i < n_nodes; ++i) {
+    if (!exe.nodes_[i].fed) continue;
+    outputs[i].resize(static_cast<size_t>(exe.nodes_[i].num_outputs));
+    has_output[i] = 1;
+    remaining--;
+  }
+  for (const auto& fb : exe.feed_bindings_) {
+    auto it = feeds.find(fb.key);
+    if (it == feeds.end()) {
+      return InvalidArgument("compiled signature expects feed '" + fb.key +
+                             "' but it was not supplied");
     }
-    for (int id : closure) {
-      if (!fed_names.count(graph_->node(id)->name()) &&
-          state[id].pending == 0) {
-        ready.push_back(id);
-      }
-    }
+    const Tensor& tensor = it->second;
+    outputs[static_cast<size_t>(fb.node_index)][static_cast<size_t>(fb.slot)] =
+        options.simulate && !tensor.is_meta()
+            ? Tensor::Meta(tensor.dtype(), tensor.shape())
+            : tensor;
   }
 
   // Per-device serialization: one compute op in flight per device.
@@ -223,62 +290,53 @@ Result<std::vector<Tensor>> Executor::Run(
   }
 
   // Executes one node, then marks consumers ready.
-  auto execute_node = [&](int id) {
-    const Node* n = graph_->node(id);
+  auto execute_node = [&](int idx) {
+    const Executable::CompiledNode& cn = exe.nodes_[static_cast<size_t>(idx)];
+    const Node* n = cn.node;
     Status status;
     std::vector<Tensor> node_outputs;
     NodeExecRecord record;
 
     do {
-      auto device_or = PlaceNode(*n);
-      if (!device_or.ok()) {
-        status = device_or.status();
-        break;
-      }
-      Device* device = *device_or;
-      auto kernel_or = KernelFor(*n, device);
-      if (!kernel_or.ok()) {
-        status = kernel_or.status();
-        break;
-      }
-
-      // Gather inputs.
+      // Gather inputs from the precompiled (producer, slot) table.
       std::vector<Tensor> inputs;
+      inputs.reserve(cn.data_inputs.size());
       {
         std::lock_guard<std::mutex> lk(mu);
-        for (const InEdge& e : n->in_edges()) {
-          if (e.control) continue;
-          auto it = outputs.find(e.node_id);
-          TFHPC_CHECK(it != outputs.end());
-          inputs.push_back(it->second[static_cast<size_t>(e.output_index)]);
+        for (const auto& [producer, slot] : cn.data_inputs) {
+          TFHPC_CHECK(has_output[static_cast<size_t>(producer)]);
+          inputs.push_back(
+              outputs[static_cast<size_t>(producer)][static_cast<size_t>(slot)]);
         }
       }
 
       OpKernelContext ctx(n, std::move(inputs), resources_, options.simulate,
-                          device->allocator_stats());
-      const CostEstimate cost = (*kernel_or)->Cost(ctx);
+                          cn.device->allocator_stats());
+      const CostEstimate cost = cn.kernel->Cost(ctx);
       if (!options.simulate) {
-        status = device->CheckCapacity(cost.bytes_written);
+        status = cn.device->CheckCapacity(cost.bytes_written);
         if (!status.ok()) break;
       }
 
-      record.name = n->name();
-      record.op = n->op();
-      record.device = device->name_string();
-      record.cost = cost;
-      for (const InEdge& e : n->in_edges()) {
-        record.input_names.push_back(graph_->node(e.node_id)->name());
+      if (options.trace || options.debug) {
+        record.name = n->name();
+        record.op = n->op();
+        record.device = cn.device->name_string();
+        record.cost = cost;
+        for (const InEdge& e : n->in_edges()) {
+          record.input_names.push_back(graph_->node(e.node_id)->name());
+        }
       }
       record.start_us = NowUs() - step_start_us;
 
-      if (n->op_def().is_blocking) {
+      if (cn.blocking) {
         // Queue ops wait on external producers/consumers; no device lock.
-        status = (*kernel_or)->Compute(&ctx);
+        status = cn.kernel->Compute(&ctx);
       } else {
         // at(): the map is fully populated before threads start; never
         // mutate it concurrently.
-        std::lock_guard<std::mutex> dev_lk(*device_mu.at(device));
-        status = (*kernel_or)->Compute(&ctx);
+        std::lock_guard<std::mutex> dev_lk(*device_mu.at(cn.device));
+        status = cn.kernel->Compute(&ctx);
       }
       record.end_us = NowUs() - step_start_us;
       node_outputs = std::move(ctx.outputs());
@@ -298,13 +356,16 @@ Result<std::vector<Tensor>> Executor::Run(
       }
       stop = true;
     } else {
-      outputs[id] = std::move(node_outputs);
+      outputs[static_cast<size_t>(idx)] = std::move(node_outputs);
+      has_output[static_cast<size_t>(idx)] = 1;
       if ((options.trace || options.debug) && metadata != nullptr) {
         metadata->nodes.push_back(std::move(record));
       }
       if (!stop) {
-        for (int consumer : state[id].consumers) {
-          if (--state[consumer].pending == 0) ready.push_back(consumer);
+        for (int consumer : cn.consumers) {
+          if (--pending[static_cast<size_t>(consumer)] == 0) {
+            ready.push_back(consumer);
+          }
         }
       }
     }
@@ -318,14 +379,15 @@ Result<std::vector<Tensor>> Executor::Run(
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
       while (!ready.empty() && !stop) {
-        const int id = ready.front();
+        const int idx = ready.front();
         ready.pop_front();
         ++inflight;
-        const Node* n = graph_->node(id);
-        if (n->op_def().is_blocking) {
-          blocking_threads.emplace_back([&execute_node, id] { execute_node(id); });
+        if (exe.nodes_[static_cast<size_t>(idx)].blocking) {
+          blocking_threads.emplace_back(
+              [&execute_node, idx] { execute_node(idx); });
         } else {
-          ThreadPool::Global().Schedule([&execute_node, id] { execute_node(id); });
+          ThreadPool::Global().Schedule(
+              [&execute_node, idx] { execute_node(idx); });
         }
       }
       if (stop) ready.clear();  // error path: drop not-yet-started nodes
@@ -344,23 +406,34 @@ Result<std::vector<Tensor>> Executor::Run(
 
   // ---- Fetch extraction --------------------------------------------------------
   std::vector<Tensor> results;
-  results.reserve(fetches.size());
+  results.reserve(exe.fetch_bindings_.size());
   std::lock_guard<std::mutex> lk(mu);
-  for (const std::string& f : fetches) {
-    const auto [name, slot] = SplitTensorName(f);
-    const Node* n = graph_->FindNode(name);
-    auto it = outputs.find(n->id());
-    if (it == outputs.end() ||
-        slot >= static_cast<int>(it->second.size())) {
-      return Internal("fetch '" + f + "' produced no value");
+  for (const auto& fb : exe.fetch_bindings_) {
+    const auto& outs = outputs[static_cast<size_t>(fb.node_index)];
+    if (!has_output[static_cast<size_t>(fb.node_index)] ||
+        fb.slot >= static_cast<int>(outs.size())) {
+      return Internal("fetch '" + fb.key + "' produced no value");
     }
-    const Tensor& t = it->second[static_cast<size_t>(slot)];
+    const Tensor& t = outs[static_cast<size_t>(fb.slot)];
     if (!t.valid()) {
-      return InvalidArgument("fetch '" + f + "' is a zero-output op");
+      return InvalidArgument("fetch '" + fb.key + "' is a zero-output op");
     }
     results.push_back(t);
   }
   return results;
+}
+
+Result<std::vector<Tensor>> Executor::Run(
+    const std::map<std::string, Tensor>& feeds,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets, const RunOptions& options,
+    RunMetadata* metadata) {
+  std::vector<std::string> feed_keys;
+  feed_keys.reserve(feeds.size());
+  for (const auto& [key, tensor] : feeds) feed_keys.push_back(key);
+  TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<const Executable> exe,
+                         Compile(feed_keys, fetches, targets));
+  return Execute(*exe, feeds, options, metadata);
 }
 
 }  // namespace tfhpc

@@ -1,12 +1,26 @@
-// Graph executor: prunes the graph to the fetch/target closure, places each
-// node on a device (explicit pin, merged defaults, TF-style soft placement),
-// and runs kernels dataflow-style — an op becomes ready when all its data
-// and control inputs have completed; ready ops on distinct devices run
+// Graph executor with an explicit Compile -> Execute lifecycle.
+//
+// Compile(feeds, fetches, targets) prunes the graph to the fetch/target
+// closure (feeds act as cut points), resolves placement for every closure
+// node (explicit pin, merged defaults, TF-style soft placement),
+// instantiates kernels, and bakes the result into an immutable Executable:
+// flat vector-indexed topology, initial ready-counts and fanout tables.
+// Execute(executable, feed_tensors) is then a tight dataflow loop over
+// those tables — no per-step map lookups or graph walks. Run() is the
+// compile-and-execute convenience used by one-shot callers; Session caches
+// Executables per run signature so step loops compile once.
+//
+// Execution is dataflow-style: an op becomes ready when all its data and
+// control inputs have completed; ready ops on distinct devices run
 // concurrently (one in-flight op per device models a single GPU stream;
 // blocking queue ops get dedicated threads so they cannot starve compute).
+//
+// An Executable is valid only for the Graph::version() it was compiled
+// against — any graph mutation invalidates it (callers check stale()).
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +62,62 @@ struct RunMetadata {
 // Renders the tfdbg-style watch list ("node (op) @device: summary").
 std::string FormatDebugReport(const RunMetadata& metadata);
 
+// An immutable compiled step: the pruned closure in topological order with
+// placement, kernels, dependency counts and fanout baked into flat vectors.
+// Compiled once by Executor::Compile, executed many times by
+// Executor::Execute; shareable across threads (Execute keeps all mutable
+// step state on its own stack).
+class Executable {
+ public:
+  // Graph version this plan was compiled against.
+  int64_t graph_version() const { return graph_version_; }
+  // True once the graph has mutated past the compiled version.
+  bool stale(const Graph& graph) const {
+    return graph.version() != graph_version_;
+  }
+  // Closure nodes that are scheduled (excludes fed nodes, which complete
+  // immediately from their feed tensor).
+  int num_scheduled_nodes() const { return num_scheduled_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<std::string>& fetches() const { return fetch_keys_; }
+
+ private:
+  friend class Executor;
+
+  struct CompiledNode {
+    const Node* node = nullptr;  // stable: Graph stores nodes behind unique_ptr
+    Device* device = nullptr;    // null for fed nodes (never executed)
+    std::shared_ptr<OpKernel> kernel;  // null for fed nodes
+    // (producer index into nodes_, producer output slot) per data input, in
+    // input order.
+    std::vector<std::pair<int, int>> data_inputs;
+    // Indexes into nodes_ whose pending count drops when this completes.
+    std::vector<int> consumers;
+    int initial_pending = 0;  // in-edges from non-fed producers
+    int num_outputs = 0;      // output slots to allocate (>= 1)
+    bool fed = false;
+    bool blocking = false;    // queue ops: dedicated thread, no device lock
+  };
+  struct FeedBinding {
+    std::string key;  // "name" or "name:slot" as the caller feeds it
+    int node_index = 0;
+    int slot = 0;
+  };
+  struct FetchBinding {
+    std::string key;
+    int node_index = 0;
+    int slot = 0;
+  };
+
+  std::vector<CompiledNode> nodes_;  // topological order
+  std::vector<int> initial_ready_;   // indexes with pending == 0, not fed
+  std::vector<FeedBinding> feed_bindings_;
+  std::vector<FetchBinding> fetch_bindings_;
+  std::vector<std::string> fetch_keys_;
+  int64_t graph_version_ = 0;
+  int num_scheduled_ = 0;
+};
+
 class Executor {
  public:
   // `default_device` supplies job/task (and optionally type) for nodes with
@@ -55,8 +125,27 @@ class Executor {
   Executor(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
            DeviceName default_device);
 
+  // Compiles one run signature into an Executable. `feed_keys` are the names
+  // ("node" or "node:slot") that Execute will supply tensors for — values
+  // are not needed to compile. The signature must fetch or target at least
+  // one node.
+  Result<std::shared_ptr<const Executable>> Compile(
+      const std::vector<std::string>& feed_keys,
+      const std::vector<std::string>& fetches,
+      const std::vector<std::string>& targets = {});
+
+  // Runs a compiled step. `feeds` must supply every feed key the executable
+  // was compiled with; extra keys that were also in the compiled signature
+  // but pruned from the closure are ignored. Returns fetched tensors in
+  // compile order.
+  Result<std::vector<Tensor>> Execute(const Executable& executable,
+                                      const std::map<std::string, Tensor>& feeds,
+                                      const RunOptions& options = {},
+                                      RunMetadata* metadata = nullptr);
+
   // feeds: node or "node:slot" -> tensor, replaces the node's output.
   // fetches: outputs to return. targets: nodes to run without fetching.
+  // Equivalent to Compile + Execute, for one-shot callers.
   Result<std::vector<Tensor>> Run(
       const std::map<std::string, Tensor>& feeds,
       const std::vector<std::string>& fetches,
@@ -73,10 +162,17 @@ class Executor {
   ResourceMgr* resources_;
   DeviceName default_device_;
 
-  // Placement and kernel caches, built lazily per node id.
+  // Placement and kernel caches, built lazily per node id and valid only
+  // for cache_version_: any graph mutation (version bump) flushes them, so
+  // a re-pinned node is re-placed instead of served a stale device.
   std::mutex cache_mu_;
+  int64_t cache_version_ = 0;
   std::map<int, Device*> placement_cache_;
   std::map<int, std::shared_ptr<OpKernel>> kernel_cache_;
+
+  // Drops both caches if the graph has mutated since they were filled.
+  // Caller holds cache_mu_.
+  void InvalidateCachesIfStaleLocked();
 
   Result<std::shared_ptr<OpKernel>> KernelFor(const Node& node, Device* device);
 };

@@ -1,20 +1,110 @@
 #include "runtime/session.h"
 
+#include <algorithm>
+
 #include "graph/ops.h"
 
 namespace tfhpc {
+
+std::string RunSignature::Key() const {
+  // '\x1f' (unit separator) between elements, '\x1e' (record separator)
+  // between the three lists; neither can appear in a node name.
+  std::string key;
+  for (const auto& f : feeds) {
+    key += f;
+    key += '\x1f';
+  }
+  key += '\x1e';
+  for (const auto& f : fetches) {
+    key += f;
+    key += '\x1f';
+  }
+  key += '\x1e';
+  for (const auto& t : targets) {
+    key += t;
+    key += '\x1f';
+  }
+  return key;
+}
 
 Session::Session(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
                  DeviceName default_device)
     : graph_(graph),
       executor_(graph, devices, resources, std::move(default_device)) {}
 
+Result<std::shared_ptr<const Executable>> Session::Prepare(
+    const std::vector<std::string>& feed_keys,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets) {
+  // Feed *names* are a set, not a sequence: normalize so callers that pass
+  // them in different orders share one cache entry.
+  RunSignature sig{feed_keys, fetches, targets};
+  std::sort(sig.feeds.begin(), sig.feeds.end());
+  const std::string key = sig.Key();
+
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (max_cached_ > 0) {
+      auto it = cache_.find(key);
+      if (it != cache_.end() &&
+          !it->second.executable->stale(*graph_)) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.executable;
+      }
+    }
+  }
+
+  // Miss (or stale): compile outside the cache lock — compiles can be slow
+  // and concurrent Runs with other signatures must not serialize on them.
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<const Executable> exe,
+                         executor_.Compile(sig.feeds, fetches, targets));
+
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  if (max_cached_ == 0) return exe;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Either a stale entry we are replacing, or a concurrent compile won
+    // the race; the freshest graph version wins.
+    if (it->second.executable->graph_version() >= exe->graph_version()) {
+      return it->second.executable;
+    }
+    it->second.executable = exe;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return exe;
+  }
+  while (cache_.size() >= max_cached_ && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, CacheEntry{exe, lru_.begin()});
+  return exe;
+}
+
+Result<std::vector<Tensor>> Session::RunPrepared(
+    const Executable& executable, const std::map<std::string, Tensor>& feeds,
+    const RunOptions& options, RunMetadata* metadata) {
+  auto r = executor_.Execute(executable, feeds, options, metadata);
+  if (r.ok()) {
+    nodes_executed_.fetch_add(executable.num_scheduled_nodes(),
+                              std::memory_order_relaxed);
+  }
+  return r;
+}
+
 Result<std::vector<Tensor>> Session::Run(
     const std::map<std::string, Tensor>& feeds,
     const std::vector<std::string>& fetches,
     const std::vector<std::string>& targets, const RunOptions& options,
     RunMetadata* metadata) {
-  return executor_.Run(feeds, fetches, targets, options, metadata);
+  std::vector<std::string> feed_keys;
+  feed_keys.reserve(feeds.size());
+  for (const auto& [key, tensor] : feeds) feed_keys.push_back(key);
+  TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<const Executable> exe,
+                         Prepare(feed_keys, fetches, targets));
+  return RunPrepared(*exe, feeds, options, metadata);
 }
 
 Result<std::string> Session::DevicePlacement(const std::string& node_name) {
@@ -22,6 +112,20 @@ Result<std::string> Session::DevicePlacement(const std::string& node_name) {
   if (n == nullptr) return NotFound("node '" + node_name + "' not found");
   TFHPC_ASSIGN_OR_RETURN(Device * d, executor_.PlaceNode(*n));
   return d->name_string();
+}
+
+size_t Session::executable_cache_size() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return cache_.size();
+}
+
+void Session::set_max_cached_executables(size_t n) {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  max_cached_ = n;
+  while (cache_.size() > max_cached_ && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
 }
 
 LocalRuntime::LocalRuntime(int num_gpus, ComputeModel gpu_model)

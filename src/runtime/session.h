@@ -1,17 +1,42 @@
 // Session: the client-facing execution handle (tf.Session). A session binds
 // a graph to a device set and a resource manager and runs fetch requests.
+//
+// Compile-once step execution: Run() keys each request by its RunSignature
+// (feed names + fetches + targets) and serves repeat signatures from an LRU
+// cache of compiled Executables — the per-step cost of a cached step is a
+// flat dataflow loop, with no pruning, placement or kernel lookup. Cached
+// entries are tied to Graph::version(): any graph mutation invalidates
+// them and the next Run recompiles. Thread-safe: concurrent Runs share the
+// cache under a lock and execute with stack-local state.
+//
 // LocalRuntime bundles graph + devices + resources for single-process use —
 // the examples and tests build on it; distributed execution wraps sessions
 // per task (src/distrib).
 #pragma once
 
+#include <atomic>
+#include <list>
 #include <memory>
+#include <mutex>
 
 #include "graph/ops.h"
 #include "graph/passes.h"
 #include "runtime/executor.h"
 
 namespace tfhpc {
+
+// The cache key of one Run request: which tensors go in and what comes out.
+// Tensor *values* are irrelevant — two Runs with the same signature execute
+// the same pruned, placed, instantiated plan.
+struct RunSignature {
+  std::vector<std::string> feeds;  // feed keys, sorted
+  std::vector<std::string> fetches;
+  std::vector<std::string> targets;
+
+  // Canonical string form used as the cache key. Field and element
+  // separators are control characters that cannot appear in node names.
+  std::string Key() const;
+};
 
 class Session {
  public:
@@ -25,12 +50,55 @@ class Session {
                                   const RunOptions& options = {},
                                   RunMetadata* metadata = nullptr);
 
+  // Returns the cached Executable for this signature, compiling (and
+  // caching) on miss or when the cached entry predates a graph mutation.
+  // Exposed so the distributed worker can pin an Executable to a step
+  // handle and skip even the signature lookup on the hot path.
+  Result<std::shared_ptr<const Executable>> Prepare(
+      const std::vector<std::string>& feed_keys,
+      const std::vector<std::string>& fetches,
+      const std::vector<std::string>& targets = {});
+
+  // Executes a previously Prepare()d plan. The caller is responsible for
+  // staleness: a plan compiled before a graph mutation still runs (its node
+  // pointers stay valid — the graph is append-only plus device re-pins) but
+  // reflects the old placement/closure; check Executable::stale() first.
+  Result<std::vector<Tensor>> RunPrepared(const Executable& executable,
+                                          const std::map<std::string, Tensor>& feeds,
+                                          const RunOptions& options = {},
+                                          RunMetadata* metadata = nullptr);
+
   // Placement report for one node (tests, debug).
   Result<std::string> DevicePlacement(const std::string& node_name);
+
+  // ---- executable-cache observability ------------------------------------
+  int64_t executable_cache_hits() const { return cache_hits_.load(); }
+  int64_t executable_cache_misses() const { return cache_misses_.load(); }
+  size_t executable_cache_size() const;
+  // Max cached signatures; 0 disables caching (every Run recompiles —
+  // the uncached baseline the step-overhead ablation measures).
+  void set_max_cached_executables(size_t n);
+  // Total nodes executed by successful runs through this session (fed nodes
+  // excluded). Drives the distributed partial-closure assertions.
+  int64_t nodes_executed() const { return nodes_executed_.load(); }
 
  private:
   Graph* graph_;
   Executor executor_;
+
+  // Signature-keyed LRU cache of compiled plans. An entry whose
+  // graph_version predates Graph::version() is recompiled in place.
+  mutable std::mutex cache_mu_;
+  size_t max_cached_ = 64;
+  std::list<std::string> lru_;  // front = most recently used
+  struct CacheEntry {
+    std::shared_ptr<const Executable> executable;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::map<std::string, CacheEntry> cache_;
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> nodes_executed_{0};
 };
 
 // Single-process runtime: one task, one CPU device + `num_gpus` simulated

@@ -400,6 +400,68 @@ Result<ClusterDef> ClusterDef::Parse(const std::string& data) {
   return c;
 }
 
+// ---- RegisterStep -------------------------------------------------------------
+
+std::string RegisterStepRequest::Serialize() const {
+  std::string out;
+  CodedOutput co(&out);
+  for (const auto& f : feeds) co.WriteString(1, f);
+  for (const auto& f : fetches) co.WriteString(2, f);
+  for (const auto& t : targets) co.WriteString(3, t);
+  return out;
+}
+
+Result<RegisterStepRequest> RegisterStepRequest::Parse(
+    const std::string& data) {
+  CodedInput in(data);
+  RegisterStepRequest req;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    if (field >= 1 && field <= 3) {
+      std::string s;
+      TFHPC_RETURN_IF_ERROR(in.ReadString(&s));
+      (field == 1 ? req.feeds : field == 2 ? req.fetches : req.targets)
+          .push_back(std::move(s));
+    } else {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  return req;
+}
+
+std::string RegisterStepResponse::Serialize() const {
+  std::string out;
+  CodedOutput co(&out);
+  co.WriteUInt64(1, handle);
+  co.WriteSInt64(2, graph_version);
+  return out;
+}
+
+Result<RegisterStepResponse> RegisterStepResponse::Parse(
+    const std::string& data) {
+  CodedInput in(data);
+  RegisterStepResponse resp;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    if (field == 1) {
+      uint64_t v;
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+      resp.handle = v;
+    } else if (field == 2) {
+      uint64_t v;
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+      resp.graph_version = ZigZagDecode(v);
+    } else {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  return resp;
+}
+
 // ---- RpcEnvelope --------------------------------------------------------------
 
 std::string RpcEnvelope::Serialize() const {

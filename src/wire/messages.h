@@ -85,6 +85,30 @@ struct ClusterDef {
   static Result<ClusterDef> Parse(const std::string& data);
 };
 
+// ---- RegisterStep ------------------------------------------------------------
+// Compile-once distributed steps: the client registers one partition's run
+// signature (feed names — no tensor values — plus fetches and targets) with
+// the owning worker, which compiles it to an Executable and returns a step
+// handle. Subsequent RunStep calls carry the handle and the feed tensors
+// only, so the worker executes its cached plan without re-pruning or
+// re-walking the graph.
+struct RegisterStepRequest {
+  std::vector<std::string> feeds;    // field 1: feed keys ("node[:slot]")
+  std::vector<std::string> fetches;  // field 2
+  std::vector<std::string> targets;  // field 3
+
+  std::string Serialize() const;
+  static Result<RegisterStepRequest> Parse(const std::string& data);
+};
+
+struct RegisterStepResponse {
+  uint64_t handle = 0;        // field 1: worker-local step handle (never 0)
+  int64_t graph_version = 0;  // field 2: worker graph version compiled against
+
+  std::string Serialize() const;
+  static Result<RegisterStepResponse> Parse(const std::string& data);
+};
+
 // ---- RPC envelope ------------------------------------------------------------
 // Framing for the in-process transports: one envelope per message.
 struct RpcEnvelope {

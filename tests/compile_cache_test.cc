@@ -1,0 +1,242 @@
+// Tests for compile-once step execution: the Graph mutation counter, the
+// Session's signature-keyed executable cache (hit/miss/invalidation/LRU),
+// the Prepare/RunPrepared split, and the placement-staleness regression the
+// version counter exists to prevent.
+#include <gtest/gtest.h>
+
+#include "graph/ops.h"
+#include "runtime/session.h"
+
+namespace tfhpc {
+namespace {
+
+// ---- Graph::version() ------------------------------------------------------
+
+TEST(GraphVersionTest, AddNodeBumpsVersion) {
+  Graph g;
+  Scope s(&g);
+  const int64_t v0 = g.version();
+  auto a = ops::Const(s, Tensor::Scalar(1.0));
+  EXPECT_GT(g.version(), v0);
+  const int64_t v1 = g.version();
+  ops::Add(s, a, a);
+  EXPECT_GT(g.version(), v1);
+}
+
+TEST(GraphVersionTest, SetNodeDeviceBumpsVersion) {
+  Graph g;
+  Scope s(&g);
+  auto a = ops::Const(s, Tensor::Scalar(1.0));
+  const int64_t v = g.version();
+  ASSERT_TRUE(g.SetNodeDevice(a.node->name(), "/cpu:0").ok());
+  EXPECT_GT(g.version(), v);
+  EXPECT_EQ(a.node->requested_device(), "/cpu:0");
+}
+
+TEST(GraphVersionTest, SetNodeDeviceSameSpecIsNoOp) {
+  Graph g;
+  Scope s(&g);
+  auto a = ops::Const(s.WithDevice("/cpu:0"), Tensor::Scalar(1.0));
+  const int64_t v = g.version();
+  ASSERT_TRUE(g.SetNodeDevice(a.node->name(), "/cpu:0").ok());
+  EXPECT_EQ(g.version(), v) << "re-pinning to the same device must not "
+                               "invalidate compiled executables";
+}
+
+TEST(GraphVersionTest, SetNodeDeviceUnknownNodeFails) {
+  Graph g;
+  EXPECT_EQ(g.SetNodeDevice("nope", "/cpu:0").code(), Code::kNotFound);
+}
+
+// ---- Placement staleness regression (the latent bug) -----------------------
+
+// Before placements were tied to Graph::version(), a session that had placed
+// a node once kept serving the old device after the node was re-pinned —
+// exactly what job-level recovery does when it moves an evicted task's nodes.
+TEST(PlacementStalenessTest, RepinInvalidatesCachedPlacement) {
+  LocalRuntime rt(2);  // cpu:0 + gpu:0 + gpu:1
+  Scope s = rt.root_scope();
+  auto c = ops::Const(s.WithDevice("/gpu:0"), Tensor::Scalar(1.0));
+  auto sess = rt.NewSession();
+  ASSERT_EQ(sess->DevicePlacement(c.node->name()).value(),
+            "/job:localhost/task:0/gpu:0");
+
+  ASSERT_TRUE(rt.graph().SetNodeDevice(c.node->name(), "/gpu:1").ok());
+  EXPECT_EQ(sess->DevicePlacement(c.node->name()).value(),
+            "/job:localhost/task:0/gpu:1")
+      << "placement cache served a stale device after SetNodeDevice";
+}
+
+TEST(PlacementStalenessTest, RepinnedGraphRecompilesAndRunsOnNewDevice) {
+  LocalRuntime rt(2);
+  Scope s = rt.root_scope();
+  auto a = ops::Const(s.WithDevice("/gpu:0"), Tensor::Scalar(3.0));
+  auto b = ops::Const(s.WithDevice("/gpu:0"), Tensor::Scalar(4.0));
+  auto y = ops::Mul(s.WithDevice("/gpu:0"), a, b);
+  auto sess = rt.NewSession();
+  ASSERT_TRUE(sess->Run({}, {y.name()}).ok());
+  ASSERT_EQ(sess->executable_cache_misses(), 1);
+
+  // Move the whole computation; the cached executable is now stale.
+  for (const auto* node : {a.node, b.node, y.node}) {
+    ASSERT_TRUE(rt.graph().SetNodeDevice(node->name(), "/gpu:1").ok());
+  }
+  auto r = sess->Run({}, {y.name()});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 12.0);
+  EXPECT_EQ(sess->executable_cache_misses(), 2)
+      << "stale entry must recompile, not serve the old placement";
+  EXPECT_EQ(sess->DevicePlacement(y.node->name()).value(),
+            "/job:localhost/task:0/gpu:1");
+}
+
+// ---- RunSignature ----------------------------------------------------------
+
+TEST(RunSignatureTest, KeyDistinguishesFieldBoundaries) {
+  RunSignature a{{"x"}, {"y"}, {}};
+  RunSignature b{{}, {"x", "y"}, {}};
+  RunSignature c{{"x", "y"}, {}, {}};
+  EXPECT_NE(a.Key(), b.Key());
+  EXPECT_NE(a.Key(), c.Key());
+  EXPECT_NE(b.Key(), c.Key());
+  RunSignature fetch_vs_target{{}, {"y"}, {"x"}};
+  RunSignature target_vs_fetch{{}, {"x"}, {"y"}};
+  EXPECT_NE(fetch_vs_target.Key(), target_vs_fetch.Key());
+}
+
+// ---- Session executable cache ----------------------------------------------
+
+class ExecutableCacheTest : public ::testing::Test {
+ protected:
+  // y = x * 2, z = y + 1 over a placeholder; two distinct fetchable heads.
+  void SetUp() override {
+    Scope s = rt_.root_scope();
+    auto x = ops::Placeholder(s, DType::kF64, Shape{}, "x");
+    auto two = ops::Const(s, Tensor::Scalar(2.0));
+    auto one = ops::Const(s, Tensor::Scalar(1.0));
+    y_ = ops::Mul(s, x, two).name();
+    z_ = ops::Add(s, Output{rt_.graph().FindNode(y_), 0}, one).name();
+    sess_ = rt_.NewSession();
+  }
+
+  std::map<std::string, Tensor> Feed(double v) {
+    return {{"x", Tensor::Scalar(v)}};
+  }
+
+  LocalRuntime rt_{0};
+  std::string y_, z_;
+  std::unique_ptr<Session> sess_;
+};
+
+TEST_F(ExecutableCacheTest, RepeatSignatureHitsCache) {
+  ASSERT_TRUE(sess_->Run(Feed(1), {y_}).ok());
+  EXPECT_EQ(sess_->executable_cache_misses(), 1);
+  EXPECT_EQ(sess_->executable_cache_hits(), 0);
+  for (double v : {2.0, 3.0, 4.0}) {
+    auto r = sess_->Run(Feed(v), {y_});
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), v * 2);  // values still flow
+  }
+  EXPECT_EQ(sess_->executable_cache_misses(), 1);
+  EXPECT_EQ(sess_->executable_cache_hits(), 3);
+  EXPECT_EQ(sess_->executable_cache_size(), 1u);
+}
+
+TEST_F(ExecutableCacheTest, DifferentSignaturesCompileSeparately) {
+  ASSERT_TRUE(sess_->Run(Feed(1), {y_}).ok());
+  ASSERT_TRUE(sess_->Run(Feed(1), {z_}).ok());
+  ASSERT_TRUE(sess_->Run(Feed(1), {y_, z_}).ok());
+  EXPECT_EQ(sess_->executable_cache_misses(), 3);
+  EXPECT_EQ(sess_->executable_cache_size(), 3u);
+}
+
+TEST_F(ExecutableCacheTest, GraphMutationInvalidatesCachedPlan) {
+  ASSERT_TRUE(sess_->Run(Feed(1), {y_}).ok());
+  ASSERT_EQ(sess_->executable_cache_misses(), 1);
+
+  // Grow the graph; the signature is unchanged but the plan is stale.
+  Scope s = rt_.root_scope();
+  ops::Const(s, Tensor::Scalar(9.0));
+  auto r = sess_->Run(Feed(5), {y_});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 10.0);
+  EXPECT_EQ(sess_->executable_cache_misses(), 2);
+  // And the recompiled entry serves hits again.
+  ASSERT_TRUE(sess_->Run(Feed(6), {y_}).ok());
+  EXPECT_EQ(sess_->executable_cache_misses(), 2);
+}
+
+TEST_F(ExecutableCacheTest, FeedOrderDoesNotFragmentTheCache) {
+  Scope s = rt_.root_scope();
+  auto w = ops::Placeholder(s, DType::kF64, Shape{}, "w");
+  auto sum = ops::Add(s, Output{rt_.graph().FindNode(y_), 0}, w);
+  auto run = [&](std::map<std::string, Tensor> feeds) {
+    auto r = sess_->Run(feeds, {sum.name()});
+    ASSERT_TRUE(r.ok());
+  };
+  // std::map iterates sorted, so exercise Prepare directly with both orders.
+  ASSERT_TRUE(sess_->Prepare({"w", "x"}, {sum.name()}).ok());
+  ASSERT_TRUE(sess_->Prepare({"x", "w"}, {sum.name()}).ok());
+  EXPECT_EQ(sess_->executable_cache_misses(), 1)
+      << "feed keys must be canonicalized before keying the cache";
+  EXPECT_EQ(sess_->executable_cache_hits(), 1);
+  run({{"x", Tensor::Scalar(1.0)}, {"w", Tensor::Scalar(2.0)}});
+}
+
+TEST_F(ExecutableCacheTest, ZeroCapacityDisablesCaching) {
+  sess_->set_max_cached_executables(0);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(sess_->Run(Feed(i), {y_}).ok());
+  EXPECT_EQ(sess_->executable_cache_misses(), 3);
+  EXPECT_EQ(sess_->executable_cache_hits(), 0);
+  EXPECT_EQ(sess_->executable_cache_size(), 0u);
+}
+
+TEST_F(ExecutableCacheTest, LruEvictsOldestSignature) {
+  sess_->set_max_cached_executables(2);
+  ASSERT_TRUE(sess_->Run(Feed(1), {y_}).ok());       // miss: {y}
+  ASSERT_TRUE(sess_->Run(Feed(1), {z_}).ok());       // miss: {z}
+  ASSERT_TRUE(sess_->Run(Feed(1), {y_}).ok());       // hit:  {y} now MRU
+  ASSERT_TRUE(sess_->Run(Feed(1), {y_, z_}).ok());   // miss: evicts {z}
+  EXPECT_EQ(sess_->executable_cache_size(), 2u);
+  ASSERT_TRUE(sess_->Run(Feed(1), {y_}).ok());       // still cached
+  EXPECT_EQ(sess_->executable_cache_hits(), 2);
+  ASSERT_TRUE(sess_->Run(Feed(1), {z_}).ok());       // evicted -> recompiles
+  EXPECT_EQ(sess_->executable_cache_misses(), 4);
+}
+
+TEST_F(ExecutableCacheTest, PrepareThenRunPrepared) {
+  auto exe = sess_->Prepare({"x"}, {y_, z_});
+  ASSERT_TRUE(exe.ok());
+  EXPECT_FALSE((*exe)->stale(rt_.graph()));
+  auto r = sess_->RunPrepared(**exe, Feed(10));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 20.0);
+  EXPECT_DOUBLE_EQ((*r)[1].scalar<double>(), 21.0);
+
+  // A later mutation marks the plan stale but Prepare hands back a fresh one.
+  Scope s = rt_.root_scope();
+  ops::Const(s, Tensor::Scalar(0.0));
+  EXPECT_TRUE((*exe)->stale(rt_.graph()));
+  auto fresh = sess_->Prepare({"x"}, {y_, z_});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE((*fresh)->stale(rt_.graph()));
+}
+
+TEST_F(ExecutableCacheTest, NodesExecutedCountsScheduledNodesOnly) {
+  // Fetching y executes {two, mul}; x is fed so it is not scheduled.
+  ASSERT_TRUE(sess_->Run(Feed(1), {y_}).ok());
+  EXPECT_EQ(sess_->nodes_executed(), 2);
+  // Fetching z executes {two, mul, one, add}.
+  ASSERT_TRUE(sess_->Run(Feed(1), {z_}).ok());
+  EXPECT_EQ(sess_->nodes_executed(), 6);
+}
+
+TEST_F(ExecutableCacheTest, UnknownFetchStillFailsThroughCachePath) {
+  EXPECT_EQ(sess_->Run(Feed(1), {"missing"}).status().code(), Code::kNotFound);
+  // The failed compile must not poison the cache.
+  EXPECT_EQ(sess_->executable_cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace tfhpc

@@ -871,5 +871,47 @@ TEST(JobRecoveryTest, ShrinkRefusesToRewireAlreadyShippedConsumers) {
   monitor.Stop();
 }
 
+TEST(JobRecoveryTest, StepPlanAndHandlesRecompiledAfterSpareAdoption) {
+  // Compile-once meets recovery: eviction rebuilds the cluster and re-ships
+  // partitions, so every cached step plan (and the worker-side handles it
+  // holds) is invalid. The next step must compile a fresh plan and register
+  // new steps on the adopted spare — transparently.
+  JobRecoveryRig rig("jr");
+  const std::string fetch = rig.BuildGraphAndSession();
+  const StepRecoveryOptions recovery = rig.Recovery();
+
+  for (int step = 1; step <= 2; ++step) {
+    ASSERT_TRUE(rig.session_->Run({}, {fetch}, recovery, nullptr).ok());
+  }
+  // Steady state: one plan, reused; one registered step per live worker.
+  EXPECT_EQ(rig.session_->plans_compiled(), 1);
+  EXPECT_EQ(rig.session_->plan_cache_hits(), 1);
+  EXPECT_EQ(rig.w0_->steps_registered(), 1);
+  EXPECT_EQ(rig.w1_->steps_registered(), 1);
+  EXPECT_EQ(rig.spare_->steps_registered(), 0);
+  ASSERT_TRUE(rig.checkpoints_->WaitForPending().ok());
+
+  rig.router_.Kill(rig.w1_addr_);
+  FaultReport report;
+  auto r = rig.session_->Run({}, {fetch}, recovery, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " " << report.ToString();
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 60.0);
+  EXPECT_TRUE(report.recovered);
+
+  // Recovery invalidated the plan cache and the step re-registered on the
+  // spare in slot 1 (and on w0, whose old handle pointed at the pre-repin
+  // placement).
+  EXPECT_GE(rig.session_->plans_compiled(), 2)
+      << "re-shipped partitions must invalidate cached step plans";
+  EXPECT_GE(rig.spare_->steps_registered(), 1);
+
+  // Subsequent steps reuse the rebuilt plan — compile once, again.
+  const int64_t compiled = rig.session_->plans_compiled();
+  auto r2 = rig.session_->Run({}, {fetch}, recovery, nullptr);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_DOUBLE_EQ((*r2)[0].scalar<double>(), 100.0);
+  EXPECT_EQ(rig.session_->plans_compiled(), compiled);
+}
+
 }  // namespace
 }  // namespace tfhpc::distrib

@@ -3,6 +3,8 @@
 // runs distributed and agrees with local execution.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/rng.h"
 #include "distrib/dist_session.h"
 #include "distrib/server.h"
@@ -292,6 +294,204 @@ TEST_F(DistSessionTest, UnknownFetchFails) {
       &router_, *spec_, WireProtocol::kRdma, g.ToGraphDef(), DefaultDev());
   ASSERT_TRUE(session.ok());
   EXPECT_FALSE((*session)->Run({}, {"ghost"}).ok());
+}
+
+// ---- SendDef metadata (drives client-side step pruning) ---------------------
+
+TEST(PartitionTest, SendDefRecordsProducerAndEveryConsumer) {
+  Graph g;
+  Scope s(&g);
+  auto a = ops::Const(s.WithDevice("/job:worker/task:0/cpu:0"),
+                      Tensor::Scalar(2.0), "a");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto add = ops::Add(t1, a, a);
+  auto neg = ops::Neg(t1, a);
+  auto spec = ClusterSpec::Create(TwoWorkers()).value();
+  auto parts = PartitionGraph(g, spec, DefaultDev());
+  ASSERT_TRUE(parts.ok());
+
+  // One deduplicated send out of task 0, but its SendDef must name BOTH
+  // remote consumers — the pruner activates the send if either is fetched.
+  ASSERT_EQ(parts->sends.count("pt-w0:1"), 1u);
+  const auto& sends = parts->sends.at("pt-w0:1");
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0].producer, "a");
+  EXPECT_FALSE(sends[0].control);
+  EXPECT_EQ(CountOp(parts->partitions.at("pt-w0:1"), "_Send"), 1);
+  auto has = [&](const std::string& name) {
+    const auto& c = sends[0].consumers;
+    return std::find(c.begin(), c.end(), name) != c.end();
+  };
+  EXPECT_TRUE(has(add.node->name()));
+  EXPECT_TRUE(has(neg.node->name()));
+  // The recorded send name refers to a real node in the source partition.
+  EXPECT_TRUE(Graph::FromGraphDef(parts->partitions.at("pt-w0:1"))
+                  .value()
+                  ->FindNode(sends[0].name) != nullptr);
+}
+
+TEST(PartitionTest, ControlSendDefMarkedAsControl) {
+  Graph g;
+  Scope s(&g);
+  ops::Const(s.WithDevice("/job:worker/task:0/cpu:0"), Tensor::Scalar(1.0),
+             "gate");
+  wire::NodeDef gated;
+  gated.name = "gated";
+  gated.op = "Const";
+  gated.inputs = {"^gate"};
+  gated.device = "/job:worker/task:1/cpu:0";
+  gated.attrs["value"] =
+      wire::AttrValue::Str(wire::SerializeTensor(Tensor::Scalar(5.0)));
+  gated.attrs["dtype"] = wire::AttrValue::Type(DType::kF64);
+  ASSERT_TRUE(g.AddNode(gated).ok());
+  auto spec = ClusterSpec::Create(TwoWorkers()).value();
+  auto parts = PartitionGraph(g, spec, DefaultDev());
+  ASSERT_TRUE(parts.ok());
+  const auto& sends = parts->sends.at("pt-w0:1");
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_TRUE(sends[0].control);
+  EXPECT_EQ(sends[0].producer, "gate");
+  EXPECT_EQ(sends[0].consumers, std::vector<std::string>{"gated"});
+}
+
+// ---- RunStepRequest wire format ---------------------------------------------
+
+TEST(RunStepRequestTest, StepHandleRoundTrip) {
+  RunStepRequest req;
+  req.step_handle = 99;
+  auto r = RunStepRequest::Parse(req.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->step_handle, 99u);
+  // Legacy requests omit the field and parse to the "no handle" sentinel.
+  auto legacy = RunStepRequest::Parse(RunStepRequest{}.Serialize());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->step_handle, 0u);
+}
+
+// ---- Compile-once distributed steps -----------------------------------------
+
+TEST_F(DistSessionTest, UnrelatedPartitionGetsNoRpcAtAll) {
+  // Two independent subgraphs, one per task. Fetching task 0's result must
+  // not execute — or even contact — task 1 (the old runtime ran every
+  // partition in full on every step).
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto y0 = ops::Add(t0, ops::Const(t0, Tensor::Scalar(1.0)),
+                     ops::Const(t0, Tensor::Scalar(2.0)));
+  auto y1 = ops::Mul(t1, ops::Const(t1, Tensor::Scalar(3.0)),
+                     ops::Const(t1, Tensor::Scalar(4.0)));
+  auto session = DistributedSession::Create(
+      &router_, *spec_, WireProtocol::kRdma, g.ToGraphDef(), DefaultDev());
+  ASSERT_TRUE(session.ok());
+
+  auto r = (*session)->Run({}, {y0.name()});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 3.0);
+  EXPECT_EQ(w0_->nodes_executed(), 3);  // two consts + add
+  EXPECT_EQ(w1_->nodes_executed(), 0);
+  EXPECT_EQ(w1_->steps_registered(), 0) << "skipped partitions get no RPC";
+
+  // The mirror step touches only task 1.
+  auto r1 = (*session)->Run({}, {y1.name()});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_DOUBLE_EQ((*r1)[0].scalar<double>(), 12.0);
+  EXPECT_EQ(w0_->nodes_executed(), 3);
+  EXPECT_EQ(w1_->nodes_executed(), 3);
+}
+
+TEST_F(DistSessionTest, StepExecutesOnlyTheFetchClosure) {
+  // y = (a+b on t0) * c on t1, plus an orphan const on t1 outside the
+  // closure. Exact node counts: t0 runs {a, b, sum, _send}; t1 runs
+  // {_recv, c, mul} — never the orphan.
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto a = ops::Const(t0, Tensor::Scalar(1.0), "a");
+  auto b = ops::Const(t0, Tensor::Scalar(10.0), "b");
+  auto sum = ops::Add(t0, a, b);
+  auto c = ops::Const(t1, Tensor::Scalar(3.0), "c");
+  auto y = ops::Mul(t1, sum, c);
+  ops::Const(t1, Tensor::Scalar(999.0), "orphan");
+  auto session = DistributedSession::Create(
+      &router_, *spec_, WireProtocol::kRdma, g.ToGraphDef(), DefaultDev());
+  ASSERT_TRUE(session.ok());
+
+  auto r = (*session)->Run({}, {y.name()});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 33.0);
+  EXPECT_EQ(w0_->nodes_executed(), 4) << "a, b, sum, _send";
+  EXPECT_EQ(w1_->nodes_executed(), 3) << "_recv, c, mul (orphan excluded)";
+}
+
+TEST_F(DistSessionTest, RepeatStepReusesHandlesAndPlan) {
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto a = ops::Const(t0, Tensor::Scalar(5.0), "a");
+  auto y = ops::Mul(t1, a, ops::Const(t1, Tensor::Scalar(2.0)));
+  auto session = DistributedSession::Create(
+      &router_, *spec_, WireProtocol::kRdma, g.ToGraphDef(), DefaultDev());
+  ASSERT_TRUE(session.ok());
+
+  for (int i = 0; i < 3; ++i) {
+    auto r = (*session)->Run({}, {y.name()});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 10.0);
+  }
+  // One plan compiled, then served from cache; one RegisterStep per worker.
+  EXPECT_EQ((*session)->plans_compiled(), 1);
+  EXPECT_EQ((*session)->plan_cache_hits(), 2);
+  EXPECT_EQ((*session)->plan_cache_size(), 1u);
+  EXPECT_EQ(w0_->steps_registered(), 1);
+  EXPECT_EQ(w1_->steps_registered(), 1);
+
+  // A new signature compiles its own plan and registers fresh steps.
+  auto r = (*session)->Run({}, {a.name()});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*session)->plans_compiled(), 2);
+  EXPECT_EQ(w0_->steps_registered(), 2);
+  EXPECT_EQ(w1_->steps_registered(), 1) << "a-only step never reaches w1";
+}
+
+TEST(DistStepEvictionTest, EvictedHandleIsTransparentlyReRegistered) {
+  // Workers capped at ONE registered step: alternating signatures evict
+  // each other's handles, and the client must recover from kNotFound by
+  // re-registering — invisible to the caller.
+  InProcessRouter router;
+  auto spec = ClusterSpec::Create(TwoWorkers()).value();
+  ServerDef d0{spec, "worker", 0, 0};
+  ServerDef d1{spec, "worker", 1, 0};
+  d0.max_registered_steps = d1.max_registered_steps = 1;
+  auto w0 = Server::Create(d0, &router).value();
+  auto w1 = Server::Create(d1, &router).value();
+
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto a = ops::Const(t0, Tensor::Scalar(3.0), "a");
+  auto dbl = ops::Add(t0, a, a);
+  auto sq = ops::Mul(t0, a, a);
+  auto session = DistributedSession::Create(
+      &router, spec, WireProtocol::kRdma, g.ToGraphDef(), DefaultDev());
+  ASSERT_TRUE(session.ok());
+
+  auto run = [&](const Output& fetch, double want) {
+    auto r = (*session)->Run({}, {fetch.name()});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), want);
+  };
+  run(dbl, 6.0);  // registers the dbl step
+  run(sq, 9.0);   // evicts dbl's handle, registers sq
+  run(dbl, 6.0);  // client plan cached, handle dead -> re-register
+  run(sq, 9.0);
+  EXPECT_EQ(w0->steps_registered(), 4);
+  EXPECT_EQ((*session)->plans_compiled(), 2)
+      << "re-registration must not recompile the client-side plan";
+  EXPECT_EQ((*session)->plan_cache_hits(), 2);
 }
 
 }  // namespace

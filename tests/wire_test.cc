@@ -348,5 +348,46 @@ TEST(RpcEnvelopeTest, CarriesSerializedTensor) {
   EXPECT_TRUE(t2->BitwiseEquals(t));
 }
 
+// ---- RegisterStep messages ---------------------------------------------------
+
+TEST(RegisterStepTest, RequestRoundTrip) {
+  RegisterStepRequest req;
+  req.feeds = {"x", "y:1"};
+  req.fetches = {"loss", "acc"};
+  req.targets = {"train_op", "_send_w_0"};
+  auto r = RegisterStepRequest::Parse(req.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->feeds, req.feeds);
+  EXPECT_EQ(r->fetches, req.fetches);
+  EXPECT_EQ(r->targets, req.targets);
+}
+
+TEST(RegisterStepTest, EmptyRequestRoundTrip) {
+  auto r = RegisterStepRequest::Parse(RegisterStepRequest{}.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->feeds.empty());
+  EXPECT_TRUE(r->fetches.empty());
+  EXPECT_TRUE(r->targets.empty());
+}
+
+TEST(RegisterStepTest, ResponseRoundTrip) {
+  RegisterStepResponse resp;
+  resp.handle = 0x1234567890ULL;
+  resp.graph_version = 42;
+  auto r = RegisterStepResponse::Parse(resp.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->handle, resp.handle);
+  EXPECT_EQ(r->graph_version, 42);
+}
+
+TEST(RegisterStepTest, ResponseNegativeVersionSurvivesZigZag) {
+  RegisterStepResponse resp;
+  resp.handle = 1;
+  resp.graph_version = -7;
+  auto r = RegisterStepResponse::Parse(resp.Serialize());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph_version, -7);
+}
+
 }  // namespace
 }  // namespace tfhpc::wire
