@@ -50,14 +50,20 @@ int main() {
       {"RDMA (reference)", base, sim::Protocol::kRdma},
   };
 
+  bench::JsonResults json("transport");
+  json.Meta("message_mb", 128.0).Meta("machine", "tegner-k420");
+
   std::printf("%-28s %12s\n", "variant", "MB/s");
   bench::Rule();
   for (const Variant& v : variants) {
-    std::printf("%-28s %12.0f\n", v.label, Mbps(v.cfg, v.proto));
+    const double mbps = Mbps(v.cfg, v.proto);
+    std::printf("%-28s %12.0f\n", v.label, mbps);
+    json.Record().Str("variant", v.label).Num("mbps", mbps);
   }
   bench::Rule();
   std::printf("(store-and-forward MPI remains below cut-through RDMA even "
               "with free serialization: the staged copies serialize the "
               "pipeline)\n");
+  json.WriteFile("BENCH_transport.json");
   return 0;
 }

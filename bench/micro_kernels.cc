@@ -1,7 +1,13 @@
 // Microbenchmarks of the compute substrate: GEMM, GEMV, FFT, RNG fills,
-// elementwise kernels. google-benchmark; real execution, wall-clock.
+// the pooled allocator. google-benchmark; real execution, wall-clock.
+// Custom main mirrors the console run into BENCH_microkernels.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/buffer.h"
 #include "core/rng.h"
 #include "kernels/fft_impl.h"
 #include "kernels/gemm.h"
@@ -108,5 +114,51 @@ void BM_SpdMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_SpdMatrix)->Arg(128)->Arg(512);
 
+// Pooled allocator: steady-state Allocate/free recycles one size class, so
+// the pool-hit path (free-list pop, no memset) is what's measured; the
+// ZeroInit::kYes variant adds back the memset for comparison.
+void BM_PooledAlloc(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  const ZeroInit zero = state.range(1) != 0 ? ZeroInit::kYes : ZeroInit::kNo;
+  for (auto _ : state) {
+    auto buf = Buffer::Allocate(bytes, nullptr, zero);
+    benchmark::DoNotOptimize(buf->data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+  state.counters["pool_hit_rate"] = static_cast<double>(
+      BufferPool::Global().total_hits()) /
+      static_cast<double>(std::max<int64_t>(
+          1, BufferPool::Global().total_acquires()));
+}
+BENCHMARK(BM_PooledAlloc)
+    ->Args({4 << 10, 0})
+    ->Args({4 << 10, 1})
+    ->Args({4 << 20, 0})
+    ->Args({4 << 20, 1});
+
 }  // namespace
 }  // namespace tfhpc
+
+// Custom main: identical console output to benchmark_main, plus a JSON
+// mirror (injected --benchmark_out, overridable on the command line) for
+// diffing runs without re-parsing text tables.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_microkernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::printf("results -> BENCH_microkernels.json\n");
+  return 0;
+}

@@ -26,11 +26,19 @@ if [[ "$fast" == 1 ]]; then
 fi
 
 # TSan over the suites that exercise cross-thread step execution: the
-# executable cache under concurrent Runs, the distributed step path, and
-# fault/liveness recovery. Address sanitizer runs in the nightly
-# `scripts/sanitize.sh both` sweep, not per-commit.
+# executable cache under concurrent Runs, the distributed step path, the
+# pooled allocator under concurrent alloc/free, and fault/liveness recovery.
 echo "==== tier 2: ThreadSanitizer smoke ===="
 "$repo/scripts/sanitize.sh" thread \
-  'ExecutableCache|DistSession|DistStep|FaultTolerance|StepRecovery|JobRecovery|Liveness|Rendezvous'
+  'ExecutableCache|DistSession|DistStep|FaultTolerance|StepRecovery|JobRecovery|Liveness|Rendezvous|BufferPool'
+
+# ASan over the zero-copy data path: pooled buffer recycling, payload views
+# holding buffer references across transport/server boundaries, in-place
+# kernel forwarding — exactly the code where a lifetime bug would be a
+# use-after-free rather than a test failure. The full-suite sweep stays in
+# the nightly `scripts/sanitize.sh both`.
+echo "==== tier 3: AddressSanitizer smoke ===="
+"$repo/scripts/sanitize.sh" address \
+  'BufferPool|BufferForward|TensorBuffer|Transport|ServerTest|Checkpoint|WireTensor'
 
 echo "==== ci: all gates passed ===="

@@ -7,23 +7,124 @@
 #include "core/logging.h"
 
 namespace tfhpc {
+namespace {
 
-std::shared_ptr<Buffer> Buffer::Allocate(size_t size, AllocatorStats* stats) {
-  // Round up so aligned_alloc's size-multiple-of-alignment contract holds.
-  const size_t rounded = (size + kAlignment - 1) / kAlignment * kAlignment;
-  void* p = nullptr;
-  if (rounded > 0) {
-    p = std::aligned_alloc(kAlignment, rounded);
+size_t RoundUpPow2(size_t v) {
+  size_t c = BufferPool::kMinClassBytes;
+  while (c < v) c <<= 1;
+  return c;
+}
+
+}  // namespace
+
+BufferPool::BufferPool() {
+  // Classes: 64 B .. 64 MB inclusive, one list per power of two.
+  size_t n = 0;
+  for (size_t c = kMinClassBytes; c <= kMaxPooledBytes; c <<= 1) ++n;
+  free_lists_.resize(n);
+}
+
+BufferPool& BufferPool::Global() {
+  // Leaked intentionally: buffers may outlive static destruction order.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+size_t BufferPool::ClassIndex(size_t size) {
+  size_t idx = 0;
+  for (size_t c = kMinClassBytes; c < size; c <<= 1) ++idx;
+  return idx;
+}
+
+void* BufferPool::Acquire(size_t size, size_t* capacity, bool* pool_hit) {
+  total_acquires_.fetch_add(1, std::memory_order_relaxed);
+  *pool_hit = false;
+  if (size > kMaxPooledBytes) {
+    // Oversized: bypass the pool, round only for aligned_alloc's contract.
+    const size_t rounded =
+        (size + Buffer::kAlignment - 1) / Buffer::kAlignment *
+        Buffer::kAlignment;
+    void* p = std::aligned_alloc(Buffer::kAlignment, rounded);
     TFHPC_CHECK(p != nullptr) << "allocation of " << rounded << " bytes failed";
-    std::memset(p, 0, rounded);
+    *capacity = rounded;
+    return p;
+  }
+  const size_t cls = RoundUpPow2(size);
+  *capacity = cls;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& list = free_lists_[ClassIndex(cls)];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      cached_bytes_.fetch_sub(cls, std::memory_order_relaxed);
+      total_hits_.fetch_add(1, std::memory_order_relaxed);
+      *pool_hit = true;
+      return p;
+    }
+  }
+  void* p = std::aligned_alloc(Buffer::kAlignment, cls);
+  TFHPC_CHECK(p != nullptr) << "allocation of " << cls << " bytes failed";
+  return p;
+}
+
+void BufferPool::Release(void* ptr, size_t capacity) {
+  if (ptr == nullptr) return;
+  if (capacity <= kMaxPooledBytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cached_bytes_.load(std::memory_order_relaxed) + capacity <=
+        cache_cap_) {
+      free_lists_[ClassIndex(capacity)].push_back(ptr);
+      cached_bytes_.fetch_add(capacity, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::free(ptr);
+}
+
+size_t BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t freed = 0;
+  size_t cls = kMinClassBytes;
+  for (auto& list : free_lists_) {
+    freed += cls * list.size();
+    for (void* p : list) std::free(p);
+    list.clear();
+    cls <<= 1;
+  }
+  cached_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+void BufferPool::set_cache_cap(size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_cap_ = bytes;
+  }
+  if (cached_bytes_.load(std::memory_order_relaxed) > bytes) Trim();
+}
+
+std::shared_ptr<Buffer> Buffer::Allocate(size_t size, AllocatorStats* stats,
+                                         ZeroInit zero) {
+  void* p = nullptr;
+  size_t capacity = 0;
+  if (size > 0) {
+    bool pool_hit = false;
+    p = BufferPool::Global().Acquire(size, &capacity, &pool_hit);
+    // Zero only the bytes the caller asked for; the class-capacity tail is
+    // never read through this buffer.
+    if (zero == ZeroInit::kYes) std::memset(p, 0, size);
+    if (stats != nullptr) {
+      stats->RecordAlloc(pool_hit, static_cast<int64_t>(capacity));
+    }
   }
   if (stats != nullptr) stats->Add(static_cast<int64_t>(size));
-  return std::shared_ptr<Buffer>(new Buffer(p, size, stats));
+  return std::shared_ptr<Buffer>(new Buffer(p, size, capacity, stats));
 }
 
 Buffer::~Buffer() {
   if (stats_ != nullptr) stats_->Sub(static_cast<int64_t>(size_));
-  std::free(data_);
+  BufferPool::Global().Release(data_, capacity_);
 }
 
 }  // namespace tfhpc

@@ -1,17 +1,29 @@
-// Aligned, reference-counted byte buffers backing tensors. Buffers can be
-// attributed to a device allocator so simulated-GPU devices can account
-// memory capacity the way real device allocators do.
+// Aligned, reference-counted byte buffers backing tensors, fronted by a
+// process-wide pooling allocator (size-class free lists over aligned_alloc,
+// in the spirit of TensorFlow's BFC allocator). Buffers can be attributed to
+// a device allocator so simulated-GPU devices can account memory capacity the
+// way real device allocators do.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 namespace tfhpc {
 
+// Whether a fresh allocation must be zero-filled. Kernels whose outputs are
+// fully overwritten (gemm, FFT, elementwise) and recv/restore staging paths
+// pass kNo to skip the memset.
+enum class ZeroInit { kYes, kNo };
+
 // Tracks live bytes for one device; SimGpuDevice installs one of these to
-// enforce the paper's per-GPU memory limits (e.g. 1 GB on a K420).
+// enforce the paper's per-GPU memory limits (e.g. 1 GB on a K420). Also
+// counts allocator traffic: total allocations, how many were satisfied from
+// the pool's free lists, and how many outputs were forwarded (buffer reuse)
+// without any allocation at all.
 class AllocatorStats {
  public:
   void Add(int64_t bytes) {
@@ -26,26 +38,105 @@ class AllocatorStats {
   void Sub(int64_t bytes) {
     live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
   }
+  void RecordAlloc(bool pool_hit, int64_t bytes) {
+    allocs_.fetch_add(1, std::memory_order_relaxed);
+    if (pool_hit) {
+      pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      pool_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+  void RecordForward() { forwards_.fetch_add(1, std::memory_order_relaxed); }
+
   int64_t live_bytes() const {
     return live_bytes_.load(std::memory_order_relaxed);
   }
   int64_t peak_bytes() const {
     return peak_bytes_.load(std::memory_order_relaxed);
   }
+  int64_t allocs() const { return allocs_.load(std::memory_order_relaxed); }
+  int64_t pool_hits() const {
+    return pool_hits_.load(std::memory_order_relaxed);
+  }
+  // Total bytes (size-class capacity) served from pooled free lists.
+  int64_t pool_bytes() const {
+    return pool_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t forwards() const {
+    return forwards_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<int64_t> live_bytes_{0};
   std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<int64_t> allocs_{0};
+  std::atomic<int64_t> pool_hits_{0};
+  std::atomic<int64_t> pool_bytes_{0};
+  std::atomic<int64_t> forwards_{0};
+};
+
+// Process-wide size-class pool in front of aligned_alloc. Freed blocks up to
+// kMaxPooledBytes are cached on power-of-two free lists and handed back on
+// the next matching Acquire; larger blocks bypass the pool entirely. Cached
+// (idle) bytes are bounded by a cap so the pool cannot hoard memory — beyond
+// the cap, Release frees to the OS. Cached blocks are *not* attributed to any
+// device's AllocatorStats: device live_bytes tracks tensors actually alive,
+// so SimGpu capacity limits bind exactly as before pooling.
+class BufferPool {
+ public:
+  static constexpr size_t kMinClassBytes = 64;          // one cache line
+  static constexpr size_t kMaxPooledBytes = 64 << 20;   // 64 MB
+  static constexpr size_t kDefaultCacheCap = 256 << 20; // idle bytes bound
+
+  static BufferPool& Global();
+
+  // Returns an aligned block of at least `size` bytes and its actual
+  // capacity (the size class). pool_hit reports whether it came from a free
+  // list (no OS allocation, no implicit zeroing).
+  void* Acquire(size_t size, size_t* capacity, bool* pool_hit);
+  // Returns a block of `capacity` bytes (as reported by Acquire) to the
+  // pool, or to the OS when the class is full / the cache cap is reached.
+  void Release(void* ptr, size_t capacity);
+
+  // Frees every cached block. Returns the number of bytes released.
+  size_t Trim();
+
+  void set_cache_cap(size_t bytes);
+  size_t cached_bytes() const {
+    return cached_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t total_acquires() const {
+    return total_acquires_.load(std::memory_order_relaxed);
+  }
+  int64_t total_hits() const {
+    return total_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  BufferPool();
+
+  static size_t ClassIndex(size_t size);
+
+  std::mutex mu_;
+  std::vector<std::vector<void*>> free_lists_;  // by class index
+  size_t cache_cap_ = kDefaultCacheCap;
+  std::atomic<size_t> cached_bytes_{0};
+  std::atomic<int64_t> total_acquires_{0};
+  std::atomic<int64_t> total_hits_{0};
 };
 
 // A contiguous 64-byte-aligned allocation. Never resized after creation.
+// Storage is drawn from the global BufferPool and returned to it on
+// destruction.
 class Buffer {
  public:
   static constexpr size_t kAlignment = 64;
 
-  // Allocates `size` zero-initialised bytes. stats may be nullptr.
+  // Allocates `size` bytes. With ZeroInit::kYes (the default) exactly the
+  // requested `size` bytes are zeroed — not the rounded-up class capacity.
+  // stats may be nullptr.
   static std::shared_ptr<Buffer> Allocate(size_t size,
-                                          AllocatorStats* stats = nullptr);
+                                          AllocatorStats* stats = nullptr,
+                                          ZeroInit zero = ZeroInit::kYes);
 
   ~Buffer();
   Buffer(const Buffer&) = delete;
@@ -54,13 +145,27 @@ class Buffer {
   void* data() { return data_; }
   const void* data() const { return data_; }
   size_t size() const { return size_; }
+  AllocatorStats* stats() const { return stats_; }
+
+  // Removes the device attribution (live-byte accounting) from this buffer.
+  // A device's AllocatorStats lives only as long as the device: any buffer
+  // handed across a user-facing boundary (Session::Run fetches, RPC client
+  // results) must be detached first or its destructor writes through a
+  // dangling stats pointer once the runtime is gone.
+  void DetachStats() {
+    if (stats_ != nullptr) {
+      stats_->Sub(static_cast<int64_t>(size_));
+      stats_ = nullptr;
+    }
+  }
 
  private:
-  Buffer(void* data, size_t size, AllocatorStats* stats)
-      : data_(data), size_(size), stats_(stats) {}
+  Buffer(void* data, size_t size, size_t capacity, AllocatorStats* stats)
+      : data_(data), size_(size), capacity_(capacity), stats_(stats) {}
 
   void* data_;
   size_t size_;
+  size_t capacity_;  // size-class capacity handed back to the pool
   AllocatorStats* stats_;
 };
 

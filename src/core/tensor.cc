@@ -9,6 +9,27 @@ Tensor::Tensor(DType dtype, Shape shape, AllocatorStats* stats)
   buffer_ = Buffer::Allocate(static_cast<size_t>(bytes()), stats);
 }
 
+Tensor Tensor::Uninitialized(DType dtype, Shape shape, AllocatorStats* stats) {
+  Tensor t;
+  t.dtype_ = dtype;
+  t.shape_ = std::move(shape);
+  t.buffer_ =
+      Buffer::Allocate(static_cast<size_t>(t.bytes()), stats, ZeroInit::kNo);
+  return t;
+}
+
+Tensor Tensor::FromBuffer(DType dtype, Shape shape,
+                          std::shared_ptr<Buffer> buffer) {
+  Tensor t;
+  t.dtype_ = dtype;
+  t.shape_ = std::move(shape);
+  TFHPC_CHECK(buffer != nullptr &&
+              buffer->size() >= static_cast<size_t>(t.bytes()))
+      << "FromBuffer: buffer too small for " << t.shape_.ToString();
+  t.buffer_ = std::move(buffer);
+  return t;
+}
+
 Tensor Tensor::Meta(DType dtype, Shape shape) {
   Tensor t;
   t.dtype_ = dtype;
@@ -24,6 +45,19 @@ void* Tensor::raw_data() {
 const void* Tensor::raw_data() const {
   TFHPC_CHECK(buffer_ != nullptr) << "raw_data() on meta/invalid tensor";
   return buffer_->data();
+}
+
+void Tensor::DetachFromAllocator() {
+  if (buffer_ == nullptr || buffer_->stats() == nullptr) return;
+  if (buffer_.use_count() == 1) {
+    buffer_->DetachStats();
+    return;
+  }
+  auto copy = Buffer::Allocate(buffer_->size(), nullptr, ZeroInit::kNo);
+  if (buffer_->size() > 0) {
+    std::memcpy(copy->data(), buffer_->data(), buffer_->size());
+  }
+  buffer_ = std::move(copy);
 }
 
 Tensor Tensor::Clone() const {

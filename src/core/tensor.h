@@ -26,6 +26,16 @@ class Tensor {
   // Allocates zeroed storage of the given dtype/shape.
   Tensor(DType dtype, Shape shape, AllocatorStats* stats = nullptr);
 
+  // Allocates storage without zero-filling it; the caller must overwrite
+  // every element (gemm/FFT outputs, recv staging, parse targets).
+  static Tensor Uninitialized(DType dtype, Shape shape,
+                              AllocatorStats* stats = nullptr);
+
+  // Adopts an existing buffer (no copy). The buffer must hold at least
+  // dtype/shape's nominal byte size.
+  static Tensor FromBuffer(DType dtype, Shape shape,
+                           std::shared_ptr<Buffer> buffer);
+
   // Meta tensor: dtype/shape only, no buffer. bytes() still reports the
   // nominal storage size so cost accounting works.
   static Tensor Meta(DType dtype, Shape shape);
@@ -62,6 +72,22 @@ class Tensor {
 
   void* raw_data();
   const void* raw_data() const;
+
+  // The backing storage (nullptr for meta/invalid tensors). Shared with
+  // every shallow copy of this tensor and with any PayloadRef view of it.
+  const std::shared_ptr<Buffer>& buffer() const { return buffer_; }
+
+  // True when this tensor holds the only reference to its buffer — the
+  // safety condition for in-place buffer forwarding.
+  bool buffer_unique() const { return buffer_ != nullptr && buffer_.use_count() == 1; }
+
+  // Severs the buffer's device-allocator attribution so the tensor may
+  // outlive the device that produced it. In place when this tensor is the
+  // buffer's sole owner; otherwise the buffer still aliases device-resident
+  // state (a variable, another consumer) and the tensor is repointed at an
+  // unattributed private copy — the moral equivalent of a device-to-host
+  // fetch copy. Called wherever tensors cross a user-facing boundary.
+  void DetachFromAllocator();
 
   // Typed flat views; dtype-checked.
   template <typename T>

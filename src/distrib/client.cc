@@ -18,8 +18,8 @@ RemoteTask::RemoteTask(InProcessRouter* router, std::string addr,
       retry_(retry),
       client_id_(NextClientId()) {}
 
-Result<std::string> RemoteTask::Call(const std::string& method,
-                                     const std::string& payload) {
+Result<wire::PayloadRef> RemoteTask::Call(const std::string& method,
+                                          wire::PayloadRef payload) {
   wire::RpcEnvelope req;
   req.method = method;
   req.client_id = client_id_;
@@ -27,10 +27,10 @@ Result<std::string> RemoteTask::Call(const std::string& method,
   // id, so the server's dedup cache replays (not re-applies) ops whose
   // response was lost in flight.
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  req.payload = payload;
   req.checksum = wire::PayloadChecksum(payload);
+  req.payload = std::move(payload);
 
-  std::string out;
+  wire::PayloadRef out;
   int64_t retries = 0;
   Status st = CallWithRetry(
       retry_, req.request_id,
@@ -60,16 +60,23 @@ Status RemoteTask::Ping() {
 
 Status RemoteTask::Enqueue(const std::string& queue, const Tensor& tensor,
                            int64_t capacity) {
-  auto r = Call("Enqueue", EncodeQueuePayload(queue, &tensor, capacity));
+  auto r = Call("Enqueue", EncodeQueuePayloadView(queue, &tensor, capacity));
   return r.ok() ? Status::OK() : r.status();
 }
 
 Result<Tensor> RemoteTask::Dequeue(const std::string& queue,
                                    int64_t capacity) {
   TFHPC_ASSIGN_OR_RETURN(
-      std::string payload,
+      wire::PayloadRef payload,
       Call("Dequeue", EncodeQueuePayload(queue, nullptr, capacity)));
-  return wire::ParseTensor(payload);
+  TFHPC_ASSIGN_OR_RETURN(Tensor t, wire::ParseTensorView(payload));
+  // In-process zero-copy transports hand back the server's buffer: release
+  // the payload's reference so a sole-owner tensor detaches in place, then
+  // sever any server-device allocator attribution before the tensor escapes
+  // to the caller (who may outlive the server).
+  payload = wire::PayloadRef();
+  t.DetachFromAllocator();
+  return t;
 }
 
 Status RemoteTask::CloseQueue(const std::string& queue) {
@@ -78,27 +85,36 @@ Status RemoteTask::CloseQueue(const std::string& queue) {
 }
 
 Status RemoteTask::VarAssign(const std::string& var, const Tensor& tensor) {
-  auto r = Call("VarWrite", EncodeVarPayload(var, &tensor, /*accumulate=*/false,
-                                             /*want_value=*/false));
+  auto r = Call("VarWrite",
+                EncodeVarPayloadView(var, &tensor, /*accumulate=*/false,
+                                     /*want_value=*/false));
   return r.ok() ? Status::OK() : r.status();
 }
 
 Status RemoteTask::VarAssignAdd(const std::string& var, const Tensor& tensor) {
-  auto r = Call("VarWrite", EncodeVarPayload(var, &tensor, /*accumulate=*/true,
-                                             /*want_value=*/false));
+  auto r = Call("VarWrite",
+                EncodeVarPayloadView(var, &tensor, /*accumulate=*/true,
+                                     /*want_value=*/false));
   return r.ok() ? Status::OK() : r.status();
 }
 
 Result<Tensor> RemoteTask::VarRead(const std::string& var) {
   TFHPC_ASSIGN_OR_RETURN(
-      std::string payload,
+      wire::PayloadRef payload,
       Call("VarRead", EncodeVarPayload(var, nullptr, false, false)));
-  return wire::ParseTensor(payload);
+  TFHPC_ASSIGN_OR_RETURN(Tensor t, wire::ParseTensorView(payload));
+  // The view may alias the live server-side variable: detach (copying if
+  // still shared) so the result neither aliases mutable server state nor
+  // keeps a pointer into the server device's allocator accounting.
+  payload = wire::PayloadRef();
+  t.DetachFromAllocator();
+  return t;
 }
 
 Result<std::map<std::string, Tensor>> RemoteTask::VarSnapshot() {
-  TFHPC_ASSIGN_OR_RETURN(std::string payload, Call("VarSnapshot", ""));
-  return DecodeNamedTensors(payload);
+  TFHPC_ASSIGN_OR_RETURN(wire::PayloadRef payload, Call("VarSnapshot", ""));
+  std::string scratch;
+  return DecodeNamedTensors(payload.Contiguous(&scratch));
 }
 
 Status RemoteTask::VarRestore(const std::map<std::string, Tensor>& vars) {
@@ -108,7 +124,7 @@ Status RemoteTask::VarRestore(const std::map<std::string, Tensor>& vars) {
 
 Status RemoteTask::RendezvousSend(const std::string& key,
                                   const Tensor& tensor) {
-  auto r = Call("RendezvousSend", EncodeQueuePayload(key, &tensor, 0));
+  auto r = Call("RendezvousSend", EncodeQueuePayloadView(key, &tensor, 0));
   return r.ok() ? Status::OK() : r.status();
 }
 
@@ -136,9 +152,10 @@ Result<std::vector<Tensor>> RemoteTask::RunStep(
   req.fetches = fetches;
   req.targets = targets;
   req.simulate = simulate;
-  TFHPC_ASSIGN_OR_RETURN(std::string payload,
+  TFHPC_ASSIGN_OR_RETURN(wire::PayloadRef payload,
                          Call("RunStep", req.Serialize()));
-  return DecodeTensorList(payload);
+  std::string scratch;
+  return DecodeTensorList(payload.Contiguous(&scratch));
 }
 
 Result<uint64_t> RemoteTask::RegisterStep(
@@ -149,10 +166,12 @@ Result<uint64_t> RemoteTask::RegisterStep(
   req.feeds = feed_names;
   req.fetches = fetches;
   req.targets = targets;
-  TFHPC_ASSIGN_OR_RETURN(std::string payload,
+  TFHPC_ASSIGN_OR_RETURN(wire::PayloadRef payload,
                          Call("RegisterStep", req.Serialize()));
-  TFHPC_ASSIGN_OR_RETURN(wire::RegisterStepResponse resp,
-                         wire::RegisterStepResponse::Parse(payload));
+  std::string scratch;
+  TFHPC_ASSIGN_OR_RETURN(
+      wire::RegisterStepResponse resp,
+      wire::RegisterStepResponse::Parse(payload.Contiguous(&scratch)));
   if (resp.handle == 0) {
     return Internal(addr_ + "/RegisterStep returned a null handle");
   }
@@ -166,9 +185,10 @@ Result<std::vector<Tensor>> RemoteTask::RunRegisteredStep(
   req.feeds = feeds;
   req.simulate = simulate;
   req.step_handle = handle;
-  TFHPC_ASSIGN_OR_RETURN(std::string payload,
+  TFHPC_ASSIGN_OR_RETURN(wire::PayloadRef payload,
                          Call("RunStep", req.Serialize()));
-  return DecodeTensorList(payload);
+  std::string scratch;
+  return DecodeTensorList(payload.Contiguous(&scratch));
 }
 
 }  // namespace tfhpc::distrib

@@ -79,8 +79,8 @@ class RemoteTask {
       bool simulate = false);
 
  private:
-  Result<std::string> Call(const std::string& method,
-                           const std::string& payload);
+  Result<wire::PayloadRef> Call(const std::string& method,
+                                wire::PayloadRef payload);
 
   InProcessRouter* router_;
   std::string addr_;

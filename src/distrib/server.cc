@@ -185,6 +185,138 @@ Status DecodeQueuePayload(const std::string& payload, std::string* queue,
   return Status::OK();
 }
 
+namespace {
+
+// Appends a length-delimited tensor message whose content bytes ride as a
+// buffer view: the tag + total length + tensor header go into `head`, the
+// content (if any) stays in the tensor's buffer. The tensor message must be
+// the FINAL field of the frame so the decoder can splice head-remainder +
+// view back together.
+wire::PayloadRef FinishWithTensorView(std::string head, uint32_t field,
+                                      const Tensor& tensor) {
+  wire::PayloadRef tp = wire::SerializeTensorView(tensor);
+  wire::CodedOutput co(&head);
+  co.WriteTag(field, wire::WireType::kLengthDelimited);
+  co.WriteVarint(tp.size());
+  head.append(tp.head());
+  if (!tp.is_view()) return wire::PayloadRef(std::move(head));
+  return wire::PayloadRef::View(std::move(head), tp.buffer(),
+                                tp.view_offset(), tp.view_size());
+}
+
+// Inverse of FinishWithTensorView at the decoder: `in` is positioned just
+// after the tensor field's length varint (`len`); the tensor message is the
+// rest of the head plus the whole view.
+Status ParseTrailingTensorView(const wire::PayloadRef& payload,
+                               wire::CodedInput& in, uint64_t len,
+                               Tensor* tensor) {
+  if (tensor == nullptr) {
+    return InvalidArgument("unexpected tensor in payload");
+  }
+  if (len != in.remaining() + payload.view_size()) {
+    return InvalidArgument("payload: tensor view must terminate the frame");
+  }
+  std::string sub_head =
+      payload.head().substr(payload.head().size() - in.remaining());
+  wire::PayloadRef sub =
+      wire::PayloadRef::View(std::move(sub_head), payload.buffer(),
+                             payload.view_offset(), payload.view_size());
+  TFHPC_ASSIGN_OR_RETURN(*tensor, wire::ParseTensorView(sub));
+  return Status::OK();
+}
+
+}  // namespace
+
+wire::PayloadRef EncodeQueuePayloadView(const std::string& queue,
+                                        const Tensor* tensor,
+                                        int64_t capacity) {
+  std::string head;
+  wire::CodedOutput co(&head);
+  co.WriteString(1, queue);
+  if (capacity > 0) co.WriteUInt64(3, static_cast<uint64_t>(capacity));
+  if (tensor == nullptr) return wire::PayloadRef(std::move(head));
+  return FinishWithTensorView(std::move(head), 2, *tensor);
+}
+
+Status DecodeQueuePayloadView(const wire::PayloadRef& payload,
+                              std::string* queue, Tensor* tensor,
+                              int64_t* capacity) {
+  if (!payload.is_view()) {
+    return DecodeQueuePayload(payload.head(), queue, tensor, capacity);
+  }
+  wire::CodedInput in(payload.head());
+  *capacity = 0;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    wire::WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    if (field == 1) {
+      TFHPC_RETURN_IF_ERROR(in.ReadString(queue));
+    } else if (field == 3) {
+      uint64_t v;
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+      *capacity = static_cast<int64_t>(v);
+    } else if (field == 2 && wt == wire::WireType::kLengthDelimited) {
+      uint64_t len;
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&len));
+      TFHPC_RETURN_IF_ERROR(ParseTrailingTensorView(payload, in, len, tensor));
+      break;
+    } else {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  if (queue->empty()) return InvalidArgument("queue payload without name");
+  return Status::OK();
+}
+
+wire::PayloadRef EncodeVarPayloadView(const std::string& var,
+                                      const Tensor* tensor, bool accumulate,
+                                      bool want_value) {
+  std::string head;
+  wire::CodedOutput co(&head);
+  co.WriteString(1, var);
+  co.WriteBool(3, accumulate);
+  co.WriteBool(4, want_value);
+  if (tensor == nullptr) return wire::PayloadRef(std::move(head));
+  return FinishWithTensorView(std::move(head), 2, *tensor);
+}
+
+Status DecodeVarPayloadView(const wire::PayloadRef& payload, std::string* var,
+                            Tensor* tensor, bool* accumulate,
+                            bool* want_value) {
+  if (!payload.is_view()) {
+    return DecodeVarPayload(payload.head(), var, tensor, accumulate,
+                            want_value);
+  }
+  wire::CodedInput in(payload.head());
+  *accumulate = false;
+  *want_value = false;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    wire::WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    uint64_t v = 0;
+    if (field == 1) {
+      TFHPC_RETURN_IF_ERROR(in.ReadString(var));
+    } else if (field == 3) {
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+      *accumulate = v != 0;
+    } else if (field == 4) {
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+      *want_value = v != 0;
+    } else if (field == 2 && wt == wire::WireType::kLengthDelimited) {
+      uint64_t len;
+      TFHPC_RETURN_IF_ERROR(in.ReadVarint(&len));
+      TFHPC_RETURN_IF_ERROR(ParseTrailingTensorView(payload, in, len, tensor));
+      break;
+    } else {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  if (var->empty()) return InvalidArgument("var payload without name");
+  return Status::OK();
+}
+
 std::string EncodeVarPayload(const std::string& var, const Tensor* tensor,
                              bool accumulate, bool want_value) {
   std::string out;
@@ -358,7 +490,9 @@ Server::Server(ServerDef def, InProcessRouter* router, std::string address)
     req.client_id = send_client_id_;
     req.request_id =
         next_send_request_id_.fetch_add(1, std::memory_order_relaxed);
-    req.payload = EncodeQueuePayload(key, &tensor, 0);
+    // View payload: over RDMA the tensor bytes cross by buffer reference
+    // (end-to-end zero-copy _Send); MPI stages them once; gRPC flattens.
+    req.payload = EncodeQueuePayloadView(key, &tensor, 0);
     req.checksum = wire::PayloadChecksum(req.payload);
     return CallWithRetry(def_.send_retry, req.request_id, [&]() -> Status {
       TFHPC_ASSIGN_OR_RETURN(wire::RpcEnvelope resp,
@@ -443,8 +577,13 @@ wire::RpcEnvelope Server::Handle(const wire::RpcEnvelope& request) {
   return response;
 }
 
-Result<std::string> Server::Dispatch(const std::string& method,
-                                     const std::string& payload) {
+Result<wire::PayloadRef> Server::Dispatch(const std::string& method,
+                                          const wire::PayloadRef& payload) {
+  // Methods that parse with the classic string codecs flatten here; a view
+  // payload only ever reaches them over gRPC (already flat) or from legacy
+  // senders, so the tensor-bearing hot paths below never pay this copy.
+  std::string flat_scratch;
+
   if (method == "Ping") return payload;
 
   if (method == "ExtendGraph") {
@@ -455,18 +594,21 @@ Result<std::string> Server::Dispatch(const std::string& method,
           "-byte ProtoBuf limit; keep loop state in variables and ship only "
           "the loop body (paper §IV)");
     }
-    TFHPC_ASSIGN_OR_RETURN(wire::GraphDef def, wire::GraphDef::Parse(payload));
+    TFHPC_ASSIGN_OR_RETURN(
+        wire::GraphDef def,
+        wire::GraphDef::Parse(payload.Contiguous(&flat_scratch)));
     std::lock_guard<std::mutex> lk(graph_mu_);
     for (const auto& node_def : def.nodes) {
       TFHPC_ASSIGN_OR_RETURN(Node * n, graph_.AddNode(node_def));
       (void)n;
     }
-    return std::string();
+    return wire::PayloadRef();
   }
 
   if (method == "RegisterStep") {
     TFHPC_ASSIGN_OR_RETURN(wire::RegisterStepRequest req,
-                           wire::RegisterStepRequest::Parse(payload));
+                           wire::RegisterStepRequest::Parse(
+                               payload.Contiguous(&flat_scratch)));
     TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<const Executable> exe,
                            PrepareLocked(req.feeds, req.fetches, req.targets));
     wire::RegisterStepResponse resp;
@@ -486,11 +628,12 @@ Result<std::string> Server::Dispatch(const std::string& method,
                                       std::move(req.targets), std::move(exe)});
     }
     steps_registered_.fetch_add(1, std::memory_order_relaxed);
-    return resp.Serialize();
+    return wire::PayloadRef(resp.Serialize());
   }
 
   if (method == "RunStep") {
-    TFHPC_ASSIGN_OR_RETURN(RunStepRequest req, RunStepRequest::Parse(payload));
+    TFHPC_ASSIGN_OR_RETURN(RunStepRequest req, RunStepRequest::Parse(
+                               payload.Contiguous(&flat_scratch)));
     RunOptions options;
     options.simulate = req.simulate;
     std::shared_ptr<const Executable> exe;
@@ -526,7 +669,7 @@ Result<std::string> Server::Dispatch(const std::string& method,
     }
     TFHPC_ASSIGN_OR_RETURN(std::vector<Tensor> outputs,
                            session_->RunPrepared(*exe, req.feeds, options));
-    return EncodeTensorList(outputs);
+    return wire::PayloadRef(EncodeTensorList(outputs));
   }
 
   if (method == "Enqueue") {
@@ -534,34 +677,34 @@ Result<std::string> Server::Dispatch(const std::string& method,
     Tensor tensor;
     int64_t capacity;
     TFHPC_RETURN_IF_ERROR(
-        DecodeQueuePayload(payload, &queue, &tensor, &capacity));
+        DecodeQueuePayloadView(payload, &queue, &tensor, &capacity));
     if (!tensor.valid()) return InvalidArgument("Enqueue without tensor");
     TFHPC_ASSIGN_OR_RETURN(FIFOQueue * q,
                            resources_.LookupOrCreateQueue(queue, capacity));
     TFHPC_RETURN_IF_ERROR(q->Enqueue(std::move(tensor)));
-    return std::string();
+    return wire::PayloadRef();
   }
 
   if (method == "Dequeue") {
     std::string queue;
     int64_t capacity;
     TFHPC_RETURN_IF_ERROR(
-        DecodeQueuePayload(payload, &queue, nullptr, &capacity));
+        DecodeQueuePayloadView(payload, &queue, nullptr, &capacity));
     TFHPC_ASSIGN_OR_RETURN(FIFOQueue * q,
                            resources_.LookupOrCreateQueue(queue, capacity));
     TFHPC_ASSIGN_OR_RETURN(Tensor t, q->Dequeue());
-    return wire::SerializeTensor(t);
+    return wire::SerializeTensorView(t);
   }
 
   if (method == "CloseQueue") {
     std::string queue;
     int64_t capacity;
     TFHPC_RETURN_IF_ERROR(
-        DecodeQueuePayload(payload, &queue, nullptr, &capacity));
+        DecodeQueuePayloadView(payload, &queue, nullptr, &capacity));
     TFHPC_ASSIGN_OR_RETURN(FIFOQueue * q,
                            resources_.LookupOrCreateQueue(queue, 0));
     q->Close();
-    return std::string();
+    return wire::PayloadRef();
   }
 
   if (method == "VarWrite") {
@@ -569,7 +712,8 @@ Result<std::string> Server::Dispatch(const std::string& method,
     Tensor tensor;
     bool accumulate, want_value;
     TFHPC_RETURN_IF_ERROR(
-        DecodeVarPayload(payload, &var, &tensor, &accumulate, &want_value));
+        DecodeVarPayloadView(payload, &var, &tensor, &accumulate,
+                             &want_value));
     if (!tensor.valid()) return InvalidArgument("VarWrite without tensor");
     Variable* v = resources_.LookupOrCreateVariable(var);
     Tensor value;
@@ -581,8 +725,8 @@ Result<std::string> Server::Dispatch(const std::string& method,
     }
     // The paper's STREAM explicitly avoids returning the value (it would
     // double the traffic); honour want_value.
-    if (!want_value) return std::string();
-    return wire::SerializeTensor(value);
+    if (!want_value) return wire::PayloadRef();
+    return wire::SerializeTensorView(value);
   }
 
   if (method == "AbortStep") {
@@ -590,43 +734,46 @@ Result<std::string> Server::Dispatch(const std::string& method,
     // rendezvous stays poisoned until ResetStep.
     resources_.rendezvous().Abort(
         Cancelled("step aborted" +
-                  (payload.empty() ? "" : ": " + payload)));
-    return std::string();
+                  (payload.empty() ? ""
+                                 : ": " + payload.Contiguous(&flat_scratch))));
+    return wire::PayloadRef();
   }
 
   if (method == "ResetStep") {
     resources_.rendezvous().Reset();
-    return std::string();
+    return wire::PayloadRef();
   }
 
   if (method == "RendezvousSend") {
     std::string key;
     Tensor tensor;
     int64_t capacity;
-    TFHPC_RETURN_IF_ERROR(DecodeQueuePayload(payload, &key, &tensor, &capacity));
+    TFHPC_RETURN_IF_ERROR(
+        DecodeQueuePayloadView(payload, &key, &tensor, &capacity));
     if (!tensor.valid()) return InvalidArgument("RendezvousSend without tensor");
     TFHPC_RETURN_IF_ERROR(resources_.rendezvous().Send(key, std::move(tensor)));
-    return std::string();
+    return wire::PayloadRef();
   }
 
   if (method == "VarSnapshot") {
-    return EncodeNamedTensors(resources_.VariableSnapshot());
+    return wire::PayloadRef(EncodeNamedTensors(resources_.VariableSnapshot()));
   }
 
   if (method == "VarRestore") {
-    TFHPC_ASSIGN_OR_RETURN(auto vars, DecodeNamedTensors(payload));
+    TFHPC_ASSIGN_OR_RETURN(auto vars, DecodeNamedTensors(payload.Contiguous(&flat_scratch)));
     resources_.RestoreVariables(vars);
-    return std::string();
+    return wire::PayloadRef();
   }
 
   if (method == "VarRead") {
     std::string var;
     bool accumulate, want_value;
     TFHPC_RETURN_IF_ERROR(
-        DecodeVarPayload(payload, &var, nullptr, &accumulate, &want_value));
+        DecodeVarPayloadView(payload, &var, nullptr, &accumulate,
+                             &want_value));
     Variable* v = resources_.LookupOrCreateVariable(var);
     TFHPC_ASSIGN_OR_RETURN(Tensor t, v->Read());
-    return wire::SerializeTensor(t);
+    return wire::SerializeTensorView(t);
   }
 
   return Unimplemented("unknown method '" + method + "'");

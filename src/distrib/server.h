@@ -176,8 +176,8 @@ class Server {
  private:
   Server(ServerDef def, InProcessRouter* router, std::string address);
 
-  Result<std::string> Dispatch(const std::string& method,
-                               const std::string& payload);
+  Result<wire::PayloadRef> Dispatch(const std::string& method,
+                                    const wire::PayloadRef& payload);
 
   // Compiles (through the shared session's cache) under graph_mu_ so a
   // concurrent ExtendGraph cannot mutate the graph mid-compile. Execution
@@ -242,6 +242,24 @@ std::string EncodeVarPayload(const std::string& var, const Tensor* tensor,
                              bool accumulate, bool want_value);
 Status DecodeVarPayload(const std::string& payload, std::string* var,
                         Tensor* tensor, bool* accumulate, bool* want_value);
+
+// Zero-copy variants: the tensor message is framed last in the payload head
+// and its content bytes ride as a buffer view (see wire::SerializeTensorView).
+// The decoders accept both representations — a view payload (RDMA/rendezvous
+// fast path) or classic inline bytes (gRPC delivery, legacy senders).
+wire::PayloadRef EncodeQueuePayloadView(const std::string& queue,
+                                        const Tensor* tensor,
+                                        int64_t capacity);
+Status DecodeQueuePayloadView(const wire::PayloadRef& payload,
+                              std::string* queue, Tensor* tensor,
+                              int64_t* capacity);
+
+wire::PayloadRef EncodeVarPayloadView(const std::string& var,
+                                      const Tensor* tensor, bool accumulate,
+                                      bool want_value);
+Status DecodeVarPayloadView(const wire::PayloadRef& payload, std::string* var,
+                            Tensor* tensor, bool* accumulate,
+                            bool* want_value);
 
 std::string EncodeTensorList(const std::vector<Tensor>& tensors);
 Result<std::vector<Tensor>> DecodeTensorList(const std::string& payload);

@@ -22,6 +22,8 @@ void TransportStats::Reset() {
   payload_bytes.store(0);
   bytes_serialized.store(0);
   bytes_copied.store(0);
+  views_forwarded.store(0);
+  bytes_forwarded.store(0);
   faults_dropped_request.store(0);
   faults_dropped_response.store(0);
   faults_duplicated.store(0);
@@ -249,32 +251,57 @@ Result<wire::RpcEnvelope> InProcessRouter::Call(
       const std::string header_frame = header.Serialize();
       st.bytes_serialized.fetch_add(
           static_cast<int64_t>(header_frame.size()), std::memory_order_relaxed);
-      std::string staging(request.payload.size(), '\0');
-      std::memcpy(staging.data(), request.payload.data(),
-                  request.payload.size());
-      std::string recv_buf(staging.size(), '\0');
-      std::memcpy(recv_buf.data(), staging.data(), staging.size());
-      st.bytes_copied.fetch_add(2 * static_cast<int64_t>(staging.size()),
-                                std::memory_order_relaxed);
       TFHPC_ASSIGN_OR_RETURN(delivered, wire::RpcEnvelope::Parse(header_frame));
-      delivered.payload = std::move(recv_buf);
+      if (request.payload.is_view()) {
+        // Registered (pinned) tensor memory: MPI can send straight from the
+        // tensor buffer, so the payload is staged exactly once — into the
+        // receiver's buffer.
+        std::string recv_buf = request.payload.Flatten();
+        st.bytes_copied.fetch_add(static_cast<int64_t>(recv_buf.size()),
+                                  std::memory_order_relaxed);
+        delivered.payload = std::move(recv_buf);
+      } else {
+        // Unpinned inline bytes: classic host send-buffer stage, then the
+        // wire copy into the receiver's buffer (2 copies).
+        const std::string& inline_bytes = request.payload.head();
+        std::string staging(inline_bytes.size(), '\0');
+        std::memcpy(staging.data(), inline_bytes.data(), inline_bytes.size());
+        std::string recv_buf(staging.size(), '\0');
+        std::memcpy(recv_buf.data(), staging.data(), staging.size());
+        st.bytes_copied.fetch_add(2 * static_cast<int64_t>(staging.size()),
+                                  std::memory_order_relaxed);
+        delivered.payload = std::move(recv_buf);
+      }
       break;
     }
     case WireProtocol::kRdma: {
-      // Registered-buffer write: the payload lands in the remote buffer in
-      // one copy; only the tiny header is exchanged via the side channel.
+      // Only the tiny header is exchanged via the side channel; the payload
+      // either crosses by buffer reference (view: true zero-copy) or lands
+      // in the remote buffer in one registered-buffer write.
       wire::RpcEnvelope header = request;
       header.payload.clear();
       const std::string header_frame = header.Serialize();
       st.bytes_serialized.fetch_add(
           static_cast<int64_t>(header_frame.size()), std::memory_order_relaxed);
-      std::string remote_buf(request.payload.size(), '\0');
-      std::memcpy(remote_buf.data(), request.payload.data(),
-                  request.payload.size());
-      st.bytes_copied.fetch_add(static_cast<int64_t>(remote_buf.size()),
-                                std::memory_order_relaxed);
       TFHPC_ASSIGN_OR_RETURN(delivered, wire::RpcEnvelope::Parse(header_frame));
-      delivered.payload = std::move(remote_buf);
+      if (request.payload.is_view()) {
+        // One-sided RDMA write of already-registered memory: the receiver
+        // gets a reference to the same bytes; nothing is serialized or
+        // copied in this process model.
+        st.views_forwarded.fetch_add(1, std::memory_order_relaxed);
+        st.bytes_forwarded.fetch_add(
+            static_cast<int64_t>(request.payload.view_size()),
+            std::memory_order_relaxed);
+        delivered.payload = request.payload;
+      } else {
+        const std::string& inline_bytes = request.payload.head();
+        std::string remote_buf(inline_bytes.size(), '\0');
+        std::memcpy(remote_buf.data(), inline_bytes.data(),
+                    inline_bytes.size());
+        st.bytes_copied.fetch_add(static_cast<int64_t>(remote_buf.size()),
+                                  std::memory_order_relaxed);
+        delivered.payload = std::move(remote_buf);
+      }
       break;
     }
   }
@@ -282,9 +309,10 @@ Result<wire::RpcEnvelope> InProcessRouter::Call(
   if (draw.corrupt && !delivered.payload.empty()) {
     // Flip one deterministic byte in flight. The server detects the
     // mismatch against the envelope checksum and answers with retryable
-    // kUnavailable instead of acting on garbage.
+    // kUnavailable instead of acting on garbage. Detaches view payloads
+    // first so the sender's live tensor buffer is never mutated.
     st.faults_corrupted.fetch_add(1, std::memory_order_relaxed);
-    delivered.payload[delivered.payload.size() / 2] ^= 0x5a;
+    delivered.payload.CorruptByteForTest(delivered.payload.size() / 2);
   }
 
   wire::RpcEnvelope response = handler(delivered);

@@ -47,6 +47,11 @@ struct TransportStats {
   std::atomic<int64_t> payload_bytes{0};
   std::atomic<int64_t> bytes_serialized{0};  // protobuf-encoded bytes
   std::atomic<int64_t> bytes_copied{0};      // staging + wire memcpy bytes
+  // Zero-copy accounting: view payloads whose buffer reference crossed the
+  // transport without any staging copy (RDMA only), and the tensor bytes
+  // they carried.
+  std::atomic<int64_t> views_forwarded{0};
+  std::atomic<int64_t> bytes_forwarded{0};
   // Chaos fault counters (per protocol, all faults this transport injected).
   std::atomic<int64_t> faults_dropped_request{0};
   std::atomic<int64_t> faults_dropped_response{0};

@@ -67,13 +67,15 @@ Status PublishFileDurably(const std::string& path, const std::string& data) {
   return SyncParentDir(path);
 }
 
-uint32_t EntryCrc(const std::string& name, const std::string& tensor_bytes) {
+uint32_t EntryCrc(const std::string& name, const void* tensor_bytes,
+                  size_t tensor_size) {
   uint32_t crc = Crc32(name.data(), name.size());
   // Chain the tensor bytes into the same CRC by continuing from the name's
   // value (standard incremental CRC composition via xor-in/xor-out).
   uint32_t c = crc ^ 0xffffffffu;
-  for (unsigned char byte : tensor_bytes) {
-    c ^= byte;
+  const auto* p = static_cast<const unsigned char*>(tensor_bytes);
+  for (size_t i = 0; i < tensor_size; ++i) {
+    c ^= p[i];
     for (int k = 0; k < 8; ++k) {
       c = (c >> 1) ^ (0xedb88320u & (0u - (c & 1u)));
     }
@@ -110,7 +112,7 @@ Status SaveCheckpoint(const std::string& path,
     wire::CodedOutput eo(&entry);
     eo.WriteString(1, name);
     eo.WriteMessage(2, tensor_bytes);
-    eo.WriteUInt64(3, EntryCrc(name, tensor_bytes));
+    eo.WriteUInt64(3, EntryCrc(name, tensor_bytes.data(), tensor_bytes.size()));
     co.WriteMessage(3, entry);
   }
   return PublishFileDurably(path, out);
@@ -149,7 +151,11 @@ Result<std::map<std::string, Tensor>> LoadCheckpoint(const std::string& path) {
       TFHPC_RETURN_IF_ERROR(in.ReadBytesView(&d, &s));
       wire::CodedInput ein(d, s);
       std::string name;
-      std::string tensor_bytes;
+      // The tensor bytes stay a view into the file image: CRC and parse read
+      // them in place, and ParseTensor copies the element content straight
+      // into a pooled buffer — no intermediate std::string round-trip.
+      const uint8_t* tensor_ptr = nullptr;
+      size_t tensor_size = 0;
       uint64_t crc = 0;
       bool saw_crc = false;
       while (!ein.AtEnd()) {
@@ -159,7 +165,7 @@ Result<std::map<std::string, Tensor>> LoadCheckpoint(const std::string& path) {
         if (ef == 1) {
           TFHPC_RETURN_IF_ERROR(ein.ReadString(&name));
         } else if (ef == 2) {
-          TFHPC_RETURN_IF_ERROR(ein.ReadString(&tensor_bytes));
+          TFHPC_RETURN_IF_ERROR(ein.ReadBytesView(&tensor_ptr, &tensor_size));
         } else if (ef == 3) {
           TFHPC_RETURN_IF_ERROR(ein.ReadVarint(&crc));
           saw_crc = true;
@@ -167,19 +173,20 @@ Result<std::map<std::string, Tensor>> LoadCheckpoint(const std::string& path) {
           TFHPC_RETURN_IF_ERROR(ein.SkipField(ewt));
         }
       }
-      if (name.empty() || tensor_bytes.empty()) {
+      if (name.empty() || tensor_size == 0) {
         return InvalidArgument("checkpoint: malformed entry");
       }
       if (!saw_crc) {
         return InvalidArgument("checkpoint: entry '" + name +
                                "' has no CRC (pre-v2 or truncated file)");
       }
-      const uint32_t want = EntryCrc(name, tensor_bytes);
+      const uint32_t want = EntryCrc(name, tensor_ptr, tensor_size);
       if (static_cast<uint32_t>(crc) != want) {
         return InvalidArgument("checkpoint: CRC mismatch for entry '" + name +
                                "' (corrupted on disk)");
       }
-      TFHPC_ASSIGN_OR_RETURN(Tensor tensor, wire::ParseTensor(tensor_bytes));
+      TFHPC_ASSIGN_OR_RETURN(Tensor tensor,
+                             wire::ParseTensor(tensor_ptr, tensor_size));
       if (!tensor.valid()) {
         return InvalidArgument("checkpoint: malformed entry");
       }

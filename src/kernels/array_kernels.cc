@@ -21,7 +21,9 @@ class TransposeKernel : public OpKernel {
     }
     const int64_t r = a.shape().dim(0);
     const int64_t c = a.shape().dim(1);
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{c, r});
+    // Every destination element is written (never forwarded: the blocked
+    // transpose would read elements it already overwrote in place).
+    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{c, r}, ZeroInit::kNo);
     if (!ctx->meta_exec()) {
       const size_t esize = DTypeSize(a.dtype());
       const auto* src = static_cast<const uint8_t*>(a.raw_data());
@@ -77,7 +79,7 @@ class SliceKernel : public OpKernel {
                           "] outside " + a.shape().ToString());
       }
     }
-    Tensor out = ctx->AllocateOutput(a.dtype(), size);
+    Tensor out = ctx->AllocateOutput(a.dtype(), size, ZeroInit::kNo);
     if (!ctx->meta_exec()) {
       const size_t esize = DTypeSize(a.dtype());
       const auto* src = static_cast<const uint8_t*>(a.raw_data());
@@ -128,7 +130,7 @@ class ConcatKernel : public OpKernel {
       rows += t.shape().dim(0);
     }
     const Shape out_shape = rank == 2 ? Shape{rows, cols} : Shape{rows};
-    Tensor out = ctx->AllocateOutput(dtype, out_shape);
+    Tensor out = ctx->AllocateOutput(dtype, out_shape, ZeroInit::kNo);
     if (!ctx->meta_exec()) {
       auto* dst = static_cast<uint8_t*>(out.raw_data());
       for (int i = 0; i < ctx->num_inputs(); ++i) {
@@ -159,7 +161,9 @@ class CastKernel : public OpKernel {
   Status Compute(OpKernelContext* ctx) override {
     const Tensor& a = ctx->input(0);
     TFHPC_ASSIGN_OR_RETURN(DType to, ctx->node().AttrType("to"));
-    Tensor out = ctx->AllocateOutput(to, a.shape());
+    // Same-dtype casts forward the input buffer outright (the shape/dtype
+    // check inside ForwardOrAllocate only matches when to == a.dtype()).
+    Tensor out = ctx->ForwardOrAllocate({0}, to, a.shape());
     if (!ctx->meta_exec()) {
       const auto pair = std::make_pair(a.dtype(), to);
       if (pair == std::make_pair(DType::kF32, DType::kF64)) {
@@ -177,8 +181,10 @@ class CastKernel : public OpKernel {
       } else if (pair == std::make_pair(DType::kI32, DType::kF32)) {
         CastLoop<int32_t, float>(a, out);
       } else if (a.dtype() == to) {
-        std::memcpy(out.raw_data(), a.raw_data(),
-                    static_cast<size_t>(a.bytes()));
+        if (out.raw_data() != a.raw_data()) {
+          std::memcpy(out.raw_data(), a.raw_data(),
+                      static_cast<size_t>(a.bytes()));
+        }
       } else {
         return Unimplemented(std::string("Cast ") + DTypeName(a.dtype()) +
                              " -> " + DTypeName(to));
@@ -196,7 +202,7 @@ class NegKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     const Tensor& a = ctx->input(0);
-    Tensor out = ctx->AllocateOutput(a.dtype(), a.shape());
+    Tensor out = ctx->ForwardOrAllocate({0}, a.dtype(), a.shape());
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       switch (a.dtype()) {
@@ -242,7 +248,7 @@ class ReduceAggKernel : public OpKernel {
     if (a.num_elements() == 0) {
       return InvalidArgument("reduction over empty tensor");
     }
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{});
+    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{}, ZeroInit::kNo);
     if (!ctx->meta_exec()) {
       if (a.dtype() == DType::kF64) {
         *out.mutable_data<double>() = Reduce<double>(a);
@@ -298,7 +304,7 @@ class FillKernel : public OpKernel {
     TFHPC_ASSIGN_OR_RETURN(DType dtype, ctx->node().AttrType("dtype"));
     TFHPC_ASSIGN_OR_RETURN(Shape shape, ctx->node().AttrShape("shape"));
     TFHPC_ASSIGN_OR_RETURN(double value, ctx->node().AttrFloat("value"));
-    Tensor out = ctx->AllocateOutput(dtype, std::move(shape));
+    Tensor out = ctx->AllocateOutput(dtype, std::move(shape), ZeroInit::kNo);
     if (!ctx->meta_exec()) {
       const int64_t n = out.num_elements();
       if (dtype == DType::kF64) {
@@ -322,7 +328,8 @@ class ZerosLikeKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     const Tensor& a = ctx->input(0);
-    // AllocateOutput zero-initializes.
+    // AllocateOutput's default ZeroInit::kYes IS the kernel: pooled blocks
+    // come back dirty, so ZerosLike must keep the explicit zeroing path.
     ctx->set_output(0, ctx->AllocateOutput(a.dtype(), a.shape()));
     return Status::OK();
   }

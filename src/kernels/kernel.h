@@ -62,10 +62,37 @@ class OpKernelContext {
   AllocatorStats* alloc_stats() const { return alloc_stats_; }
 
   // Allocates an output tensor on the executing device's allocator; in meta
-  // execution returns a meta tensor instead.
-  Tensor AllocateOutput(DType dtype, Shape shape) const {
+  // execution returns a meta tensor instead. Kernels that overwrite every
+  // element pass ZeroInit::kNo to skip the memset (the pooled allocator
+  // hands back recycled, dirty blocks).
+  Tensor AllocateOutput(DType dtype, Shape shape,
+                        ZeroInit zero = ZeroInit::kYes) const {
     if (meta_exec()) return Tensor::Meta(dtype, std::move(shape));
+    if (zero == ZeroInit::kNo)
+      return Tensor::Uninitialized(dtype, std::move(shape), alloc_stats_);
     return Tensor(dtype, std::move(shape), alloc_stats_);
+  }
+
+  // Buffer forwarding (TF-style in-place reuse): returns input `i` itself as
+  // the output when this kernel holds the sole reference to its buffer and
+  // dtype/shape match — the executor moves last-use tensors into the kernel,
+  // so uniqueness means no other consumer, fetch or producer cache can
+  // observe the mutation. Falls back to an uninitialized pooled allocation
+  // (callers overwrite every element by contract).
+  Tensor ForwardOrAllocate(std::initializer_list<int> candidates, DType dtype,
+                           const Shape& shape) const {
+    if (!meta_exec()) {
+      for (int i : candidates) {
+        const Tensor& in = input(i);
+        if (in.is_meta() || in.dtype() != dtype || !(in.shape() == shape))
+          continue;
+        if (in.buffer_unique()) {
+          if (alloc_stats_ != nullptr) alloc_stats_->RecordForward();
+          return in;
+        }
+      }
+    }
+    return AllocateOutput(dtype, Shape(shape), ZeroInit::kNo);
   }
 
  private:

@@ -51,7 +51,10 @@ class BinaryKernel : public OpKernel {
                              b.shape().ToString());
     }
     const Shape& out_shape = a_scalar ? b.shape() : a.shape();
-    Tensor out = ctx->AllocateOutput(a.dtype(), out_shape);
+    // Forward a last-use operand's buffer in place when possible; ApplyBin
+    // reads index i before writing index i, so aliasing out with either
+    // operand is safe. Scalar operands never match out_shape and are skipped.
+    Tensor out = ctx->ForwardOrAllocate({0, 1}, a.dtype(), out_shape);
     if (!ctx->meta_exec()) {
       const int64_t n = out.num_elements();
       switch (a.dtype()) {
@@ -124,7 +127,7 @@ class SqrtKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     const Tensor& a = ctx->input(0);
-    Tensor out = ctx->AllocateOutput(a.dtype(), a.shape());
+    Tensor out = ctx->ForwardOrAllocate({0}, a.dtype(), a.shape());
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       if (a.dtype() == DType::kF64) {
@@ -159,7 +162,7 @@ class DotKernel : public OpKernel {
                              a.shape().ToString() + " and " +
                              b.shape().ToString());
     }
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{});
+    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{}, ZeroInit::kNo);
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       if (a.dtype() == DType::kF64) {
@@ -199,7 +202,7 @@ class ReduceSumKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     const Tensor& a = ctx->input(0);
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{});
+    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{}, ZeroInit::kNo);
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       if (a.dtype() == DType::kF64) {
@@ -247,7 +250,9 @@ class AxpyKernel : public OpKernel {
         alpha.dtype() != x.dtype()) {
       return InvalidArgument("Axpy operand mismatch");
     }
-    Tensor out = ctx->AllocateOutput(x.dtype(), x.shape());
+    // d[i] depends only on xs[i]/ys[i], so forwarding either vector operand
+    // is alias-safe.
+    Tensor out = ctx->ForwardOrAllocate({1, 2}, x.dtype(), x.shape());
     if (!ctx->meta_exec()) {
       const int64_t n = x.num_elements();
       if (x.dtype() == DType::kF64) {
@@ -307,7 +312,9 @@ class MatMulKernel : public OpKernel {
     const int64_t m = a.shape().dim(0);
     const int64_t k = a.shape().dim(1);
     const int64_t n = b.shape().dim(1);
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{m, n});
+    // Gemm(beta_zero) clears C before accumulating — skip the redundant
+    // allocator memset.
+    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{m, n}, ZeroInit::kNo);
     if (!ctx->meta_exec()) {
       if (a.dtype() == DType::kF32) {
         blas::Gemm(a.data<float>().data(), b.data<float>().data(),
@@ -350,7 +357,8 @@ class MatVecKernel : public OpKernel {
                              " x " + v.shape().ToString());
     }
     if (m.dtype() != v.dtype()) return InvalidArgument("MatVec dtype mismatch");
-    Tensor out = ctx->AllocateOutput(m.dtype(), Shape{m.shape().dim(0)});
+    Tensor out =
+        ctx->AllocateOutput(m.dtype(), Shape{m.shape().dim(0)}, ZeroInit::kNo);
     if (!ctx->meta_exec()) {
       if (m.dtype() == DType::kF64) {
         blas::Gemv(m.data<double>().data(), v.data<double>().data(),
@@ -395,7 +403,9 @@ class FftKernel : public OpKernel {
                              x.shape().ToString());
     }
     TFHPC_ASSIGN_OR_RETURN(bool inverse, ctx->node().AttrBool("inverse"));
-    Tensor out = ctx->AllocateOutput(DType::kC128, x.shape());
+    // The transform runs in a scratch vector copied from x before the final
+    // memcpy, so forwarding x's buffer as the output is safe.
+    Tensor out = ctx->ForwardOrAllocate({0}, DType::kC128, x.shape());
     if (!ctx->meta_exec()) {
       const auto src = x.data<std::complex<double>>();
       std::vector<std::complex<double>> buf(src.begin(), src.end());

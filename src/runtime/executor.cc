@@ -238,6 +238,28 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
     exe->fetch_bindings_.push_back({f, dense.at(n->id()), slot});
   }
   exe->fetch_keys_ = fetches;
+
+  // ---- Output use counts (for move-on-last-use / buffer forwarding). -----
+  exe->output_uses_.resize(exe->nodes_.size());
+  for (size_t i = 0; i < exe->nodes_.size(); ++i) {
+    exe->output_uses_[i].assign(
+        static_cast<size_t>(exe->nodes_[i].num_outputs), 0);
+  }
+  for (const auto& cn : exe->nodes_) {
+    if (cn.fed) continue;
+    for (const auto& [producer, slot] : cn.data_inputs) {
+      auto& uses = exe->output_uses_[static_cast<size_t>(producer)];
+      if (static_cast<size_t>(slot) < uses.size()) {
+        uses[static_cast<size_t>(slot)]++;
+      }
+    }
+  }
+  for (const auto& fb : exe->fetch_bindings_) {
+    auto& uses = exe->output_uses_[static_cast<size_t>(fb.node_index)];
+    if (static_cast<size_t>(fb.slot) < uses.size()) {
+      uses[static_cast<size_t>(fb.slot)]++;
+    }
+  }
   return std::shared_ptr<const Executable>(std::move(exe));
 }
 
@@ -251,6 +273,8 @@ Result<std::vector<Tensor>> Executor::Execute(
   for (size_t i = 0; i < n_nodes; ++i) pending[i] = exe.nodes_[i].initial_pending;
   std::vector<std::vector<Tensor>> outputs(n_nodes);
   std::vector<char> has_output(n_nodes, 0);
+  // Step-local countdown of output references (guarded by mu, like outputs).
+  std::vector<std::vector<int>> uses = exe.output_uses_;
 
   std::mutex mu;
   std::condition_variable done_cv;
@@ -305,8 +329,17 @@ Result<std::vector<Tensor>> Executor::Execute(
         std::lock_guard<std::mutex> lk(mu);
         for (const auto& [producer, slot] : cn.data_inputs) {
           TFHPC_CHECK(has_output[static_cast<size_t>(producer)]);
-          inputs.push_back(
-              outputs[static_cast<size_t>(producer)][static_cast<size_t>(slot)]);
+          Tensor& src =
+              outputs[static_cast<size_t>(producer)][static_cast<size_t>(slot)];
+          // The final reader takes the tensor by move: with the executor's
+          // reference gone, a kernel holding the sole buffer reference may
+          // forward it in place instead of allocating a fresh output.
+          if (--uses[static_cast<size_t>(producer)][static_cast<size_t>(slot)] ==
+              0) {
+            inputs.push_back(std::move(src));
+          } else {
+            inputs.push_back(src);
+          }
         }
       }
 
@@ -420,6 +453,13 @@ Result<std::vector<Tensor>> Executor::Execute(
     }
     results.push_back(t);
   }
+  // Fetched tensors leave the executor here and may outlive the runtime
+  // (and thus the devices whose AllocatorStats their buffers point at).
+  // Drop the output table's references first so purely-computed results
+  // detach in place; anything still aliasing device-resident state (a
+  // variable, a duplicated fetch) gets an unattributed copy instead.
+  outputs.clear();
+  for (Tensor& t : results) t.DetachFromAllocator();
   return results;
 }
 

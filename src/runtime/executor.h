@@ -110,6 +110,11 @@ class Executable {
   };
 
   std::vector<CompiledNode> nodes_;  // topological order
+  // Per (node, output slot): number of step-local references — consumer data
+  // inputs plus fetch bindings. Execute counts these down and *moves* the
+  // tensor to its final consumer, so a kernel receiving the sole reference
+  // to an input buffer may forward it in place (TF-style buffer reuse).
+  std::vector<std::vector<int>> output_uses_;
   std::vector<int> initial_ready_;   // indexes with pending == 0, not fed
   std::vector<FeedBinding> feed_bindings_;
   std::vector<FetchBinding> fetch_bindings_;

@@ -74,13 +74,116 @@ Result<Tensor> ParseTensor(const void* data, size_t size) {
   if (dtype == DType::kInvalid) return InvalidArgument("TensorProto: no dtype");
   Shape shape(std::move(dims));
   if (is_meta) return Tensor::Meta(dtype, std::move(shape));
-  Tensor t(dtype, shape);
+  // The content overwrites every element, so skip the zero-fill and let the
+  // pool hand back a recycled block.
+  Tensor t = Tensor::Uninitialized(dtype, std::move(shape));
   if (static_cast<size_t>(t.bytes()) != content_size) {
     return InvalidArgument("TensorProto: content size " +
                            std::to_string(content_size) + " != expected " +
                            std::to_string(t.bytes()));
   }
   if (content_size > 0) std::memcpy(t.raw_data(), content, content_size);
+  return t;
+}
+
+PayloadRef SerializeTensorView(const Tensor& t) {
+  std::string head;
+  CodedOutput co(&head);
+  co.WriteUInt64(1, static_cast<uint64_t>(t.dtype()));
+  for (int64_t d : t.shape().dims()) {
+    co.WriteUInt64(2, static_cast<uint64_t>(d));
+  }
+  if (t.is_meta() || !t.valid()) {
+    if (t.is_meta()) co.WriteBool(4, true);
+    return PayloadRef(std::move(head));
+  }
+  // Frame field 3 (tag + length) in the head; the content bytes stay in the
+  // tensor's buffer and ride along as a view.
+  const size_t content = static_cast<size_t>(t.bytes());
+  co.WriteTag(3, WireType::kLengthDelimited);
+  co.WriteVarint(content);
+  return PayloadRef::View(std::move(head), t.buffer(), 0, content);
+}
+
+Result<Tensor> ParseTensorView(const PayloadRef& p) {
+  if (!p.is_view()) return ParseTensor(p.head().data(), p.head().size());
+  CodedInput in(p.head());
+  DType dtype = DType::kInvalid;
+  std::vector<int64_t> dims;
+  bool is_meta = false;
+  bool content_is_view = false;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    switch (field) {
+      case 1: {
+        uint64_t v;
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+        if (!IsKnownDType(v)) {
+          return InvalidArgument("TensorProto: unknown dtype " +
+                                 std::to_string(v));
+        }
+        dtype = static_cast<DType>(v);
+        break;
+      }
+      case 2: {
+        uint64_t v;
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+        if (v > (uint64_t{1} << 48)) {
+          return InvalidArgument("TensorProto: implausible dim " +
+                                 std::to_string(v));
+        }
+        dims.push_back(static_cast<int64_t>(v));
+        break;
+      }
+      case 3: {
+        // In a view payload the content length is framed in the head and the
+        // bytes themselves are the view. Anything else is malformed.
+        if (wt != WireType::kLengthDelimited) {
+          return InvalidArgument("TensorProto: bad wire type for content");
+        }
+        uint64_t len;
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&len));
+        if (len != p.view_size() || !in.AtEnd()) {
+          return InvalidArgument("TensorProto: view content length mismatch");
+        }
+        content_is_view = true;
+        break;
+      }
+      case 4: {
+        uint64_t v;
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+        is_meta = v != 0;
+        break;
+      }
+      default:
+        TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  if (dtype == DType::kInvalid) return InvalidArgument("TensorProto: no dtype");
+  Shape shape(std::move(dims));
+  if (is_meta) return Tensor::Meta(dtype, std::move(shape));
+  if (!content_is_view) {
+    return InvalidArgument("TensorProto: view payload without content field");
+  }
+  const int64_t expect =
+      shape.num_elements() * static_cast<int64_t>(DTypeSize(dtype));
+  if (static_cast<size_t>(expect) != p.view_size()) {
+    return InvalidArgument("TensorProto: content size " +
+                           std::to_string(p.view_size()) + " != expected " +
+                           std::to_string(expect));
+  }
+  // True zero-copy: adopt the buffer when the view spans it exactly from the
+  // start. Sub-views (offset into a larger frame) copy once into a pooled,
+  // uninitialized buffer.
+  if (p.view_offset() == 0 && p.buffer()->size() == p.view_size()) {
+    return Tensor::FromBuffer(dtype, std::move(shape), p.buffer());
+  }
+  Tensor t = Tensor::Uninitialized(dtype, std::move(shape));
+  if (p.view_size() > 0) {
+    std::memcpy(t.raw_data(), p.view_data(), p.view_size());
+  }
   return t;
 }
 
@@ -469,7 +572,17 @@ std::string RpcEnvelope::Serialize() const {
   CodedOutput co(&out);
   co.WriteString(1, method);
   co.WriteUInt64(2, request_id);
-  co.WriteString(3, payload);
+  // Serialization is the flattening point: a view payload gets copied here,
+  // which is exactly what the gRPC staging model charges for.
+  if (payload.is_view()) {
+    co.WriteTag(3, WireType::kLengthDelimited);
+    co.WriteVarint(payload.size());
+    out.append(payload.head());
+    out.append(reinterpret_cast<const char*>(payload.view_data()),
+               payload.view_size());
+  } else {
+    co.WriteString(3, payload.head());
+  }
   if (status_code != 0) co.WriteInt64(4, status_code);
   if (!status_msg.empty()) co.WriteString(5, status_msg);
   if (client_id != 0) co.WriteUInt64(6, client_id);
@@ -493,9 +606,12 @@ Result<RpcEnvelope> RpcEnvelope::Parse(const std::string& data) {
         TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
         e.request_id = v;
         break;
-      case 3:
-        TFHPC_RETURN_IF_ERROR(in.ReadString(&e.payload));
+      case 3: {
+        std::string s;
+        TFHPC_RETURN_IF_ERROR(in.ReadString(&s));
+        e.payload = std::move(s);
         break;
+      }
       case 4:
         TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
         e.status_code = static_cast<int32_t>(v);

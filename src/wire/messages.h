@@ -13,6 +13,7 @@
 
 #include "core/status.h"
 #include "core/tensor.h"
+#include "wire/payload.h"
 
 namespace tfhpc::wire {
 
@@ -22,6 +23,19 @@ namespace tfhpc::wire {
 std::string SerializeTensor(const Tensor& t);
 Result<Tensor> ParseTensor(const std::string& data);
 Result<Tensor> ParseTensor(const void* data, size_t size);
+
+// Zero-copy variants. SerializeTensorView serializes only the header fields
+// (dtype, dims, the field-3 tag + length prefix) into the payload head and
+// *references* the tensor's buffer as the content view — the tensor bytes
+// are never copied. Flatten()ing the result reproduces SerializeTensor()
+// exactly. ParseTensorView adopts the view's buffer directly when the
+// content spans the whole buffer (0 copies); otherwise it copies once into a
+// pool-allocated, uninitialized buffer.
+PayloadRef SerializeTensorView(const Tensor& t);
+Result<Tensor> ParseTensorView(const PayloadRef& p);
+inline Result<Tensor> ParseTensor(const PayloadRef& p) {
+  return ParseTensorView(p);
+}
 
 // ---- AttrValue -------------------------------------------------------------
 // A graph-attribute value: exactly one of the members is meaningful.
@@ -114,7 +128,7 @@ struct RegisterStepResponse {
 struct RpcEnvelope {
   std::string method;    // field 1 (e.g. "RecvTensor", "Enqueue")
   uint64_t request_id = 0;  // field 2
-  std::string payload;   // field 3 (method-specific serialized body)
+  PayloadRef payload;    // field 3 (method-specific serialized body)
   int32_t status_code = 0;  // field 4 (tfhpc::Code as int)
   std::string status_msg;   // field 5
   // Fault-tolerance fields. (client_id, request_id) identifies one logical

@@ -1,0 +1,95 @@
+// PayloadRef: a cord-like payload for RPC envelopes. A payload is either
+// inline bytes (an owned std::string, as before) or a *view* — a small inline
+// head (serialized header fields) followed by a reference into an existing
+// tensor Buffer (the content bytes). Views let the in-process transports
+// model protocol-faithful staging: RDMA hands the buffer reference across
+// without ever serializing the content, MPI stages it exactly once, and gRPC
+// flattens (serializes) as real gRPC must.
+//
+// Invariant: Flatten() returns exactly the bytes the classic inline encoding
+// would have produced, so any consumer may flatten and every legacy parser
+// keeps working; checksums are identical across representations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/buffer.h"
+
+namespace tfhpc::wire {
+
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  // Inline payloads; implicit so existing `envelope.payload = str` sites and
+  // string-literal comparisons keep compiling.
+  PayloadRef(std::string bytes) : head_(std::move(bytes)) {}
+  PayloadRef(const char* bytes) : head_(bytes) {}
+
+  PayloadRef& operator=(std::string bytes) {
+    head_ = std::move(bytes);
+    buffer_.reset();
+    offset_ = len_ = 0;
+    return *this;
+  }
+  PayloadRef& operator=(const char* bytes) { return *this = std::string(bytes); }
+
+  // View payload: `head` holds serialized header bytes, the content is
+  // buffer[offset, offset+len) and is NOT copied.
+  static PayloadRef View(std::string head, std::shared_ptr<Buffer> buffer,
+                         size_t offset, size_t len);
+
+  size_t size() const { return head_.size() + len_; }
+  bool empty() const { return size() == 0; }
+  void clear() {
+    head_.clear();
+    buffer_.reset();
+    offset_ = len_ = 0;
+  }
+
+  bool is_view() const { return buffer_ != nullptr; }
+  const std::string& head() const { return head_; }
+  const std::shared_ptr<Buffer>& buffer() const { return buffer_; }
+  size_t view_offset() const { return offset_; }
+  size_t view_size() const { return len_; }
+  const uint8_t* view_data() const {
+    return static_cast<const uint8_t*>(buffer_->data()) + offset_;
+  }
+
+  // Full byte sequence (head + view), always a fresh copy.
+  std::string Flatten() const;
+
+  // Contiguous bytes without copying when inline: returns head_ directly for
+  // inline payloads, otherwise flattens into *scratch and returns it.
+  const std::string& Contiguous(std::string* scratch) const {
+    if (!is_view()) return head_;
+    *scratch = Flatten();
+    return *scratch;
+  }
+
+  // Converts a view into an equivalent inline payload (copies once). Used
+  // before any in-place mutation so the referenced tensor buffer — live on
+  // the sender's side — is never touched.
+  void Detach();
+
+  // Chaos-injection helper: flips one payload byte. Detaches first so fault
+  // injection corrupts the frame, not the sender's tensor.
+  void CorruptByteForTest(size_t index, uint8_t mask = 0x5a);
+
+  // Byte-sequence equality across representations.
+  bool operator==(const PayloadRef& o) const;
+
+ private:
+  std::string head_;
+  std::shared_ptr<Buffer> buffer_;  // nullptr => inline payload
+  size_t offset_ = 0;
+  size_t len_ = 0;
+};
+
+// FNV-1a 64-bit over the payload's byte sequence; equals
+// PayloadChecksum(Flatten()) without materializing the copy.
+uint64_t PayloadChecksum(const PayloadRef& p);
+
+}  // namespace tfhpc::wire
