@@ -1,0 +1,105 @@
+// Exports the four application dataflow graphs as serialized wire::GraphDef
+// files, plus one deliberately broken graph, into the directory given as
+// argv[1]. The ci.sh graphcheck leg runs `graphcheck` over these files and
+// asserts exit code 0 on the app graphs and 2 on the broken one.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "apps/app_graphs.h"
+#include "graph/graph.h"
+#include "wire/messages.h"
+
+namespace {
+
+using tfhpc::Graph;
+using tfhpc::Scope;
+
+bool WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "export_graphs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("export_graphs: wrote %s (%zu bytes)\n", path.c_str(),
+              bytes.size());
+  return true;
+}
+
+// A graph graphcheck must reject: a dequeue from a queue nothing ever
+// enqueues into (guaranteed deadlock, GC013) and an Add whose operand
+// shapes are provably incompatible (GC010).
+tfhpc::wire::GraphDef BrokenGraph() {
+  tfhpc::wire::GraphDef def;
+  using tfhpc::wire::AttrValue;
+  using tfhpc::wire::NodeDef;
+
+  NodeDef deq;
+  deq.name = "drain";
+  deq.op = "QueueDequeue";
+  deq.attrs["queue"] = AttrValue::Str("empty_queue");
+  deq.attrs["capacity"] = AttrValue::Int(0);
+  def.nodes.push_back(deq);
+
+  NodeDef a;
+  a.name = "a";
+  a.op = "Placeholder";
+  a.attrs["dtype"] = AttrValue::Type(tfhpc::DType::kF32);
+  a.attrs["shape"] = AttrValue::OfShape(tfhpc::Shape({4}));
+  def.nodes.push_back(a);
+
+  NodeDef b;
+  b.name = "b";
+  b.op = "Placeholder";
+  b.attrs["dtype"] = AttrValue::Type(tfhpc::DType::kF32);
+  b.attrs["shape"] = AttrValue::OfShape(tfhpc::Shape({5}));
+  def.nodes.push_back(b);
+
+  NodeDef add;
+  add.name = "mismatched_add";
+  add.op = "Add";
+  add.inputs = {"a", "b"};
+  def.nodes.push_back(add);
+
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: export_graphs <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  bool ok = true;
+
+  {
+    Graph g;
+    Scope root(&g);
+    tfhpc::apps::BuildStreamPushGraph(root, 1 << 10);
+    ok &= WriteFile(dir + "/stream.graph", g.ToGraphDef().Serialize());
+  }
+  {
+    Graph g;
+    Scope root(&g);
+    tfhpc::apps::BuildTiledMatmulGraph(root, 64);
+    ok &= WriteFile(dir + "/tiled_matmul.graph", g.ToGraphDef().Serialize());
+  }
+  {
+    Graph g;
+    Scope root(&g);
+    tfhpc::apps::BuildCgWorkerGraph(root, 32, 128);
+    ok &= WriteFile(dir + "/cg.graph", g.ToGraphDef().Serialize());
+  }
+  {
+    Graph g;
+    Scope root(&g);
+    tfhpc::apps::BuildFftWorkerGraph(root, 256);
+    ok &= WriteFile(dir + "/fft.graph", g.ToGraphDef().Serialize());
+  }
+  ok &= WriteFile(dir + "/broken.graph", BrokenGraph().Serialize());
+
+  return ok ? 0 : 1;
+}

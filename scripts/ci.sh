@@ -16,9 +16,28 @@ fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
 echo "==== tier 1: configure + build + ctest ===="
-cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake -B "$repo/build" -S "$repo" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$repo/build" -j "$jobs"
 (cd "$repo/build" && ctest --output-on-failure -j "$jobs")
+
+# GraphCheck gate: lint the exported application graphs with the graphcheck
+# CLI. The app graphs must come back clean (exit 0); the deliberately broken
+# graph must be rejected (exit 2) — this pins the tool's exit-code contract.
+echo "==== graphcheck: lint exported app graphs ===="
+mkdir -p "$repo/build/graphs"
+"$repo/build/examples/export_graphs" "$repo/build/graphs"
+"$repo/build/tools/graphcheck" \
+  "$repo/build/graphs/stream.graph" \
+  "$repo/build/graphs/tiled_matmul.graph" \
+  "$repo/build/graphs/cg.graph" \
+  "$repo/build/graphs/fft.graph"
+rc=0
+"$repo/build/tools/graphcheck" "$repo/build/graphs/broken.graph" || rc=$?
+if [[ "$rc" != 2 ]]; then
+  echo "graphcheck: expected exit 2 on broken.graph, got $rc" >&2
+  exit 1
+fi
+echo "==== graphcheck: app graphs clean, broken graph rejected ===="
 
 if [[ "$fast" == 1 ]]; then
   echo "==== ci: tier 1 OK (sanitizer smoke skipped) ===="
@@ -40,5 +59,23 @@ echo "==== tier 2: ThreadSanitizer smoke ===="
 echo "==== tier 3: AddressSanitizer smoke ===="
 "$repo/scripts/sanitize.sh" address \
   'BufferPool|BufferForward|TensorBuffer|Transport|ServerTest|Checkpoint|WireTensor'
+
+# UBSan over the numeric kernels and the static-analysis layer: shape
+# arithmetic, wire varint decoding and kernel index math are where a signed
+# overflow or misaligned access would hide.
+echo "==== tier 4: UndefinedBehaviorSanitizer smoke ===="
+"$repo/scripts/sanitize.sh" undefined \
+  'Kernels|ArrayKernels|GraphCheck|ShapeInference|Presize|Wire|CoreTest'
+
+# clang-tidy (checks pinned in .clang-tidy) over the analysis subsystem and
+# the CLI; the container may not ship clang-tidy, so skip-if-absent.
+echo "==== tier 5: clang-tidy ===="
+if command -v clang-tidy >/dev/null 2>&1; then
+  clang-tidy -p "$repo/build" --quiet \
+    "$repo"/src/analysis/*.cc "$repo"/tools/graphcheck.cc
+  echo "==== clang-tidy: clean ===="
+else
+  echo "==== clang-tidy not installed; skipping lint leg ===="
+fi
 
 echo "==== ci: all gates passed ===="

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Runs the tier-1 test suite under ThreadSanitizer and AddressSanitizer.
+# Runs the tier-1 test suite under ThreadSanitizer, AddressSanitizer and/or
+# UndefinedBehaviorSanitizer.
 #
 # The whole library is rebuilt instrumented (TFHPC_SANITIZE cache var, see the
-# root CMakeLists.txt) into build-tsan/ and build-asan/ next to the source
-# tree, so repeated runs are incremental. Usage:
+# root CMakeLists.txt) into build-tsan/, build-asan/ and build-usan/ next to
+# the source tree, so repeated runs are incremental. Usage:
 #
-#   scripts/sanitize.sh                 # both sanitizers, all tests
+#   scripts/sanitize.sh                 # thread + address, all tests
 #   scripts/sanitize.sh thread          # one sanitizer
+#   scripts/sanitize.sh undefined       # UBSan sweep
 #   scripts/sanitize.sh both 'Liveness|JobRecovery'   # filter tests (ctest -R)
 set -euo pipefail
 
@@ -16,15 +18,18 @@ filter="${2:-}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 case "$which" in
-  thread|address) sanitizers=("$which") ;;
+  thread|address|undefined) sanitizers=("$which") ;;
   both) sanitizers=(thread address) ;;
-  *) echo "usage: $0 [thread|address|both] [ctest -R filter]" >&2; exit 2 ;;
+  all) sanitizers=(thread address undefined) ;;
+  *) echo "usage: $0 [thread|address|undefined|both|all] [ctest -R filter]" >&2
+     exit 2 ;;
 esac
 
 # Halt on the first report instead of logging and limping on: a sanitized
 # suite that "passes" with findings in the log is a false green.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
 status=0
 for san in "${sanitizers[@]}"; do

@@ -1,0 +1,70 @@
+#include "apps/app_graphs.h"
+
+namespace tfhpc::apps {
+
+StreamGraph BuildStreamPushGraph(const Scope& scope, int64_t elements) {
+  StreamGraph g;
+  auto acc =
+      ops::Variable(scope, "acc", DType::kF64, Shape{elements});
+  auto src =
+      ops::Placeholder(scope, DType::kF64, Shape{elements}, "src");
+  auto init = ops::Assign(scope, acc, src);
+  auto add = ops::AssignAdd(scope, acc, src);
+  g.acc = acc.node->name();
+  g.src = src.node->name();
+  g.init = init.node->name();
+  g.add = add.node->name();
+  return g;
+}
+
+TiledMatmulGraph BuildTiledMatmulGraph(const Scope& scope, int64_t tile) {
+  TiledMatmulGraph g;
+  auto pa = ops::Placeholder(scope, DType::kF32, Shape{tile, tile}, "a");
+  auto pb = ops::Placeholder(scope, DType::kF32, Shape{tile, tile}, "b");
+  auto pc = ops::MatMul(scope, pa, pb);
+  g.a = pa.node->name();
+  g.b = pb.node->name();
+  g.product = pc.name();
+  return g;
+}
+
+CgWorkerGraph BuildCgWorkerGraph(const Scope& scope, int64_t rows,
+                                 int64_t n) {
+  CgWorkerGraph g;
+  auto a_var = ops::Variable(scope, "A_block", DType::kF64, Shape{rows, n});
+  auto a_feed = ops::Placeholder(scope, DType::kF64, Shape{rows, n}, "a_feed");
+  auto a_init = ops::Assign(scope, a_var, a_feed);
+  auto p_ph = ops::Placeholder(scope, DType::kF64, Shape{n}, "p");
+  auto ap = ops::MatVec(scope, a_var, p_ph);
+  auto u_ph = ops::Placeholder(scope, DType::kF64, Shape{rows}, "u");
+  auto v_ph = ops::Placeholder(scope, DType::kF64, Shape{rows}, "v");
+  auto dot = ops::Dot(scope, u_ph, v_ph);
+  auto alpha_ph = ops::Placeholder(scope, DType::kF64, Shape{}, "alpha");
+  auto ax_ph = ops::Placeholder(scope, DType::kF64, Shape{n}, "ax");
+  auto ay_ph = ops::Placeholder(scope, DType::kF64, Shape{n}, "ay");
+  auto axpy = ops::Axpy(scope, alpha_ph, ax_ph, ay_ph);
+  g.a_var = a_var.node->name();
+  g.a_feed = a_feed.node->name();
+  g.a_init = a_init.node->name();
+  g.p = p_ph.node->name();
+  g.ap = ap.name();
+  g.u = u_ph.node->name();
+  g.v = v_ph.node->name();
+  g.dot = dot.name();
+  g.alpha = alpha_ph.node->name();
+  g.ax = ax_ph.node->name();
+  g.ay = ay_ph.node->name();
+  g.axpy = axpy.name();
+  return g;
+}
+
+FftWorkerGraph BuildFftWorkerGraph(const Scope& scope, int64_t m) {
+  FftWorkerGraph g;
+  auto x_ph = ops::Placeholder(scope, DType::kC128, Shape{m}, "x");
+  auto spectrum = ops::Fft(scope, x_ph);
+  g.x = x_ph.node->name();
+  g.spectrum = spectrum.name();
+  return g;
+}
+
+}  // namespace tfhpc::apps

@@ -1,0 +1,57 @@
+// The dataflow graphs of the paper's four applications, extracted into
+// standalone builders so the apps (src/apps/*.cc) and the static-analysis
+// tests verify the exact same structures. Each builder appends its nodes to
+// the Scope's graph and returns the node/tensor names the caller feeds and
+// fetches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/ops.h"
+
+namespace tfhpc::apps {
+
+// STREAM-style push kernel (paper Listing 2): a device-resident accumulator
+// updated in place from a fed source vector, acc += src.
+struct StreamGraph {
+  std::string acc;       // Variable node
+  std::string src;       // Placeholder (feed)
+  std::string init;      // Assign target: loads the accumulator
+  std::string add;       // AssignAdd target: one timed STREAM update
+};
+StreamGraph BuildStreamPushGraph(const Scope& scope, int64_t elements);
+
+// Tiled-matmul worker: c = a @ b over one (t x t) tile pair.
+struct TiledMatmulGraph {
+  std::string a;       // Placeholder (feed)
+  std::string b;       // Placeholder (feed)
+  std::string product; // MatMul fetch
+};
+TiledMatmulGraph BuildTiledMatmulGraph(const Scope& scope, int64_t tile);
+
+// CG worker loop body: the A row block lives in a variable (loaded once via
+// `a_init`; the paper's data-locality workaround for the 2 GB GraphDef
+// limit), loop state is fed per step.
+struct CgWorkerGraph {
+  std::string a_var;   // Variable holding this worker's row block
+  std::string a_feed;  // Placeholder (feed, load once)
+  std::string a_init;  // Assign target
+  std::string p;       // Placeholder (feed)
+  std::string ap;      // MatVec fetch: A_block * p
+  std::string u, v;    // Placeholders (feed)
+  std::string dot;     // Dot fetch: u . v
+  std::string alpha;   // Placeholder (feed)
+  std::string ax, ay;  // Placeholders (feed)
+  std::string axpy;    // Axpy fetch: alpha * ax + ay
+};
+CgWorkerGraph BuildCgWorkerGraph(const Scope& scope, int64_t rows, int64_t n);
+
+// FFT worker: spectrum of one fed length-m complex tile.
+struct FftWorkerGraph {
+  std::string x;         // Placeholder (feed)
+  std::string spectrum;  // FFT fetch
+};
+FftWorkerGraph BuildFftWorkerGraph(const Scope& scope, int64_t m);
+
+}  // namespace tfhpc::apps

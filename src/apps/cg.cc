@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "apps/app_graphs.h"
 #include "core/rng.h"
 #include "graph/ops.h"
 #include "io/checkpoint.h"
@@ -285,24 +286,11 @@ Result<CgResult> RunCgFunctional(const CgOptions& options, uint64_t seed,
         TFHPC_ASSIGN_OR_RETURN(std::string ps_addr, spec.TaskAddress("ps", 0));
         distrib::RemoteTask ps(&router, ps_addr, protocol);
 
-        // Loop-body graph: the A row block lives in a variable (loaded once;
-        // the paper's data-locality workaround for the 2 GB GraphDef limit),
-        // the loop state is fed each step.
+        // Loop-body graph (apps/app_graphs.h): the A row block lives in a
+        // variable (loaded once; the paper's data-locality workaround for
+        // the 2 GB GraphDef limit), the loop state is fed each step.
         Scope scope = Scope(&server->graph()).WithDevice("/gpu:0");
-        auto a_var = ops::Variable(scope, "A_block", DType::kF64,
-                                   Shape{rows, n});
-        auto a_feed =
-            ops::Placeholder(scope, DType::kF64, Shape{rows, n}, "a_feed");
-        auto a_init = ops::Assign(scope, a_var, a_feed);
-        auto p_ph = ops::Placeholder(scope, DType::kF64, Shape{n}, "p");
-        auto ap = ops::MatVec(scope, a_var, p_ph);
-        auto u_ph = ops::Placeholder(scope, DType::kF64, Shape{rows}, "u");
-        auto v_ph = ops::Placeholder(scope, DType::kF64, Shape{rows}, "v");
-        auto dot = ops::Dot(scope, u_ph, v_ph);
-        auto alpha_ph = ops::Placeholder(scope, DType::kF64, Shape{}, "alpha");
-        auto ax_ph = ops::Placeholder(scope, DType::kF64, Shape{n}, "ax");
-        auto ay_ph = ops::Placeholder(scope, DType::kF64, Shape{n}, "ay");
-        auto axpy = ops::Axpy(scope, alpha_ph, ax_ph, ay_ph);
+        const CgWorkerGraph wg = BuildCgWorkerGraph(scope, rows, n);
         auto session = server->NewSession();
 
         // Load this worker's row block into its variable.
@@ -311,7 +299,7 @@ Result<CgResult> RunCgFunctional(const CgOptions& options, uint64_t seed,
                     problem.a.data<double>().data() + w * rows * n,
                     static_cast<size_t>(rows * n) * 8);
         TFHPC_RETURN_IF_ERROR(
-            session->Run({{"a_feed", block}}, {}, {a_init.node->name()})
+            session->Run({{"a_feed", block}}, {}, {wg.a_init})
                 .status());
 
         // Replicated state (checkpoint-resumable).
@@ -329,14 +317,14 @@ Result<CgResult> RunCgFunctional(const CgOptions& options, uint64_t seed,
         for (; it < max_iter; ++it) {
           // (1) my slice of A*p -> reducer; get full Ap back.
           TFHPC_ASSIGN_OR_RETURN(std::vector<Tensor> mv,
-                                 session->Run({{"p", p}}, {ap.name()}));
+                                 session->Run({{"p", p}}, {wg.ap}));
           TFHPC_RETURN_IF_ERROR(ps.Enqueue(ApIn(w), mv[0]));
           TFHPC_ASSIGN_OR_RETURN(Tensor full_ap, ps.Dequeue(ApOut(w)));
 
           // (2) partial p.Ap over my segment -> scalar reduce.
           TFHPC_ASSIGN_OR_RETURN(
               std::vector<Tensor> pap_part,
-              session->Run({{"u", segment(p)}, {"v", mv[0]}}, {dot.name()}));
+              session->Run({{"u", segment(p)}, {"v", mv[0]}}, {wg.dot}));
           TFHPC_RETURN_IF_ERROR(ps.Enqueue(DotIn(w), pap_part[0]));
           TFHPC_ASSIGN_OR_RETURN(Tensor pap_t, ps.Dequeue(DotOut(w)));
           const double pap = pap_t.scalar<double>();
@@ -348,21 +336,21 @@ Result<CgResult> RunCgFunctional(const CgOptions& options, uint64_t seed,
               session->Run({{"alpha", Tensor::Scalar(alpha)},
                             {"ax", p},
                             {"ay", x}},
-                           {axpy.name()}));
+                           {wg.axpy}));
           x = xs[0];
           TFHPC_ASSIGN_OR_RETURN(
               std::vector<Tensor> rs,
               session->Run({{"alpha", Tensor::Scalar(-alpha)},
                             {"ax", full_ap},
                             {"ay", r}},
-                           {axpy.name()}));
+                           {wg.axpy}));
           r = rs[0];
 
           // (4) rsnew = r.r via partial dots.
           TFHPC_ASSIGN_OR_RETURN(
               std::vector<Tensor> rr_part,
               session->Run({{"u", segment(r)}, {"v", segment(r)}},
-                           {dot.name()}));
+                           {wg.dot}));
           TFHPC_RETURN_IF_ERROR(ps.Enqueue(DotIn(w), rr_part[0]));
           TFHPC_ASSIGN_OR_RETURN(Tensor rsnew_t, ps.Dequeue(DotOut(w)));
           const double rsnew = rsnew_t.scalar<double>();
@@ -373,7 +361,7 @@ Result<CgResult> RunCgFunctional(const CgOptions& options, uint64_t seed,
               session->Run({{"alpha", Tensor::Scalar(rsnew / rsold)},
                             {"ax", p},
                             {"ay", r}},
-                           {axpy.name()}));
+                           {wg.axpy}));
           p = pn[0];
           rsold = rsnew;
 

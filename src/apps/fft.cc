@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "apps/app_graphs.h"
 #include "core/rng.h"
 #include "graph/ops.h"
 #include "io/npy.h"
@@ -180,8 +181,7 @@ Result<FftResult> RunFftFunctional(const FftOptions& options,
       auto run = [&]() -> Status {
         distrib::Server* server = worker_servers[static_cast<size_t>(w)].get();
         Scope scope = Scope(&server->graph()).WithDevice("/gpu:0");
-        auto x_ph = ops::Placeholder(scope, DType::kC128, Shape{m}, "x");
-        auto spectrum = ops::Fft(scope, x_ph);
+        const FftWorkerGraph wg = BuildFftWorkerGraph(scope, m);
         auto session = server->NewSession();
         TFHPC_ASSIGN_OR_RETURN(std::string merger_addr,
                                spec.TaskAddress("merger", 0));
@@ -192,7 +192,7 @@ Result<FftResult> RunFftFunctional(const FftOptions& options,
               io::LoadNpy(work_dir + "/tile_" + std::to_string(k) + ".npy"));
           TFHPC_ASSIGN_OR_RETURN(
               std::vector<Tensor> out,
-              session->Run({{"x", tile}}, {spectrum.name()}));
+              session->Run({{"x", tile}}, {wg.spectrum}));
           TFHPC_RETURN_IF_ERROR(
               merger.Enqueue("spectra", EncodeTaggedTile(k, out[0])));
         }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "apps/app_graphs.h"
 #include "core/rng.h"
 #include "graph/ops.h"
 #include "io/dataset.h"
@@ -226,16 +227,14 @@ Result<TiledMatmulResult> RunTiledMatmulFunctional(
         distrib::Server* server = servers[static_cast<size_t>(w)].get();
         // Per-worker graph (replicated, data parallelism): a @ b on the GPU.
         Scope scope = Scope(&server->graph()).WithDevice("/gpu:0");
-        auto pa = ops::Placeholder(scope, DType::kF32, Shape{t, t}, "a");
-        auto pb = ops::Placeholder(scope, DType::kF32, Shape{t, t}, "b");
-        auto pc = ops::MatMul(scope, pa, pb);
+        const TiledMatmulGraph wg = BuildTiledMatmulGraph(scope, t);
         auto session = server->NewSession();
         while (auto task = dataset.GetNext()) {
           TFHPC_ASSIGN_OR_RETURN(Tensor ta, store_a.LoadTile(task->i, task->k));
           TFHPC_ASSIGN_OR_RETURN(Tensor tb, store_b.LoadTile(task->k, task->j));
           TFHPC_ASSIGN_OR_RETURN(
               std::vector<Tensor> out,
-              session->Run({{"a", ta}, {"b", tb}}, {pc.name()}));
+              session->Run({{"a", ta}, {"b", tb}}, {wg.product}));
           const int r = static_cast<int>((task->i * grid + task->j) % R);
           TFHPC_ASSIGN_OR_RETURN(std::string addr,
                                  spec.TaskAddress("reducer", r));

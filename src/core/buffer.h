@@ -46,6 +46,9 @@ class AllocatorStats {
     }
   }
   void RecordForward() { forwards_.fetch_add(1, std::memory_order_relaxed); }
+  // An output served from a statically pre-sized buffer (GraphCheck shape
+  // inference told the executor the exact dtype/shape before the kernel ran).
+  void RecordPresized() { presized_.fetch_add(1, std::memory_order_relaxed); }
 
   int64_t live_bytes() const {
     return live_bytes_.load(std::memory_order_relaxed);
@@ -64,6 +67,9 @@ class AllocatorStats {
   int64_t forwards() const {
     return forwards_.load(std::memory_order_relaxed);
   }
+  int64_t presized() const {
+    return presized_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<int64_t> live_bytes_{0};
@@ -72,6 +78,7 @@ class AllocatorStats {
   std::atomic<int64_t> pool_hits_{0};
   std::atomic<int64_t> pool_bytes_{0};
   std::atomic<int64_t> forwards_{0};
+  std::atomic<int64_t> presized_{0};
 };
 
 // Process-wide size-class pool in front of aligned_alloc. Freed blocks up to

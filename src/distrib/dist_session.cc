@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "analysis/verifier.h"
+
 namespace tfhpc::distrib {
 namespace {
 
@@ -63,6 +65,20 @@ std::string FaultReport::ToString() const {
 Result<std::unique_ptr<DistributedSession>> DistributedSession::Create(
     InProcessRouter* router, const ClusterSpec& cluster, WireProtocol protocol,
     const wire::GraphDef& def, const DeviceName& default_device) {
+  // GraphCheck over the whole client graph before any partitioning work: a
+  // graph that cannot run on one task cannot run split across many.
+  {
+    const analysis::GraphAnalysis analysis = analysis::VerifyGraph(def);
+    if (analysis.has_errors()) {
+      std::vector<analysis::Diagnostic> errors;
+      for (const auto& d : analysis.diagnostics) {
+        if (d.severity == analysis::Severity::kError) errors.push_back(d);
+      }
+      return InvalidArgument("graphcheck rejected the client graph:\n" +
+                             analysis::FormatDiagnostics(errors));
+    }
+  }
+
   TFHPC_ASSIGN_OR_RETURN(std::unique_ptr<Graph> graph,
                          Graph::FromGraphDef(def));
   TFHPC_ASSIGN_OR_RETURN(PartitionResult parts,
@@ -77,6 +93,19 @@ Result<std::unique_ptr<DistributedSession>> DistributedSession::Create(
 
 Status DistributedSession::ShipPartitions(const PartitionResult& parts,
                                           const RetryPolicy& retry) {
+  // Post-partition GraphCheck: every cross-task _Send must pair with a
+  // _Recv in its target partition and vice versa (GC015). Covers both the
+  // initial Create and every eviction/shrink rebuild, before any server
+  // graph is extended.
+  {
+    const std::vector<analysis::Diagnostic> diags =
+        analysis::VerifyPartitions(parts.partitions);
+    if (analysis::HasErrors(diags)) {
+      return FailedPrecondition("graphcheck rejected the partition plan:\n" +
+                                analysis::FormatDiagnostics(diags));
+    }
+  }
+
   // Pass 1 (no side effects): per address, split each partition into nodes
   // the server already holds and nodes it still needs. A rebuild that would
   // have to *change* a node already extended into a server graph is

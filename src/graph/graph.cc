@@ -113,17 +113,7 @@ Result<Node*> Graph::AddNode(wire::NodeDef def) {
     node->in_edges_.push_back(e);
   }
 
-  if (data_inputs < op_def->min_inputs ||
-      (op_def->max_inputs >= 0 && data_inputs > op_def->max_inputs)) {
-    return InvalidArgument("node '" + node->def_.name + "' (op " + node->def_.op +
-                           ") has " + std::to_string(data_inputs) +
-                           " data inputs, expected [" +
-                           std::to_string(op_def->min_inputs) + ", " +
-                           (op_def->max_inputs < 0
-                                ? std::string("inf")
-                                : std::to_string(op_def->max_inputs)) +
-                           "]");
-  }
+  TFHPC_RETURN_IF_ERROR(CheckArity(*op_def, node->def_.name, data_inputs));
 
   Node* raw = node.get();
   by_name_[node->def_.name] = node->id_;

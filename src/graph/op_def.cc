@@ -15,6 +15,21 @@ Status OpRegistry::Register(OpDef def) {
   return Status::OK();
 }
 
+Status CheckArity(const OpDef& op, const std::string& node_name,
+                  int data_inputs) {
+  if (data_inputs >= op.min_inputs &&
+      (op.max_inputs < 0 || data_inputs <= op.max_inputs)) {
+    return Status::OK();
+  }
+  return InvalidArgument(
+      "[GC005] node '" + node_name + "' (op " + op.name + ") has " +
+      std::to_string(data_inputs) + " data inputs, expected [" +
+      std::to_string(op.min_inputs) + ", " +
+      (op.max_inputs < 0 ? std::string("inf")
+                         : std::to_string(op.max_inputs)) +
+      "]");
+}
+
 const OpDef* OpRegistry::Lookup(const std::string& name) const {
   auto it = ops_.find(name);
   return it == ops_.end() ? nullptr : &it->second;

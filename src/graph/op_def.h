@@ -22,7 +22,18 @@ struct OpDef {
   // Blocking ops (queue dequeue/enqueue on a full queue) may wait on other
   // steps; the executor gives them dedicated threads.
   bool is_blocking = false;
+  // True when every kernel for the op fully overwrites its outputs and can
+  // therefore accept statically pre-sized (uninitialized) output buffers
+  // from the analysis layer's shape inference.
+  bool overwrites_outputs = false;
 };
+
+// Checks `data_inputs` against the op's declared [min_inputs, max_inputs]
+// range. The error message carries the GraphCheck code [GC005] so every
+// arity gate — Graph::AddNode, eager execution, the static verifier —
+// reports the violation uniformly.
+Status CheckArity(const OpDef& op, const std::string& node_name,
+                  int data_inputs);
 
 class OpRegistry {
  public:

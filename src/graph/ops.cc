@@ -5,7 +5,9 @@ namespace tfhpc {
 // Structural op definitions. Kernels register per-device implementations in
 // src/kernels; both must stay in sync with this table.
 TFHPC_REGISTER_OP(OpDef{.name = "Const", .min_inputs = 0, .max_inputs = 0});
-TFHPC_REGISTER_OP(OpDef{.name = "Placeholder", .min_inputs = 0, .max_inputs = 0});
+TFHPC_REGISTER_OP(OpDef{.name = "Placeholder",
+                        .min_inputs = 0,
+                        .max_inputs = 0});
 TFHPC_REGISTER_OP(OpDef{
     .name = "RandomUniform", .min_inputs = 0, .max_inputs = 0, .is_stateful = true});
 TFHPC_REGISTER_OP(OpDef{
@@ -14,27 +16,87 @@ TFHPC_REGISTER_OP(OpDef{
     .name = "Assign", .min_inputs = 1, .max_inputs = 1, .is_stateful = true});
 TFHPC_REGISTER_OP(OpDef{
     .name = "AssignAdd", .min_inputs = 1, .max_inputs = 1, .is_stateful = true});
-TFHPC_REGISTER_OP(OpDef{.name = "MatMul", .min_inputs = 2, .max_inputs = 2});
-TFHPC_REGISTER_OP(OpDef{.name = "MatVec", .min_inputs = 2, .max_inputs = 2});
-TFHPC_REGISTER_OP(OpDef{.name = "Add", .min_inputs = 2, .max_inputs = 2});
-TFHPC_REGISTER_OP(OpDef{.name = "Sub", .min_inputs = 2, .max_inputs = 2});
-TFHPC_REGISTER_OP(OpDef{.name = "Mul", .min_inputs = 2, .max_inputs = 2});
-TFHPC_REGISTER_OP(OpDef{.name = "Div", .min_inputs = 2, .max_inputs = 2});
-TFHPC_REGISTER_OP(OpDef{.name = "Dot", .min_inputs = 2, .max_inputs = 2});
-TFHPC_REGISTER_OP(OpDef{.name = "ReduceSum", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "Sqrt", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "Axpy", .min_inputs = 3, .max_inputs = 3});
-TFHPC_REGISTER_OP(OpDef{.name = "FFT", .min_inputs = 1, .max_inputs = 1});
+TFHPC_REGISTER_OP(OpDef{.name = "MatMul",
+                        .min_inputs = 2,
+                        .max_inputs = 2,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "MatVec",
+                        .min_inputs = 2,
+                        .max_inputs = 2,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Add",
+                        .min_inputs = 2,
+                        .max_inputs = 2,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Sub",
+                        .min_inputs = 2,
+                        .max_inputs = 2,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Mul",
+                        .min_inputs = 2,
+                        .max_inputs = 2,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Div",
+                        .min_inputs = 2,
+                        .max_inputs = 2,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Dot",
+                        .min_inputs = 2,
+                        .max_inputs = 2,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "ReduceSum",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Sqrt",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Axpy",
+                        .min_inputs = 3,
+                        .max_inputs = 3,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "FFT",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
 TFHPC_REGISTER_OP(OpDef{.name = "Identity", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "Transpose", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "Slice", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "Concat", .min_inputs = 1, .max_inputs = -1});
-TFHPC_REGISTER_OP(OpDef{.name = "Cast", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "Neg", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "ReduceMax", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "ReduceMin", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "ReduceMean", .min_inputs = 1, .max_inputs = 1});
-TFHPC_REGISTER_OP(OpDef{.name = "Fill", .min_inputs = 0, .max_inputs = 0});
+TFHPC_REGISTER_OP(OpDef{.name = "Transpose",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Slice",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Concat",
+                        .min_inputs = 1,
+                        .max_inputs = -1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Cast",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Neg",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "ReduceMax",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "ReduceMin",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "ReduceMean",
+                        .min_inputs = 1,
+                        .max_inputs = 1,
+                        .overwrites_outputs = true});
+TFHPC_REGISTER_OP(OpDef{.name = "Fill",
+                        .min_inputs = 0,
+                        .max_inputs = 0,
+                        .overwrites_outputs = true});
 TFHPC_REGISTER_OP(OpDef{.name = "ZerosLike", .min_inputs = 1, .max_inputs = 1});
 TFHPC_REGISTER_OP(OpDef{
     .name = "NoOp", .min_inputs = 0, .max_inputs = 0, .num_outputs = 0});
@@ -276,10 +338,11 @@ Output QueueEnqueue(const Scope& s, const std::string& queue, Output value,
 }
 
 Output QueueDequeue(const Scope& s, const std::string& queue,
-                    int64_t capacity) {
+                    int64_t capacity, DType dtype) {
   std::map<std::string, AttrValue> attrs;
   attrs["queue"] = AttrValue::Str(queue);
   if (capacity > 0) attrs["capacity"] = AttrValue::Int(capacity);
+  if (dtype != DType::kInvalid) attrs["dtype"] = AttrValue::Type(dtype);
   return {s.AddNode("QueueDequeue", {}, std::move(attrs)), 0};
 }
 

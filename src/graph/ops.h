@@ -118,8 +118,10 @@ Output Recv(const Scope& s, const std::string& key);
 // Queue resources are named per server; capacity is fixed at first use.
 Output QueueEnqueue(const Scope& s, const std::string& queue, Output value,
                     int64_t capacity = 0);
+// `dtype` (optional) declares what the dequeue expects to pop; GraphCheck
+// verifies it against the dtypes provably enqueued into the queue.
 Output QueueDequeue(const Scope& s, const std::string& queue,
-                    int64_t capacity = 0);
+                    int64_t capacity = 0, DType dtype = DType::kInvalid);
 
 }  // namespace ops
 

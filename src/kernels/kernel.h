@@ -61,6 +61,11 @@ class OpKernelContext {
   bool simulate() const { return simulate_; }
   AllocatorStats* alloc_stats() const { return alloc_stats_; }
 
+  // Attaches a statically pre-sized output buffer (from GraphCheck shape
+  // inference). AllocateOutput(ZeroInit::kNo) hands it out when the
+  // requested dtype/shape match, skipping the allocation entirely.
+  void AddPresized(Tensor t) { presized_.push_back(std::move(t)); }
+
   // Allocates an output tensor on the executing device's allocator; in meta
   // execution returns a meta tensor instead. Kernels that overwrite every
   // element pass ZeroInit::kNo to skip the memset (the pooled allocator
@@ -68,8 +73,17 @@ class OpKernelContext {
   Tensor AllocateOutput(DType dtype, Shape shape,
                         ZeroInit zero = ZeroInit::kYes) const {
     if (meta_exec()) return Tensor::Meta(dtype, std::move(shape));
-    if (zero == ZeroInit::kNo)
+    if (zero == ZeroInit::kNo) {
+      for (auto it = presized_.begin(); it != presized_.end(); ++it) {
+        if (it->dtype() == dtype && it->shape() == shape) {
+          Tensor t = std::move(*it);
+          presized_.erase(it);
+          if (alloc_stats_ != nullptr) alloc_stats_->RecordPresized();
+          return t;
+        }
+      }
       return Tensor::Uninitialized(dtype, std::move(shape), alloc_stats_);
+    }
     return Tensor(dtype, std::move(shape), alloc_stats_);
   }
 
@@ -99,6 +113,9 @@ class OpKernelContext {
   const Node* node_;
   std::vector<Tensor> inputs_;
   std::vector<Tensor> outputs_;
+  // Pre-sized output buffers; mutable so the const allocation helpers can
+  // consume them.
+  mutable std::vector<Tensor> presized_;
   ResourceMgr* resources_;
   bool simulate_;
   AllocatorStats* alloc_stats_;

@@ -15,12 +15,9 @@ Result<std::vector<Tensor>> EagerContext::Execute(
     const std::string& device_spec) {
   const OpDef* op_def = OpRegistry::Global().Lookup(op);
   if (op_def == nullptr) return NotFound("op '" + op + "' not registered");
-  const int arity = static_cast<int>(inputs.size());
-  if (arity < op_def->min_inputs ||
-      (op_def->max_inputs >= 0 && arity > op_def->max_inputs)) {
-    return InvalidArgument("op '" + op + "' called with " +
-                           std::to_string(arity) + " inputs");
-  }
+  TFHPC_RETURN_IF_ERROR(
+      CheckArity(*op_def, "<eager:" + op + ">",
+                 static_cast<int>(inputs.size())));
 
   // Placement: explicit spec wins; otherwise GPU when a gpu kernel exists.
   TFHPC_ASSIGN_OR_RETURN(DeviceName requested, DeviceName::Parse(device_spec));

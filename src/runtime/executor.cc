@@ -133,7 +133,8 @@ Result<std::shared_ptr<OpKernel>> Executor::KernelFor(const Node& node,
 Result<std::shared_ptr<const Executable>> Executor::Compile(
     const std::vector<std::string>& feed_keys,
     const std::vector<std::string>& fetches,
-    const std::vector<std::string>& targets) {
+    const std::vector<std::string>& targets,
+    const StaticShapeMap* static_shapes) {
   const int64_t version = graph_->version();
 
   // ---- Closure computation, with feeds acting as graph cut points. -------
@@ -217,6 +218,15 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
     if (cn.fed) continue;
     TFHPC_ASSIGN_OR_RETURN(cn.device, PlaceNode(*cn.node));
     TFHPC_ASSIGN_OR_RETURN(cn.kernel, KernelFor(*cn.node, cn.device));
+    // Bake statically inferred output sizes for kernels that fully
+    // overwrite their outputs — Execute pre-sizes those buffers.
+    if (static_shapes != nullptr && cn.node->op_def().overwrites_outputs) {
+      auto it = static_shapes->find(cn.node->name());
+      if (it != static_shapes->end() &&
+          static_cast<int>(it->second.size()) == cn.num_outputs) {
+        cn.static_outputs = it->second;
+      }
+    }
   }
 
   // ---- Feed/fetch bindings. ----------------------------------------------
@@ -345,6 +355,12 @@ Result<std::vector<Tensor>> Executor::Execute(
 
       OpKernelContext ctx(n, std::move(inputs), resources_, options.simulate,
                           cn.device->allocator_stats());
+      if (!options.simulate) {
+        for (const auto& [dt, shp] : cn.static_outputs) {
+          ctx.AddPresized(
+              Tensor::Uninitialized(dt, shp, cn.device->allocator_stats()));
+        }
+      }
       const CostEstimate cost = cn.kernel->Cost(ctx);
       if (!options.simulate) {
         status = cn.device->CheckCapacity(cost.bytes_written);

@@ -62,6 +62,13 @@ struct RunMetadata {
 // Renders the tfdbg-style watch list ("node (op) @device: summary").
 std::string FormatDebugReport(const RunMetadata& metadata);
 
+// Statically inferred output facts per node name, one (dtype, shape) pair
+// per output slot — produced by GraphCheck shape inference (analysis/) and
+// handed to Compile so Execute can pre-size output buffers from the pooled
+// allocator before the kernel runs.
+using StaticShapeMap =
+    std::map<std::string, std::vector<std::pair<DType, Shape>>>;
+
 // An immutable compiled step: the pruned closure in topological order with
 // placement, kernels, dependency counts and fanout baked into flat vectors.
 // Compiled once by Executor::Compile, executed many times by
@@ -97,6 +104,10 @@ class Executable {
     int num_outputs = 0;      // output slots to allocate (>= 1)
     bool fed = false;
     bool blocking = false;    // queue ops: dedicated thread, no device lock
+    // Statically known (dtype, shape) per output slot, for ops whose
+    // kernels fully overwrite outputs; empty when unknown. Execute attaches
+    // matching pre-sized buffers to the kernel context.
+    std::vector<std::pair<DType, Shape>> static_outputs;
   };
   struct FeedBinding {
     std::string key;  // "name" or "name:slot" as the caller feeds it
@@ -133,11 +144,14 @@ class Executor {
   // Compiles one run signature into an Executable. `feed_keys` are the names
   // ("node" or "node:slot") that Execute will supply tensors for — values
   // are not needed to compile. The signature must fetch or target at least
-  // one node.
+  // one node. `static_shapes` (optional) carries GraphCheck's fully-known
+  // output annotations; nodes whose op declares overwrites_outputs get their
+  // output buffers pre-sized at execution time.
   Result<std::shared_ptr<const Executable>> Compile(
       const std::vector<std::string>& feed_keys,
       const std::vector<std::string>& fetches,
-      const std::vector<std::string>& targets = {});
+      const std::vector<std::string>& targets = {},
+      const StaticShapeMap* static_shapes = nullptr);
 
   // Runs a compiled step. `feeds` must supply every feed key the executable
   // was compiled with; extra keys that were also in the compiled signature

@@ -1,7 +1,9 @@
 #include "runtime/session.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "analysis/verifier.h"
 #include "graph/ops.h"
 
 namespace tfhpc {
@@ -28,9 +30,10 @@ std::string RunSignature::Key() const {
 }
 
 Session::Session(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
-                 DeviceName default_device)
+                 DeviceName default_device, SessionOptions options)
     : graph_(graph),
-      executor_(graph, devices, resources, std::move(default_device)) {}
+      executor_(graph, devices, resources, std::move(default_device)),
+      options_(options) {}
 
 Result<std::shared_ptr<const Executable>> Session::Prepare(
     const std::vector<std::string>& feed_keys,
@@ -58,8 +61,52 @@ Result<std::shared_ptr<const Executable>> Session::Prepare(
   // Miss (or stale): compile outside the cache lock — compiles can be slow
   // and concurrent Runs with other signatures must not serialize on them.
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
-  TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<const Executable> exe,
-                         executor_.Compile(sig.feeds, fetches, targets));
+
+  // GraphCheck: static verification + shape inference for this signature's
+  // closure. Strict mode fails the compile on ERROR findings; warn mode
+  // prints them. Either way, fully-known shape annotations feed Compile so
+  // the executor can pre-size output buffers.
+  StaticShapeMap static_shapes;
+  if (options_.graph_check != GraphCheckMode::kOff) {
+    analysis::AnalysisOptions check_opts;
+    check_opts.feeds = sig.feeds;
+    check_opts.fetches = fetches;
+    check_opts.targets = targets;
+    analysis::GraphAnalysis analysis =
+        analysis::VerifyGraph(graph_->ToGraphDef(), check_opts);
+    if (analysis.has_errors() &&
+        options_.graph_check == GraphCheckMode::kStrict) {
+      std::vector<analysis::Diagnostic> errors;
+      for (const auto& d : analysis.diagnostics) {
+        if (d.severity == analysis::Severity::kError) errors.push_back(d);
+      }
+      return InvalidArgument("graphcheck rejected the graph:\n" +
+                             analysis::FormatDiagnostics(errors));
+    }
+    for (const auto& d : analysis.diagnostics) {
+      if (d.severity >= analysis::Severity::kWarning) {
+        std::fprintf(stderr, "graphcheck: %s\n", d.ToString().c_str());
+      }
+    }
+    for (const auto& [name, slots] : analysis.annotations) {
+      std::vector<std::pair<DType, Shape>> known;
+      known.reserve(slots.size());
+      bool all_known = !slots.empty();
+      for (const auto& t : slots) {
+        if (!t.fully_known()) {
+          all_known = false;
+          break;
+        }
+        known.emplace_back(t.dtype, t.shape.ToShape());
+      }
+      if (all_known) static_shapes.emplace(name, std::move(known));
+    }
+  }
+
+  TFHPC_ASSIGN_OR_RETURN(
+      std::shared_ptr<const Executable> exe,
+      executor_.Compile(sig.feeds, fetches, targets,
+                        static_shapes.empty() ? nullptr : &static_shapes));
 
   std::lock_guard<std::mutex> lk(cache_mu_);
   if (max_cached_ == 0) return exe;
@@ -132,12 +179,12 @@ LocalRuntime::LocalRuntime(int num_gpus, ComputeModel gpu_model)
     : devices_(DeviceMgr::CreateLocal("localhost", 0, num_gpus,
                                       std::move(gpu_model))) {}
 
-std::unique_ptr<Session> LocalRuntime::NewSession() {
+std::unique_ptr<Session> LocalRuntime::NewSession(SessionOptions options) {
   DeviceName default_device;
   default_device.job = "localhost";
   default_device.task = 0;
   return std::make_unique<Session>(&graph_, devices_.get(), &resources_,
-                                   default_device);
+                                   default_device, options);
 }
 
 }  // namespace tfhpc

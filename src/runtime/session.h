@@ -38,11 +38,28 @@ struct RunSignature {
   std::string Key() const;
 };
 
+// How Session runs GraphCheck (analysis/verifier.h) at compile time.
+enum class GraphCheckMode {
+  kOff,     // skip static analysis entirely
+  kWarn,    // report findings to stderr, run anyway (default)
+  kStrict,  // ERROR findings fail the compile
+};
+
+struct SessionOptions {
+  GraphCheckMode graph_check = GraphCheckMode::kWarn;
+};
+
 class Session {
  public:
   // The graph/devices/resources must outlive the session.
   Session(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
-          DeviceName default_device);
+          DeviceName default_device, SessionOptions options = {});
+
+  // Adjusts the GraphCheck policy for subsequent compiles (cached
+  // executables are not re-checked).
+  void set_graph_check_mode(GraphCheckMode mode) {
+    options_.graph_check = mode;
+  }
 
   Result<std::vector<Tensor>> Run(const std::map<std::string, Tensor>& feeds,
                                   const std::vector<std::string>& fetches,
@@ -85,6 +102,7 @@ class Session {
  private:
   Graph* graph_;
   Executor executor_;
+  SessionOptions options_;
 
   // Signature-keyed LRU cache of compiled plans. An entry whose
   // graph_version predates Graph::version() is recompiled in place.
@@ -114,7 +132,7 @@ class LocalRuntime {
   ResourceMgr& resources() { return resources_; }
 
   // A new session over this runtime's graph and devices.
-  std::unique_ptr<Session> NewSession();
+  std::unique_ptr<Session> NewSession(SessionOptions options = {});
 
  private:
   Graph graph_;

@@ -5,6 +5,8 @@
 
 #include <filesystem>
 
+#include "analysis/verifier.h"
+#include "apps/app_graphs.h"
 #include "apps/cg.h"
 #include "apps/fft.h"
 #include "apps/stream.h"
@@ -374,6 +376,91 @@ TEST(FftSimTest, TileTooLargeRejected) {
                 .status()
                 .code(),
             Code::kResourceExhausted);
+}
+
+// ---- GraphCheck over the application graphs --------------------------------
+
+// Runs the static verifier against one step closure of an app graph and
+// expects zero findings at WARNING or above — the shipped app graphs must
+// be lint-clean, not merely runnable.
+void ExpectCleanClosure(const Graph& g, std::vector<std::string> feeds,
+                        std::vector<std::string> fetches,
+                        std::vector<std::string> targets = {}) {
+  analysis::AnalysisOptions opts;
+  opts.feeds = std::move(feeds);
+  opts.fetches = std::move(fetches);
+  opts.targets = std::move(targets);
+  const analysis::GraphAnalysis ga = analysis::VerifyGraph(g.ToGraphDef(), opts);
+  EXPECT_EQ(analysis::CountAtLeast(ga.diagnostics, analysis::Severity::kWarning),
+            0)
+      << analysis::FormatDiagnostics(ga.diagnostics);
+}
+
+TEST(AppGraphLintTest, StreamPushStepsAreClean) {
+  Graph g;
+  Scope root(&g);
+  const StreamGraph wg = BuildStreamPushGraph(root, 4096);
+  ExpectCleanClosure(g, {wg.src}, {}, {wg.init});
+  ExpectCleanClosure(g, {wg.src}, {}, {wg.add});
+}
+
+TEST(AppGraphLintTest, TiledMatmulStepIsClean) {
+  Graph g;
+  Scope root(&g);
+  const TiledMatmulGraph wg = BuildTiledMatmulGraph(root, 64);
+  ExpectCleanClosure(g, {wg.a, wg.b}, {wg.product});
+}
+
+TEST(AppGraphLintTest, CgWorkerStepsAreClean) {
+  Graph g;
+  Scope root(&g);
+  const CgWorkerGraph wg = BuildCgWorkerGraph(root, 32, 128);
+  ExpectCleanClosure(g, {wg.a_feed}, {}, {wg.a_init});
+  ExpectCleanClosure(g, {wg.p}, {wg.ap});
+  ExpectCleanClosure(g, {wg.u, wg.v}, {wg.dot});
+  ExpectCleanClosure(g, {wg.alpha, wg.ax, wg.ay}, {wg.axpy});
+}
+
+TEST(AppGraphLintTest, FftWorkerStepIsClean) {
+  Graph g;
+  Scope root(&g);
+  const FftWorkerGraph wg = BuildFftWorkerGraph(root, 256);
+  ExpectCleanClosure(g, {wg.x}, {wg.spectrum});
+}
+
+TEST(AppGraphLintTest, AppGraphsAnnotateFully) {
+  // Whole-graph inference must reach every node of every app graph with no
+  // ERROR findings (the acceptance bar for static shape inference).
+  const auto check = [](const Graph& g) {
+    const analysis::GraphAnalysis ga = analysis::VerifyGraph(g.ToGraphDef());
+    EXPECT_FALSE(ga.has_errors())
+        << analysis::FormatDiagnostics(ga.diagnostics);
+    EXPECT_EQ(ga.annotations.size(), g.ToGraphDef().nodes.size());
+  };
+  {
+    Graph g;
+    Scope root(&g);
+    BuildStreamPushGraph(root, 1024);
+    check(g);
+  }
+  {
+    Graph g;
+    Scope root(&g);
+    BuildTiledMatmulGraph(root, 32);
+    check(g);
+  }
+  {
+    Graph g;
+    Scope root(&g);
+    BuildCgWorkerGraph(root, 16, 64);
+    check(g);
+  }
+  {
+    Graph g;
+    Scope root(&g);
+    BuildFftWorkerGraph(root, 128);
+    check(g);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,64 @@
+// graphcheck: lints serialized wire::GraphDef files with the GraphCheck
+// static analyzer (src/analysis). Whole-graph mode — every diagnostic layer
+// runs, including dead-node analysis.
+//
+//   graphcheck graph.pb [more.pb ...]
+//
+// Exit code: 2 if any file has ERROR findings, 1 if the worst finding is a
+// WARNING, 0 when every file is clean (INFO findings do not affect the exit
+// code). The ci.sh graphcheck leg relies on these codes.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/verifier.h"
+
+namespace {
+
+int CheckFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "graphcheck: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto parsed = tfhpc::wire::GraphDef::Parse(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "graphcheck: %s: not a serialized GraphDef: %s\n",
+                 path.c_str(), parsed.status().ToString().c_str());
+    return 2;
+  }
+
+  const tfhpc::analysis::GraphAnalysis analysis =
+      tfhpc::analysis::VerifyGraph(*parsed);
+  int rc = 0;
+  for (const auto& d : analysis.diagnostics) {
+    std::printf("%s: %s\n", path.c_str(), d.ToString().c_str());
+    if (d.severity == tfhpc::analysis::Severity::kError) {
+      rc = 2;
+    } else if (d.severity == tfhpc::analysis::Severity::kWarning && rc < 2) {
+      rc = 1;
+    }
+  }
+  std::printf("%s: %zu node(s), %zu finding(s)\n", path.c_str(),
+              parsed->nodes.size(), analysis.diagnostics.size());
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: graphcheck <graphdef-file> [...]\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const int file_rc = CheckFile(argv[i]);
+    if (file_rc > rc) rc = file_rc;
+  }
+  return rc;
+}
