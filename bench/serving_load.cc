@@ -1,0 +1,311 @@
+// Serving under overload: a closed-loop multi-client load generator driving
+// one worker's RunStep service through the admission-control layer
+// (ServerDef.max_inflight_steps + ServingController). Three phases:
+//
+//   baseline   — capacity above offered load: nothing queues for long,
+//                nothing is shed; measures the serving path's latency floor.
+//   saturation — capacity far below offered load with a small admission
+//                queue: excess steps are shed with kUnavailable+retry-after
+//                in microseconds instead of timing out in seconds.
+//   chaos      — saturation plus seeded transport faults (request/response
+//                drops, duplicates, corruption) and aggressive client
+//                retries; per-step deadlines bound every wait, so overload
+//                plus faults degrade to fast kUnavailable/kDeadlineExceeded
+//                — never a stuck step.
+//
+// Every phase asserts zero hangs (all client threads exit within a grace
+// window after stop; a violation exits nonzero) and reports closed-loop
+// throughput, p50/p99/p999 latency and shed/deadline counts. Emits
+// BENCH_serving.json. Flags:
+//   --clients N        closed-loop clients per phase        (default 32)
+//   --duration-ms M    per-phase run time                   (default 2000)
+//   --max-p99-ms X     exit 1 if any phase's success-p99 exceeds X (0=off)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/tensor.h"
+#include "distrib/client.h"
+#include "distrib/server.h"
+#include "graph/ops.h"
+
+using namespace tfhpc;           // NOLINT
+using namespace tfhpc::distrib;  // NOLINT
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PhaseConfig {
+  const char* name;
+  int max_inflight;
+  int max_queued;
+  int64_t deadline_ms;   // per-step deadline each client arms
+  double fault_rate = 0; // aggregate chaos rate; 0 = clean transport
+  bool retry = false;    // aggressive client retries (chaos phase)
+};
+
+struct PhaseResult {
+  std::string name;
+  double elapsed_s = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;              // kUnavailable (admission queue full)
+  int64_t deadline_exceeded = 0; // kDeadlineExceeded (client or server side)
+  int64_t cancelled = 0;
+  int64_t other_errors = 0;
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+  double throughput = 0;  // successful steps / second
+  ServingStats server_stats;
+  int64_t expired_rejects = 0;
+  bool hang = false;
+};
+
+double PercentileMs(std::vector<int64_t>& latencies_us, double q) {
+  if (latencies_us.empty()) return 0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(latencies_us.size()));
+  if (idx >= latencies_us.size()) idx = latencies_us.size() - 1;
+  return static_cast<double>(latencies_us[idx]) / 1000.0;
+}
+
+PhaseResult RunPhase(const PhaseConfig& cfg, int num_clients,
+                     int64_t duration_ms) {
+  wire::ClusterDef cdef;
+  wire::JobDef worker;
+  worker.name = "worker";
+  worker.task_addrs = {"serve:1"};
+  cdef.jobs = {worker};
+  auto spec = ClusterSpec::Create(cdef).value();
+
+  InProcessRouter router;
+  ServerDef sdef{spec, "worker", 0, 0};
+  sdef.max_inflight_steps = cfg.max_inflight;
+  sdef.serving.max_queued = cfg.max_queued;
+  sdef.serving.retry_after_ms = 5;
+  auto server = Server::Create(sdef, &router).value();
+
+  // The shared signature every client runs: one feed, a Mul and a short Add
+  // chain — enough dispatch to exercise the executor, small enough that the
+  // measured costs are admission/scheduling, not arithmetic.
+  Graph g;
+  Scope s(&g);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{64}, "x");
+  auto two = ops::Const(s, Tensor::Scalar(2.0));
+  auto y = ops::Mul(s, x, two);
+  for (int i = 0; i < 8; ++i) y = ops::Add(s, y, y);
+
+  RemoteTask setup(&router, "serve:1", WireProtocol::kRdma);
+  if (!setup.ExtendGraph(g.ToGraphDef()).ok()) {
+    std::fprintf(stderr, "ExtendGraph failed\n");
+    std::exit(1);
+  }
+  // One registered handle shared by every client: all steps hit the same
+  // cached Executable, which is exactly the concurrent-Run-over-a-shared-
+  // executable case the serving layer must keep thread-safe.
+  const uint64_t handle = setup.RegisterStep({"x"}, {y.name()}).value();
+
+  if (cfg.fault_rate > 0) {
+    ChaosConfig chaos;
+    chaos.seed = 0x5e21ull;
+    chaos.drop_request_rate = cfg.fault_rate * 0.4;
+    chaos.drop_response_rate = cfg.fault_rate * 0.3;
+    chaos.duplicate_rate = cfg.fault_rate * 0.2;
+    chaos.corrupt_rate = cfg.fault_rate * 0.1;
+    router.EnableChaos(chaos);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> finished{0};
+  std::vector<int64_t> ok_latencies_us;  // successful steps only
+  std::mutex agg_mu;
+  PhaseResult result;
+  result.name = cfg.name;
+
+  const Tensor feed = Tensor::FromVector(std::vector<double>(64, 1.0));
+  const int64_t start_us = NowUs();
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client gets its own RemoteTask => its own client_id, which is
+      // what the fair admission queue keys on.
+      RetryPolicy retry = cfg.retry ? RetryPolicy::Aggressive(60000)
+                                    : RetryPolicy::NoRetry();
+      RemoteTask task(&router, "serve:1", WireProtocol::kRdma, retry);
+      std::vector<int64_t> local_lat;
+      int64_t ok = 0, shed = 0, deadline = 0, cancelled = 0, other = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto token = CancellationToken::WithTimeout(cfg.deadline_ms);
+        const int64_t t0 = NowUs();
+        auto r = task.RunRegisteredStep(handle, {{"x", feed}},
+                                        /*simulate=*/false, token.get());
+        const int64_t lat = NowUs() - t0;
+        if (r.ok()) {
+          ++ok;
+          local_lat.push_back(lat);
+        } else if (r.status().code() == Code::kUnavailable) {
+          ++shed;
+        } else if (r.status().code() == Code::kDeadlineExceeded) {
+          ++deadline;
+        } else if (r.status().code() == Code::kCancelled) {
+          ++cancelled;
+        } else {
+          ++other;
+          if (other == 1) {
+            std::fprintf(stderr, "[%s] client %d unexpected: %s\n", cfg.name,
+                         c, r.status().ToString().c_str());
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lk(agg_mu);
+      ok_latencies_us.insert(ok_latencies_us.end(), local_lat.begin(),
+                             local_lat.end());
+      result.ok += ok;
+      result.shed += shed;
+      result.deadline_exceeded += deadline;
+      result.cancelled += cancelled;
+      result.other_errors += other;
+      finished.fetch_add(1);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+
+  // Zero-hangs assertion: every client's in-flight step is bounded by its
+  // deadline (plus retry backoff in the chaos phase), so all threads must
+  // exit within deadline + grace. A straggler beyond that is a stuck step —
+  // the exact failure mode this layer exists to eliminate.
+  const int64_t grace_ms = cfg.deadline_ms + 65000 * (cfg.retry ? 1 : 0) + 5000;
+  const int64_t grace_end_us = NowUs() + grace_ms * 1000;
+  while (finished.load() < num_clients && NowUs() < grace_end_us) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (finished.load() < num_clients) {
+    std::fprintf(stderr, "[%s] HANG: %d/%d clients still blocked %lldms after "
+                 "stop\n", cfg.name, num_clients - finished.load(), num_clients,
+                 static_cast<long long>(grace_ms));
+    result.hang = true;
+    std::fflush(nullptr);
+    std::_Exit(2);  // joining would block forever; fail loudly instead
+  }
+  for (auto& t : clients) t.join();
+  router.DisableChaos();
+
+  result.elapsed_s = static_cast<double>(NowUs() - start_us) / 1e6;
+  result.p50_ms = PercentileMs(ok_latencies_us, 0.50);
+  result.p99_ms = PercentileMs(ok_latencies_us, 0.99);
+  result.p999_ms = PercentileMs(ok_latencies_us, 0.999);
+  result.throughput = static_cast<double>(result.ok) / result.elapsed_s;
+  result.server_stats = server->serving_stats();
+  result.expired_rejects = server->expired_rejects();
+  server->Shutdown();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 32;
+  int64_t duration_ms = 2000;
+  double max_p99_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      duration_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-p99-ms") == 0 && i + 1 < argc) {
+      max_p99_ms = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  bench::Header("serving load: multi-tenant RunStep under overload",
+                "admission control + deadline propagation (serving layer); "
+                "zero-hang asserted per phase");
+  std::printf("%d closed-loop clients, %lld ms per phase\n\n", clients,
+              static_cast<long long>(duration_ms));
+
+  const PhaseConfig phases[] = {
+      // Capacity above offered load: admission is a pass-through.
+      {"baseline", /*max_inflight=*/8, /*max_queued=*/64,
+       /*deadline_ms=*/2000},
+      // Capacity far below offered load, small queue: shedding kicks in.
+      {"saturation", /*max_inflight=*/2, /*max_queued=*/8,
+       /*deadline_ms=*/1000},
+      // Saturation + transport faults + aggressive retries + tight
+      // deadlines: the worst realistic day.
+      {"chaos", /*max_inflight=*/4, /*max_queued=*/16, /*deadline_ms=*/500,
+       /*fault_rate=*/0.05, /*retry=*/true},
+  };
+
+  std::printf("%-11s %9s %9s %9s %9s | %8s %8s %8s | %9s\n", "phase",
+              "ok", "shed", "deadline", "errors", "p50ms", "p99ms", "p999ms",
+              "steps/s");
+  bench::Rule();
+
+  bench::JsonResults json("serving");
+  json.Meta("clients", static_cast<double>(clients))
+      .Meta("duration_ms", static_cast<double>(duration_ms));
+
+  bool p99_violated = false;
+  for (const PhaseConfig& cfg : phases) {
+    PhaseResult r = RunPhase(cfg, clients, duration_ms);
+    std::printf("%-11s %9lld %9lld %9lld %9lld | %8.2f %8.2f %8.2f | %9.0f\n",
+                r.name.c_str(), static_cast<long long>(r.ok),
+                static_cast<long long>(r.shed),
+                static_cast<long long>(r.deadline_exceeded),
+                static_cast<long long>(r.cancelled + r.other_errors), r.p50_ms,
+                r.p99_ms, r.p999_ms, r.throughput);
+    json.Record()
+        .Str("phase", r.name)
+        .Num("clients", clients)
+        .Num("max_inflight", cfg.max_inflight)
+        .Num("max_queued", cfg.max_queued)
+        .Num("deadline_ms", static_cast<double>(cfg.deadline_ms))
+        .Num("fault_rate", cfg.fault_rate)
+        .Num("ok", static_cast<double>(r.ok))
+        .Num("shed", static_cast<double>(r.shed))
+        .Num("deadline_exceeded", static_cast<double>(r.deadline_exceeded))
+        .Num("cancelled", static_cast<double>(r.cancelled))
+        .Num("other_errors", static_cast<double>(r.other_errors))
+        .Num("p50_ms", r.p50_ms)
+        .Num("p99_ms", r.p99_ms)
+        .Num("p999_ms", r.p999_ms)
+        .Num("throughput_steps_per_s", r.throughput)
+        .Num("server_admitted", static_cast<double>(r.server_stats.admitted))
+        .Num("server_shed", static_cast<double>(r.server_stats.shed))
+        .Num("server_expired_in_queue",
+             static_cast<double>(r.server_stats.expired_in_queue))
+        .Num("server_expired_rejects",
+             static_cast<double>(r.expired_rejects))
+        .Num("hang", r.hang ? 1 : 0);
+    if (r.other_errors > 0) {
+      std::fprintf(stderr, "[%s] %lld unexpected errors\n", r.name.c_str(),
+                   static_cast<long long>(r.other_errors));
+      p99_violated = true;  // unexpected error codes also fail the run
+    }
+    if (max_p99_ms > 0 && r.p99_ms > max_p99_ms) {
+      std::fprintf(stderr, "[%s] p99 %.2fms exceeds bound %.2fms\n",
+                   r.name.c_str(), r.p99_ms, max_p99_ms);
+      p99_violated = true;
+    }
+  }
+  bench::Rule();
+  std::printf("all phases completed with zero hangs\n");
+  json.WriteFile("BENCH_serving.json");
+  return p99_violated ? 1 : 0;
+}

@@ -39,6 +39,15 @@ if [[ "$rc" != 2 ]]; then
 fi
 echo "==== graphcheck: app graphs clean, broken graph rejected ===="
 
+# Serving smoke: a short closed-loop multi-client run against the admission
+# layer with chaos faults in the third phase. The binary itself asserts zero
+# hangs (exits 2 on a stuck client) and we bound the success-path p99 to a
+# sanity ceiling — overload must degrade to fast errors, not slow timeouts.
+echo "==== serving smoke: load generator under saturation + faults ===="
+(cd "$repo/build" && \
+  ./bench/serving_load --clients 16 --duration-ms 500 --max-p99-ms 5000)
+echo "==== serving smoke: zero hangs, p99 within bound ===="
+
 if [[ "$fast" == 1 ]]; then
   echo "==== ci: tier 1 OK (sanitizer smoke skipped) ===="
   exit 0
@@ -46,10 +55,12 @@ fi
 
 # TSan over the suites that exercise cross-thread step execution: the
 # executable cache under concurrent Runs, the distributed step path, the
-# pooled allocator under concurrent alloc/free, and fault/liveness recovery.
+# pooled allocator under concurrent alloc/free, fault/liveness recovery,
+# and the serving layer (admission control, token cancellation, concurrent
+# Session::Run over one shared cached Executable).
 echo "==== tier 2: ThreadSanitizer smoke ===="
 "$repo/scripts/sanitize.sh" thread \
-  'ExecutableCache|DistSession|DistStep|FaultTolerance|StepRecovery|JobRecovery|Liveness|Rendezvous|BufferPool'
+  'ExecutableCache|DistSession|DistStep|FaultTolerance|StepRecovery|JobRecovery|Liveness|Rendezvous|BufferPool|Serving|CancellationToken'
 
 # ASan over the zero-copy data path: pooled buffer recycling, payload views
 # holding buffer references across transport/server boundaries, in-place

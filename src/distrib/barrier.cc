@@ -13,7 +13,7 @@ QueueBarrier::QueueBarrier(InProcessRouter* router,
   TFHPC_CHECK_GT(num_workers_, 0);
 }
 
-Result<int64_t> QueueBarrier::Arrive(int worker_id) {
+Result<int64_t> QueueBarrier::Arrive(int worker_id, CancellationToken* token) {
   if (worker_id < 0 || worker_id >= num_workers_) {
     return InvalidArgument("barrier '" + name_ + "': bad worker id " +
                            std::to_string(worker_id));
@@ -22,8 +22,10 @@ Result<int64_t> QueueBarrier::Arrive(int worker_id) {
   // Token carries the worker id (the coordinator only counts them, but ids
   // make debugging stuck barriers possible).
   TFHPC_RETURN_IF_ERROR(coordinator.Enqueue(
-      InQueue(), Tensor::Scalar<int64_t>(worker_id)));
-  TFHPC_ASSIGN_OR_RETURN(Tensor round, coordinator.Dequeue(OutQueue(worker_id)));
+      InQueue(), Tensor::Scalar<int64_t>(worker_id), /*capacity=*/0, token));
+  TFHPC_ASSIGN_OR_RETURN(
+      Tensor round, coordinator.Dequeue(OutQueue(worker_id), /*capacity=*/0,
+                                        token));
   return round.scalar<int64_t>();
 }
 

@@ -18,7 +18,11 @@ class QueueBarrier {
 
   // Blocks until all `num_workers` participants of this round arrived.
   // Returns the round number (0-based) distributed by the coordinator.
-  Result<int64_t> Arrive(int worker_id);
+  // A non-null `token` bounds the wait: the deadline rides the Enqueue/
+  // Dequeue RPCs, so a coordinator-side wait fails with kDeadlineExceeded
+  // instead of parking forever when a peer never arrives — and an
+  // AbortStep on the coordinator wakes it with kCancelled.
+  Result<int64_t> Arrive(int worker_id, CancellationToken* token = nullptr);
 
   // Coordinator loop: collects arrivals and releases workers, for `rounds`
   // rounds (run on a dedicated thread, typically on the PS task).

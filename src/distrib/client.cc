@@ -19,7 +19,8 @@ RemoteTask::RemoteTask(InProcessRouter* router, std::string addr,
       client_id_(NextClientId()) {}
 
 Result<wire::PayloadRef> RemoteTask::Call(const std::string& method,
-                                          wire::PayloadRef payload) {
+                                          wire::PayloadRef payload,
+                                          CancellationToken* token) {
   wire::RpcEnvelope req;
   req.method = method;
   req.client_id = client_id_;
@@ -30,11 +31,33 @@ Result<wire::PayloadRef> RemoteTask::Call(const std::string& method,
   req.checksum = wire::PayloadChecksum(payload);
   req.payload = std::move(payload);
 
+  // Deadline propagation: refuse expired work client-side, stamp the
+  // absolute deadline on the wire, and spend retries from the remaining
+  // step budget instead of re-arming the full policy deadline per call.
+  RetryPolicy effective = retry_;
+  if (token != nullptr) {
+    Status ts = token->Check();
+    if (!ts.ok()) {
+      return Status(ts.code(), addr_ + "/" + method + ": " + ts.message());
+    }
+    if (token->has_deadline()) {
+      req.deadline_ns = token->deadline_ns();
+      effective = ClampToRemaining(effective, token->remaining_ms());
+    }
+  }
+
   wire::PayloadRef out;
   int64_t retries = 0;
   Status st = CallWithRetry(
-      retry_, req.request_id,
+      effective, req.request_id,
       [&]() -> Status {
+        // Re-check per attempt: a token cancelled mid-retry (peer failure,
+        // deadline) stops the loop here — kCancelled/kDeadlineExceeded are
+        // non-retryable, so this attempt's status is final.
+        if (token != nullptr) {
+          Status ts = token->Check();
+          if (!ts.ok()) return ts;
+        }
         auto r = router_->Call(addr_, proto_, req);
         if (!r.ok()) return r.status();
         if (r->status_code != 0) {
@@ -59,16 +82,17 @@ Status RemoteTask::Ping() {
 }
 
 Status RemoteTask::Enqueue(const std::string& queue, const Tensor& tensor,
-                           int64_t capacity) {
-  auto r = Call("Enqueue", EncodeQueuePayloadView(queue, &tensor, capacity));
+                           int64_t capacity, CancellationToken* token) {
+  auto r = Call("Enqueue", EncodeQueuePayloadView(queue, &tensor, capacity),
+                token);
   return r.ok() ? Status::OK() : r.status();
 }
 
-Result<Tensor> RemoteTask::Dequeue(const std::string& queue,
-                                   int64_t capacity) {
+Result<Tensor> RemoteTask::Dequeue(const std::string& queue, int64_t capacity,
+                                   CancellationToken* token) {
   TFHPC_ASSIGN_OR_RETURN(
       wire::PayloadRef payload,
-      Call("Dequeue", EncodeQueuePayload(queue, nullptr, capacity)));
+      Call("Dequeue", EncodeQueuePayload(queue, nullptr, capacity), token));
   TFHPC_ASSIGN_OR_RETURN(Tensor t, wire::ParseTensorView(payload));
   // In-process zero-copy transports hand back the server's buffer: release
   // the payload's reference so a sole-owner tensor detaches in place, then
@@ -146,14 +170,15 @@ Status RemoteTask::ExtendGraph(const wire::GraphDef& def) {
 Result<std::vector<Tensor>> RemoteTask::RunStep(
     const std::map<std::string, Tensor>& feeds,
     const std::vector<std::string>& fetches,
-    const std::vector<std::string>& targets, bool simulate) {
+    const std::vector<std::string>& targets, bool simulate,
+    CancellationToken* token) {
   RunStepRequest req;
   req.feeds = feeds;
   req.fetches = fetches;
   req.targets = targets;
   req.simulate = simulate;
   TFHPC_ASSIGN_OR_RETURN(wire::PayloadRef payload,
-                         Call("RunStep", req.Serialize()));
+                         Call("RunStep", req.Serialize(), token));
   std::string scratch;
   return DecodeTensorList(payload.Contiguous(&scratch));
 }
@@ -161,13 +186,13 @@ Result<std::vector<Tensor>> RemoteTask::RunStep(
 Result<uint64_t> RemoteTask::RegisterStep(
     const std::vector<std::string>& feed_names,
     const std::vector<std::string>& fetches,
-    const std::vector<std::string>& targets) {
+    const std::vector<std::string>& targets, CancellationToken* token) {
   wire::RegisterStepRequest req;
   req.feeds = feed_names;
   req.fetches = fetches;
   req.targets = targets;
   TFHPC_ASSIGN_OR_RETURN(wire::PayloadRef payload,
-                         Call("RegisterStep", req.Serialize()));
+                         Call("RegisterStep", req.Serialize(), token));
   std::string scratch;
   TFHPC_ASSIGN_OR_RETURN(
       wire::RegisterStepResponse resp,
@@ -179,14 +204,14 @@ Result<uint64_t> RemoteTask::RegisterStep(
 }
 
 Result<std::vector<Tensor>> RemoteTask::RunRegisteredStep(
-    uint64_t handle, const std::map<std::string, Tensor>& feeds,
-    bool simulate) {
+    uint64_t handle, const std::map<std::string, Tensor>& feeds, bool simulate,
+    CancellationToken* token) {
   RunStepRequest req;
   req.feeds = feeds;
   req.simulate = simulate;
   req.step_handle = handle;
   TFHPC_ASSIGN_OR_RETURN(wire::PayloadRef payload,
-                         Call("RunStep", req.Serialize()));
+                         Call("RunStep", req.Serialize(), token));
   std::string scratch;
   return DecodeTensorList(payload.Contiguous(&scratch));
 }

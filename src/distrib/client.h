@@ -6,6 +6,7 @@
 
 #include "distrib/retry.h"
 #include "distrib/server.h"
+#include "runtime/cancellation.h"
 
 namespace tfhpc::distrib {
 
@@ -32,9 +33,13 @@ class RemoteTask {
   Status Ping();
 
   // -- queues ----------------------------------------------------------------
+  // A non-null `token` propagates the step deadline onto the wire (the
+  // server refuses expired work and bounds its blocking waits by it) and
+  // clamps this call's retry budget to the *remaining* time.
   Status Enqueue(const std::string& queue, const Tensor& tensor,
-                 int64_t capacity = 0);
-  Result<Tensor> Dequeue(const std::string& queue, int64_t capacity = 0);
+                 int64_t capacity = 0, CancellationToken* token = nullptr);
+  Result<Tensor> Dequeue(const std::string& queue, int64_t capacity = 0,
+                         CancellationToken* token = nullptr);
   Status CloseQueue(const std::string& queue);
 
   // -- variables ---------------------------------------------------------------
@@ -64,23 +69,30 @@ class RemoteTask {
   Result<std::vector<Tensor>> RunStep(
       const std::map<std::string, Tensor>& feeds,
       const std::vector<std::string>& fetches,
-      const std::vector<std::string>& targets = {}, bool simulate = false);
+      const std::vector<std::string>& targets = {}, bool simulate = false,
+      CancellationToken* token = nullptr);
   // Compile-once steps: registers a run signature (feed *names*, fetches,
   // targets) with the task, which compiles it into an Executable and
   // returns a step handle for RunRegisteredStep. Fails with kNotFound once
   // the task restarts or evicts the handle — re-register and retry.
   Result<uint64_t> RegisterStep(const std::vector<std::string>& feed_names,
                                 const std::vector<std::string>& fetches,
-                                const std::vector<std::string>& targets = {});
+                                const std::vector<std::string>& targets = {},
+                                CancellationToken* token = nullptr);
   // Runs a registered step: only the handle and the feed tensors ride the
   // wire; fetches/targets were fixed at registration.
   Result<std::vector<Tensor>> RunRegisteredStep(
       uint64_t handle, const std::map<std::string, Tensor>& feeds,
-      bool simulate = false);
+      bool simulate = false, CancellationToken* token = nullptr);
 
  private:
+  // `token`, when non-null, stamps the envelope's deadline_ns and clamps
+  // the retry budget to the remaining step time (see ClampToRemaining) —
+  // deadline propagation in the OSDI'16 sense: the budget travels with the
+  // request instead of being re-armed per hop.
   Result<wire::PayloadRef> Call(const std::string& method,
-                                wire::PayloadRef payload);
+                                wire::PayloadRef payload,
+                                CancellationToken* token = nullptr);
 
   InProcessRouter* router_;
   std::string addr_;

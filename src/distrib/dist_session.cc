@@ -323,6 +323,18 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
   TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<CompiledStep> plan,
                          GetOrBuildStepPlan(feeds, fetches));
 
+  // Per-attempt step token: one deadline/cancellation scope covering every
+  // RPC this attempt issues. With step_timeout_ms set, the absolute
+  // deadline is stamped on each envelope (workers refuse expired steps and
+  // bound their blocking waits by it) and each RPC's retry budget is
+  // clamped to the remaining time. Either way the token lets a peer
+  // failure cancel the surviving partitions' not-yet-issued RPCs
+  // client-side, on top of the server-side AbortStep below.
+  std::shared_ptr<CancellationToken> step_token =
+      recovery.step_timeout_ms > 0
+          ? CancellationToken::WithTimeout(recovery.step_timeout_ms)
+          : std::make_shared<CancellationToken>();
+
   // Distribute this Run's feed tensors along the plan's routing.
   std::vector<std::map<std::string, Tensor>> part_feeds(plan->parts.size());
   for (size_t pi = 0; pi < plan->parts.size(); ++pi) {
@@ -345,20 +357,22 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
     if (handle == 0) {
       TFHPC_ASSIGN_OR_RETURN(
           handle, task.RegisterStep(part.feed_keys, part.fetches,
-                                    part.targets));
+                                    part.targets, step_token.get()));
       std::lock_guard<std::mutex> lk(plan->handles_mu);
       part.handle = handle;
     }
-    auto r = task.RunRegisteredStep(handle, part_feeds[pi]);
+    auto r = task.RunRegisteredStep(handle, part_feeds[pi],
+                                    /*simulate=*/false, step_token.get());
     if (!r.ok() && r.status().code() == Code::kNotFound) {
       TFHPC_ASSIGN_OR_RETURN(
           handle, task.RegisterStep(part.feed_keys, part.fetches,
-                                    part.targets));
+                                    part.targets, step_token.get()));
       {
         std::lock_guard<std::mutex> lk(plan->handles_mu);
         part.handle = handle;
       }
-      r = task.RunRegisteredStep(handle, part_feeds[pi]);
+      r = task.RunRegisteredStep(handle, part_feeds[pi],
+                                 /*simulate=*/false, step_token.get());
     }
     return r;
   };
@@ -444,10 +458,15 @@ Result<std::vector<Tensor>> DistributedSession::RunOnce(
     }
     if (failed && done < num_parts) {
       // Cancel stragglers; their RunSteps fail with Cancelled and unwind.
+      // Two prongs: the client-side token stops any RPC a straggler thread
+      // has not issued yet (and halts its retry loop at the next attempt),
+      // while AbortStep unwinds work already executing on the servers —
+      // _Recv waiters, queue waits and dispatch all fail with Cancelled.
       // Control RPCs go without retry: a dead task's abort must not burn
       // another deadline, and a live task aborts on the first try. Every
       // task is aborted, not just the involved parts — a peer's rendezvous
       // may hold tensors from a half-delivered send.
+      step_token->Cancel(Cancelled("peer partition failed; step cancelled"));
       for (const Partition& part : partitions_) {
         RemoteTask(router_, part.addr, protocol_).AbortStep("peer failed");
       }

@@ -60,6 +60,14 @@ struct StepRecoveryOptions {
   // Retry/deadline policy applied to every RPC the step issues (RunStep,
   // plus the servers' rendezvous sends are governed by ServerDef).
   RetryPolicy rpc_retry = RetryPolicy::NoRetry();
+  // Per-attempt step deadline, 0 = none. Each attempt arms a fresh
+  // CancellationToken with now + step_timeout_ms; the absolute deadline
+  // rides every RPC the attempt issues (workers refuse already-expired
+  // steps, bound their rendezvous/queue waits by it and check it at node
+  // dispatch), and each RPC's retry budget is clamped to the *remaining*
+  // time. Distinct from rpc_retry.deadline_ms, which re-arms per call:
+  // this budget travels with the step.
+  int64_t step_timeout_ms = 0;
   // When non-empty: before the first attempt all task variables are
   // snapshotted (VarSnapshot per task) into this checkpoint file; before
   // every re-attempt they are restored from it, so a step that half-applied

@@ -25,6 +25,14 @@ RetryPolicy RetryPolicy::Aggressive(int64_t deadline_ms) {
   return p;
 }
 
+RetryPolicy ClampToRemaining(RetryPolicy base, int64_t remaining_ms) {
+  if (remaining_ms <= 0) remaining_ms = 1;
+  if (base.deadline_ms <= 0 || remaining_ms < base.deadline_ms) {
+    base.deadline_ms = remaining_ms;
+  }
+  return base;
+}
+
 bool IsRetryableCode(Code code) {
   // kUnavailable covers lost requests, lost responses, corrupted frames and
   // partitioned/unbound addresses — all transient in a cluster where the

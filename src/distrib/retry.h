@@ -29,8 +29,13 @@ struct RetryPolicy {
   // (seed, call key, attempt), so schedules are reproducible.
   double jitter = 0.25;
   // Wall-clock budget for the whole logical call, retries included.
-  // Expiring returns kDeadlineExceeded (never a hang). <= 0 means no
-  // deadline.
+  // Expiring returns kDeadlineExceeded (never a hang).
+  //
+  // Contract: deadline_ms <= 0 means NO deadline — the call retries until
+  // max_attempts regardless of elapsed time. (0 is "unbounded", not
+  // "already expired"; callers that want to refuse immediately should not
+  // issue the call.) This mirrors the RpcEnvelope::deadline_ns convention
+  // where 0 = none.
   int64_t deadline_ms = 30000;
   uint64_t seed = 0x7f4a7c159e3779b9ull;
 
@@ -39,6 +44,15 @@ struct RetryPolicy {
   // one deadline.
   static RetryPolicy Aggressive(int64_t deadline_ms = 5000);
 };
+
+// Returns `base` with its per-call budget clamped to `remaining_ms` — how a
+// caller holding an *absolute* step deadline derives each RPC's policy.
+// Without this, every logical call site re-arms the full deadline_ms, and a
+// step with 100ms left could still burn 30s retrying one send. A
+// remaining_ms <= 0 input clamps to 1ms (the caller should have refused
+// already-expired work before calling; 1ms keeps the "never a hang"
+// guarantee rather than accidentally meaning "no deadline").
+RetryPolicy ClampToRemaining(RetryPolicy base, int64_t remaining_ms);
 
 // Codes that indicate a transient transport-level failure worth retrying.
 // Everything else (bad arguments, missing nodes, exhausted resources,

@@ -1,6 +1,7 @@
 #include "distrib/server.h"
 
 #include <chrono>
+#include <optional>
 
 #include "wire/coded.h"
 
@@ -472,6 +473,11 @@ Server::Server(ServerDef def, InProcessRouter* router, std::string address)
       send_client_id_(NextServerClientId()) {
   devices_ = DeviceMgr::CreateLocal(def_.job, def_.task, def_.num_gpus,
                                     def_.gpu_model);
+  if (def_.max_inflight_steps > 0) {
+    ServingOptions so = def_.serving;
+    so.max_inflight = def_.max_inflight_steps;
+    serving_ = std::make_unique<ServingController>(so);
+  }
   // One long-lived session shared by every step: compiled Executables (and
   // their placement/kernel work) survive across RunStep requests instead of
   // dying with a per-request session.
@@ -559,7 +565,31 @@ wire::RpcEnvelope Server::Handle(const wire::RpcEnvelope& request) {
     return response;
   }
 
-  auto result = Dispatch(request.method, request.payload);
+  // Deadline propagation: rebuild the step's token from the wire deadline
+  // (absolute steady-clock ns — valid because the in-process cluster shares
+  // one clock) and refuse already-expired work before dispatching. Refusing
+  // up front is the cheap half of overload protection: an expired step
+  // would burn a worker slot producing a result nobody is waiting for.
+  std::unique_ptr<CancellationToken> token;
+  if (request.deadline_ns != 0) {
+    token = std::make_unique<CancellationToken>(
+        CancellationToken::Clock::time_point(
+            std::chrono::nanoseconds(request.deadline_ns)));
+    Status expired = token->Check();
+    if (!expired.ok()) {
+      expired_rejects_.fetch_add(1, std::memory_order_relaxed);
+      response.status_code = static_cast<int32_t>(Code::kDeadlineExceeded);
+      response.status_msg =
+          request.method + " arrived after its deadline; refused";
+      if (request.client_id != 0) {
+        replay_cache_.Insert(request.client_id, request.request_id, response);
+      }
+      return response;
+    }
+  }
+
+  auto result = Dispatch(request.method, request.payload, request.client_id,
+                         token.get());
   if (result.ok()) {
     response.payload = std::move(*result);
   } else {
@@ -578,7 +608,9 @@ wire::RpcEnvelope Server::Handle(const wire::RpcEnvelope& request) {
 }
 
 Result<wire::PayloadRef> Server::Dispatch(const std::string& method,
-                                          const wire::PayloadRef& payload) {
+                                          const wire::PayloadRef& payload,
+                                          uint64_t client_id,
+                                          CancellationToken* token) {
   // Methods that parse with the classic string codecs flatten here; a view
   // payload only ever reaches them over gRPC (already flat) or from legacy
   // senders, so the tensor-bearing hot paths below never pay this copy.
@@ -634,8 +666,17 @@ Result<wire::PayloadRef> Server::Dispatch(const std::string& method,
   if (method == "RunStep") {
     TFHPC_ASSIGN_OR_RETURN(RunStepRequest req, RunStepRequest::Parse(
                                payload.Contiguous(&flat_scratch)));
+    // Admission control: bounded in-flight steps with per-client fairness;
+    // excess load sheds with kUnavailable + retry-after, and a queued step
+    // whose deadline fires while waiting leaves with kDeadlineExceeded.
+    std::optional<ServingController::Slot> slot;
+    if (serving_ != nullptr) {
+      slot.emplace(serving_.get(), std::to_string(client_id), token);
+      TFHPC_RETURN_IF_ERROR(slot->status());
+    }
     RunOptions options;
     options.simulate = req.simulate;
+    options.cancellation = token;
     std::shared_ptr<const Executable> exe;
     if (req.step_handle != 0) {
       RegisteredStep step;
@@ -681,7 +722,7 @@ Result<wire::PayloadRef> Server::Dispatch(const std::string& method,
     if (!tensor.valid()) return InvalidArgument("Enqueue without tensor");
     TFHPC_ASSIGN_OR_RETURN(FIFOQueue * q,
                            resources_.LookupOrCreateQueue(queue, capacity));
-    TFHPC_RETURN_IF_ERROR(q->Enqueue(std::move(tensor)));
+    TFHPC_RETURN_IF_ERROR(q->Enqueue(std::move(tensor), token));
     return wire::PayloadRef();
   }
 
@@ -692,7 +733,7 @@ Result<wire::PayloadRef> Server::Dispatch(const std::string& method,
         DecodeQueuePayloadView(payload, &queue, nullptr, &capacity));
     TFHPC_ASSIGN_OR_RETURN(FIFOQueue * q,
                            resources_.LookupOrCreateQueue(queue, capacity));
-    TFHPC_ASSIGN_OR_RETURN(Tensor t, q->Dequeue());
+    TFHPC_ASSIGN_OR_RETURN(Tensor t, q->Dequeue(token));
     return wire::SerializeTensorView(t);
   }
 
@@ -730,12 +771,17 @@ Result<wire::PayloadRef> Server::Dispatch(const std::string& method,
   }
 
   if (method == "AbortStep") {
-    // Step cancellation: unblock every _Recv parked on this task. The
-    // rendezvous stays poisoned until ResetStep.
-    resources_.rendezvous().Abort(
+    // Step cancellation: unblock every _Recv parked on this task (the
+    // rendezvous stays poisoned until ResetStep) AND every thread blocked
+    // in a queue Enqueue/Dequeue — including barrier waits parked inside
+    // remote Dequeue handlers. Queues stay open: they are shared across
+    // steps and tenants, so only the *waiters* fail, with kCancelled.
+    const Status reason =
         Cancelled("step aborted" +
                   (payload.empty() ? ""
-                                 : ": " + payload.Contiguous(&flat_scratch))));
+                                 : ": " + payload.Contiguous(&flat_scratch)));
+    resources_.rendezvous().Abort(reason);
+    resources_.CancelAllQueueWaiters(reason);
     return wire::PayloadRef();
   }
 

@@ -40,6 +40,7 @@
 #include "distrib/cluster_spec.h"
 #include "distrib/retry.h"
 #include "distrib/transport.h"
+#include "runtime/serving.h"
 #include "runtime/session.h"
 
 namespace tfhpc::distrib {
@@ -126,6 +127,14 @@ struct ServerDef {
   // client re-registers on kNotFound). Also caps the shared session's
   // signature-keyed executable cache.
   size_t max_registered_steps = 1024;
+  // Admission control for RunStep (multi-tenant overload protection).
+  // 0 = off (default, unbounded concurrency — the pre-serving behavior).
+  // When > 0, at most this many steps execute concurrently; further steps
+  // wait in a fair per-client queue bounded by serving.max_queued, and
+  // excess load is shed with kUnavailable + retry-after (see
+  // runtime/serving.h). serving.max_inflight is overridden by this field.
+  int max_inflight_steps = 0;
+  ServingOptions serving;
 };
 
 class Server {
@@ -173,11 +182,23 @@ class Server {
   // Requests rejected because their payload checksum did not match.
   int64_t checksum_rejects() const { return checksum_rejects_.load(); }
 
+  // Admission/shedding counters; zeroes when admission control is off.
+  ServingStats serving_stats() const {
+    return serving_ != nullptr ? serving_->stats() : ServingStats{};
+  }
+  // Requests refused before dispatch because their deadline had already
+  // passed on arrival.
+  int64_t expired_rejects() const { return expired_rejects_.load(); }
+
  private:
   Server(ServerDef def, InProcessRouter* router, std::string address);
 
+  // `client_id` keys fair admission; `token` (null when the request carries
+  // no deadline) bounds blocking work inside the handler.
   Result<wire::PayloadRef> Dispatch(const std::string& method,
-                                    const wire::PayloadRef& payload);
+                                    const wire::PayloadRef& payload,
+                                    uint64_t client_id,
+                                    CancellationToken* token);
 
   // Compiles (through the shared session's cache) under graph_mu_ so a
   // concurrent ExtendGraph cannot mutate the graph mid-compile. Execution
@@ -211,6 +232,9 @@ class Server {
   std::atomic<int64_t> steps_registered_{0};
   ReplayCache replay_cache_;
   std::atomic<int64_t> checksum_rejects_{0};
+  std::atomic<int64_t> expired_rejects_{0};
+  // Non-null iff def_.max_inflight_steps > 0.
+  std::unique_ptr<ServingController> serving_;
   // Outgoing rendezvous sends carry this server's own client identity so
   // the receiving task can dedup retried sends.
   uint64_t send_client_id_ = 0;

@@ -118,7 +118,7 @@ Result<Node*> Graph::AddNode(wire::NodeDef def) {
   Node* raw = node.get();
   by_name_[node->def_.name] = node->id_;
   nodes_.push_back(std::move(node));
-  ++version_;
+  version_.fetch_add(1, std::memory_order_release);
   return raw;
 }
 
@@ -128,7 +128,7 @@ Status Graph::SetNodeDevice(const std::string& name,
   if (n == nullptr) return NotFound("node '" + name + "' not found");
   if (n->def_.device == device) return Status::OK();
   n->def_.device = device;
-  ++version_;
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

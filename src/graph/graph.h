@@ -4,6 +4,7 @@
 // the TensorFlow "Graph mode" the paper builds every application on.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -79,8 +80,13 @@ class Graph {
   // Monotonic mutation counter: bumped by every AddNode/SetNodeDevice.
   // Anything derived from graph structure (pruned closures, placements,
   // instantiated kernels) is valid only for the version it was built
-  // against.
-  int64_t version() const { return version_; }
+  // against. Atomic because concurrent Run callers poll it (staleness
+  // checks) while a session/server thread extends the graph; the counter
+  // read is safe lock-free, but *walking* nodes still requires the owner's
+  // graph lock against concurrent mutation.
+  int64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   Node* FindNode(const std::string& name);
   const Node* FindNode(const std::string& name) const;
@@ -108,7 +114,7 @@ class Graph {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<std::string, int> by_name_;
   std::map<std::string, int> name_counters_;
-  int64_t version_ = 0;
+  std::atomic<int64_t> version_{0};
 };
 
 }  // namespace tfhpc

@@ -61,6 +61,12 @@ class OpKernelContext {
   bool simulate() const { return simulate_; }
   AllocatorStats* alloc_stats() const { return alloc_stats_; }
 
+  // Step cancellation token; null when the step carries none. Blocking
+  // kernels (_Recv, queue ops) pass it into their waits so a cancelled or
+  // expired step releases the parked thread instead of hanging it.
+  CancellationToken* cancellation() const { return cancellation_; }
+  void set_cancellation(CancellationToken* token) { cancellation_ = token; }
+
   // Attaches a statically pre-sized output buffer (from GraphCheck shape
   // inference). AllocateOutput(ZeroInit::kNo) hands it out when the
   // requested dtype/shape match, skipping the allocation entirely.
@@ -119,6 +125,7 @@ class OpKernelContext {
   ResourceMgr* resources_;
   bool simulate_;
   AllocatorStats* alloc_stats_;
+  CancellationToken* cancellation_ = nullptr;
 };
 
 class OpKernel {

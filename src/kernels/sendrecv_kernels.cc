@@ -33,7 +33,8 @@ class RecvKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     TFHPC_ASSIGN_OR_RETURN(std::string key, ctx->node().AttrString("key"));
-    TFHPC_ASSIGN_OR_RETURN(Tensor t, ctx->resources()->rendezvous().Recv(key));
+    TFHPC_ASSIGN_OR_RETURN(
+        Tensor t, ctx->resources()->rendezvous().Recv(key, ctx->cancellation()));
     ctx->set_output(0, std::move(t));
     return Status::OK();
   }

@@ -68,7 +68,7 @@ class QueueEnqueueKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     TFHPC_ASSIGN_OR_RETURN(FIFOQueue * queue, GetQueue(ctx));
-    return queue->Enqueue(ctx->input(0));
+    return queue->Enqueue(ctx->input(0), ctx->cancellation());
   }
 };
 TFHPC_REGISTER_KERNEL_ALL("QueueEnqueue", QueueEnqueueKernel);
@@ -77,7 +77,7 @@ class QueueDequeueKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     TFHPC_ASSIGN_OR_RETURN(FIFOQueue * queue, GetQueue(ctx));
-    TFHPC_ASSIGN_OR_RETURN(Tensor t, queue->Dequeue());
+    TFHPC_ASSIGN_OR_RETURN(Tensor t, queue->Dequeue(ctx->cancellation()));
     ctx->set_output(0, std::move(t));
     return Status::OK();
   }

@@ -1,0 +1,102 @@
+#include "runtime/cancellation.h"
+
+#include <utility>
+#include <vector>
+
+namespace tfhpc {
+
+void CancellationToken::Cancel(Status reason) {
+  TFHPC_CHECK(!reason.ok()) << "Cancel needs an error status";
+  std::vector<std::function<void()>> to_run;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!cancel_status_.ok()) return;  // first cancel wins
+    cancel_status_ = std::move(reason);
+    cancelling_ = true;
+    to_run.reserve(callbacks_.size());
+    for (auto& [id, fn] : callbacks_) to_run.push_back(std::move(fn));
+    callbacks_.clear();
+  }
+  // Run outside the lock: callbacks grab waiter mutexes to notify CVs, and
+  // those waiters may concurrently Deregister (which takes mu_).
+  for (auto& fn : to_run) fn();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cancelling_ = false;
+  }
+  cancel_done_cv_.notify_all();
+}
+
+Status CancellationToken::Check() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!cancel_status_.ok()) return cancel_status_;
+  if (has_deadline_ && Clock::now() >= deadline_) {
+    return DeadlineExceeded("step deadline exceeded");
+  }
+  return Status::OK();
+}
+
+bool CancellationToken::cancelled() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return !cancel_status_.ok();
+}
+
+bool CancellationToken::has_deadline() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return has_deadline_;
+}
+
+CancellationToken::Clock::time_point CancellationToken::deadline() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return deadline_;
+}
+
+int64_t CancellationToken::remaining_ms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!has_deadline_) return INT64_MAX;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ -
+                                                               Clock::now())
+      .count();
+}
+
+uint64_t CancellationToken::deadline_ns() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!has_deadline_) return 0;
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                deadline_.time_since_epoch())
+                .count();
+  return ns <= 0 ? 1 : static_cast<uint64_t>(ns);
+}
+
+void CancellationToken::TightenDeadline(Clock::time_point deadline) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!has_deadline_ || deadline < deadline_) {
+    has_deadline_ = true;
+    deadline_ = deadline;
+  }
+}
+
+uint64_t CancellationToken::OnCancel(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cancel_status_.ok()) {
+      uint64_t id = next_callback_id_++;
+      callbacks_[id] = std::move(fn);
+      return id;
+    }
+  }
+  fn();  // already cancelled: fire on the registering thread
+  return 0;
+}
+
+void CancellationToken::Deregister(uint64_t id) {
+  if (id == 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  callbacks_.erase(id);
+  // If Cancel() already claimed this callback, it may be mid-flight on the
+  // cancelling thread — wait it out so the caller can tear down the state
+  // the callback touches.
+  cancel_done_cv_.wait(lk, [this] { return !cancelling_; });
+}
+
+}  // namespace tfhpc

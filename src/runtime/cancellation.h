@@ -1,0 +1,98 @@
+// Step cancellation and deadlines. A CancellationToken is shared by every
+// component working on one step — the executor's dispatch loop, blocking
+// kernels parked in rendezvous/queue waits, and the RPC layer — so a step
+// can be cut off *everywhere at once*: dispatch stops scheduling new nodes,
+// blocked waiters wake with the cancel status, and outgoing RPCs carry the
+// remaining deadline budget so the receiving worker refuses or bounds the
+// work too. This is TensorFlow's CancellationManager + deadline propagation
+// (OSDI'16 §3.4: "partial execution" requires every blocking primitive to
+// be interruptible), rebuilt for the serving layer: a slow client's step
+// must fail with kDeadlineExceeded/kCancelled, never wedge the worker.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/status.h"
+
+namespace tfhpc {
+
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+  explicit CancellationToken(Clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+  static std::shared_ptr<CancellationToken> WithTimeout(int64_t timeout_ms) {
+    return std::make_shared<CancellationToken>(
+        Clock::now() + std::chrono::milliseconds(timeout_ms));
+  }
+
+  // Cancels the token (idempotent; the first status wins) and runs every
+  // registered callback. `reason` must be an error — typically kCancelled.
+  void Cancel(Status reason);
+
+  // OK while live; once cancelled, the cancel status; once the deadline has
+  // passed, kDeadlineExceeded. Deadline expiry needs no Cancel() call —
+  // Check() reads the clock — but waiters must use deadline() to bound
+  // their waits (nothing wakes them at expiry otherwise).
+  Status Check() const;
+  bool cancelled() const;
+
+  bool has_deadline() const;
+  Clock::time_point deadline() const;
+  // Milliseconds until the deadline (<= 0 once expired); INT64_MAX when the
+  // token carries no deadline.
+  int64_t remaining_ms() const;
+  // Absolute steady-clock deadline in ns (for the RPC envelope); 0 = none.
+  uint64_t deadline_ns() const;
+  // Moves the deadline earlier (never later) — used to merge a caller's
+  // token with a per-step timeout.
+  void TightenDeadline(Clock::time_point deadline);
+
+  // Registers `fn` to run on Cancel (immediately, on the registering thread,
+  // if already cancelled). Returns an id for Deregister. Callbacks must not
+  // call back into the token and should only wake waiters (notify a CV).
+  uint64_t OnCancel(std::function<void()> fn);
+  // Blocks until no Cancel() callback is still running, so a caller may
+  // safely destroy state its callback touches right after this returns.
+  void Deregister(uint64_t id);
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cancel_done_cv_;
+  bool cancelling_ = false;  // Cancel() is running callbacks off-lock
+  Status cancel_status_;     // OK = live
+  std::map<uint64_t, std::function<void()>> callbacks_;
+  uint64_t next_callback_id_ = 1;
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+// RAII callback registration: wakes a condition variable (or runs any
+// cleanup) when the token cancels, deregistering on scope exit. Null token
+// is fine — the registration is a no-op.
+class CancelCallback {
+ public:
+  CancelCallback(CancellationToken* token, std::function<void()> fn)
+      : token_(token) {
+    if (token_ != nullptr) id_ = token_->OnCancel(std::move(fn));
+  }
+  ~CancelCallback() {
+    if (token_ != nullptr) token_->Deregister(id_);
+  }
+  CancelCallback(const CancelCallback&) = delete;
+  CancelCallback& operator=(const CancelCallback&) = delete;
+
+ private:
+  CancellationToken* token_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace tfhpc

@@ -181,6 +181,9 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
     cn.fed = fed_names.count(cn.node->name()) > 0;
     cn.blocking = cn.node->op_def().is_blocking;
     cn.num_outputs = std::max(1, cn.node->op_def().num_outputs);
+    for (const InEdge& e : cn.node->in_edges()) {
+      cn.input_names.push_back(graph_->node(e.node_id)->name());
+    }
     exe->nodes_.push_back(std::move(cn));
   }
 
@@ -278,6 +281,24 @@ Result<std::vector<Tensor>> Executor::Execute(
     const RunOptions& options, RunMetadata* metadata) {
   const size_t n_nodes = exe.nodes_.size();
 
+  // Effective cancellation token: the caller's token, tightened by
+  // timeout_ms; or a step-local token when only a timeout was given.
+  CancellationToken* token = options.cancellation;
+  std::shared_ptr<CancellationToken> owned_token;
+  if (options.timeout_ms > 0) {
+    if (token == nullptr) {
+      owned_token = CancellationToken::WithTimeout(options.timeout_ms);
+      token = owned_token.get();
+    } else {
+      token->TightenDeadline(CancellationToken::Clock::now() +
+                             std::chrono::milliseconds(options.timeout_ms));
+    }
+  }
+  if (token != nullptr) {
+    Status admitted = token->Check();
+    if (!admitted.ok()) return admitted;  // refuse already-dead steps
+  }
+
   // ---- Dataflow state: flat, pre-sized, no map lookups on the hot path. --
   std::vector<int> pending(n_nodes);
   for (size_t i = 0; i < n_nodes; ++i) pending[i] = exe.nodes_[i].initial_pending;
@@ -355,6 +376,7 @@ Result<std::vector<Tensor>> Executor::Execute(
 
       OpKernelContext ctx(n, std::move(inputs), resources_, options.simulate,
                           cn.device->allocator_stats());
+      ctx.set_cancellation(token);
       if (!options.simulate) {
         for (const auto& [dt, shp] : cn.static_outputs) {
           ctx.AddPresized(
@@ -372,9 +394,9 @@ Result<std::vector<Tensor>> Executor::Execute(
         record.op = n->op();
         record.device = cn.device->name_string();
         record.cost = cost;
-        for (const InEdge& e : n->in_edges()) {
-          record.input_names.push_back(graph_->node(e.node_id)->name());
-        }
+        // Precompiled names: trace must not walk the Graph here — another
+        // session thread may be extending it concurrently.
+        record.input_names = cn.input_names;
       }
       record.start_us = NowUs() - step_start_us;
 
@@ -424,9 +446,25 @@ Result<std::vector<Tensor>> Executor::Execute(
   };
 
   // ---- Scheduling loop -------------------------------------------------------
+  // A cancel only has to wake this loop: the dispatch check below turns it
+  // into first_error and stops scheduling. Blocked kernels wake through
+  // their own token registrations.
+  CancelCallback wake_scheduler(token, [&] {
+    std::lock_guard<std::mutex> lk(mu);
+    done_cv.notify_all();
+  });
   {
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
+      // Dispatch-time cancellation/deadline check — a cancelled step stops
+      // scheduling new nodes; in-flight ones finish or fail on their own.
+      if (!stop && token != nullptr) {
+        Status ts = token->Check();
+        if (!ts.ok()) {
+          if (first_error.ok()) first_error = ts;
+          stop = true;
+        }
+      }
       while (!ready.empty() && !stop) {
         const int idx = ready.front();
         ready.pop_front();

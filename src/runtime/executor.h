@@ -27,6 +27,7 @@
 #include "core/status.h"
 #include "graph/graph.h"
 #include "kernels/kernel.h"
+#include "runtime/cancellation.h"
 #include "runtime/debug.h"
 #include "runtime/device.h"
 #include "runtime/resource_mgr.h"
@@ -40,6 +41,13 @@ struct RunOptions {
   bool trace = false;
   // tfdbg-lite: also summarize every node output (implies trace).
   bool debug = false;
+  // Per-step deadline in ms (0 = none). Execute stops dispatching new nodes
+  // and fails blocking waits with kDeadlineExceeded once it passes.
+  int64_t timeout_ms = 0;
+  // Optional caller-owned cancellation token shared with this step. When
+  // both a token and timeout_ms are given, the effective deadline is the
+  // earlier of the two (the token is tightened in place).
+  CancellationToken* cancellation = nullptr;
 };
 
 // One executed node, for the Timeline (Fig. 3) and the DES replay.
@@ -104,6 +112,10 @@ class Executable {
     int num_outputs = 0;      // output slots to allocate (>= 1)
     bool fed = false;
     bool blocking = false;    // queue ops: dedicated thread, no device lock
+    // Producer names in input order, baked at compile time so trace mode
+    // never touches the Graph during Execute (concurrent steps may race
+    // with graph mutation otherwise).
+    std::vector<std::string> input_names;
     // Statically known (dtype, shape) per output slot, for ops whose
     // kernels fully overwrite outputs; empty when unknown. Execute attaches
     // matching pre-sized buffers to the kernel context.

@@ -12,14 +12,33 @@ Status Rendezvous::Send(const std::string& key, Tensor tensor) {
   return Status::OK();
 }
 
-Result<Tensor> Rendezvous::Recv(const std::string& key) {
+Result<Tensor> Rendezvous::Recv(const std::string& key,
+                                CancellationToken* token) {
+  // A cancel on `token` only needs to wake this waiter: the predicate
+  // re-runs token->Check() and returns the cancel status. Registration
+  // happens before taking mu_ so the callback never deadlocks against us.
+  CancelCallback wake(token, [this] { cv_.notify_all(); });
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] {
+  auto ready = [&] {
     if (!aborted_.ok()) return true;
+    if (token != nullptr && !token->Check().ok()) return true;
     auto it = items_.find(key);
     return it != items_.end() && !it->second.empty();
-  });
+  };
+  if (token != nullptr && token->has_deadline()) {
+    // wait_until so deadline expiry wakes us without any Cancel() call.
+    if (!cv_.wait_until(lk, token->deadline(), ready)) {
+      return DeadlineExceeded("_Recv wait for '" + key +
+                              "' exceeded step deadline");
+    }
+  } else {
+    cv_.wait(lk, ready);
+  }
   if (!aborted_.ok()) return aborted_;
+  if (token != nullptr) {
+    Status ts = token->Check();
+    if (!ts.ok()) return ts;
+  }
   auto it = items_.find(key);
   Tensor t = std::move(it->second.front());
   it->second.pop_front();

@@ -13,14 +13,18 @@
 
 #include "core/status.h"
 #include "core/tensor.h"
+#include "runtime/cancellation.h"
 
 namespace tfhpc {
 
 class Rendezvous {
  public:
   Status Send(const std::string& key, Tensor tensor);
-  // Blocks until a tensor arrives for `key` (or the rendezvous aborts).
-  Result<Tensor> Recv(const std::string& key);
+  // Blocks until a tensor arrives for `key` (or the rendezvous aborts, or
+  // `token` — when non-null — cancels or its deadline passes, in which case
+  // the wait fails with the token's status without consuming any tensor).
+  Result<Tensor> Recv(const std::string& key,
+                      CancellationToken* token = nullptr);
 
   // Wakes every waiter with `status` and fails all subsequent operations
   // (used at server teardown and on step errors).

@@ -4,30 +4,79 @@
 
 namespace tfhpc {
 
-Status FIFOQueue::Enqueue(Tensor t) {
-  std::unique_lock<std::mutex> lk(mu_);
-  not_full_.wait(lk, [this] {
-    return closed_ || capacity_ == 0 ||
-           items_.size() < static_cast<size_t>(capacity_);
+Status FIFOQueue::Enqueue(Tensor t, CancellationToken* token) {
+  CancelCallback wake(token, [this] {
+    // Wake both CVs: the token's step may have waiters on either side.
+    not_full_.notify_all();
+    not_empty_.notify_all();
   });
+  std::unique_lock<std::mutex> lk(mu_);
+  const uint64_t entry_epoch = cancel_epoch_;
+  auto ready = [&] {
+    if (closed_ || cancel_epoch_ != entry_epoch) return true;
+    if (token != nullptr && !token->Check().ok()) return true;
+    return capacity_ == 0 || items_.size() < static_cast<size_t>(capacity_);
+  };
+  if (token != nullptr && token->has_deadline()) {
+    if (!not_full_.wait_until(lk, token->deadline(), ready)) {
+      return DeadlineExceeded("enqueue wait on queue '" + name_ +
+                              "' exceeded step deadline");
+    }
+  } else {
+    not_full_.wait(lk, ready);
+  }
   if (closed_) return Cancelled("enqueue on closed queue '" + name_ + "'");
+  if (cancel_epoch_ != entry_epoch) return cancel_status_;
+  if (token != nullptr) {
+    Status ts = token->Check();
+    if (!ts.ok()) return ts;
+  }
   items_.push_back(std::move(t));
   lk.unlock();
   not_empty_.notify_one();
   return Status::OK();
 }
 
-Result<Tensor> FIFOQueue::Dequeue() {
+Result<Tensor> FIFOQueue::Dequeue(CancellationToken* token) {
+  CancelCallback wake(token, [this] {
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  });
   std::unique_lock<std::mutex> lk(mu_);
-  not_empty_.wait(lk, [this] { return closed_ || !items_.empty(); });
-  if (items_.empty()) {
+  const uint64_t entry_epoch = cancel_epoch_;
+  auto ready = [&] {
+    if (closed_ || cancel_epoch_ != entry_epoch) return true;
+    if (token != nullptr && !token->Check().ok()) return true;
+    return !items_.empty();
+  };
+  if (token != nullptr && token->has_deadline()) {
+    if (!not_empty_.wait_until(lk, token->deadline(), ready)) {
+      return DeadlineExceeded("dequeue wait on queue '" + name_ +
+                              "' exceeded step deadline");
+    }
+  } else {
+    not_empty_.wait(lk, ready);
+  }
+  // Closed queues drain before failing (TF's contract); cancellation does
+  // not consume an element even if one raced in.
+  if (!items_.empty() && cancel_epoch_ == entry_epoch &&
+      (token == nullptr || token->Check().ok())) {
+    Tensor t = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return t;
+  }
+  if (closed_ && items_.empty() && cancel_epoch_ == entry_epoch) {
     return OutOfRange("queue '" + name_ + "' is closed and empty");
   }
-  Tensor t = std::move(items_.front());
-  items_.pop_front();
-  lk.unlock();
-  not_full_.notify_one();
-  return t;
+  if (cancel_epoch_ != entry_epoch) return cancel_status_;
+  if (token != nullptr) {
+    Status ts = token->Check();
+    if (!ts.ok()) return ts;
+  }
+  // Closed while we waited, with elements drained by other consumers.
+  return OutOfRange("queue '" + name_ + "' is closed and empty");
 }
 
 Status FIFOQueue::TryEnqueue(Tensor t, bool* accepted) {
@@ -63,6 +112,17 @@ void FIFOQueue::Close() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+void FIFOQueue::CancelWaiters(Status status) {
+  TFHPC_CHECK(!status.ok()) << "CancelWaiters needs an error status";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++cancel_epoch_;
+    cancel_status_ = std::move(status);
   }
   not_empty_.notify_all();
   not_full_.notify_all();
@@ -197,6 +257,11 @@ void ResourceMgr::RestoreVariables(const std::map<std::string, Tensor>& vars) {
 void ResourceMgr::CloseAllQueues() {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, q] : queues_) q->Close();
+}
+
+void ResourceMgr::CancelAllQueueWaiters(Status status) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, q] : queues_) q->CancelWaiters(status);
 }
 
 }  // namespace tfhpc

@@ -15,6 +15,7 @@
 
 #include "core/status.h"
 #include "core/tensor.h"
+#include "runtime/cancellation.h"
 #include "runtime/rendezvous.h"
 
 namespace tfhpc {
@@ -28,15 +29,24 @@ class FIFOQueue {
   explicit FIFOQueue(std::string name, int64_t capacity = 0)
       : name_(std::move(name)), capacity_(capacity) {}
 
-  // Blocks while full (bounded queues only).
-  Status Enqueue(Tensor t);
-  // Blocks while empty.
-  Result<Tensor> Dequeue();
+  // Blocks while full (bounded queues only). A non-null `token` bounds the
+  // wait: the call fails with the token's status when it cancels or its
+  // deadline passes, leaving the queue untouched.
+  Status Enqueue(Tensor t, CancellationToken* token = nullptr);
+  // Blocks while empty; `token` as above.
+  Result<Tensor> Dequeue(CancellationToken* token = nullptr);
   // Non-blocking variants used by services that must not hold threads.
   Status TryEnqueue(Tensor t, bool* accepted);
   Result<Tensor> TryDequeue(bool* got);
 
   void Close();
+  // Fails every *currently blocked* Enqueue/Dequeue with `status` without
+  // closing the queue or dropping its contents — step cancellation must
+  // release worker threads parked here, but the queue outlives the step
+  // (other tenants keep using it). Implemented as an epoch bump: waiters
+  // that entered before the bump observe it and bail out; calls arriving
+  // after CancelWaiters proceed normally.
+  void CancelWaiters(Status status);
   bool closed() const;
   size_t size() const;
   const std::string& name() const { return name_; }
@@ -50,6 +60,8 @@ class FIFOQueue {
   std::condition_variable not_full_;
   std::deque<Tensor> items_;
   bool closed_ = false;
+  uint64_t cancel_epoch_ = 0;    // bumped by CancelWaiters
+  Status cancel_status_;         // status delivered to the cancelled epoch
 };
 
 // A named mutable tensor with interior locking.
@@ -88,6 +100,11 @@ class ResourceMgr {
 
   // Closes all queues (used at server shutdown so blocked ops unwind).
   void CloseAllQueues();
+
+  // Cancels every blocked queue waiter with `status`, leaving the queues
+  // open — the step-abort path (queues are shared across steps/tenants and
+  // must survive one step's cancellation).
+  void CancelAllQueueWaiters(Status status);
 
   // The task's rendezvous (_Send/_Recv tensor exchange).
   Rendezvous& rendezvous() { return rendezvous_; }

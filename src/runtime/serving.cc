@@ -1,0 +1,135 @@
+#include "runtime/serving.h"
+
+#include <utility>
+
+namespace tfhpc {
+
+ServingController::ServingController(ServingOptions options)
+    : options_(std::move(options)) {}
+
+Status ServingController::Admit(const std::string& client_id,
+                                CancellationToken* token) {
+  // Registered before mu_ so the callback (which takes mu_) cannot deadlock
+  // against this frame, and deregistered after the wait completes.
+  CancelCallback wake(token, [this] {
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (token != nullptr) {
+    Status ts = token->Check();
+    if (!ts.ok()) return ts;  // dead on arrival: refuse before queueing
+  }
+
+  // Fast path — but only when nobody is queued: arrivals must not barge
+  // past tickets already waiting their fair turn.
+  if (inflight_ < options_.max_inflight && queued_ == 0) {
+    ++inflight_;
+    ++stats_.admitted;
+    return Status::OK();
+  }
+
+  if (queued_ >= options_.max_queued) {
+    ++stats_.shed;
+    return Unavailable("admission queue full (" +
+                       std::to_string(options_.max_queued) +
+                       " waiting); retry_after_ms=" +
+                       std::to_string(options_.retry_after_ms));
+  }
+
+  Ticket ticket;
+  queues_[client_id].push_back(&ticket);
+  ++queued_;
+  GrantNextLocked();  // a slot may be free right now (we just joined the line)
+  cv_.notify_all();   // the grant may have landed on another waiter's ticket
+
+  auto done = [&] {
+    if (ticket.granted) return true;
+    return token != nullptr && !token->Check().ok();
+  };
+  if (token != nullptr && token->has_deadline()) {
+    cv_.wait_until(lk, token->deadline(), done);
+  } else {
+    cv_.wait(lk, done);
+  }
+
+  if (!ticket.granted) {
+    // Cancelled or deadlined while queued: withdraw the ticket.
+    RemoveTicketLocked(client_id, &ticket);
+    --queued_;
+    ++stats_.expired_in_queue;
+    if (token != nullptr) {
+      Status ts = token->Check();
+      if (!ts.ok()) return ts;
+    }
+    return DeadlineExceeded("step deadline exceeded while queued for admission");
+  }
+  // Granted. If the token died in the same instant, give the slot back.
+  if (token != nullptr) {
+    Status ts = token->Check();
+    if (!ts.ok()) {
+      --inflight_;
+      ++stats_.expired_in_queue;
+      GrantNextLocked();
+      cv_.notify_all();
+      return ts;
+    }
+  }
+  ++stats_.admitted;
+  return Status::OK();
+}
+
+void ServingController::Release() {
+  std::lock_guard<std::mutex> lk(mu_);
+  --inflight_;
+  ++stats_.completed;
+  GrantNextLocked();
+  cv_.notify_all();
+}
+
+void ServingController::GrantNextLocked() {
+  while (inflight_ < options_.max_inflight && queued_ > 0) {
+    // Round-robin: the first non-empty client queue strictly after the
+    // cursor, wrapping. Ties resolve in client-id order — deterministic and
+    // starvation-free (every non-empty queue is visited once per lap).
+    auto it = queues_.upper_bound(rr_cursor_);
+    for (size_t lap = 0; lap <= queues_.size(); ++lap) {
+      if (it == queues_.end()) it = queues_.begin();
+      if (!it->second.empty()) break;
+      ++it;
+    }
+    if (it == queues_.end() || it->second.empty()) return;  // defensive
+    Ticket* t = it->second.front();
+    it->second.pop_front();
+    rr_cursor_ = it->first;
+    if (it->second.empty()) queues_.erase(it);
+    t->granted = true;
+    ++inflight_;
+    --queued_;
+  }
+}
+
+void ServingController::RemoveTicketLocked(const std::string& client_id,
+                                           Ticket* t) {
+  auto it = queues_.find(client_id);
+  if (it == queues_.end()) return;
+  auto& dq = it->second;
+  for (auto pos = dq.begin(); pos != dq.end(); ++pos) {
+    if (*pos == t) {
+      dq.erase(pos);
+      break;
+    }
+  }
+  if (dq.empty()) queues_.erase(it);
+}
+
+ServingStats ServingController::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServingStats s = stats_;
+  s.inflight = inflight_;
+  s.queued = queued_;
+  return s;
+}
+
+}  // namespace tfhpc

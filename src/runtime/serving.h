@@ -1,0 +1,109 @@
+// ServingController: admission control for multi-tenant step execution —
+// the overload-protection layer in front of Session::Run / Server::RunStep.
+//
+// The paper's "millions of users" serving direction (and ROADMAP item 1)
+// needs the runtime to degrade *predictably* under overload: a bounded
+// number of steps execute concurrently, a bounded number wait in an
+// admission queue with per-client fair dequeue (one slow tenant cannot
+// monopolize the grant order), and everything beyond that is shed
+// immediately with kUnavailable plus a retry-after hint. Queued waiters
+// honor their step's CancellationToken, so an impatient client's ticket
+// evaporates instead of occupying queue space.
+//
+// Shed-vs-queue policy: queue while the wait is likely shorter than the
+// caller's patience (bounded by max_queued), shed the moment the queue is
+// full — rejecting in microseconds is strictly better than timing out
+// after seconds (the retried request lands on a drained server).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/status.h"
+#include "runtime/cancellation.h"
+
+namespace tfhpc {
+
+struct ServingOptions {
+  // Steps executing concurrently; further admissions queue.
+  int max_inflight = 8;
+  // Waiting admissions across all clients; beyond this, load is shed.
+  int max_queued = 64;
+  // Retry-after hint (ms) embedded in the kUnavailable shed status.
+  int64_t retry_after_ms = 50;
+};
+
+struct ServingStats {
+  int64_t admitted = 0;        // granted an execution slot
+  int64_t shed = 0;            // rejected kUnavailable (queue full)
+  int64_t expired_in_queue = 0;  // ticket cancelled or deadlined while queued
+  int64_t completed = 0;       // Release() calls
+  int inflight = 0;            // current executing steps
+  int queued = 0;              // current waiting tickets
+};
+
+class ServingController {
+ public:
+  explicit ServingController(ServingOptions options = {});
+
+  // Acquires an execution slot for one step of `client_id`. Returns OK when
+  // granted (the caller MUST pair it with Release()); blocks in the fair
+  // admission queue while the server is at max_inflight; fails fast with
+  // kUnavailable when the queue is full, and with the token's status if it
+  // cancels or its deadline passes while waiting. New arrivals never barge
+  // past queued tickets even when a slot is free.
+  Status Admit(const std::string& client_id, CancellationToken* token);
+  void Release();
+
+  ServingStats stats() const;
+  const ServingOptions& options() const { return options_; }
+
+  // RAII slot: admits on construction, releases on destruction iff admitted.
+  class Slot {
+   public:
+    Slot(ServingController* controller, const std::string& client_id,
+         CancellationToken* token)
+        : controller_(controller),
+          status_(controller->Admit(client_id, token)) {}
+    ~Slot() {
+      if (status_.ok()) controller_->Release();
+    }
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+    const Status& status() const { return status_; }
+
+   private:
+    ServingController* controller_;
+    Status status_;
+  };
+
+ private:
+  struct Ticket {
+    bool granted = false;
+  };
+
+  // Grants free slots to queued tickets, round-robin across clients with
+  // non-empty queues. Caller holds mu_.
+  void GrantNextLocked();
+  // Removes `t` from its client's queue (it was not granted). Caller holds
+  // mu_.
+  void RemoveTicketLocked(const std::string& client_id, Ticket* t);
+
+  const ServingOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int inflight_ = 0;
+  int queued_ = 0;
+  // Per-client FIFO of waiting tickets (pointers into Admit stack frames —
+  // valid because Admit never returns while its ticket is queued), plus a
+  // round-robin cursor over client ids for the fair grant order.
+  std::map<std::string, std::deque<Ticket*>> queues_;
+  std::string rr_cursor_;  // last client granted; next grant starts after it
+  ServingStats stats_;
+};
+
+}  // namespace tfhpc

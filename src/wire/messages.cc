@@ -587,6 +587,7 @@ std::string RpcEnvelope::Serialize() const {
   if (!status_msg.empty()) co.WriteString(5, status_msg);
   if (client_id != 0) co.WriteUInt64(6, client_id);
   if (checksum != 0) co.WriteUInt64(7, checksum);
+  if (deadline_ns != 0) co.WriteUInt64(8, deadline_ns);
   return out;
 }
 
@@ -626,6 +627,10 @@ Result<RpcEnvelope> RpcEnvelope::Parse(const std::string& data) {
       case 7:
         TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
         e.checksum = v;
+        break;
+      case 8:
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+        e.deadline_ns = v;
         break;
       default:
         TFHPC_RETURN_IF_ERROR(in.SkipField(wt));

@@ -138,6 +138,12 @@ struct RpcEnvelope {
   // FNV-1a of payload, set by clients so servers can reject frames corrupted
   // in flight with a retryable error. 0 means "unchecked".
   uint64_t checksum = 0;  // field 7
+  // Absolute steady-clock deadline (ns since clock epoch) for this call;
+  // 0 = none. Absolute works because the in-process cluster shares one
+  // clock — a real deployment would carry a relative budget plus a
+  // clock-skew bound. Servers refuse already-expired requests with
+  // kDeadlineExceeded before dispatching and bound blocking work by it.
+  uint64_t deadline_ns = 0;  // field 8
 
   std::string Serialize() const;
   static Result<RpcEnvelope> Parse(const std::string& data);
