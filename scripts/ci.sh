@@ -55,12 +55,13 @@ fi
 
 # TSan over the suites that exercise cross-thread step execution: the
 # executable cache under concurrent Runs, the distributed step path, the
-# pooled allocator under concurrent alloc/free, fault/liveness recovery,
-# and the serving layer (admission control, token cancellation, concurrent
-# Session::Run over one shared cached Executable).
+# pooled allocator under concurrent alloc/free (including injected allocator
+# faults, the Oom* suites), fault/liveness recovery, and the serving layer
+# (admission control, token cancellation, concurrent Session::Run over one
+# shared cached Executable).
 echo "==== tier 2: ThreadSanitizer smoke ===="
 "$repo/scripts/sanitize.sh" thread \
-  'ExecutableCache|DistSession|DistStep|FaultTolerance|StepRecovery|JobRecovery|Liveness|Rendezvous|BufferPool|Serving|CancellationToken'
+  'ExecutableCache|DistSession|DistStep|FaultTolerance|StepRecovery|JobRecovery|Liveness|Rendezvous|BufferPool|Serving|CancellationToken|Oom'
 
 # ASan over the zero-copy data path: pooled buffer recycling, payload views
 # holding buffer references across transport/server boundaries, in-place
@@ -69,7 +70,17 @@ echo "==== tier 2: ThreadSanitizer smoke ===="
 # the nightly `scripts/sanitize.sh both`.
 echo "==== tier 3: AddressSanitizer smoke ===="
 "$repo/scripts/sanitize.sh" address \
-  'BufferPool|BufferForward|TensorBuffer|Transport|ServerTest|Checkpoint|WireTensor'
+  'BufferPool|BufferForward|TensorBuffer|Transport|ServerTest|Checkpoint|WireTensor|Oom'
+
+# OOM-injection smoke: the multi-client distributed workload under an
+# injected allocator fault schedule, on the instrumented build. The binary
+# asserts the robustness contract itself (zero hangs, every failure a clean
+# transient kResourceExhausted, process budget back to baseline) and ASan's
+# leak checker asserts that an unwound OOM step released every allocation.
+echo "==== tier 3b: OOM-injection smoke (ablation_oom under ASan) ===="
+(cd "$repo/build-asan" && \
+  ASAN_OPTIONS="detect_leaks=1 abort_on_error=1" ./bench/ablation_oom)
+echo "==== OOM smoke: contract held, zero leaks ===="
 
 # UBSan over the numeric kernels and the static-analysis layer: shape
 # arithmetic, wire varint decoding and kernel index math are where a signed

@@ -45,6 +45,24 @@ Status Internal(std::string msg) { return Status(Code::kInternal, std::move(msg)
 Status ResourceExhausted(std::string msg) {
   return Status(Code::kResourceExhausted, std::move(msg));
 }
+namespace {
+constexpr char kTransientTag[] = "[transient] ";
+}  // namespace
+
+Status TransientResourceExhausted(std::string msg) {
+  if (msg.find(kTransientTag) != std::string::npos) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  return Status(Code::kResourceExhausted, kTransientTag + std::move(msg));
+}
+bool IsTransientResourceExhausted(const Status& s) {
+  // Contains, not prefix: layers between the allocator and the caller wrap
+  // the message with context ("node 'X' (op Y): ...", "addr/method: ...")
+  // and the taxonomy must survive that wrapping.
+  return s.code() == Code::kResourceExhausted &&
+         s.message().find(kTransientTag) != std::string::npos;
+}
+
 Status Cancelled(std::string msg) {
   return Status(Code::kCancelled, std::move(msg));
 }

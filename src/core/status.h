@@ -59,6 +59,17 @@ Status Unimplemented(std::string msg);
 Status Internal(std::string msg);
 Status ResourceExhausted(std::string msg);
 Status Cancelled(std::string msg);
+// Transient resource exhaustion: the resource (pool capacity, process
+// memory budget) may free up as concurrent work completes, so retrying
+// after backoff is worthwhile. Encoded as a "[transient] " message prefix
+// (the same message-embedded-metadata convention as the admission layer's
+// "retry_after_ms=N") so the taxonomy survives Status copies; the RPC layer
+// additionally carries it as an explicit envelope bit. Plain
+// ResourceExhausted is *permanent*: the request itself exceeds a fixed
+// budget (per-step limit, max GraphDef size) and an identical retry must
+// fail again.
+Status TransientResourceExhausted(std::string msg);
+bool IsTransientResourceExhausted(const Status& s);
 Status DeadlineExceeded(std::string msg);
 Status Unavailable(std::string msg);
 

@@ -18,6 +18,18 @@ Tensor Tensor::Uninitialized(DType dtype, Shape shape, AllocatorStats* stats) {
   return t;
 }
 
+Result<Tensor> Tensor::TryCreate(DType dtype, Shape shape,
+                                 AllocatorStats* stats, ZeroInit zero,
+                                 std::shared_ptr<MemoryLimiter> step_limiter) {
+  Tensor t;
+  t.dtype_ = dtype;
+  t.shape_ = std::move(shape);
+  TFHPC_ASSIGN_OR_RETURN(
+      t.buffer_, Buffer::TryAllocate(static_cast<size_t>(t.bytes()), stats,
+                                     zero, std::move(step_limiter)));
+  return t;
+}
+
 Tensor Tensor::FromBuffer(DType dtype, Shape shape,
                           std::shared_ptr<Buffer> buffer) {
   Tensor t;
@@ -62,7 +74,9 @@ void Tensor::DetachFromAllocator() {
 
 Tensor Tensor::Clone() const {
   if (is_meta()) return Meta(dtype_, shape_);
-  Tensor t(dtype_, shape_);
+  // Attribute the copy to the same allocator as the source so deep copies
+  // (variable accumulation, snapshots) stay visible to device accounting.
+  Tensor t = Uninitialized(dtype_, shape_, buffer_->stats());
   std::memcpy(t.raw_data(), raw_data(), static_cast<size_t>(bytes()));
   return t;
 }

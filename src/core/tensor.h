@@ -31,6 +31,17 @@ class Tensor {
   static Tensor Uninitialized(DType dtype, Shape shape,
                               AllocatorStats* stats = nullptr);
 
+  // Fallible allocation — the step-execution path. Storage comes from
+  // Buffer::TryAllocate: charged against the optional per-step limiter,
+  // subject to fault injection and the pool's trim-once-retry, failing with
+  // kResourceExhausted (transient or permanent, see core/buffer.h) instead
+  // of crashing. Kernels and the executor use this so a mid-step OOM
+  // unwinds the step cleanly.
+  static Result<Tensor> TryCreate(
+      DType dtype, Shape shape, AllocatorStats* stats = nullptr,
+      ZeroInit zero = ZeroInit::kYes,
+      std::shared_ptr<MemoryLimiter> step_limiter = nullptr);
+
   // Adopts an existing buffer (no copy). The buffer must hold at least
   // dtype/shape's nominal byte size.
   static Tensor FromBuffer(DType dtype, Shape shape,

@@ -705,11 +705,15 @@ Result<std::vector<Tensor>> DistributedSession::Run(
     AbortAndResetAllTasks();
 
     // Only fault fallout is worth re-attempting; semantic errors (missing
-    // node, bad feed, resource limits) would fail identically again.
+    // node, bad feed, fixed resource limits) would fail identically again.
+    // Transient kResourceExhausted (pool pressure, injected allocator fault)
+    // is fault fallout too: the retried step runs after the unwind above
+    // released every sibling's reservations.
     const Code code = r.status().code();
     const bool recoverable = code == Code::kUnavailable ||
                              code == Code::kDeadlineExceeded ||
-                             code == Code::kCancelled;
+                             code == Code::kCancelled ||
+                             IsTransientResourceExhausted(r.status());
     if (attempt >= budget || !recoverable) {
       rep.final_status = r.status();
       return r.status();

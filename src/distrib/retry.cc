@@ -43,6 +43,13 @@ bool IsRetryableCode(Code code) {
   return code == Code::kUnavailable;
 }
 
+bool IsRetryable(const Status& status) {
+  // Pool-pressure OOM is transient — siblings finishing return capacity —
+  // so it earns a backoff-and-retry; budget breaches stay permanent.
+  return IsRetryableCode(status.code()) ||
+         IsTransientResourceExhausted(status);
+}
+
 RetryState::RetryState(const RetryPolicy& policy, uint64_t call_key)
     : policy_(policy),
       call_key_(call_key),
@@ -55,7 +62,7 @@ int64_t RetryState::elapsed_ms() const {
 
 bool RetryState::BackoffAndRetry(const Status& last, Status* final) {
   ++attempts_;
-  if (!IsRetryableCode(last.code())) {
+  if (!IsRetryable(last)) {
     *final = last;
     return false;
   }

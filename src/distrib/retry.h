@@ -56,8 +56,21 @@ RetryPolicy ClampToRemaining(RetryPolicy base, int64_t remaining_ms);
 
 // Codes that indicate a transient transport-level failure worth retrying.
 // Everything else (bad arguments, missing nodes, exhausted resources,
-// cancellation) is surfaced immediately.
+// cancellation) is surfaced immediately. By code alone, kResourceExhausted
+// is NOT retryable: without more context it must be assumed permanent (the
+// 2 GB GraphDef ceiling, a per-step memory budget breach — an identical
+// retry fails identically).
 bool IsRetryableCode(Code code);
+
+// Status-level classification — the contract for kResourceExhausted:
+//   - transient (IsTransientResourceExhausted: pool pressure, process
+//     memory budget, injected allocator fault; carried across the RPC
+//     boundary by RpcEnvelope::transient): RETRYABLE after backoff, because
+//     concurrent steps completing (or a pool Trim) frees the resource.
+//   - permanent (plain kResourceExhausted: per-step budget breach, message
+//     or serving-estimate over a fixed limit): NOT retryable.
+// All other codes classify exactly as IsRetryableCode.
+bool IsRetryable(const Status& status);
 
 // Per-call retry driver: tracks attempts and the deadline, and sleeps the
 // backoff between attempts.

@@ -473,6 +473,9 @@ Server::Server(ServerDef def, InProcessRouter* router, std::string address)
       send_client_id_(NextServerClientId()) {
   devices_ = DeviceMgr::CreateLocal(def_.job, def_.task, def_.num_gpus,
                                     def_.gpu_model);
+  if (def_.alloc_faults.enabled()) {
+    AllocFaultInjector::Global().Install(def_.alloc_faults);
+  }
   if (def_.max_inflight_steps > 0) {
     ServingOptions so = def_.serving;
     so.max_inflight = def_.max_inflight_steps;
@@ -504,7 +507,12 @@ Server::Server(ServerDef def, InProcessRouter* router, std::string address)
       TFHPC_ASSIGN_OR_RETURN(wire::RpcEnvelope resp,
                              router_->Call(addr, def_.protocol, req));
       if (resp.status_code != 0) {
-        return Status(static_cast<Code>(resp.status_code), resp.status_msg);
+        Status st(static_cast<Code>(resp.status_code), resp.status_msg);
+        // Re-apply the wire transient bit (authoritative over the message).
+        if (resp.transient && st.code() == Code::kResourceExhausted) {
+          st = TransientResourceExhausted(resp.status_msg);
+        }
+        return st;
       }
       return Status::OK();
     });
@@ -595,13 +603,18 @@ wire::RpcEnvelope Server::Handle(const wire::RpcEnvelope& request) {
   } else {
     response.status_code = static_cast<int32_t>(result.status().code());
     response.status_msg = result.status().message();
+    // kResourceExhausted crosses the wire with its taxonomy: the transient
+    // bit tells the client's RetryPolicy whether backoff-and-retry is
+    // worthwhile (pool pressure) or futile (fixed-budget breach).
+    response.transient = IsTransientResourceExhausted(result.status());
   }
   // Cache successes and permanent errors. Retryable failures (a transient
-  // kUnavailable from e.g. a remote send inside RunStep) stay uncached so
-  // the client's retry of the same request id re-runs the handler instead
-  // of replaying the stale error.
+  // kUnavailable from e.g. a remote send inside RunStep, or pool-pressure
+  // kResourceExhausted) stay uncached so the client's retry of the same
+  // request id re-runs the handler instead of replaying the stale error.
   if (request.client_id != 0 &&
-      !IsRetryableCode(static_cast<Code>(response.status_code))) {
+      !IsRetryable(Status(static_cast<Code>(response.status_code),
+                          response.status_msg))) {
     replay_cache_.Insert(request.client_id, request.request_id, response);
   }
   return response;
@@ -666,17 +679,10 @@ Result<wire::PayloadRef> Server::Dispatch(const std::string& method,
   if (method == "RunStep") {
     TFHPC_ASSIGN_OR_RETURN(RunStepRequest req, RunStepRequest::Parse(
                                payload.Contiguous(&flat_scratch)));
-    // Admission control: bounded in-flight steps with per-client fairness;
-    // excess load sheds with kUnavailable + retry-after, and a queued step
-    // whose deadline fires while waiting leaves with kDeadlineExceeded.
-    std::optional<ServingController::Slot> slot;
-    if (serving_ != nullptr) {
-      slot.emplace(serving_.get(), std::to_string(client_id), token);
-      TFHPC_RETURN_IF_ERROR(slot->status());
-    }
     RunOptions options;
     options.simulate = req.simulate;
     options.cancellation = token;
+    options.step_memory_limit_bytes = def_.step_memory_limit_bytes;
     std::shared_ptr<const Executable> exe;
     if (req.step_handle != 0) {
       RegisteredStep step;
@@ -707,6 +713,20 @@ Result<wire::PayloadRef> Server::Dispatch(const std::string& method,
       for (const auto& [key, tensor] : req.feeds) feed_keys.push_back(key);
       TFHPC_ASSIGN_OR_RETURN(
           exe, PrepareLocked(feed_keys, req.fetches, req.targets));
+    }
+    // Admission control: bounded in-flight steps with per-client fairness
+    // AND a byte budget fed by the compiled step's statically estimated
+    // footprint (GraphCheck shape inference). Excess load sheds with
+    // kUnavailable + retry-after, a queued step whose deadline fires while
+    // waiting leaves with kDeadlineExceeded, and a step whose estimate can
+    // never fit the budget is refused with permanent kResourceExhausted.
+    // Admission sits after executable resolution so the estimate exists;
+    // compiling an unadmitted step is paid once per signature, not per run.
+    std::optional<ServingController::Slot> slot;
+    if (serving_ != nullptr) {
+      slot.emplace(serving_.get(), std::to_string(client_id), token,
+                   exe->estimated_bytes());
+      TFHPC_RETURN_IF_ERROR(slot->status());
     }
     TFHPC_ASSIGN_OR_RETURN(std::vector<Tensor> outputs,
                            session_->RunPrepared(*exe, req.feeds, options));

@@ -135,6 +135,15 @@ struct ServerDef {
   // runtime/serving.h). serving.max_inflight is overridden by this field.
   int max_inflight_steps = 0;
   ServingOptions serving;
+  // Per-step memory budget (bytes) applied to every RunStep on this worker;
+  // 0 = unbudgeted. A step allocating past it fails with *permanent*
+  // kResourceExhausted (retrying the identical step cannot help), siblings
+  // on other workers are cancelled by the client's step recovery.
+  int64_t step_memory_limit_bytes = 0;
+  // Allocator fault schedule installed process-wide when the server starts
+  // (chaos/testing only; see core/buffer.h). Injected failures surface as
+  // transient kResourceExhausted step errors, never process aborts.
+  AllocFaultSpec alloc_faults;
 };
 
 class Server {

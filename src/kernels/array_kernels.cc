@@ -23,7 +23,9 @@ class TransposeKernel : public OpKernel {
     const int64_t c = a.shape().dim(1);
     // Every destination element is written (never forwarded: the blocked
     // transpose would read elements it already overwrote in place).
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{c, r}, ZeroInit::kNo);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(
+        ctx->AllocateOutput(a.dtype(), Shape{c, r}, &out, ZeroInit::kNo));
     if (!ctx->meta_exec()) {
       const size_t esize = DTypeSize(a.dtype());
       const auto* src = static_cast<const uint8_t*>(a.raw_data());
@@ -79,7 +81,9 @@ class SliceKernel : public OpKernel {
                           "] outside " + a.shape().ToString());
       }
     }
-    Tensor out = ctx->AllocateOutput(a.dtype(), size, ZeroInit::kNo);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(
+        ctx->AllocateOutput(a.dtype(), size, &out, ZeroInit::kNo));
     if (!ctx->meta_exec()) {
       const size_t esize = DTypeSize(a.dtype());
       const auto* src = static_cast<const uint8_t*>(a.raw_data());
@@ -130,7 +134,9 @@ class ConcatKernel : public OpKernel {
       rows += t.shape().dim(0);
     }
     const Shape out_shape = rank == 2 ? Shape{rows, cols} : Shape{rows};
-    Tensor out = ctx->AllocateOutput(dtype, out_shape, ZeroInit::kNo);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(
+        ctx->AllocateOutput(dtype, out_shape, &out, ZeroInit::kNo));
     if (!ctx->meta_exec()) {
       auto* dst = static_cast<uint8_t*>(out.raw_data());
       for (int i = 0; i < ctx->num_inputs(); ++i) {
@@ -163,7 +169,8 @@ class CastKernel : public OpKernel {
     TFHPC_ASSIGN_OR_RETURN(DType to, ctx->node().AttrType("to"));
     // Same-dtype casts forward the input buffer outright (the shape/dtype
     // check inside ForwardOrAllocate only matches when to == a.dtype()).
-    Tensor out = ctx->ForwardOrAllocate({0}, to, a.shape());
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(ctx->ForwardOrAllocate({0}, to, a.shape(), &out));
     if (!ctx->meta_exec()) {
       const auto pair = std::make_pair(a.dtype(), to);
       if (pair == std::make_pair(DType::kF32, DType::kF64)) {
@@ -202,7 +209,8 @@ class NegKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     const Tensor& a = ctx->input(0);
-    Tensor out = ctx->ForwardOrAllocate({0}, a.dtype(), a.shape());
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(ctx->ForwardOrAllocate({0}, a.dtype(), a.shape(), &out));
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       switch (a.dtype()) {
@@ -248,7 +256,9 @@ class ReduceAggKernel : public OpKernel {
     if (a.num_elements() == 0) {
       return InvalidArgument("reduction over empty tensor");
     }
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{}, ZeroInit::kNo);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(
+        ctx->AllocateOutput(a.dtype(), Shape{}, &out, ZeroInit::kNo));
     if (!ctx->meta_exec()) {
       if (a.dtype() == DType::kF64) {
         *out.mutable_data<double>() = Reduce<double>(a);
@@ -304,7 +314,9 @@ class FillKernel : public OpKernel {
     TFHPC_ASSIGN_OR_RETURN(DType dtype, ctx->node().AttrType("dtype"));
     TFHPC_ASSIGN_OR_RETURN(Shape shape, ctx->node().AttrShape("shape"));
     TFHPC_ASSIGN_OR_RETURN(double value, ctx->node().AttrFloat("value"));
-    Tensor out = ctx->AllocateOutput(dtype, std::move(shape), ZeroInit::kNo);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(
+        ctx->AllocateOutput(dtype, std::move(shape), &out, ZeroInit::kNo));
     if (!ctx->meta_exec()) {
       const int64_t n = out.num_elements();
       if (dtype == DType::kF64) {
@@ -330,7 +342,9 @@ class ZerosLikeKernel : public OpKernel {
     const Tensor& a = ctx->input(0);
     // AllocateOutput's default ZeroInit::kYes IS the kernel: pooled blocks
     // come back dirty, so ZerosLike must keep the explicit zeroing path.
-    ctx->set_output(0, ctx->AllocateOutput(a.dtype(), a.shape()));
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(ctx->AllocateOutput(a.dtype(), a.shape(), &out));
+    ctx->set_output(0, std::move(out));
     return Status::OK();
   }
 };

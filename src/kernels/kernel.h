@@ -72,35 +72,53 @@ class OpKernelContext {
   // requested dtype/shape match, skipping the allocation entirely.
   void AddPresized(Tensor t) { presized_.push_back(std::move(t)); }
 
-  // Allocates an output tensor on the executing device's allocator; in meta
-  // execution returns a meta tensor instead. Kernels that overwrite every
-  // element pass ZeroInit::kNo to skip the memset (the pooled allocator
-  // hands back recycled, dirty blocks).
-  Tensor AllocateOutput(DType dtype, Shape shape,
+  // Per-step memory budget the executor armed for this step; null when the
+  // step is unbudgeted. Every output allocation is charged against it.
+  const std::shared_ptr<MemoryLimiter>& step_limiter() const {
+    return step_limiter_;
+  }
+  void set_step_limiter(std::shared_ptr<MemoryLimiter> limiter) {
+    step_limiter_ = std::move(limiter);
+  }
+
+  // Allocates an output tensor on the executing device's allocator into
+  // `*out`; in meta execution produces a meta tensor instead. Kernels that
+  // overwrite every element pass ZeroInit::kNo to skip the memset (the
+  // pooled allocator hands back recycled, dirty blocks). Fails with
+  // kResourceExhausted under memory pressure (budget breach, injected
+  // fault, real OOM) — kernels propagate the status and the executor
+  // unwinds the step.
+  Status AllocateOutput(DType dtype, Shape shape, Tensor* out,
                         ZeroInit zero = ZeroInit::kYes) const {
-    if (meta_exec()) return Tensor::Meta(dtype, std::move(shape));
+    if (meta_exec()) {
+      *out = Tensor::Meta(dtype, std::move(shape));
+      return Status::OK();
+    }
     if (zero == ZeroInit::kNo) {
       for (auto it = presized_.begin(); it != presized_.end(); ++it) {
         if (it->dtype() == dtype && it->shape() == shape) {
-          Tensor t = std::move(*it);
+          *out = std::move(*it);
           presized_.erase(it);
           if (alloc_stats_ != nullptr) alloc_stats_->RecordPresized();
-          return t;
+          return Status::OK();
         }
       }
-      return Tensor::Uninitialized(dtype, std::move(shape), alloc_stats_);
     }
-    return Tensor(dtype, std::move(shape), alloc_stats_);
+    TFHPC_ASSIGN_OR_RETURN(
+        *out, Tensor::TryCreate(dtype, std::move(shape), alloc_stats_, zero,
+                                step_limiter_));
+    return Status::OK();
   }
 
-  // Buffer forwarding (TF-style in-place reuse): returns input `i` itself as
-  // the output when this kernel holds the sole reference to its buffer and
-  // dtype/shape match — the executor moves last-use tensors into the kernel,
-  // so uniqueness means no other consumer, fetch or producer cache can
-  // observe the mutation. Falls back to an uninitialized pooled allocation
-  // (callers overwrite every element by contract).
-  Tensor ForwardOrAllocate(std::initializer_list<int> candidates, DType dtype,
-                           const Shape& shape) const {
+  // Buffer forwarding (TF-style in-place reuse): hands back input `i` itself
+  // as the output when this kernel holds the sole reference to its buffer
+  // and dtype/shape match — the executor moves last-use tensors into the
+  // kernel, so uniqueness means no other consumer, fetch or producer cache
+  // can observe the mutation. Falls back to an uninitialized pooled
+  // allocation (callers overwrite every element by contract), which can fail
+  // with kResourceExhausted like AllocateOutput.
+  Status ForwardOrAllocate(std::initializer_list<int> candidates, DType dtype,
+                           const Shape& shape, Tensor* out) const {
     if (!meta_exec()) {
       for (int i : candidates) {
         const Tensor& in = input(i);
@@ -108,11 +126,12 @@ class OpKernelContext {
           continue;
         if (in.buffer_unique()) {
           if (alloc_stats_ != nullptr) alloc_stats_->RecordForward();
-          return in;
+          *out = in;
+          return Status::OK();
         }
       }
     }
-    return AllocateOutput(dtype, Shape(shape), ZeroInit::kNo);
+    return AllocateOutput(dtype, Shape(shape), out, ZeroInit::kNo);
   }
 
  private:
@@ -126,6 +145,7 @@ class OpKernelContext {
   bool simulate_;
   AllocatorStats* alloc_stats_;
   CancellationToken* cancellation_ = nullptr;
+  std::shared_ptr<MemoryLimiter> step_limiter_;
 };
 
 class OpKernel {

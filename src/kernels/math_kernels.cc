@@ -54,7 +54,8 @@ class BinaryKernel : public OpKernel {
     // Forward a last-use operand's buffer in place when possible; ApplyBin
     // reads index i before writing index i, so aliasing out with either
     // operand is safe. Scalar operands never match out_shape and are skipped.
-    Tensor out = ctx->ForwardOrAllocate({0, 1}, a.dtype(), out_shape);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(ctx->ForwardOrAllocate({0, 1}, a.dtype(), out_shape, &out));
     if (!ctx->meta_exec()) {
       const int64_t n = out.num_elements();
       switch (a.dtype()) {
@@ -127,7 +128,8 @@ class SqrtKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     const Tensor& a = ctx->input(0);
-    Tensor out = ctx->ForwardOrAllocate({0}, a.dtype(), a.shape());
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(ctx->ForwardOrAllocate({0}, a.dtype(), a.shape(), &out));
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       if (a.dtype() == DType::kF64) {
@@ -162,7 +164,9 @@ class DotKernel : public OpKernel {
                              a.shape().ToString() + " and " +
                              b.shape().ToString());
     }
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{}, ZeroInit::kNo);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(
+        ctx->AllocateOutput(a.dtype(), Shape{}, &out, ZeroInit::kNo));
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       if (a.dtype() == DType::kF64) {
@@ -202,7 +206,9 @@ class ReduceSumKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
     const Tensor& a = ctx->input(0);
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{}, ZeroInit::kNo);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(
+        ctx->AllocateOutput(a.dtype(), Shape{}, &out, ZeroInit::kNo));
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       if (a.dtype() == DType::kF64) {
@@ -252,7 +258,8 @@ class AxpyKernel : public OpKernel {
     }
     // d[i] depends only on xs[i]/ys[i], so forwarding either vector operand
     // is alias-safe.
-    Tensor out = ctx->ForwardOrAllocate({1, 2}, x.dtype(), x.shape());
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(ctx->ForwardOrAllocate({1, 2}, x.dtype(), x.shape(), &out));
     if (!ctx->meta_exec()) {
       const int64_t n = x.num_elements();
       if (x.dtype() == DType::kF64) {
@@ -314,7 +321,9 @@ class MatMulKernel : public OpKernel {
     const int64_t n = b.shape().dim(1);
     // Gemm(beta_zero) clears C before accumulating — skip the redundant
     // allocator memset.
-    Tensor out = ctx->AllocateOutput(a.dtype(), Shape{m, n}, ZeroInit::kNo);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(
+        ctx->AllocateOutput(a.dtype(), Shape{m, n}, &out, ZeroInit::kNo));
     if (!ctx->meta_exec()) {
       if (a.dtype() == DType::kF32) {
         blas::Gemm(a.data<float>().data(), b.data<float>().data(),
@@ -357,8 +366,9 @@ class MatVecKernel : public OpKernel {
                              " x " + v.shape().ToString());
     }
     if (m.dtype() != v.dtype()) return InvalidArgument("MatVec dtype mismatch");
-    Tensor out =
-        ctx->AllocateOutput(m.dtype(), Shape{m.shape().dim(0)}, ZeroInit::kNo);
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(ctx->AllocateOutput(m.dtype(), Shape{m.shape().dim(0)},
+                                              &out, ZeroInit::kNo));
     if (!ctx->meta_exec()) {
       if (m.dtype() == DType::kF64) {
         blas::Gemv(m.data<double>().data(), v.data<double>().data(),
@@ -405,7 +415,8 @@ class FftKernel : public OpKernel {
     TFHPC_ASSIGN_OR_RETURN(bool inverse, ctx->node().AttrBool("inverse"));
     // The transform runs in a scratch vector copied from x before the final
     // memcpy, so forwarding x's buffer as the output is safe.
-    Tensor out = ctx->ForwardOrAllocate({0}, DType::kC128, x.shape());
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(ctx->ForwardOrAllocate({0}, DType::kC128, x.shape(), &out));
     if (!ctx->meta_exec()) {
       const auto src = x.data<std::complex<double>>();
       std::vector<std::complex<double>> buf(src.begin(), src.end());

@@ -40,7 +40,8 @@ class RandomUniformKernel : public OpKernel {
     TFHPC_ASSIGN_OR_RETURN(int64_t seed, ctx->node().AttrInt("seed"));
     TFHPC_ASSIGN_OR_RETURN(double lo, ctx->node().AttrFloat("lo"));
     TFHPC_ASSIGN_OR_RETURN(double hi, ctx->node().AttrFloat("hi"));
-    Tensor out = ctx->AllocateOutput(dtype, std::move(shape));
+    Tensor out;
+    TFHPC_RETURN_IF_ERROR(ctx->AllocateOutput(dtype, std::move(shape), &out));
     if (!ctx->meta_exec()) {
       FillUniform(out, static_cast<uint64_t>(seed), lo, hi);
     }

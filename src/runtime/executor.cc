@@ -230,6 +230,12 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
         cn.static_outputs = it->second;
       }
     }
+    // Accumulate the step's statically known output footprint; the serving
+    // layer admits steps against a byte budget using this estimate.
+    for (const auto& [dt, shp] : cn.static_outputs) {
+      exe->estimated_bytes_ +=
+          shp.num_elements() * static_cast<int64_t>(DTypeSize(dt));
+    }
   }
 
   // ---- Feed/fetch bindings. ----------------------------------------------
@@ -297,6 +303,15 @@ Result<std::vector<Tensor>> Executor::Execute(
   if (token != nullptr) {
     Status admitted = token->Check();
     if (!admitted.ok()) return admitted;  // refuse already-dead steps
+  }
+
+  // Per-step memory budget: shared with every buffer the step allocates, so
+  // the reservation releases exactly when the memory does — including
+  // fetched tensors that outlive this call.
+  std::shared_ptr<MemoryLimiter> step_limiter;
+  if (options.step_memory_limit_bytes > 0) {
+    step_limiter = std::make_shared<MemoryLimiter>(
+        options.step_memory_limit_bytes, "step memory");
   }
 
   // ---- Dataflow state: flat, pre-sized, no map lookups on the hot path. --
@@ -377,11 +392,22 @@ Result<std::vector<Tensor>> Executor::Execute(
       OpKernelContext ctx(n, std::move(inputs), resources_, options.simulate,
                           cn.device->allocator_stats());
       ctx.set_cancellation(token);
+      ctx.set_step_limiter(step_limiter);
       if (!options.simulate) {
         for (const auto& [dt, shp] : cn.static_outputs) {
-          ctx.AddPresized(
-              Tensor::Uninitialized(dt, shp, cn.device->allocator_stats()));
+          // Pre-sizing is fallible like any other step allocation: under
+          // memory pressure the node fails with kResourceExhausted and the
+          // step unwinds instead of aborting the process.
+          auto presized =
+              Tensor::TryCreate(dt, shp, cn.device->allocator_stats(),
+                                ZeroInit::kNo, step_limiter);
+          if (!presized.ok()) {
+            status = presized.status();
+            break;
+          }
+          ctx.AddPresized(std::move(*presized));
         }
+        if (!status.ok()) break;
       }
       const CostEstimate cost = cn.kernel->Cost(ctx);
       if (!options.simulate) {

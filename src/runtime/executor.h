@@ -48,6 +48,12 @@ struct RunOptions {
   // both a token and timeout_ms are given, the effective deadline is the
   // earlier of the two (the token is tightened in place).
   CancellationToken* cancellation = nullptr;
+  // Per-step memory budget in bytes (0 = unbudgeted). Execute arms a
+  // MemoryLimiter charged by every output allocation of this step; a breach
+  // fails the offending node with *permanent* kResourceExhausted and the
+  // step unwinds. Buffers fetched out of the step keep their reservation
+  // until destroyed (the limiter is shared, so this is safe).
+  int64_t step_memory_limit_bytes = 0;
 };
 
 // One executed node, for the Timeline (Fig. 3) and the DES replay.
@@ -95,6 +101,11 @@ class Executable {
   int num_scheduled_nodes() const { return num_scheduled_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   const std::vector<std::string>& fetches() const { return fetch_keys_; }
+  // Statically estimated output bytes for one execution of this step,
+  // summed from GraphCheck's inferred shapes (nodes without a static shape
+  // contribute nothing, so this is a lower bound). The serving layer admits
+  // steps against a byte budget using this estimate.
+  int64_t estimated_bytes() const { return estimated_bytes_; }
 
  private:
   friend class Executor;
@@ -144,6 +155,7 @@ class Executable {
   std::vector<std::string> fetch_keys_;
   int64_t graph_version_ = 0;
   int num_scheduled_ = 0;
+  int64_t estimated_bytes_ = 0;
 };
 
 class Executor {

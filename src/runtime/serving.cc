@@ -8,7 +8,8 @@ ServingController::ServingController(ServingOptions options)
     : options_(std::move(options)) {}
 
 Status ServingController::Admit(const std::string& client_id,
-                                CancellationToken* token) {
+                                CancellationToken* token,
+                                int64_t estimated_bytes) {
   // Registered before mu_ so the callback (which takes mu_) cannot deadlock
   // against this frame, and deregistered after the wait completes.
   CancelCallback wake(token, [this] {
@@ -22,10 +23,24 @@ Status ServingController::Admit(const std::string& client_id,
     if (!ts.ok()) return ts;  // dead on arrival: refuse before queueing
   }
 
+  // A step that cannot fit the byte budget even on an idle server will
+  // never be admittable: permanent kResourceExhausted (no [transient] tag),
+  // so clients don't waste retries on it.
+  if (options_.max_estimated_bytes > 0 &&
+      estimated_bytes > options_.max_estimated_bytes) {
+    ++stats_.rejected_oversize;
+    return ResourceExhausted(
+        "step estimated bytes " + std::to_string(estimated_bytes) +
+        " exceed the serving memory budget " +
+        std::to_string(options_.max_estimated_bytes));
+  }
+
   // Fast path — but only when nobody is queued: arrivals must not barge
   // past tickets already waiting their fair turn.
-  if (inflight_ < options_.max_inflight && queued_ == 0) {
+  if (inflight_ < options_.max_inflight && queued_ == 0 &&
+      BytesFitLocked(estimated_bytes)) {
     ++inflight_;
+    inflight_bytes_ += estimated_bytes;
     ++stats_.admitted;
     return Status::OK();
   }
@@ -39,6 +54,7 @@ Status ServingController::Admit(const std::string& client_id,
   }
 
   Ticket ticket;
+  ticket.bytes = estimated_bytes;
   queues_[client_id].push_back(&ticket);
   ++queued_;
   GrantNextLocked();  // a slot may be free right now (we just joined the line)
@@ -70,6 +86,7 @@ Status ServingController::Admit(const std::string& client_id,
     Status ts = token->Check();
     if (!ts.ok()) {
       --inflight_;
+      inflight_bytes_ -= ticket.bytes;
       ++stats_.expired_in_queue;
       GrantNextLocked();
       cv_.notify_all();
@@ -80,9 +97,10 @@ Status ServingController::Admit(const std::string& client_id,
   return Status::OK();
 }
 
-void ServingController::Release() {
+void ServingController::Release(int64_t estimated_bytes) {
   std::lock_guard<std::mutex> lk(mu_);
   --inflight_;
+  inflight_bytes_ -= estimated_bytes;
   ++stats_.completed;
   GrantNextLocked();
   cv_.notify_all();
@@ -101,11 +119,17 @@ void ServingController::GrantNextLocked() {
     }
     if (it == queues_.end() || it->second.empty()) return;  // defensive
     Ticket* t = it->second.front();
+    // Byte budget headroom gates the grant. When the fair-order pick does
+    // not fit, stop granting entirely (no barging by smaller later steps):
+    // inflight steps completing will free bytes and re-run this loop, so
+    // the large step is delayed, never starved.
+    if (!BytesFitLocked(t->bytes)) return;
     it->second.pop_front();
     rr_cursor_ = it->first;
     if (it->second.empty()) queues_.erase(it);
     t->granted = true;
     ++inflight_;
+    inflight_bytes_ += t->bytes;
     --queued_;
   }
 }
@@ -129,6 +153,7 @@ ServingStats ServingController::stats() const {
   ServingStats s = stats_;
   s.inflight = inflight_;
   s.queued = queued_;
+  s.inflight_bytes = inflight_bytes_;
   return s;
 }
 

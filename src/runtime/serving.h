@@ -35,6 +35,13 @@ struct ServingOptions {
   int max_queued = 64;
   // Retry-after hint (ms) embedded in the kUnavailable shed status.
   int64_t retry_after_ms = 50;
+  // Memory-aware admission: total estimated bytes of concurrently executing
+  // steps (from GraphCheck's inferred static shapes, see
+  // Executable::estimated_bytes). 0 = no byte budget. A step that fits the
+  // budget but not the current headroom queues like any other admission; a
+  // step whose estimate exceeds the whole budget can never run here and is
+  // rejected with *permanent* kResourceExhausted.
+  int64_t max_estimated_bytes = 0;
 };
 
 struct ServingStats {
@@ -42,8 +49,10 @@ struct ServingStats {
   int64_t shed = 0;            // rejected kUnavailable (queue full)
   int64_t expired_in_queue = 0;  // ticket cancelled or deadlined while queued
   int64_t completed = 0;       // Release() calls
+  int64_t rejected_oversize = 0;  // estimate alone exceeds the byte budget
   int inflight = 0;            // current executing steps
   int queued = 0;              // current waiting tickets
+  int64_t inflight_bytes = 0;  // estimated bytes of executing steps
 };
 
 class ServingController {
@@ -51,13 +60,16 @@ class ServingController {
   explicit ServingController(ServingOptions options = {});
 
   // Acquires an execution slot for one step of `client_id`. Returns OK when
-  // granted (the caller MUST pair it with Release()); blocks in the fair
-  // admission queue while the server is at max_inflight; fails fast with
-  // kUnavailable when the queue is full, and with the token's status if it
-  // cancels or its deadline passes while waiting. New arrivals never barge
-  // past queued tickets even when a slot is free.
-  Status Admit(const std::string& client_id, CancellationToken* token);
-  void Release();
+  // granted (the caller MUST pair it with Release(estimated_bytes), same
+  // value); blocks in the fair admission queue while the server is at
+  // max_inflight or the byte budget lacks headroom for `estimated_bytes`;
+  // fails fast with kUnavailable when the queue is full, with permanent
+  // kResourceExhausted when the estimate can never fit the budget, and with
+  // the token's status if it cancels or its deadline passes while waiting.
+  // New arrivals never barge past queued tickets even when a slot is free.
+  Status Admit(const std::string& client_id, CancellationToken* token,
+               int64_t estimated_bytes = 0);
+  void Release(int64_t estimated_bytes = 0);
 
   ServingStats stats() const;
   const ServingOptions& options() const { return options_; }
@@ -66,11 +78,12 @@ class ServingController {
   class Slot {
    public:
     Slot(ServingController* controller, const std::string& client_id,
-         CancellationToken* token)
+         CancellationToken* token, int64_t estimated_bytes = 0)
         : controller_(controller),
-          status_(controller->Admit(client_id, token)) {}
+          estimated_bytes_(estimated_bytes),
+          status_(controller->Admit(client_id, token, estimated_bytes)) {}
     ~Slot() {
-      if (status_.ok()) controller_->Release();
+      if (status_.ok()) controller_->Release(estimated_bytes_);
     }
     Slot(const Slot&) = delete;
     Slot& operator=(const Slot&) = delete;
@@ -78,12 +91,14 @@ class ServingController {
 
    private:
     ServingController* controller_;
+    int64_t estimated_bytes_;
     Status status_;
   };
 
  private:
   struct Ticket {
     bool granted = false;
+    int64_t bytes = 0;
   };
 
   // Grants free slots to queued tickets, round-robin across clients with
@@ -93,11 +108,19 @@ class ServingController {
   // mu_.
   void RemoveTicketLocked(const std::string& client_id, Ticket* t);
 
+  // True when `bytes` more estimated bytes fit the byte budget. Caller
+  // holds mu_.
+  bool BytesFitLocked(int64_t bytes) const {
+    return options_.max_estimated_bytes <= 0 ||
+           inflight_bytes_ + bytes <= options_.max_estimated_bytes;
+  }
+
   const ServingOptions options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   int inflight_ = 0;
   int queued_ = 0;
+  int64_t inflight_bytes_ = 0;
   // Per-client FIFO of waiting tickets (pointers into Admit stack frames —
   // valid because Admit never returns while its ticket is queued), plus a
   // round-robin cursor over client ids for the fair grant order.

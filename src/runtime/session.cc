@@ -33,7 +33,11 @@ Session::Session(Graph* graph, DeviceMgr* devices, ResourceMgr* resources,
                  DeviceName default_device, SessionOptions options)
     : graph_(graph),
       executor_(graph, devices, resources, std::move(default_device)),
-      options_(options) {}
+      options_(options) {
+  if (options_.alloc_faults.enabled()) {
+    AllocFaultInjector::Global().Install(options_.alloc_faults);
+  }
+}
 
 Result<std::shared_ptr<const Executable>> Session::Prepare(
     const std::vector<std::string>& feed_keys,
@@ -133,7 +137,11 @@ Result<std::shared_ptr<const Executable>> Session::Prepare(
 Result<std::vector<Tensor>> Session::RunPrepared(
     const Executable& executable, const std::map<std::string, Tensor>& feeds,
     const RunOptions& options, RunMetadata* metadata) {
-  auto r = executor_.Execute(executable, feeds, options, metadata);
+  RunOptions effective = options;
+  if (effective.step_memory_limit_bytes == 0) {
+    effective.step_memory_limit_bytes = options_.step_memory_limit_bytes;
+  }
+  auto r = executor_.Execute(executable, feeds, effective, metadata);
   if (r.ok()) {
     nodes_executed_.fetch_add(executable.num_scheduled_nodes(),
                               std::memory_order_relaxed);

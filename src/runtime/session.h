@@ -47,6 +47,14 @@ enum class GraphCheckMode {
 
 struct SessionOptions {
   GraphCheckMode graph_check = GraphCheckMode::kWarn;
+  // Default per-step memory budget (bytes) applied to every Run whose
+  // RunOptions does not set its own; 0 = unbudgeted. Breaches fail the step
+  // with permanent kResourceExhausted (see core/buffer.h).
+  int64_t step_memory_limit_bytes = 0;
+  // Allocator fault schedule, installed process-wide at session
+  // construction when any schedule is enabled (testing/chaos only — the
+  // injector is global, like the pool it torments).
+  AllocFaultSpec alloc_faults;
 };
 
 class Session {

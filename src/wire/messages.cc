@@ -588,6 +588,7 @@ std::string RpcEnvelope::Serialize() const {
   if (client_id != 0) co.WriteUInt64(6, client_id);
   if (checksum != 0) co.WriteUInt64(7, checksum);
   if (deadline_ns != 0) co.WriteUInt64(8, deadline_ns);
+  if (transient) co.WriteUInt64(9, 1);
   return out;
 }
 
@@ -631,6 +632,10 @@ Result<RpcEnvelope> RpcEnvelope::Parse(const std::string& data) {
       case 8:
         TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
         e.deadline_ns = v;
+        break;
+      case 9:
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&v));
+        e.transient = v != 0;
         break;
       default:
         TFHPC_RETURN_IF_ERROR(in.SkipField(wt));

@@ -144,6 +144,12 @@ struct RpcEnvelope {
   // clock-skew bound. Servers refuse already-expired requests with
   // kDeadlineExceeded before dispatching and bound blocking work by it.
   uint64_t deadline_ns = 0;  // field 8
+  // For status_code == kResourceExhausted: true when the exhaustion is
+  // transient (pool pressure that may clear — retryable after backoff),
+  // false when permanent (the request itself exceeds a fixed budget).
+  // Carried explicitly so the taxonomy survives the RPC boundary even if a
+  // server rewrites the status message.
+  bool transient = false;  // field 9
 
   std::string Serialize() const;
   static Result<RpcEnvelope> Parse(const std::string& data);
