@@ -1,0 +1,326 @@
+// Ablation: what does the graph optimizer pipeline (src/optimizer) buy on
+// the paper's application graphs and on the kind of long elementwise chain
+// Grappler was built for? Three workloads — the CG worker step, the FFT
+// worker step, and a synthetic 12-op elementwise chain — each run at
+// optimizer level off / basic / aggressive:
+//
+//   - static:  node count of the optimized step signature (the executor's
+//              view after const folding, CSE, DNE and fusion)
+//   - dynamic: cached per-step latency over repeat Runs of one signature,
+//              plus allocator traffic (allocations and pooled bytes per
+//              step) from the device stats
+//   - safety:  fetched values at basic/aggressive must agree with off
+//
+// The binary asserts the chain's node-count reduction floor (>= 30% at
+// aggressive) and numeric agreement across levels, exiting 1 on violation —
+// ci.sh runs `ablation_optimizer --smoke` as a gate. Results also land in
+// BENCH_optimizer.json.
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app_graphs.h"
+#include "bench_util.h"
+#include "graph/ops.h"
+#include "optimizer/optimizer.h"
+#include "runtime/session.h"
+
+using namespace tfhpc;
+
+namespace {
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One Run signature: the feeds/fetches/targets the step repeats, plus an
+// optional one-time setup signature (CG's A-block load).
+struct Workload {
+  std::string name;
+  std::map<std::string, Tensor> feeds;
+  std::vector<std::string> fetches;
+  std::map<std::string, Tensor> setup_feeds;  // run once, before timing
+  std::vector<std::string> setup_targets;
+};
+
+// Per-(workload, level) measurements.
+struct Cell {
+  int nodes = 0;               // optimized step-signature node count
+  double us_per_step = 0;
+  double allocs_per_step = 0;
+  double pool_bytes_per_step = 0;
+  std::vector<Tensor> values;  // fetched tensors, for cross-level agreement
+  bool ok = false;
+};
+
+Tensor RampF64(int64_t n, double scale) {
+  std::vector<double> v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    v[static_cast<size_t>(i)] = scale * (1.0 + 0.25 * static_cast<double>(i));
+  }
+  return Tensor::FromVector(std::move(v));
+}
+
+// The synthetic chain: 12 fusable elementwise stages over one fed vector,
+// with a const-only subexpression (folds) and a duplicated scale (CSE).
+Workload BuildChain(const Scope& s, int64_t n) {
+  auto x = ops::Placeholder(s, DType::kF64, Shape{n}, "x");
+  auto c2 = ops::Const(s, Tensor::Scalar(2.0), "c2");
+  auto c3 = ops::Const(s, Tensor::Scalar(3.0), "c3");
+  auto scale = ops::Mul(s, c2, c3);       // const-foldable
+  auto scale_dup = ops::Mul(s, c2, c3);   // CSE merges with `scale`
+  Output t = ops::Add(s, x, c2);          // stage 1
+  t = ops::Mul(s, t, scale);              // 2
+  t = ops::Sub(s, t, c3);                 // 3
+  t = ops::Mul(s, t, scale_dup);          // 4
+  t = ops::Add(s, t, c3);                 // 5
+  t = ops::Mul(s, t, c2);                 // 6
+  t = ops::Sub(s, t, c2);                 // 7
+  t = ops::Add(s, t, scale);              // 8
+  t = ops::Mul(s, t, c3);                 // 9
+  t = ops::Sub(s, t, scale);              // 10
+  t = ops::Add(s, t, c2);                 // 11
+  t = ops::Mul(s, t, c2);                 // 12
+  Workload w;
+  w.name = "chain12";
+  w.feeds.emplace("x", RampF64(n, 1e-3));
+  w.fetches = {t.name()};
+  return w;
+}
+
+Workload BuildCg(const Scope& s, int64_t rows, int64_t n) {
+  const apps::CgWorkerGraph g = apps::BuildCgWorkerGraph(s, rows, n);
+  Workload w;
+  w.name = "cg_worker";
+  {
+    std::vector<double> a(static_cast<size_t>(rows * n));
+    for (size_t i = 0; i < a.size(); ++i) {
+      a[i] = 1e-4 * (1.0 + 0.25 * static_cast<double>(i % 97));
+    }
+    w.setup_feeds.emplace(g.a_feed, Tensor::FromVector(Shape{rows, n}, a));
+  }
+  w.setup_targets = {g.a_init};
+  w.feeds.emplace(g.p, RampF64(n, 1.0));
+  w.feeds.emplace(g.u, RampF64(rows, 0.5));
+  w.feeds.emplace(g.v, RampF64(rows, 0.25));
+  w.feeds.emplace(g.alpha, Tensor::Scalar(0.125));
+  w.feeds.emplace(g.ax, RampF64(n, 2.0));
+  w.feeds.emplace(g.ay, RampF64(n, -1.0));
+  w.fetches = {g.ap, g.dot, g.axpy};
+  return w;
+}
+
+Workload BuildFft(const Scope& s, int64_t m) {
+  const apps::FftWorkerGraph g = apps::BuildFftWorkerGraph(s, m);
+  Tensor x(DType::kC128, Shape{m});
+  auto* lanes = static_cast<std::complex<double>*>(x.raw_data());
+  for (int64_t i = 0; i < m; ++i) {
+    const double ph = 2.0 * 3.14159265358979323846 * static_cast<double>(i) /
+                      static_cast<double>(m);
+    lanes[i] = {std::cos(3 * ph), std::sin(5 * ph)};
+  }
+  Workload w;
+  w.name = "fft_worker";
+  w.feeds.emplace(g.x, std::move(x));
+  w.fetches = {g.spectrum};
+  return w;
+}
+
+// The same static view Session::Prepare compiles: run the pipeline over the
+// step signature and count surviving nodes (level off = the raw graph).
+Result<int> OptimizedNodeCount(const Graph& g, const Workload& w,
+                               optimizer::OptimizerLevel level) {
+  const wire::GraphDef def = g.ToGraphDef();
+  if (level == optimizer::OptimizerLevel::kOff) {
+    return static_cast<int>(def.nodes.size());
+  }
+  optimizer::PipelineOptions opts;
+  opts.level = level;
+  for (const auto& [name, tensor] : w.feeds) opts.feeds.push_back(name);
+  for (const auto& [name, tensor] : w.setup_feeds) {
+    opts.feeds.push_back(name);
+  }
+  opts.fetches = w.fetches;
+  opts.targets = w.setup_targets;
+  TFHPC_ASSIGN_OR_RETURN(optimizer::PipelineResult r,
+                         optimizer::RunPassPipeline(def, opts));
+  return static_cast<int>(r.graph.nodes.size());
+}
+
+Cell Measure(const std::function<Workload(const Scope&)>& build,
+             optimizer::OptimizerLevel level, int steps) {
+  Cell cell;
+  LocalRuntime rt(/*num_gpus=*/0);
+  Scope s = rt.root_scope();
+  const Workload w = build(s);
+
+  auto nodes = OptimizedNodeCount(rt.graph(), w, level);
+  if (!nodes.ok()) {
+    std::fprintf(stderr, "%s: pipeline failed: %s\n", w.name.c_str(),
+                 nodes.status().ToString().c_str());
+    return cell;
+  }
+  cell.nodes = *nodes;
+
+  SessionOptions opts;
+  opts.optimizer_level = level;
+  auto session = rt.NewSession(opts);
+  if (!w.setup_targets.empty()) {
+    auto r = session->Run(w.setup_feeds, {}, w.setup_targets);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s: setup failed: %s\n", w.name.c_str(),
+                   r.status().ToString().c_str());
+      return cell;
+    }
+  }
+  // Warm run: compiles (and optimizes) the step signature once, and gives
+  // the values used for the cross-level agreement check.
+  auto warm = session->Run(w.feeds, w.fetches);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "%s: step failed: %s\n", w.name.c_str(),
+                 warm.status().ToString().c_str());
+    return cell;
+  }
+  cell.values = *warm;
+
+  int64_t allocs0 = 0, pool0 = 0;
+  for (const auto& d : rt.devices().devices()) {
+    allocs0 += d->allocator_stats()->allocs();
+    pool0 += d->allocator_stats()->pool_bytes();
+  }
+  const double start = NowUs();
+  for (int i = 0; i < steps; ++i) {
+    auto r = session->Run(w.feeds, w.fetches);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s: step failed: %s\n", w.name.c_str(),
+                   r.status().ToString().c_str());
+      return cell;
+    }
+  }
+  cell.us_per_step = (NowUs() - start) / steps;
+  int64_t allocs1 = 0, pool1 = 0;
+  for (const auto& d : rt.devices().devices()) {
+    allocs1 += d->allocator_stats()->allocs();
+    pool1 += d->allocator_stats()->pool_bytes();
+  }
+  cell.allocs_per_step = static_cast<double>(allocs1 - allocs0) / steps;
+  cell.pool_bytes_per_step = static_cast<double>(pool1 - pool0) / steps;
+  cell.ok = true;
+  return cell;
+}
+
+// Max |a - b| across every fetched tensor, interpreting payloads as raw f64
+// lanes (covers kF64 and the two-lane kC128 spectrum alike).
+double MaxAbsDiff(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
+  double worst = 0;
+  if (a.size() != b.size()) return 1e300;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].bytes() != b[i].bytes()) return 1e300;
+    const size_t lanes = static_cast<size_t>(a[i].bytes()) / sizeof(double);
+    const double* pa = static_cast<const double*>(a[i].raw_data());
+    const double* pb = static_cast<const double*>(b[i].raw_data());
+    for (size_t k = 0; k < lanes; ++k) {
+      worst = std::max(worst, std::abs(pa[k] - pb[k]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int steps = smoke ? 40 : 400;
+  const int64_t chain_n = smoke ? 512 : 65536;
+  const int64_t cg_rows = smoke ? 32 : 256;
+  const int64_t cg_n = smoke ? 128 : 1024;
+  const int64_t fft_m = smoke ? 256 : 4096;
+
+  bench::Header("Ablation — graph optimizer pipeline",
+                "Grappler-lite: const fold + CSE + DNE + elementwise fusion "
+                "on the app step graphs");
+  bench::JsonResults json("optimizer");
+  json.Meta("mode", smoke ? "smoke" : "full")
+      .Meta("steps", static_cast<double>(steps));
+
+  struct Entry {
+    std::string name;
+    std::function<Workload(const Scope&)> build;
+  };
+  const std::vector<Entry> entries = {
+      {"chain12", [&](const Scope& s) { return BuildChain(s, chain_n); }},
+      {"cg_worker", [&](const Scope& s) { return BuildCg(s, cg_rows, cg_n); }},
+      {"fft_worker", [&](const Scope& s) { return BuildFft(s, fft_m); }},
+  };
+  const std::vector<optimizer::OptimizerLevel> levels = {
+      optimizer::OptimizerLevel::kOff, optimizer::OptimizerLevel::kBasic,
+      optimizer::OptimizerLevel::kAggressive};
+
+  bool failed = false;
+  std::printf("%-11s %-11s | %6s %8s | %11s %9s %12s | %10s\n", "workload",
+              "level", "nodes", "vs off", "us/step", "allocs/st",
+              "pool B/step", "max|diff|");
+  bench::Rule();
+  for (const Entry& e : entries) {
+    Cell off;
+    for (optimizer::OptimizerLevel level : levels) {
+      Cell c = Measure(e.build, level, steps);
+      if (!c.ok) return 1;
+      const bool is_off = level == optimizer::OptimizerLevel::kOff;
+      if (is_off) off = c;
+      const double reduction =
+          off.nodes > 0
+              ? 100.0 * (off.nodes - c.nodes) / static_cast<double>(off.nodes)
+              : 0.0;
+      const double diff = is_off ? 0.0 : MaxAbsDiff(off.values, c.values);
+      std::printf("%-11s %-11s | %6d %7.1f%% | %11.1f %9.1f %12.0f | %10.2e\n",
+                  e.name.c_str(), optimizer::OptimizerLevelName(level),
+                  c.nodes, reduction, c.us_per_step, c.allocs_per_step,
+                  c.pool_bytes_per_step, diff);
+      json.Record()
+          .Str("workload", e.name)
+          .Str("level", optimizer::OptimizerLevelName(level))
+          .Num("nodes", c.nodes)
+          .Num("node_reduction_pct", reduction)
+          .Num("us_per_step", c.us_per_step)
+          .Num("allocs_per_step", c.allocs_per_step)
+          .Num("pool_bytes_per_step", c.pool_bytes_per_step)
+          .Num("max_abs_diff", diff);
+
+      // Safety gate: the optimizer must never change fetched values. The
+      // fused chain kernel applies the same scalar ops in the same order, so
+      // even the chain workload must agree bit-for-bit (diff == 0).
+      if (!is_off && diff > 1e-12) {
+        std::fprintf(stderr,
+                     "FAIL: %s at %s diverges from off (max|diff| %.3e)\n",
+                     e.name.c_str(), optimizer::OptimizerLevelName(level),
+                     diff);
+        failed = true;
+      }
+      // Coverage gate: the 12-stage chain must collapse by at least 30% at
+      // aggressive (ISSUE 8 acceptance floor).
+      if (e.name == "chain12" &&
+          level == optimizer::OptimizerLevel::kAggressive &&
+          reduction < 30.0) {
+        std::fprintf(stderr,
+                     "FAIL: chain12 aggressive reduction %.1f%% < 30%%\n",
+                     reduction);
+        failed = true;
+      }
+    }
+    bench::Rule();
+  }
+
+  json.WriteFile("BENCH_optimizer.json");
+  if (failed) return 1;
+  std::printf("optimizer ablation: levels agree, reduction floor met\n");
+  return 0;
+}

@@ -31,6 +31,13 @@ mkdir -p "$repo/build/graphs"
   "$repo/build/graphs/tiled_matmul.graph" \
   "$repo/build/graphs/cg.graph" \
   "$repo/build/graphs/fft.graph"
+# Same graphs through the optimizer pipeline: every pass output must
+# re-verify clean (an ERROR after optimization exits 2 = optimizer bug).
+"$repo/build/tools/graphcheck" --optimize=aggressive \
+  "$repo/build/graphs/stream.graph" \
+  "$repo/build/graphs/tiled_matmul.graph" \
+  "$repo/build/graphs/cg.graph" \
+  "$repo/build/graphs/fft.graph"
 rc=0
 "$repo/build/tools/graphcheck" "$repo/build/graphs/broken.graph" || rc=$?
 if [[ "$rc" != 2 ]]; then
@@ -48,6 +55,14 @@ echo "==== serving smoke: load generator under saturation + faults ===="
   ./bench/serving_load --clients 16 --duration-ms 500 --max-p99-ms 5000)
 echo "==== serving smoke: zero hangs, p99 within bound ===="
 
+# Optimizer ablation smoke: CG/FFT/elementwise-chain at off/basic/aggressive
+# (reduced sizes). The binary asserts the node-count reduction floor on the
+# chain graph and numeric agreement across levels, and writes
+# BENCH_optimizer.json.
+echo "==== optimizer ablation smoke ===="
+(cd "$repo/build" && ./bench/ablation_optimizer --smoke)
+echo "==== optimizer ablation: levels agree, reduction floor met ===="
+
 if [[ "$fast" == 1 ]]; then
   echo "==== ci: tier 1 OK (sanitizer smoke skipped) ===="
   exit 0
@@ -61,7 +76,7 @@ fi
 # shared cached Executable).
 echo "==== tier 2: ThreadSanitizer smoke ===="
 "$repo/scripts/sanitize.sh" thread \
-  'ExecutableCache|DistSession|DistStep|FaultTolerance|StepRecovery|JobRecovery|Liveness|Rendezvous|BufferPool|Serving|CancellationToken|Oom'
+  'ExecutableCache|DistSession|DistStep|FaultTolerance|StepRecovery|JobRecovery|Liveness|Rendezvous|BufferPool|Serving|CancellationToken|Oom|Optimizer|Fused|Coalesce'
 
 # ASan over the zero-copy data path: pooled buffer recycling, payload views
 # holding buffer references across transport/server boundaries, in-place
@@ -70,7 +85,7 @@ echo "==== tier 2: ThreadSanitizer smoke ===="
 # the nightly `scripts/sanitize.sh both`.
 echo "==== tier 3: AddressSanitizer smoke ===="
 "$repo/scripts/sanitize.sh" address \
-  'BufferPool|BufferForward|TensorBuffer|Transport|ServerTest|Checkpoint|WireTensor|Oom'
+  'BufferPool|BufferForward|TensorBuffer|Transport|ServerTest|Checkpoint|WireTensor|Oom|Fused|Coalesce'
 
 # OOM-injection smoke: the multi-client distributed workload under an
 # injected allocator fault schedule, on the instrumented build. The binary
@@ -87,14 +102,16 @@ echo "==== OOM smoke: contract held, zero leaks ===="
 # overflow or misaligned access would hide.
 echo "==== tier 4: UndefinedBehaviorSanitizer smoke ===="
 "$repo/scripts/sanitize.sh" undefined \
-  'Kernels|ArrayKernels|GraphCheck|ShapeInference|Presize|Wire|CoreTest'
+  'Kernels|ArrayKernels|GraphCheck|ShapeInference|Presize|Wire|CoreTest|Optimizer|Fused'
 
-# clang-tidy (checks pinned in .clang-tidy) over the analysis subsystem and
-# the CLI; the container may not ship clang-tidy, so skip-if-absent.
+# clang-tidy (checks pinned in .clang-tidy) over the analysis and optimizer
+# subsystems and the CLI; the container may not ship clang-tidy, so
+# skip-if-absent.
 echo "==== tier 5: clang-tidy ===="
 if command -v clang-tidy >/dev/null 2>&1; then
   clang-tidy -p "$repo/build" --quiet \
-    "$repo"/src/analysis/*.cc "$repo"/tools/graphcheck.cc
+    "$repo"/src/analysis/*.cc "$repo"/src/optimizer/*.cc \
+    "$repo"/tools/graphcheck.cc
   echo "==== clang-tidy: clean ===="
 else
   echo "==== clang-tidy not installed; skipping lint leg ===="

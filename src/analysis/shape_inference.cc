@@ -1,6 +1,7 @@
 #include "analysis/shape_inference.h"
 
 #include "core/dtype.h"
+#include "optimizer/fused_spec.h"
 
 namespace tfhpc::analysis {
 
@@ -399,6 +400,21 @@ Status QueueDequeueFn(InferenceContext& c) {
 
 Status SendFn(InferenceContext& c) { return c.StringAttr("key").status(); }
 
+// _PackedSend: one '\x1f'-separated rendezvous key per input.
+Status PackedSendFn(InferenceContext& c) {
+  TFHPC_ASSIGN_OR_RETURN(std::string keys, c.StringAttr("keys"));
+  int num_keys = keys.empty() ? 0 : 1;
+  for (char ch : keys) {
+    if (ch == '\x1f') ++num_keys;
+  }
+  if (num_keys != c.num_inputs()) {
+    return c.AttrError("'keys' lists " + std::to_string(num_keys) +
+                       " rendezvous keys for " +
+                       std::to_string(c.num_inputs()) + " inputs");
+  }
+  return Status::OK();
+}
+
 Status RecvFn(InferenceContext& c) {
   TFHPC_RETURN_IF_ERROR(c.StringAttr("key").status());
   c.set_output(0, DType::kInvalid, InferredShape::Unknown());
@@ -406,6 +422,74 @@ Status RecvFn(InferenceContext& c) {
 }
 
 Status NoOpFn(InferenceContext&) { return Status::OK(); }
+
+// FusedElementwise: replay the chain's stage spec over inferred facts, using
+// the same merge rules the constituent ops' functions apply (elementwise
+// scalar broadcast, Axpy scalar alpha, Cast dtype from its to_<k> attr).
+Status FusedElementwiseFn(InferenceContext& c) {
+  auto stages = optimizer::ParseFusedStages(c.def(), c.num_inputs());
+  if (!stages.ok()) return c.AttrError(stages.status().message());
+
+  std::vector<InferredTensor> results;
+  results.reserve(stages->size());
+  for (size_t k = 0; k < stages->size(); ++k) {
+    const optimizer::FusedStage& st = (*stages)[k];
+    auto opnd = [&](int r) -> const InferredTensor& {
+      return r == optimizer::FusedStage::kPrev ? results[k - 1] : c.input(r);
+    };
+    auto merge_dtypes = [&](const InferredTensor& a,
+                            const InferredTensor& b) -> Result<DType> {
+      if (a.dtype != DType::kInvalid && b.dtype != DType::kInvalid &&
+          a.dtype != b.dtype) {
+        return c.DtypeError("fused " + st.op + " stage " + std::to_string(k) +
+                            " dtype mismatch: " +
+                            std::string(DTypeName(a.dtype)) + " vs " +
+                            DTypeName(b.dtype));
+      }
+      return a.dtype != DType::kInvalid ? a.dtype : b.dtype;
+    };
+
+    InferredTensor out;
+    if (st.op == "Add" || st.op == "Sub" || st.op == "Mul" || st.op == "Div") {
+      const InferredTensor& a = opnd(st.operands[0]);
+      const InferredTensor& b = opnd(st.operands[1]);
+      TFHPC_ASSIGN_OR_RETURN(out.dtype, merge_dtypes(a, b));
+      const bool a_scalar = a.shape.rank_known && a.shape.rank() == 0;
+      const bool b_scalar = b.shape.rank_known && b.shape.rank() == 0;
+      if (a_scalar) {
+        out.shape = b.shape;
+      } else if (b_scalar) {
+        out.shape = a.shape;
+      } else if (a.shape.rank_known && b.shape.rank_known) {
+        TFHPC_ASSIGN_OR_RETURN(out.shape, MergeShapes(a.shape, b.shape));
+      } else {
+        out.shape = a.shape.rank_known ? a.shape : b.shape;
+      }
+    } else if (st.op == "Axpy") {
+      const InferredTensor& alpha = opnd(st.operands[0]);
+      const InferredTensor& x = opnd(st.operands[1]);
+      const InferredTensor& y = opnd(st.operands[2]);
+      if (alpha.shape.rank_known && alpha.shape.rank() != 0) {
+        return c.ShapeError("fused Axpy stage " + std::to_string(k) +
+                            " alpha must be scalar, got " +
+                            alpha.shape.ToString());
+      }
+      TFHPC_ASSIGN_OR_RETURN(out.dtype, merge_dtypes(x, y));
+      TFHPC_ASSIGN_OR_RETURN(DType merged,
+                             merge_dtypes(alpha, InferredTensor{out.dtype, {}}));
+      if (out.dtype == DType::kInvalid) out.dtype = merged;
+      TFHPC_ASSIGN_OR_RETURN(out.shape, MergeShapes(x.shape, y.shape));
+    } else if (st.op == "Cast") {
+      out.dtype = st.cast_to;
+      out.shape = opnd(st.operands[0]).shape;
+    } else {  // Sqrt / Neg
+      out = opnd(st.operands[0]);
+    }
+    results.push_back(std::move(out));
+  }
+  c.set_output(0, results.back().dtype, std::move(results.back().shape));
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -438,9 +522,11 @@ ShapeFnRegistry::ShapeFnRegistry() {
   Register("Transpose", TransposeFn);
   Register("Slice", SliceFn);
   Register("Concat", ConcatFn);
+  Register("FusedElementwise", FusedElementwiseFn);
   Register("QueueEnqueue", QueueEnqueueFn);
   Register("QueueDequeue", QueueDequeueFn);
   Register("_Send", SendFn);
+  Register("_PackedSend", PackedSendFn);
   Register("_Recv", RecvFn);
   Register("NoOp", NoOpFn);
 }

@@ -591,6 +591,39 @@ std::vector<Diagnostic> VerifyPartitions(
 
   for (const auto& [addr, part] : partitions) {
     for (const wire::NodeDef& nd : part.nodes) {
+      if (nd.op == "_PackedSend") {
+        // A coalesced send is one endpoint per '\x1f'-separated key: each
+        // must pair with a _Recv in the target partition, exactly as if the
+        // keys were separate _Sends.
+        auto keys = nd.attrs.find("keys");
+        if (keys == nd.attrs.end() ||
+            keys->second.kind != wire::AttrValue::Kind::kString ||
+            keys->second.s.empty()) {
+          diags.push_back({Severity::kError, "GC017", nd.name,
+                           "_PackedSend in partition " + addr +
+                               " is missing its 'keys' attr",
+                           "the partitioner must stamp the rendezvous keys"});
+          continue;
+        }
+        auto target = nd.attrs.find("target");
+        const std::string t =
+            target != nd.attrs.end() &&
+                    target->second.kind == wire::AttrValue::Kind::kString
+                ? target->second.s
+                : "";
+        const std::string& joined = keys->second.s;
+        size_t start = 0;
+        while (start <= joined.size()) {
+          const size_t sep = joined.find('\x1f', start);
+          const std::string key = joined.substr(
+              start, sep == std::string::npos ? sep : sep - start);
+          sends.push_back({addr, nd.name, key, t});
+          send_targets[key].insert(t);
+          if (sep == std::string::npos) break;
+          start = sep + 1;
+        }
+        continue;
+      }
       if (nd.op != "_Send" && nd.op != "_Recv") continue;
       auto key = nd.attrs.find("key");
       if (key == nd.attrs.end() ||

@@ -52,11 +52,43 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-bool ThreadPool::InPool() const {
-  const auto self = std::this_thread::get_id();
-  return std::any_of(threads_.begin(), threads_.end(),
-                     [&](const std::thread& t) { return t.get_id() == self; });
-}
+namespace {
+
+// Shared state of one ParallelFor invocation. Chunks are *claimed* from
+// `next` (never pre-assigned), so the caller and any number of pool helpers
+// drain the same pool of chunks without partitioning decisions up front.
+// Helpers that arrive after every chunk is claimed exit without touching
+// `fn` — which is why holding `fn` by pointer is safe: the caller only
+// returns once every *claimed* chunk has completed, and no chunk can be
+// claimed afterwards.
+struct ParallelForState {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t total = 0;
+  int64_t chunk = 0;
+  int64_t num_chunks = 0;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Claims and runs chunks until none remain; returns the number completed.
+  int64_t Drain() {
+    int64_t ran = 0;
+    for (;;) {
+      const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return ran;
+      const int64_t begin = c * chunk;
+      (*fn)(begin, std::min(total, begin + chunk));
+      ran++;
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lk(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
 
 void ThreadPool::ParallelFor(int64_t total, int64_t grain,
                              const std::function<void(int64_t, int64_t)>& fn) {
@@ -67,29 +99,34 @@ void ThreadPool::ParallelFor(int64_t total, int64_t grain,
       std::max(grain, (total + max_chunks - 1) / max_chunks);
   const int64_t num_chunks = (total + chunk - 1) / chunk;
 
-  if (num_chunks == 1 || InPool()) {
-    // Inline execution: either not worth dispatching, or we are already on a
-    // pool thread (blocking here on pool work could deadlock the pool).
+  if (num_chunks == 1) {
     fn(0, total);
     return;
   }
 
-  std::atomic<int64_t> remaining{num_chunks};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  for (int64_t c = 0; c < num_chunks; ++c) {
-    const int64_t begin = c * chunk;
-    const int64_t end = std::min(total, begin + chunk);
-    Schedule([&, begin, end] {
-      fn(begin, end);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lk(done_mu);
-        done_cv.notify_one();
-      }
-    });
+  // Work-claiming execution that is safe from *any* thread, including pool
+  // workers (the node-parallel executor runs kernels on this very pool, so
+  // kernel-internal ParallelFor used to collapse to fully-inline here and
+  // silently serialize GEMM/FFT/elementwise loops). Helpers are scheduled
+  // for other workers to pick up, while the caller claims chunks itself:
+  // it always makes progress even if every helper sits behind a busy
+  // worker, and it never blocks on foreign queue entries — so no deadlock.
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = &fn;
+  state->total = total;
+  state->chunk = chunk;
+  state->num_chunks = num_chunks;
+
+  const int64_t helpers =
+      std::min<int64_t>(num_chunks - 1, std::max(1, num_threads() - 1));
+  for (int64_t h = 0; h < helpers; ++h) {
+    Schedule([state] { state->Drain(); });
   }
-  std::unique_lock<std::mutex> lk(done_mu);
-  done_cv.wait(lk, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  state->Drain();
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&] {
+    return state->done.load(std::memory_order_acquire) == state->num_chunks;
+  });
 }
 
 ThreadPool& ThreadPool::Global() {

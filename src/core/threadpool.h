@@ -28,9 +28,11 @@ class ThreadPool {
   void Schedule(std::function<void()> fn);
 
   // Runs fn(begin, end) over [0, total) split into chunks of at least
-  // `grain` iterations; blocks until all chunks finish. Safe to call from a
-  // non-pool thread; calling from a pool thread executes inline to avoid
-  // deadlock.
+  // `grain` iterations; blocks until all chunks finish. Safe to call from
+  // any thread, including pool workers: chunks are claimed from a shared
+  // counter by pool helpers *and* the caller, so the caller always makes
+  // progress (never parking on foreign queue entries — deadlock-free) and a
+  // kernel running on a pool thread still fans out to idle workers.
   void ParallelFor(int64_t total, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& fn);
 
@@ -39,7 +41,6 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  bool InPool() const;
 
   std::string name_;
   std::mutex mu_;

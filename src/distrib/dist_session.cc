@@ -65,6 +65,14 @@ std::string FaultReport::ToString() const {
 Result<std::unique_ptr<DistributedSession>> DistributedSession::Create(
     InProcessRouter* router, const ClusterSpec& cluster, WireProtocol protocol,
     const wire::GraphDef& def, const DeviceName& default_device) {
+  return Create(router, cluster, protocol, def, default_device,
+                DistSessionOptions{});
+}
+
+Result<std::unique_ptr<DistributedSession>> DistributedSession::Create(
+    InProcessRouter* router, const ClusterSpec& cluster, WireProtocol protocol,
+    const wire::GraphDef& def, const DeviceName& default_device,
+    const DistSessionOptions& options) {
   // GraphCheck over the whole client graph before any partitioning work: a
   // graph that cannot run on one task cannot run split across many.
   {
@@ -79,13 +87,40 @@ Result<std::unique_ptr<DistributedSession>> DistributedSession::Create(
     }
   }
 
+  // Optimizer pipeline before partitioning, in whole-graph mode (no run
+  // signature exists yet). Like Session::Prepare, the rewrite must
+  // re-verify: a pass bug is a Create failure, never a shipped miscompile.
+  wire::GraphDef working = def;
+  if (options.optimizer_level != optimizer::OptimizerLevel::kOff) {
+    optimizer::PipelineOptions popts;
+    popts.level = options.optimizer_level;
+    popts.preserve = options.preserve_nodes;
+    TFHPC_ASSIGN_OR_RETURN(optimizer::PipelineResult rewritten,
+                           optimizer::RunPassPipeline(working, popts));
+    const analysis::GraphAnalysis post = analysis::VerifyGraph(rewritten.graph);
+    if (post.has_errors()) {
+      std::vector<analysis::Diagnostic> errors;
+      for (const auto& d : post.diagnostics) {
+        if (d.severity == analysis::Severity::kError) errors.push_back(d);
+      }
+      return Internal(
+          std::string("optimizer produced an invalid client graph (level ") +
+          optimizer::OptimizerLevelName(options.optimizer_level) + "):\n" +
+          analysis::FormatDiagnostics(errors));
+    }
+    working = std::move(rewritten.graph);
+  }
+
   TFHPC_ASSIGN_OR_RETURN(std::unique_ptr<Graph> graph,
-                         Graph::FromGraphDef(def));
-  TFHPC_ASSIGN_OR_RETURN(PartitionResult parts,
-                         PartitionGraph(*graph, cluster, default_device));
+                         Graph::FromGraphDef(working));
+  PartitionOptions popts;
+  popts.coalesce_sends = options.coalesce_sends;
+  TFHPC_ASSIGN_OR_RETURN(
+      PartitionResult parts,
+      PartitionGraph(*graph, cluster, default_device, popts));
 
   std::unique_ptr<DistributedSession> session(new DistributedSession(
-      router, protocol, cluster, def, default_device));
+      router, protocol, cluster, working, default_device, options));
   TFHPC_RETURN_IF_ERROR(
       session->ShipPartitions(parts, RetryPolicy::NoRetry()));
   return session;
@@ -636,8 +671,11 @@ Status DistributedSession::EvictAndRebuild(const std::string& dead_addr,
   // and ship the diff: survivors receive only nodes they don't have yet.
   TFHPC_ASSIGN_OR_RETURN(std::unique_ptr<Graph> graph,
                          Graph::FromGraphDef(def_));
-  TFHPC_ASSIGN_OR_RETURN(PartitionResult parts,
-                         PartitionGraph(*graph, cluster_, default_device_));
+  PartitionOptions popts;
+  popts.coalesce_sends = options_.coalesce_sends;
+  TFHPC_ASSIGN_OR_RETURN(
+      PartitionResult parts,
+      PartitionGraph(*graph, cluster_, default_device_, popts));
   TFHPC_RETURN_IF_ERROR(ShipPartitions(parts, recovery.rpc_retry));
 
   if (recovery.health != nullptr && !spare.empty()) {

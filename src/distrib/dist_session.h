@@ -48,8 +48,27 @@
 #include "distrib/health.h"
 #include "distrib/partition.h"
 #include "io/checkpoint.h"
+#include "optimizer/optimizer.h"
 
 namespace tfhpc::distrib {
+
+// Graph-level options for DistributedSession::Create. Both knobs survive
+// job-level recovery: EvictAndRebuild re-partitions with the same options.
+struct DistSessionOptions {
+  // Run the optimizer pipeline (src/optimizer) over the client graph before
+  // partitioning, in whole-graph mode: every terminal and stateful node is
+  // a root, so no work is pruned. The rewritten graph is re-verified; a
+  // pass bug fails Create with kInternal instead of shipping a miscompiled
+  // graph.
+  optimizer::OptimizerLevel optimizer_level = optimizer::OptimizerLevel::kOff;
+  // Node names clients will later feed or fetch by name. The optimizer
+  // never merges or fuses these away (fetching a name CSE removed would
+  // otherwise fail with NotFound at Run time).
+  std::vector<std::string> preserve_nodes;
+  // Merge same-(source, destination, consumer-set) data sends into packed
+  // single-RPC transfers (see PartitionOptions::coalesce_sends).
+  bool coalesce_sends = false;
+};
 
 // Knobs for fault-tolerant Run. The defaults reproduce the historical
 // fail-fast behaviour (one attempt, no RPC retries, no checkpointing, no
@@ -147,6 +166,13 @@ class DistributedSession {
       WireProtocol protocol, const wire::GraphDef& def,
       const DeviceName& default_device);
 
+  // As above, plus graph-level options: optimizer pipeline before
+  // partitioning and packed-send coalescing during it.
+  static Result<std::unique_ptr<DistributedSession>> Create(
+      InProcessRouter* router, const ClusterSpec& cluster,
+      WireProtocol protocol, const wire::GraphDef& def,
+      const DeviceName& default_device, const DistSessionOptions& options);
+
   // Runs one step across all partitions; returns fetched tensors in order.
   Result<std::vector<Tensor>> Run(const std::map<std::string, Tensor>& feeds,
                                   const std::vector<std::string>& fetches);
@@ -184,12 +210,13 @@ class DistributedSession {
  private:
   DistributedSession(InProcessRouter* router, WireProtocol protocol,
                      ClusterSpec cluster, wire::GraphDef def,
-                     DeviceName default_device)
+                     DeviceName default_device, DistSessionOptions options)
       : router_(router),
         protocol_(protocol),
         cluster_(std::move(cluster)),
         def_(std::move(def)),
-        default_device_(default_device) {}
+        default_device_(default_device),
+        options_(std::move(options)) {}
 
   struct Partition {
     std::string addr;
@@ -267,6 +294,7 @@ class DistributedSession {
   ClusterSpec cluster_;
   wire::GraphDef def_;          // current graph (devices rewritten on shrink)
   DeviceName default_device_;
+  DistSessionOptions options_;  // partitioning options, reused on rebuilds
   std::vector<Partition> partitions_;
   std::map<std::string, std::string> node_task_;
   // Producer task -> its _Send nodes (for pruned step targeting).

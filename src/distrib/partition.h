@@ -36,10 +36,28 @@ struct PartitionResult {
   std::map<std::string, std::vector<SendDef>> sends;
 };
 
+struct PartitionOptions {
+  // Merge the data _Sends between one (source task, destination task) pair
+  // that share an identical consumer set into a single variadic _PackedSend
+  // node shipping all their tensors in one wire transfer. Grouping by
+  // consumer set is what keeps pruning sound: the step planner activates a
+  // send iff some consumer is in the fetch closure and not fed, so every
+  // key in a packed group is active exactly when its _Recv is — no key can
+  // be shipped into a partition whose pruned step never receives it.
+  // Control-token sends are never packed (they are one scalar each and
+  // their gating differs per producer). The _Recv side is unchanged.
+  bool coalesce_sends = false;
+};
+
 // Splits `graph`. Every node's device spec is merged with `default_device`
 // (which must carry a job and task) and the resulting job/task must exist
 // in `cluster`. Rendezvous keys are derived from edge names, so repeated
 // partitioning of the same graph is deterministic.
+Result<PartitionResult> PartitionGraph(const Graph& graph,
+                                       const ClusterSpec& cluster,
+                                       const DeviceName& default_device,
+                                       const PartitionOptions& options);
+
 Result<PartitionResult> PartitionGraph(const Graph& graph,
                                        const ClusterSpec& cluster,
                                        const DeviceName& default_device);

@@ -439,6 +439,95 @@ Result<std::map<std::string, Tensor>> DecodeNamedTensors(
   return vars;
 }
 
+namespace {
+
+// Packed rendezvous send frame (_PackedSend): all but the last tensor are
+// serialized inline as (key, tensor) entries (field 1); the last rides the
+// trailing-view idiom — field 2 is its key, field 3 its tensor view — so
+// the largest zero-copy path the transport offers still applies to one
+// member of the group.
+wire::PayloadRef EncodePackedSendPayload(const std::vector<std::string>& keys,
+                                         const std::vector<Tensor>& tensors) {
+  std::string head;
+  wire::CodedOutput co(&head);
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    std::string entry;
+    wire::CodedOutput eo(&entry);
+    eo.WriteString(1, keys[i]);
+    eo.WriteMessage(2, wire::SerializeTensor(tensors[i]));
+    co.WriteMessage(1, entry);
+  }
+  co.WriteString(2, keys.back());
+  return FinishWithTensorView(std::move(head), 3, tensors.back());
+}
+
+Status DecodePackedSendPayload(const wire::PayloadRef& payload,
+                               std::vector<std::string>* keys,
+                               std::vector<Tensor>* tensors) {
+  // For non-view payloads (a transport that flattened the frame) head() is
+  // the whole frame and field 3 decodes as ordinary inline bytes.
+  wire::CodedInput in(payload.head());
+  std::string last_key;
+  Tensor last_tensor;
+  while (!in.AtEnd()) {
+    uint32_t field;
+    wire::WireType wt;
+    TFHPC_RETURN_IF_ERROR(in.ReadTag(&field, &wt));
+    if (field == 1) {
+      const uint8_t* d;
+      size_t s;
+      TFHPC_RETURN_IF_ERROR(in.ReadBytesView(&d, &s));
+      wire::CodedInput ein(d, s);
+      std::string key;
+      Tensor tensor;
+      while (!ein.AtEnd()) {
+        uint32_t ef;
+        wire::WireType ewt;
+        TFHPC_RETURN_IF_ERROR(ein.ReadTag(&ef, &ewt));
+        if (ef == 1) {
+          TFHPC_RETURN_IF_ERROR(ein.ReadString(&key));
+        } else if (ef == 2) {
+          const uint8_t* td;
+          size_t ts;
+          TFHPC_RETURN_IF_ERROR(ein.ReadBytesView(&td, &ts));
+          TFHPC_ASSIGN_OR_RETURN(tensor, wire::ParseTensor(td, ts));
+        } else {
+          TFHPC_RETURN_IF_ERROR(ein.SkipField(ewt));
+        }
+      }
+      if (key.empty()) {
+        return InvalidArgument("packed send entry without key");
+      }
+      keys->push_back(std::move(key));
+      tensors->push_back(std::move(tensor));
+    } else if (field == 2) {
+      TFHPC_RETURN_IF_ERROR(in.ReadString(&last_key));
+    } else if (field == 3 && wt == wire::WireType::kLengthDelimited) {
+      if (payload.is_view()) {
+        uint64_t len;
+        TFHPC_RETURN_IF_ERROR(in.ReadVarint(&len));
+        TFHPC_RETURN_IF_ERROR(
+            ParseTrailingTensorView(payload, in, len, &last_tensor));
+        break;
+      }
+      const uint8_t* d;
+      size_t s;
+      TFHPC_RETURN_IF_ERROR(in.ReadBytesView(&d, &s));
+      TFHPC_ASSIGN_OR_RETURN(last_tensor, wire::ParseTensor(d, s));
+    } else {
+      TFHPC_RETURN_IF_ERROR(in.SkipField(wt));
+    }
+  }
+  if (last_key.empty() || !last_tensor.valid()) {
+    return InvalidArgument("packed send payload without trailing tensor");
+  }
+  keys->push_back(std::move(last_key));
+  tensors->push_back(std::move(last_tensor));
+  return Status::OK();
+}
+
+}  // namespace
+
 // ----- Server ----------------------------------------------------------------
 
 Result<std::unique_ptr<Server>> Server::Create(ServerDef def,
@@ -517,6 +606,37 @@ Server::Server(ServerDef def, InProcessRouter* router, std::string address)
       return Status::OK();
     });
   });
+  // Batched variant for _PackedSend: every coalesced key/tensor pair of a
+  // cross-task group crosses in ONE RendezvousSendPacked RPC. Same dedup
+  // and retry contract as the scalar path: the receiver's replay cache
+  // keyed on (client_id, request_id) answers a retried frame from the
+  // cached response instead of re-depositing.
+  resources_.set_remote_send_packed(
+      [this](const std::string& addr, const std::vector<std::string>& keys,
+             const std::vector<Tensor>& tensors) -> Status {
+        if (keys.empty() || keys.size() != tensors.size()) {
+          return InvalidArgument("packed send needs matching keys/tensors");
+        }
+        wire::RpcEnvelope req;
+        req.method = "RendezvousSendPacked";
+        req.client_id = send_client_id_;
+        req.request_id =
+            next_send_request_id_.fetch_add(1, std::memory_order_relaxed);
+        req.payload = EncodePackedSendPayload(keys, tensors);
+        req.checksum = wire::PayloadChecksum(req.payload);
+        return CallWithRetry(def_.send_retry, req.request_id, [&]() -> Status {
+          TFHPC_ASSIGN_OR_RETURN(wire::RpcEnvelope resp,
+                                 router_->Call(addr, def_.protocol, req));
+          if (resp.status_code != 0) {
+            Status st(static_cast<Code>(resp.status_code), resp.status_msg);
+            if (resp.transient && st.code() == Code::kResourceExhausted) {
+              st = TransientResourceExhausted(resp.status_msg);
+            }
+            return st;
+          }
+          return Status::OK();
+        });
+      });
 }
 
 void Server::Shutdown() {
@@ -818,6 +938,17 @@ Result<wire::PayloadRef> Server::Dispatch(const std::string& method,
         DecodeQueuePayloadView(payload, &key, &tensor, &capacity));
     if (!tensor.valid()) return InvalidArgument("RendezvousSend without tensor");
     TFHPC_RETURN_IF_ERROR(resources_.rendezvous().Send(key, std::move(tensor)));
+    return wire::PayloadRef();
+  }
+
+  if (method == "RendezvousSendPacked") {
+    std::vector<std::string> keys;
+    std::vector<Tensor> tensors;
+    TFHPC_RETURN_IF_ERROR(DecodePackedSendPayload(payload, &keys, &tensors));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      TFHPC_RETURN_IF_ERROR(
+          resources_.rendezvous().Send(keys[i], std::move(tensors[i])));
+    }
     return wire::PayloadRef();
   }
 

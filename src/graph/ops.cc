@@ -98,6 +98,12 @@ TFHPC_REGISTER_OP(OpDef{.name = "Fill",
                         .max_inputs = 0,
                         .overwrites_outputs = true});
 TFHPC_REGISTER_OP(OpDef{.name = "ZerosLike", .min_inputs = 1, .max_inputs = 1});
+// Optimizer-generated elementwise chain (src/optimizer/fusion.cc); variadic
+// inputs are the chain's distinct external operands.
+TFHPC_REGISTER_OP(OpDef{.name = "FusedElementwise",
+                        .min_inputs = 1,
+                        .max_inputs = -1,
+                        .overwrites_outputs = true});
 TFHPC_REGISTER_OP(OpDef{
     .name = "NoOp", .min_inputs = 0, .max_inputs = 0, .num_outputs = 0});
 TFHPC_REGISTER_OP(OpDef{.name = "QueueEnqueue",
@@ -115,6 +121,14 @@ TFHPC_REGISTER_OP(OpDef{.name = "_Send",
 TFHPC_REGISTER_OP(OpDef{.name = "_Recv",
                         .min_inputs = 0,
                         .max_inputs = 0,
+                        .is_stateful = true,
+                        .is_blocking = true});
+// Coalesced cross-task transfer (distrib/partition.cc): one input per
+// rendezvous key in its "keys" attr, shipped as a single wire call.
+TFHPC_REGISTER_OP(OpDef{.name = "_PackedSend",
+                        .min_inputs = 1,
+                        .max_inputs = -1,
+                        .num_outputs = 0,
                         .is_stateful = true,
                         .is_blocking = true});
 TFHPC_REGISTER_OP(OpDef{.name = "QueueDequeue",

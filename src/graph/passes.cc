@@ -38,8 +38,11 @@ Result<wire::GraphDef> PruneToTargets(const wire::GraphDef& def,
   return out;
 }
 
-Result<wire::GraphDef> CommonSubexpressionElimination(
-    const wire::GraphDef& def) {
+namespace {
+
+Result<wire::GraphDef> CseImpl(const wire::GraphDef& def,
+                               const std::set<std::string>* keep,
+                               bool merge_placeholders) {
   // Validate and get ids in topological order.
   TFHPC_ASSIGN_OR_RETURN(std::unique_ptr<Graph> graph, Graph::FromGraphDef(def));
 
@@ -53,7 +56,10 @@ Result<wire::GraphDef> CommonSubexpressionElimination(
     wire::NodeDef nd = n->def();
     for (std::string& input : nd.inputs) input = RemapInput(input, rename);
 
-    if (!n->op_def().is_stateful) {
+    const bool mergeable =
+        !n->op_def().is_stateful &&
+        (merge_placeholders || nd.op != "Placeholder");
+    if (mergeable) {
       // Signature: op + device + remapped inputs + attrs (serialized NodeDef
       // with the name blanked out is exactly that).
       wire::NodeDef sig_def = nd;
@@ -61,13 +67,29 @@ Result<wire::GraphDef> CommonSubexpressionElimination(
       const std::string sig = sig_def.Serialize();
       auto [it, inserted] = signature_to_name.emplace(sig, nd.name);
       if (!inserted) {
-        rename[nd.name] = it->second;
-        continue;  // drop duplicate node
+        // A protected duplicate stays in the graph under its own name (the
+        // signature refers to it); everything else folds into the survivor.
+        if (keep == nullptr || keep->count(nd.name) == 0) {
+          rename[nd.name] = it->second;
+          continue;  // drop duplicate node
+        }
       }
     }
     out.nodes.push_back(std::move(nd));
   }
   return out;
+}
+
+}  // namespace
+
+Result<wire::GraphDef> CommonSubexpressionElimination(
+    const wire::GraphDef& def) {
+  return CseImpl(def, nullptr, /*merge_placeholders=*/true);
+}
+
+Result<wire::GraphDef> CommonSubexpressionElimination(
+    const wire::GraphDef& def, const std::set<std::string>& keep) {
+  return CseImpl(def, &keep, /*merge_placeholders=*/false);
 }
 
 Result<GraphStats> ComputeStats(const wire::GraphDef& def) {

@@ -8,6 +8,7 @@
 // tested in isolation from the runtime.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,15 @@ Result<wire::GraphDef> PruneToTargets(const wire::GraphDef& def,
 // inputs, same attrs, same device. Returns the rewritten graph; consumers of
 // a merged node are redirected to the surviving copy.
 Result<wire::GraphDef> CommonSubexpressionElimination(const wire::GraphDef& def);
+
+// Signature-protected variant used by the optimizer pipeline: nodes named in
+// `keep` (a run signature's feeds/fetches/targets) are never dropped — their
+// identity is observable — though duplicates of them still redirect to a
+// surviving copy when possible. Placeholders are additionally exempt from
+// merging: two identical placeholders are distinct feedable inputs, and
+// collapsing them would silently alias feeds.
+Result<wire::GraphDef> CommonSubexpressionElimination(
+    const wire::GraphDef& def, const std::set<std::string>& keep);
 
 // Statistics helper used by tests and the session debug log.
 struct GraphStats {

@@ -1,0 +1,295 @@
+// FusedElementwise: executes a whole elementwise chain (built by the
+// optimizer's fusion pass) in one kernel dispatch. Each stage's inner loop
+// mirrors the corresponding unfused kernel exactly — same ParallelFor grain,
+// same accumulation order, same serial loops — so a fused chain is
+// bit-identical to running the nodes separately.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/threadpool.h"
+#include "kernels/kernel.h"
+#include "optimizer/fused_spec.h"
+
+namespace tfhpc {
+namespace {
+
+using optimizer::FusedStage;
+using optimizer::ParseFusedStages;
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+// Identical to math_kernels.cc ApplyBin (grain 8192, per-element switch):
+// the fused result must match the unfused chain bit for bit.
+template <typename T>
+void ApplyBin(BinOp op, const T* a, const T* b, T* out, int64_t n,
+              bool a_scalar, bool b_scalar) {
+  ThreadPool::Global().ParallelFor(n, 8192, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const T x = a[a_scalar ? 0 : i];
+      const T y = b[b_scalar ? 0 : i];
+      switch (op) {
+        case BinOp::kAdd: out[i] = x + y; break;
+        case BinOp::kSub: out[i] = x - y; break;
+        case BinOp::kMul: out[i] = x * y; break;
+        case BinOp::kDiv: out[i] = x / y; break;
+      }
+    }
+  });
+}
+
+template <typename T>
+void ApplyAxpy(const T* alpha, const T* xs, const T* ys, T* d, int64_t n) {
+  const T av = *alpha;
+  ThreadPool::Global().ParallelFor(n, 8192, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i)
+      d[i] = av * xs[static_cast<size_t>(i)] + ys[static_cast<size_t>(i)];
+  });
+}
+
+template <typename T>
+void ApplySqrt(const T* s, T* d, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = std::sqrt(s[static_cast<size_t>(i)]);
+}
+
+template <typename T>
+void ApplyNeg(const T* s, T* d, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) d[i] = -s[static_cast<size_t>(i)];
+}
+
+template <typename From, typename To>
+void ApplyCast(const From* s, To* d, int64_t n) {
+  for (int64_t i = 0; i < n; ++i)
+    d[i] = static_cast<To>(s[static_cast<size_t>(i)]);
+}
+
+Result<BinOp> BinOpFor(const std::string& op) {
+  if (op == "Add") return BinOp::kAdd;
+  if (op == "Sub") return BinOp::kSub;
+  if (op == "Mul") return BinOp::kMul;
+  if (op == "Div") return BinOp::kDiv;
+  return Internal("not a binary op: " + op);
+}
+
+bool IsBinary(const std::string& op) {
+  return op == "Add" || op == "Sub" || op == "Mul" || op == "Div";
+}
+
+class FusedElementwiseKernel : public OpKernel {
+ public:
+  Status Compute(OpKernelContext* ctx) override {
+    TFHPC_ASSIGN_OR_RETURN(
+        const std::vector<FusedStage> stages,
+        ParseFusedStages(ctx->node().def(), ctx->num_inputs()));
+
+    // Static walk first: per-stage result dtype/shape with the unfused
+    // kernels' exact operand checks. Runs on meta inputs too, so simulation
+    // mode and real execution reject the same graphs.
+    const size_t ns = stages.size();
+    std::vector<DType> out_dtype(ns);
+    std::vector<Shape> out_shape(ns);
+    for (size_t k = 0; k < ns; ++k) {
+      const FusedStage& st = stages[k];
+      auto opnd_dtype = [&](int r) {
+        return r == FusedStage::kPrev ? out_dtype[k - 1]
+                                      : ctx->input(r).dtype();
+      };
+      auto opnd_shape = [&](int r) -> const Shape& {
+        return r == FusedStage::kPrev ? out_shape[k - 1]
+                                      : ctx->input(r).shape();
+      };
+      if (IsBinary(st.op)) {
+        const Shape& a = opnd_shape(st.operands[0]);
+        const Shape& b = opnd_shape(st.operands[1]);
+        if (opnd_dtype(st.operands[0]) != opnd_dtype(st.operands[1])) {
+          return InvalidArgument("fused " + st.op + " dtype mismatch");
+        }
+        if (!a.IsScalar() && !b.IsScalar() && a != b) {
+          return InvalidArgument("fused " + st.op + " shape mismatch: " +
+                                 a.ToString() + " vs " + b.ToString());
+        }
+        out_dtype[k] = opnd_dtype(st.operands[0]);
+        out_shape[k] = a.IsScalar() ? b : a;
+      } else if (st.op == "Axpy") {
+        const Shape& alpha = opnd_shape(st.operands[0]);
+        const Shape& x = opnd_shape(st.operands[1]);
+        const Shape& y = opnd_shape(st.operands[2]);
+        if (!alpha.IsScalar()) {
+          return InvalidArgument("fused Axpy alpha must be scalar");
+        }
+        if (x != y || opnd_dtype(st.operands[1]) != opnd_dtype(st.operands[2]) ||
+            opnd_dtype(st.operands[0]) != opnd_dtype(st.operands[1])) {
+          return InvalidArgument("fused Axpy operand mismatch");
+        }
+        out_dtype[k] = opnd_dtype(st.operands[1]);
+        out_shape[k] = x;
+      } else if (st.op == "Cast") {
+        out_dtype[k] = st.cast_to;
+        out_shape[k] = opnd_shape(st.operands[0]);
+      } else {  // Sqrt / Neg: passthrough
+        out_dtype[k] = opnd_dtype(st.operands[0]);
+        out_shape[k] = opnd_shape(st.operands[0]);
+      }
+      // The fusion contract: every stage produces the chain shape, which is
+      // what makes in-place buffer reuse across stages legal.
+      if (k > 0 && !(out_shape[k] == out_shape[0])) {
+        return InvalidArgument("fused chain shape drifted at stage " +
+                               std::to_string(k) + ": " +
+                               out_shape[k].ToString() + " vs " +
+                               out_shape[0].ToString());
+      }
+    }
+
+    if (ctx->meta_exec()) {
+      Tensor out;
+      TFHPC_RETURN_IF_ERROR(
+          ctx->AllocateOutput(out_dtype[ns - 1], out_shape[ns - 1], &out,
+                              ZeroInit::kNo));
+      ctx->set_output(0, std::move(out));
+      return Status::OK();
+    }
+
+    // Last stage reading each data input: its buffer is dead afterwards and
+    // a candidate for reuse as the chain accumulator.
+    std::vector<int> last_use(static_cast<size_t>(ctx->num_inputs()), -1);
+    for (size_t k = 0; k < ns; ++k) {
+      for (int r : stages[k].operands) {
+        if (r >= 0) last_use[static_cast<size_t>(r)] = static_cast<int>(k);
+      }
+    }
+
+    Tensor cur;
+    for (size_t k = 0; k < ns; ++k) {
+      const FusedStage& st = stages[k];
+      auto opnd = [&](int r) -> const Tensor& {
+        return r == FusedStage::kPrev ? cur : ctx->input(r);
+      };
+
+      Tensor dst;
+      if (k == 0) {
+        // Forward a dying chain-shaped operand's buffer, exactly like the
+        // unfused kernels' ForwardOrAllocate (aliasing is safe: every loop
+        // reads element i before writing element i).
+        for (int r : st.operands) {
+          if (r < 0 || last_use[static_cast<size_t>(r)] != 0) continue;
+          const Tensor& in = ctx->input(r);
+          if (in.is_meta() || in.dtype() != out_dtype[0] ||
+              !(in.shape() == out_shape[0]) || !in.buffer_unique()) {
+            continue;
+          }
+          if (ctx->alloc_stats() != nullptr) ctx->alloc_stats()->RecordForward();
+          dst = in;
+          break;
+        }
+      } else if (cur.dtype() == out_dtype[k]) {
+        dst = cur;  // accumulate in place across the whole chain
+      }
+      if (!dst.valid()) {
+        TFHPC_RETURN_IF_ERROR(ctx->AllocateOutput(out_dtype[k], out_shape[k],
+                                                  &dst, ZeroInit::kNo));
+      }
+
+      const int64_t n = out_shape[k].num_elements();
+      const DType dt = out_dtype[k];
+      if (IsBinary(st.op)) {
+        TFHPC_ASSIGN_OR_RETURN(const BinOp bop, BinOpFor(st.op));
+        const Tensor& a = opnd(st.operands[0]);
+        const Tensor& b = opnd(st.operands[1]);
+        if (dt == DType::kF32) {
+          ApplyBin(bop, a.data<float>().data(), b.data<float>().data(),
+                   dst.mutable_data<float>(), n, a.shape().IsScalar(),
+                   b.shape().IsScalar());
+        } else if (dt == DType::kF64) {
+          ApplyBin(bop, a.data<double>().data(), b.data<double>().data(),
+                   dst.mutable_data<double>(), n, a.shape().IsScalar(),
+                   b.shape().IsScalar());
+        } else {
+          return Unimplemented("fused " + st.op + " for dtype " +
+                               std::string(DTypeName(dt)));
+        }
+      } else if (st.op == "Axpy") {
+        const Tensor& alpha = opnd(st.operands[0]);
+        const Tensor& x = opnd(st.operands[1]);
+        const Tensor& y = opnd(st.operands[2]);
+        if (dt == DType::kF32) {
+          ApplyAxpy(alpha.data<float>().data(), x.data<float>().data(),
+                    y.data<float>().data(), dst.mutable_data<float>(), n);
+        } else if (dt == DType::kF64) {
+          ApplyAxpy(alpha.data<double>().data(), x.data<double>().data(),
+                    y.data<double>().data(), dst.mutable_data<double>(), n);
+        } else {
+          return Unimplemented("fused Axpy for dtype " +
+                               std::string(DTypeName(dt)));
+        }
+      } else if (st.op == "Sqrt") {
+        const Tensor& a = opnd(st.operands[0]);
+        if (dt == DType::kF32) {
+          ApplySqrt(a.data<float>().data(), dst.mutable_data<float>(), n);
+        } else if (dt == DType::kF64) {
+          ApplySqrt(a.data<double>().data(), dst.mutable_data<double>(), n);
+        } else {
+          return Unimplemented("fused Sqrt for dtype " +
+                               std::string(DTypeName(dt)));
+        }
+      } else if (st.op == "Neg") {
+        const Tensor& a = opnd(st.operands[0]);
+        if (dt == DType::kF32) {
+          ApplyNeg(a.data<float>().data(), dst.mutable_data<float>(), n);
+        } else if (dt == DType::kF64) {
+          ApplyNeg(a.data<double>().data(), dst.mutable_data<double>(), n);
+        } else {
+          return Unimplemented("fused Neg for dtype " +
+                               std::string(DTypeName(dt)));
+        }
+      } else {  // Cast
+        const Tensor& a = opnd(st.operands[0]);
+        if (a.dtype() == DType::kF32 && dt == DType::kF64) {
+          ApplyCast(a.data<float>().data(), dst.mutable_data<double>(), n);
+        } else if (a.dtype() == DType::kF64 && dt == DType::kF32) {
+          ApplyCast(a.data<double>().data(), dst.mutable_data<float>(), n);
+        } else if (a.dtype() == dt) {
+          if (dst.raw_data() != a.raw_data()) {
+            std::memcpy(dst.raw_data(), a.raw_data(),
+                        static_cast<size_t>(a.bytes()));
+          }
+        } else {
+          return Unimplemented(std::string("fused Cast ") +
+                               DTypeName(a.dtype()) + " -> " + DTypeName(dt));
+        }
+      }
+      cur = std::move(dst);
+    }
+    ctx->set_output(0, std::move(cur));
+    return Status::OK();
+  }
+
+  CostEstimate Cost(const OpKernelContext& ctx) const override {
+    CostEstimate c = OpKernel::Cost(ctx);
+    auto stages = ParseFusedStages(ctx.node().def(), ctx.num_inputs());
+    if (!stages.ok()) return c;
+    int64_t n = 0;
+    for (int i = 0; i < ctx.num_inputs(); ++i) {
+      n = std::max(n, ctx.input(i).num_elements());
+    }
+    double flops = 0;
+    for (const FusedStage& st : *stages) {
+      if (st.op == "Axpy") {
+        flops += 2.0 * static_cast<double>(n);
+      } else if (st.op != "Cast") {
+        flops += static_cast<double>(n);
+      }
+    }
+    c.flops = flops;
+    // One result write per step; intermediates stay in the reused buffer.
+    if (ctx.num_inputs() > 0) {
+      c.bytes_written =
+          n * static_cast<int64_t>(DTypeSize(ctx.input(0).dtype()));
+    }
+    return c;
+  }
+};
+
+TFHPC_REGISTER_KERNEL_ALL("FusedElementwise", FusedElementwiseKernel);
+
+}  // namespace
+}  // namespace tfhpc

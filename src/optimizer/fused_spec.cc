@@ -1,0 +1,123 @@
+#include "optimizer/fused_spec.h"
+
+namespace tfhpc::optimizer {
+namespace {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+int ExpectedArity(const std::string& op) {
+  if (op == "Add" || op == "Sub" || op == "Mul" || op == "Div") return 2;
+  if (op == "Axpy") return 3;
+  if (op == "Sqrt" || op == "Neg" || op == "Cast") return 1;
+  return -1;
+}
+
+}  // namespace
+
+Result<std::vector<FusedStage>> ParseFusedStages(const wire::NodeDef& def,
+                                                 int num_inputs) {
+  auto attr_str = [&](const std::string& name) -> Result<std::string> {
+    auto it = def.attrs.find(name);
+    if (it == def.attrs.end() ||
+        it->second.kind != wire::AttrValue::Kind::kString) {
+      return InvalidArgument("FusedElementwise node '" + def.name +
+                             "' missing string attr '" + name + "'");
+    }
+    return it->second.s;
+  };
+  TFHPC_ASSIGN_OR_RETURN(std::string ops, attr_str("ops"));
+  TFHPC_ASSIGN_OR_RETURN(std::string args, attr_str("args"));
+
+  const std::vector<std::string> op_list = Split(ops, ';');
+  const std::vector<std::string> arg_list = Split(args, ';');
+  if (op_list.empty() || op_list.size() != arg_list.size()) {
+    return InvalidArgument("FusedElementwise node '" + def.name + "' has " +
+                           std::to_string(op_list.size()) + " ops but " +
+                           std::to_string(arg_list.size()) + " arg groups");
+  }
+
+  std::vector<FusedStage> stages;
+  stages.reserve(op_list.size());
+  for (size_t k = 0; k < op_list.size(); ++k) {
+    FusedStage stage;
+    stage.op = op_list[k];
+    const int arity = ExpectedArity(stage.op);
+    if (arity < 0) {
+      return InvalidArgument("FusedElementwise node '" + def.name +
+                             "' stage " + std::to_string(k) +
+                             " has non-fusable op '" + stage.op + "'");
+    }
+    int prev_uses = 0;
+    for (const std::string& ref : Split(arg_list[k], ',')) {
+      if (ref == "p") {
+        stage.operands.push_back(FusedStage::kPrev);
+        prev_uses++;
+        continue;
+      }
+      if (ref.size() < 2 || ref[0] != 'i') {
+        return InvalidArgument("FusedElementwise node '" + def.name +
+                               "' stage " + std::to_string(k) +
+                               " has malformed operand ref '" + ref + "'");
+      }
+      int idx = 0;
+      for (size_t c = 1; c < ref.size(); ++c) {
+        if (ref[c] < '0' || ref[c] > '9') {
+          return InvalidArgument("FusedElementwise node '" + def.name +
+                                 "' stage " + std::to_string(k) +
+                                 " has malformed operand ref '" + ref + "'");
+        }
+        idx = idx * 10 + (ref[c] - '0');
+      }
+      if (idx >= num_inputs) {
+        return InvalidArgument("FusedElementwise node '" + def.name +
+                               "' stage " + std::to_string(k) + " ref '" +
+                               ref + "' exceeds " +
+                               std::to_string(num_inputs) + " data inputs");
+      }
+      stage.operands.push_back(idx);
+    }
+    if (static_cast<int>(stage.operands.size()) != arity) {
+      return InvalidArgument(
+          "FusedElementwise node '" + def.name + "' stage " +
+          std::to_string(k) + " op " + stage.op + " expects " +
+          std::to_string(arity) + " operands, got " +
+          std::to_string(stage.operands.size()));
+    }
+    if (k == 0 && prev_uses > 0) {
+      return InvalidArgument("FusedElementwise node '" + def.name +
+                             "' stage 0 references the previous result");
+    }
+    if (k > 0 && prev_uses == 0) {
+      return InvalidArgument("FusedElementwise node '" + def.name +
+                             "' stage " + std::to_string(k) +
+                             " never consumes the previous result");
+    }
+    if (stage.op == "Cast") {
+      const std::string attr = "to_" + std::to_string(k);
+      auto it = def.attrs.find(attr);
+      if (it == def.attrs.end() ||
+          it->second.kind != wire::AttrValue::Kind::kType) {
+        return InvalidArgument("FusedElementwise node '" + def.name +
+                               "' Cast stage " + std::to_string(k) +
+                               " missing Type attr '" + attr + "'");
+      }
+      stage.cast_to = it->second.type;
+    }
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+}  // namespace tfhpc::optimizer

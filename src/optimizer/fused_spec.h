@@ -1,0 +1,39 @@
+// The FusedElementwise stage spec: the attr encoding shared by the fusion
+// pass (src/optimizer/fusion.cc, which writes it), the kernel
+// (src/kernels/fused_kernels.cc, which executes it) and the ShapeFn
+// (src/analysis/shape_inference.cc, which type-checks it).
+//
+//   "ops"    ';'-joined stage op names, e.g. "Add;Mul;Sqrt"
+//   "args"   per-stage ','-joined operand refs, stages ';'-joined;
+//            "p" = previous stage's result, "iN" = fused-node data input N
+//   "to_<k>" Type attr carrying stage k's Cast target dtype
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+#include "wire/messages.h"
+
+namespace tfhpc::optimizer {
+
+struct FusedStage {
+  std::string op;
+  // Operand refs in stage order: >= 0 indexes the fused node's data inputs,
+  // kPrev is the previous stage's result.
+  std::vector<int> operands;
+  DType cast_to = DType::kInvalid;  // set iff op == "Cast"
+
+  static constexpr int kPrev = -1;
+};
+
+// Parses and structurally validates the stage spec of a FusedElementwise
+// NodeDef: ops/args agree in stage count, operand arity matches each op
+// (binary 2, Axpy 3, unary 1), stage 0 never references kPrev, every later
+// stage does at least once, and Cast stages carry their to_<k> attr.
+// `num_inputs` bounds the iN refs.
+Result<std::vector<FusedStage>> ParseFusedStages(const wire::NodeDef& def,
+                                                 int num_inputs);
+
+}  // namespace tfhpc::optimizer

@@ -1,0 +1,33 @@
+// Elementwise-chain fusion (the aggressive pipeline stage): collapses linear
+// chains of Add/Sub/Mul/Div/Sqrt/Neg/Axpy/Cast into a single
+// FusedElementwise node that executes the whole chain in one kernel dispatch
+// over pooled buffers. A chain is fused only when GraphCheck shape inference
+// *proves* compatibility: every stage's output has the same fully-known
+// shape and an f32/f64 dtype, every external operand is chain-shaped or
+// scalar, and no interior node is observable (single consumer, no control
+// consumers, not in the run signature).
+//
+// The fused node takes the chain tail's name, so consumers and fetches of
+// the chain result need no rewriting; interior names disappear. Attr
+// encoding (shared with the kernel in src/kernels/fused_kernels.cc and the
+// ShapeFn in src/analysis/shape_inference.cc):
+//   "ops"    ';'-joined stage op names, e.g. "Add;Mul;Sqrt"
+//   "args"   per-stage ','-joined operand refs, stages ';'-joined;
+//            "p" = previous stage's result, "iN" = fused-node data input N
+//   "to_<k>" Type attr carrying stage k's Cast target dtype
+#pragma once
+
+#include "optimizer/optimizer.h"
+
+namespace tfhpc::optimizer {
+
+// Returns `def` rewritten with every provably-safe chain fused.
+// `chains_fused` counts emitted FusedElementwise nodes; `nodes_fused_away`
+// counts graph nodes eliminated. Graphs with GraphCheck errors are returned
+// unchanged (the verifier gate owns reporting them).
+Result<wire::GraphDef> FuseElementwiseChains(const wire::GraphDef& def,
+                                             const PipelineOptions& options,
+                                             int* chains_fused,
+                                             int* nodes_fused_away);
+
+}  // namespace tfhpc::optimizer

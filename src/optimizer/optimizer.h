@@ -1,0 +1,90 @@
+// Grappler-lite: the graph-optimizer pass pipeline Session::Prepare runs
+// behind its signature cache (and DistributedSession runs before
+// partitioning). TensorFlow's whitepaper makes graph rewriting — CSE,
+// dead-node pruning, operation fusion — a core runtime capability; tfhpc
+// implements the same shapes over wire::GraphDef so passes compose with
+// serialization, tools and tests.
+//
+// Pipeline (in order):
+//   1. const_fold        evaluate const-only subgraphs via the CPU kernels
+//   2. cse               merge structurally identical stateless nodes
+//   3. dead_node_elim    drop nodes outside the fetch/target closure
+//   4. fuse_elementwise  (aggressive) collapse elementwise chains into one
+//                        FusedElementwise node, proven safe by GraphCheck
+//                        shape inference
+//
+// Safety invariants every pass obeys:
+//   - nodes named in the run signature (feeds/fetches/targets) keep their
+//     name and observable behavior; fed nodes are never treated as
+//     constants (their value is overridden at Run time);
+//   - stateful and blocking ops (variables, queues, send/recv) are never
+//     folded, merged or fused;
+//   - the pipeline is idempotent: running it twice yields the same graph;
+//   - callers re-run analysis::VerifyGraph on the result — an optimizer bug
+//     is a compile failure, not a wrong answer (GraphCheck is the
+//     regression oracle).
+//
+// Send/recv coalescing — the fifth optimization — runs inside the
+// partitioner (src/distrib/partition.h, PartitionOptions::coalesce_sends),
+// since cross-task edges only exist after placement.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tfhpc::optimizer {
+
+enum class OptimizerLevel {
+  kOff,         // pipeline disabled
+  kBasic,       // const_fold + cse + dead_node_elim
+  kAggressive,  // basic + elementwise fusion (+ send coalescing in distrib)
+};
+
+const char* OptimizerLevelName(OptimizerLevel level);
+Result<OptimizerLevel> ParseOptimizerLevel(const std::string& name);
+
+struct PipelineOptions {
+  OptimizerLevel level = OptimizerLevel::kBasic;
+  // The run signature the optimized graph will execute under. When fetches
+  // and targets are both empty the pipeline runs in whole-graph mode (the
+  // graphcheck CLI): dead-node elimination roots at every terminal node
+  // plus every stateful op, so queues/variables/sends survive.
+  std::vector<std::string> feeds;
+  std::vector<std::string> fetches;
+  std::vector<std::string> targets;
+  // Additional node names that must survive by name (never merged away by
+  // CSE or absorbed into a fused chain) WITHOUT anchoring dead-node
+  // elimination the way fetches/targets do. DistributedSession uses this in
+  // whole-graph mode for every name a client may later feed or fetch.
+  std::vector<std::string> preserve;
+  // Constant-folding size ceiling (see runtime/const_fold.h).
+  int64_t max_const_bytes = 16 << 20;
+};
+
+// One pass's effect, for tools and tests.
+struct PassReport {
+  std::string name;
+  int nodes_before = 0;
+  int nodes_after = 0;
+  int edges_before = 0;
+  int edges_after = 0;
+  // Pass-specific count: nodes folded / merged / removed / fused away.
+  int changed = 0;
+};
+
+struct PipelineResult {
+  wire::GraphDef graph;
+  std::vector<PassReport> passes;
+};
+
+// Runs the pipeline at `options.level` over `def`. kOff returns the graph
+// unchanged with no reports. The input must parse as a Graph (registered
+// ops, resolvable inputs); callers are expected to VerifyGraph the result.
+Result<PipelineResult> RunPassPipeline(const wire::GraphDef& def,
+                                       const PipelineOptions& options);
+
+}  // namespace tfhpc::optimizer

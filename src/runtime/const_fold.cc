@@ -20,10 +20,11 @@ Result<ConstFoldResult> ConstantFolding(const wire::GraphDef& def,
     const Node* n = graph->node(id);
     const wire::NodeDef& nd = n->def();
 
-    // Existing Const nodes join the pool as-is.
+    // Existing Const nodes join the pool as-is — unless frozen (a fed Const
+    // has no static value; its run-time feed overrides the attr).
     if (nd.op == "Const") {
       auto it = nd.attrs.find("value");
-      if (it != nd.attrs.end()) {
+      if (it != nd.attrs.end() && options.frozen.count(nd.name) == 0) {
         auto parsed = wire::ParseTensor(it->second.s);
         if (parsed.ok()) const_values.emplace(nd.name, std::move(*parsed));
       }
@@ -32,9 +33,11 @@ Result<ConstFoldResult> ConstantFolding(const wire::GraphDef& def,
     }
 
     // Foldable: stateless, single output, all data inputs constant, no
-    // control inputs (they impose ordering we cannot erase).
+    // control inputs (they impose ordering we cannot erase), and not frozen
+    // (fed/fetched nodes keep their identity and run-time behavior).
     bool foldable = !n->op_def().is_stateful && !n->op_def().is_blocking &&
-                    n->op_def().num_outputs == 1;
+                    n->op_def().num_outputs == 1 &&
+                    options.frozen.count(nd.name) == 0;
     std::vector<Tensor> inputs;
     for (const InEdge& e : n->in_edges()) {
       if (e.control) {

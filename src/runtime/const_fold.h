@@ -6,6 +6,9 @@
 // runtime because it executes CPU kernels.
 #pragma once
 
+#include <set>
+#include <string>
+
 #include "graph/passes.h"
 
 namespace tfhpc {
@@ -15,6 +18,11 @@ struct ConstFoldOptions {
   // RandomUniform-free matmul would bloat the GraphDef past the paper's
   // 2 GB ProtoBuf limit).
   int64_t max_output_bytes = 16 << 20;
+  // Nodes whose compile-time identity must survive: they are never folded
+  // away and never treated as constant sources. The optimizer pipeline puts
+  // a run signature's feeds here — a fed Const's value is overridden at Run
+  // time, so baking its static value into consumers would be wrong.
+  std::set<std::string> frozen;
 };
 
 // Returns the rewritten graph plus how many nodes were folded away.

@@ -64,7 +64,14 @@ Result<Device*> Executor::PlaceNode(const Node& node) {
     auto it = placement_cache_.find(node.id());
     if (it != placement_cache_.end()) return it->second;
   }
+  TFHPC_ASSIGN_OR_RETURN(Device * device, PlaceNodeUncached(node));
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  InvalidateCachesIfStaleLocked();
+  placement_cache_[node.id()] = device;
+  return device;
+}
 
+Result<Device*> Executor::PlaceNodeUncached(const Node& node) {
   TFHPC_ASSIGN_OR_RETURN(DeviceName requested,
                          DeviceName::Parse(node.requested_device()));
   DeviceName resolved = requested.MergedWith(default_device_);
@@ -106,9 +113,6 @@ Result<Device*> Executor::PlaceNode(const Node& node) {
                     node.op() + ", requested '" + node.requested_device() +
                     "')");
   }
-  std::lock_guard<std::mutex> lk(cache_mu_);
-  InvalidateCachesIfStaleLocked();
-  placement_cache_[node.id()] = device;
   return device;
 }
 
@@ -120,14 +124,20 @@ Result<std::shared_ptr<OpKernel>> Executor::KernelFor(const Node& node,
     auto it = kernel_cache_.find(node.id());
     if (it != kernel_cache_.end()) return it->second;
   }
-  TFHPC_ASSIGN_OR_RETURN(
-      std::unique_ptr<OpKernel> kernel,
-      KernelRegistry::Global().Create(node.op(), device->type()));
-  std::shared_ptr<OpKernel> shared = std::move(kernel);
+  TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<OpKernel> shared,
+                         InstantiateKernel(node, device));
   std::lock_guard<std::mutex> lk(cache_mu_);
   InvalidateCachesIfStaleLocked();
   kernel_cache_[node.id()] = shared;
   return shared;
+}
+
+Result<std::shared_ptr<OpKernel>> Executor::InstantiateKernel(const Node& node,
+                                                              Device* device) {
+  TFHPC_ASSIGN_OR_RETURN(
+      std::unique_ptr<OpKernel> kernel,
+      KernelRegistry::Global().Create(node.op(), device->type()));
+  return std::shared_ptr<OpKernel>(std::move(kernel));
 }
 
 Result<std::shared_ptr<const Executable>> Executor::Compile(
@@ -135,7 +145,31 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
     const std::vector<std::string>& fetches,
     const std::vector<std::string>& targets,
     const StaticShapeMap* static_shapes) {
-  const int64_t version = graph_->version();
+  return CompileOn(*graph_, graph_->version(), /*use_caches=*/true,
+                   /*owned_graph=*/nullptr, feed_keys, fetches, targets,
+                   static_shapes);
+}
+
+Result<std::shared_ptr<const Executable>> Executor::CompileGraph(
+    std::shared_ptr<const Graph> graph, int64_t graph_version,
+    const std::vector<std::string>& feed_keys,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets,
+    const StaticShapeMap* static_shapes) {
+  if (graph == nullptr) return InvalidArgument("CompileGraph: null graph");
+  const Graph& g = *graph;
+  return CompileOn(g, graph_version, /*use_caches=*/false, std::move(graph),
+                   feed_keys, fetches, targets, static_shapes);
+}
+
+Result<std::shared_ptr<const Executable>> Executor::CompileOn(
+    const Graph& graph, int64_t graph_version, bool use_caches,
+    std::shared_ptr<const Graph> owned_graph,
+    const std::vector<std::string>& feed_keys,
+    const std::vector<std::string>& fetches,
+    const std::vector<std::string>& targets,
+    const StaticShapeMap* static_shapes) {
+  const int64_t version = graph_version;
 
   // ---- Closure computation, with feeds acting as graph cut points. -------
   std::set<std::string> fed_names;
@@ -153,14 +187,14 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
   for (const std::string& r : roots) {
     const auto [name, slot] = SplitTensorName(r);
     (void)slot;
-    const Node* n = graph_->FindNode(name);
+    const Node* n = graph.FindNode(name);
     if (n == nullptr) return NotFound("fetch/target node '" + name + "' not found");
     if (closure.insert(n->id()).second) frontier.push_back(n->id());
   }
   while (!frontier.empty()) {
     const int id = frontier.front();
     frontier.pop_front();
-    const Node* n = graph_->node(id);
+    const Node* n = graph.node(id);
     if (fed_names.count(n->name())) continue;  // fed: ancestors not needed
     for (const InEdge& e : n->in_edges()) {
       if (closure.insert(e.node_id).second) frontier.push_back(e.node_id);
@@ -172,17 +206,18 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
   // too.
   auto exe = std::make_shared<Executable>();
   exe->graph_version_ = version;
+  exe->owned_graph_ = std::move(owned_graph);
   exe->nodes_.reserve(closure.size());
   std::map<int, int> dense;  // node id -> index into exe->nodes_
   for (int id : closure) {
     dense.emplace(id, static_cast<int>(exe->nodes_.size()));
     Executable::CompiledNode cn;
-    cn.node = graph_->node(id);
+    cn.node = graph.node(id);
     cn.fed = fed_names.count(cn.node->name()) > 0;
     cn.blocking = cn.node->op_def().is_blocking;
     cn.num_outputs = std::max(1, cn.node->op_def().num_outputs);
     for (const InEdge& e : cn.node->in_edges()) {
-      cn.input_names.push_back(graph_->node(e.node_id)->name());
+      cn.input_names.push_back(graph.node(e.node_id)->name());
     }
     exe->nodes_.push_back(std::move(cn));
   }
@@ -219,8 +254,15 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
   // ---- Placement + kernel instantiation for every scheduled node. --------
   for (auto& cn : exe->nodes_) {
     if (cn.fed) continue;
-    TFHPC_ASSIGN_OR_RETURN(cn.device, PlaceNode(*cn.node));
-    TFHPC_ASSIGN_OR_RETURN(cn.kernel, KernelFor(*cn.node, cn.device));
+    // The id-keyed caches are only coherent for the session graph; an
+    // optimizer rewrite reuses ids 0..n-1 for different nodes.
+    if (use_caches) {
+      TFHPC_ASSIGN_OR_RETURN(cn.device, PlaceNode(*cn.node));
+      TFHPC_ASSIGN_OR_RETURN(cn.kernel, KernelFor(*cn.node, cn.device));
+    } else {
+      TFHPC_ASSIGN_OR_RETURN(cn.device, PlaceNodeUncached(*cn.node));
+      TFHPC_ASSIGN_OR_RETURN(cn.kernel, InstantiateKernel(*cn.node, cn.device));
+    }
     // Bake statically inferred output sizes for kernels that fully
     // overwrite their outputs — Execute pre-sizes those buffers.
     if (static_shapes != nullptr && cn.node->op_def().overwrites_outputs) {
@@ -241,7 +283,7 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
   // ---- Feed/fetch bindings. ----------------------------------------------
   for (const std::string& key : feed_keys) {
     const auto [name, slot] = SplitTensorName(key);
-    const Node* n = graph_->FindNode(name);
+    const Node* n = graph.FindNode(name);
     if (n == nullptr) continue;  // feeding an unknown node: ignored
     auto it = dense.find(n->id());
     if (it == dense.end()) continue;  // pruned from the closure: ignored
@@ -252,7 +294,7 @@ Result<std::shared_ptr<const Executable>> Executor::Compile(
   }
   for (const std::string& f : fetches) {
     const auto [name, slot] = SplitTensorName(f);
-    const Node* n = graph_->FindNode(name);
+    const Node* n = graph.FindNode(name);
     TFHPC_CHECK(n != nullptr);  // was a closure root
     exe->fetch_bindings_.push_back({f, dense.at(n->id()), slot});
   }

@@ -156,6 +156,11 @@ class Executable {
   int64_t graph_version_ = 0;
   int num_scheduled_ = 0;
   int64_t estimated_bytes_ = 0;
+  // Set when this plan was compiled against an optimizer-rewritten graph
+  // (Executor::CompileGraph): the rewritten Graph must outlive the plan's
+  // Node pointers, so the plan owns it. Null for plans compiled against the
+  // session graph.
+  std::shared_ptr<const Graph> owned_graph_;
 };
 
 class Executor {
@@ -172,6 +177,20 @@ class Executor {
   // output annotations; nodes whose op declares overwrites_outputs get their
   // output buffers pre-sized at execution time.
   Result<std::shared_ptr<const Executable>> Compile(
+      const std::vector<std::string>& feed_keys,
+      const std::vector<std::string>& fetches,
+      const std::vector<std::string>& targets = {},
+      const StaticShapeMap* static_shapes = nullptr);
+
+  // Compiles against `graph` instead of the session graph — the path the
+  // optimizer pipeline uses (Session rewrites a GraphDef, parses it into a
+  // fresh Graph, and compiles that). The resulting Executable co-owns
+  // `graph` and is stamped with `graph_version` (the *session* graph's
+  // version at rewrite time) so stale() and the signature cache keep
+  // working. The id-keyed placement/kernel caches are bypassed: ids in a
+  // rewritten graph do not correspond to session-graph ids.
+  Result<std::shared_ptr<const Executable>> CompileGraph(
+      std::shared_ptr<const Graph> graph, int64_t graph_version,
       const std::vector<std::string>& feed_keys,
       const std::vector<std::string>& fetches,
       const std::vector<std::string>& targets = {},
@@ -218,6 +237,23 @@ class Executor {
   void InvalidateCachesIfStaleLocked();
 
   Result<std::shared_ptr<OpKernel>> KernelFor(const Node& node, Device* device);
+
+  // Cache-free placement/kernel resolution, shared by the cached wrappers
+  // and the override-graph compile path.
+  Result<Device*> PlaceNodeUncached(const Node& node);
+  Result<std::shared_ptr<OpKernel>> InstantiateKernel(const Node& node,
+                                                      Device* device);
+
+  // Shared Compile body: walks `graph` (the session graph or an optimizer
+  // rewrite), stamping the plan with `graph_version`. `use_caches` gates the
+  // id-keyed placement/kernel caches.
+  Result<std::shared_ptr<const Executable>> CompileOn(
+      const Graph& graph, int64_t graph_version, bool use_caches,
+      std::shared_ptr<const Graph> owned_graph,
+      const std::vector<std::string>& feed_keys,
+      const std::vector<std::string>& fetches,
+      const std::vector<std::string>& targets,
+      const StaticShapeMap* static_shapes);
 };
 
 }  // namespace tfhpc

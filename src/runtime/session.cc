@@ -71,27 +71,8 @@ Result<std::shared_ptr<const Executable>> Session::Prepare(
   // prints them. Either way, fully-known shape annotations feed Compile so
   // the executor can pre-size output buffers.
   StaticShapeMap static_shapes;
-  if (options_.graph_check != GraphCheckMode::kOff) {
-    analysis::AnalysisOptions check_opts;
-    check_opts.feeds = sig.feeds;
-    check_opts.fetches = fetches;
-    check_opts.targets = targets;
-    analysis::GraphAnalysis analysis =
-        analysis::VerifyGraph(graph_->ToGraphDef(), check_opts);
-    if (analysis.has_errors() &&
-        options_.graph_check == GraphCheckMode::kStrict) {
-      std::vector<analysis::Diagnostic> errors;
-      for (const auto& d : analysis.diagnostics) {
-        if (d.severity == analysis::Severity::kError) errors.push_back(d);
-      }
-      return InvalidArgument("graphcheck rejected the graph:\n" +
-                             analysis::FormatDiagnostics(errors));
-    }
-    for (const auto& d : analysis.diagnostics) {
-      if (d.severity >= analysis::Severity::kWarning) {
-        std::fprintf(stderr, "graphcheck: %s\n", d.ToString().c_str());
-      }
-    }
+  auto collect_shapes = [&static_shapes](
+                            const analysis::GraphAnalysis& analysis) {
     for (const auto& [name, slots] : analysis.annotations) {
       std::vector<std::pair<DType, Shape>> known;
       known.reserve(slots.size());
@@ -105,12 +86,83 @@ Result<std::shared_ptr<const Executable>> Session::Prepare(
       }
       if (all_known) static_shapes.emplace(name, std::move(known));
     }
-  }
+  };
 
-  TFHPC_ASSIGN_OR_RETURN(
-      std::shared_ptr<const Executable> exe,
-      executor_.Compile(sig.feeds, fetches, targets,
-                        static_shapes.empty() ? nullptr : &static_shapes));
+  analysis::AnalysisOptions check_opts;
+  check_opts.feeds = sig.feeds;
+  check_opts.fetches = fetches;
+  check_opts.targets = targets;
+
+  const bool optimize =
+      options_.optimizer_level != optimizer::OptimizerLevel::kOff;
+  std::shared_ptr<const Executable> exe;
+  if (optimize || options_.graph_check != GraphCheckMode::kOff) {
+    // Snapshot version before serializing: a concurrent mutation at worst
+    // stamps the plan older than the graph, which only forces a recompile.
+    const int64_t version = graph_->version();
+    const wire::GraphDef def = graph_->ToGraphDef();
+    analysis::GraphAnalysis analysis = analysis::VerifyGraph(def, check_opts);
+    if (options_.graph_check != GraphCheckMode::kOff) {
+      if (analysis.has_errors() &&
+          options_.graph_check == GraphCheckMode::kStrict) {
+        std::vector<analysis::Diagnostic> errors;
+        for (const auto& d : analysis.diagnostics) {
+          if (d.severity == analysis::Severity::kError) errors.push_back(d);
+        }
+        return InvalidArgument("graphcheck rejected the graph:\n" +
+                               analysis::FormatDiagnostics(errors));
+      }
+      for (const auto& d : analysis.diagnostics) {
+        if (d.severity >= analysis::Severity::kWarning) {
+          std::fprintf(stderr, "graphcheck: %s\n", d.ToString().c_str());
+        }
+      }
+    }
+
+    // Optimize only graphs the verifier accepted: pass preconditions assume
+    // a well-formed input, and the post-pass re-verification below must be
+    // able to blame the optimizer, not pre-existing breakage.
+    if (optimize && !analysis.has_errors()) {
+      optimizer::PipelineOptions popts;
+      popts.level = options_.optimizer_level;
+      popts.feeds = sig.feeds;
+      popts.fetches = fetches;
+      popts.targets = targets;
+      TFHPC_ASSIGN_OR_RETURN(optimizer::PipelineResult rewritten,
+                             optimizer::RunPassPipeline(def, popts));
+      // The regression oracle: every pipeline output must re-verify. A
+      // failure here is an optimizer bug and fails the compile — it must
+      // never execute as a silently wrong plan.
+      analysis::GraphAnalysis post =
+          analysis::VerifyGraph(rewritten.graph, check_opts);
+      if (post.has_errors()) {
+        std::vector<analysis::Diagnostic> errors;
+        for (const auto& d : post.diagnostics) {
+          if (d.severity == analysis::Severity::kError) errors.push_back(d);
+        }
+        return Internal(
+            std::string("optimizer produced an invalid graph (level ") +
+            optimizer::OptimizerLevelName(options_.optimizer_level) + "):\n" +
+            analysis::FormatDiagnostics(errors));
+      }
+      collect_shapes(post);
+      TFHPC_ASSIGN_OR_RETURN(std::unique_ptr<Graph> rewritten_graph,
+                             Graph::FromGraphDef(rewritten.graph));
+      TFHPC_ASSIGN_OR_RETURN(
+          exe, executor_.CompileGraph(
+                   std::shared_ptr<const Graph>(std::move(rewritten_graph)),
+                   version, sig.feeds, fetches, targets,
+                   static_shapes.empty() ? nullptr : &static_shapes));
+    } else {
+      collect_shapes(analysis);
+    }
+  }
+  if (exe == nullptr) {
+    TFHPC_ASSIGN_OR_RETURN(
+        exe, executor_.Compile(sig.feeds, fetches, targets,
+                               static_shapes.empty() ? nullptr
+                                                     : &static_shapes));
+  }
 
   std::lock_guard<std::mutex> lk(cache_mu_);
   if (max_cached_ == 0) return exe;

@@ -21,6 +21,7 @@
 
 #include "graph/ops.h"
 #include "graph/passes.h"
+#include "optimizer/optimizer.h"
 #include "runtime/executor.h"
 
 namespace tfhpc {
@@ -47,6 +48,12 @@ enum class GraphCheckMode {
 
 struct SessionOptions {
   GraphCheckMode graph_check = GraphCheckMode::kWarn;
+  // Graph optimizer pipeline (src/optimizer) run once per signature-cache
+  // miss, before compilation. Off by default: optimization is opt-in per
+  // session. The rewritten graph is re-verified with GraphCheck regardless
+  // of `graph_check` — a pass producing an invalid graph fails the compile
+  // with kInternal rather than executing a miscompiled step.
+  optimizer::OptimizerLevel optimizer_level = optimizer::OptimizerLevel::kOff;
   // Default per-step memory budget (bytes) applied to every Run whose
   // RunOptions does not set its own; 0 = unbudgeted. Breaches fail the step
   // with permanent kResourceExhausted (see core/buffer.h).

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "core/buffer.h"
 #include "core/rng.h"
@@ -309,12 +311,45 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
   std::atomic<int64_t> total{0};
   pool.ParallelFor(8, 1, [&](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) {
-      // Nested call from a pool thread must execute inline.
+      // Nested call from a pool thread: the caller drains its own chunks,
+      // so this completes even with every worker busy in the outer loop.
       pool.ParallelFor(10, 1,
                        [&](int64_t nb, int64_t ne) { total += ne - nb; });
     }
   });
   EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ParallelForFromPoolThreadUsesMultipleWorkers) {
+  // Regression: ParallelFor used to run fully inline when called from a pool
+  // thread — and the node-parallel executor runs every kernel on
+  // ThreadPool::Global(), so kernel-internal loops were silently
+  // single-threaded. A kernel-like task scheduled onto the pool must still
+  // fan its ParallelFor out to other workers.
+  ThreadPool pool(4);
+  std::set<std::thread::id> workers;
+  for (int attempt = 0; attempt < 5 && workers.size() < 2; ++attempt) {
+    workers.clear();
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    pool.Schedule([&] {
+      pool.ParallelFor(16, 1, [&](int64_t, int64_t) {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          workers.insert(std::this_thread::get_id());
+        }
+        // Hold each chunk long enough for idle workers to claim others.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      });
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done; });
+  }
+  EXPECT_GT(workers.size(), 1u);
 }
 
 TEST(ThreadPoolTest, ParallelForRespectsGrain) {

@@ -1,0 +1,574 @@
+// Optimizer pipeline tests: per-pass positive/negative units, run-twice
+// fixed point, fused-kernel numerics bit-identical to the unfused chain,
+// stateful-op safety, and packed-send coalescing through the partitioner —
+// including survival of an EvictAndRebuild re-ship.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "analysis/verifier.h"
+#include "distrib/dist_session.h"
+#include "distrib/server.h"
+#include "graph/ops.h"
+#include "io/checkpoint.h"
+#include "optimizer/optimizer.h"
+#include "runtime/session.h"
+
+namespace tfhpc {
+namespace {
+
+using distrib::ClusterSpec;
+using distrib::DistributedSession;
+using distrib::DistSessionOptions;
+using distrib::InProcessRouter;
+using distrib::PartitionGraph;
+using distrib::PartitionOptions;
+using distrib::RetryPolicy;
+using distrib::Server;
+using distrib::ServerDef;
+using distrib::WireProtocol;
+
+const wire::NodeDef* FindDef(const wire::GraphDef& def,
+                             const std::string& name) {
+  for (const auto& nd : def.nodes) {
+    if (nd.name == name) return &nd;
+  }
+  return nullptr;
+}
+
+int CountOp(const wire::GraphDef& def, const std::string& op) {
+  int n = 0;
+  for (const auto& nd : def.nodes) n += nd.op == op;
+  return n;
+}
+
+bool SameGraph(const wire::GraphDef& a, const wire::GraphDef& b) {
+  if (a.nodes.size() != b.nodes.size()) return false;
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    if (!(a.nodes[i] == b.nodes[i])) return false;
+  }
+  return true;
+}
+
+// ---- const folding ---------------------------------------------------------------
+
+TEST(OptimizerPipelineTest, ConstFoldCollapsesConstSubgraph) {
+  Graph g;
+  Scope s(&g);
+  auto c1 = ops::Const(s, Tensor::Scalar(2.0), "c1");
+  auto c2 = ops::Const(s, Tensor::Scalar(3.0), "c2");
+  auto sum = ops::Add(s, c1, c2);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{}, "x");
+  auto prod = ops::Mul(s, x, sum);
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kBasic;
+  opts.feeds = {"x"};
+  opts.fetches = {prod.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  const wire::NodeDef* folded = FindDef(r->graph, sum.node->name());
+  // The const-only Add either folded in place or was swept by DNE after its
+  // consumer was rewired; whichever way, no Add-of-consts remains.
+  if (folded != nullptr) EXPECT_EQ(folded->op, "Const");
+  ASSERT_FALSE(r->passes.empty());
+  EXPECT_EQ(r->passes[0].name, "const_fold");
+  EXPECT_GT(r->passes[0].changed, 0);
+}
+
+TEST(OptimizerPipelineTest, FedNodesNeverFold) {
+  Graph g;
+  Scope s(&g);
+  auto c = ops::Const(s, Tensor::Scalar(2.0), "c");
+  auto d = ops::Const(s, Tensor::Scalar(3.0), "d");
+  auto out = ops::Add(s, c, d);
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kBasic;
+  opts.feeds = {"c"};  // fed at run time: its static value is a lie
+  opts.fetches = {out.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const wire::NodeDef* add = FindDef(r->graph, out.node->name());
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->op, "Add") << "an Add over a fed input must not fold";
+}
+
+// ---- CSE -------------------------------------------------------------------------
+
+TEST(OptimizerPipelineTest, CseMergesDuplicates) {
+  Graph g;
+  Scope s(&g);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{4}, "x");
+  auto c = ops::Const(s, Tensor::Scalar(2.0), "c");
+  auto a = ops::Mul(s, x, c);
+  auto b = ops::Mul(s, x, c);  // structurally identical to a
+  auto out = ops::Add(s, a, b);
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kBasic;
+  opts.feeds = {"x"};
+  opts.fetches = {out.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  const wire::NodeDef* sum = FindDef(r->graph, out.node->name());
+  ASSERT_NE(sum, nullptr);
+  ASSERT_EQ(sum->inputs.size(), 2u);
+  EXPECT_EQ(sum->inputs[0], sum->inputs[1])
+      << "both inputs must point at the surviving duplicate";
+  EXPECT_EQ(FindDef(r->graph, a.node->name()) != nullptr,
+            FindDef(r->graph, b.node->name()) == nullptr)
+      << "exactly one of the two duplicates survives";
+}
+
+TEST(OptimizerPipelineTest, CseKeepsFetchedDuplicates) {
+  Graph g;
+  Scope s(&g);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{4}, "x");
+  auto c = ops::Const(s, Tensor::Scalar(2.0), "c");
+  auto a = ops::Mul(s, x, c);
+  auto b = ops::Mul(s, x, c);
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kBasic;
+  opts.feeds = {"x"};
+  opts.fetches = {a.node->name(), b.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(FindDef(r->graph, a.node->name()), nullptr);
+  EXPECT_NE(FindDef(r->graph, b.node->name()), nullptr)
+      << "a fetched node must never be merged away";
+}
+
+// ---- dead-node elimination -------------------------------------------------------
+
+TEST(OptimizerPipelineTest, DeadNodeElimPrunesToClosure) {
+  Graph g;
+  Scope s(&g);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{}, "x");
+  auto live = ops::Mul(s, x, ops::Const(s, Tensor::Scalar(2.0)));
+  auto dead = ops::Add(s, x, ops::Const(s, Tensor::Scalar(5.0)));
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kBasic;
+  opts.feeds = {"x"};
+  opts.fetches = {live.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(FindDef(r->graph, live.node->name()), nullptr);
+  EXPECT_EQ(FindDef(r->graph, dead.node->name()), nullptr)
+      << "nodes outside the fetch closure must be pruned";
+}
+
+TEST(OptimizerPipelineTest, WholeGraphModeKeepsStatefulOps) {
+  Graph g;
+  Scope s(&g);
+  auto v = ops::Variable(s, "v", DType::kF64, Shape{});
+  ops::AssignAdd(s, v, ops::Const(s, Tensor::Scalar(1.0)));
+  ops::QueueEnqueue(s, "q", ops::Const(s, Tensor::Scalar(7.0)));
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kAggressive;
+  // No signature: whole-graph mode (the graphcheck CLI / DistributedSession
+  // view). Stateful ops must all survive.
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(CountOp(r->graph, "Variable"), 1);
+  EXPECT_EQ(CountOp(r->graph, "AssignAdd"), 1);
+  EXPECT_EQ(CountOp(r->graph, "QueueEnqueue"), 1);
+}
+
+// ---- idempotence -----------------------------------------------------------------
+
+TEST(OptimizerPipelineTest, PipelineIsIdempotent) {
+  Graph g;
+  Scope s(&g);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{8}, "x");
+  auto c2 = ops::Const(s, Tensor::Scalar(2.0), "c2");
+  auto c3 = ops::Const(s, Tensor::Scalar(3.0), "c3");
+  auto a = ops::Add(s, x, c2);
+  auto b = ops::Mul(s, a, c3);
+  auto d = ops::Sub(s, b, c2);
+  auto e = ops::Neg(s, d);
+  // A duplicate pair and a const subgraph so every pass has work to do.
+  auto dup1 = ops::Mul(s, x, c2);
+  auto dup2 = ops::Mul(s, x, c2);
+  auto cc = ops::Add(s, c2, c3);
+  auto tail = ops::Add(s, ops::Add(s, dup1, dup2), ops::Mul(s, e, cc));
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kAggressive;
+  opts.feeds = {"x"};
+  opts.fetches = {tail.node->name()};
+  auto once = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(once.ok()) << once.status().ToString();
+  auto twice = optimizer::RunPassPipeline(once->graph, opts);
+  ASSERT_TRUE(twice.ok()) << twice.status().ToString();
+  EXPECT_TRUE(SameGraph(once->graph, twice->graph))
+      << "the pipeline must reach a fixed point after one run";
+}
+
+// ---- fusion + fused-kernel numerics ----------------------------------------------
+
+TEST(FusedElementwiseTest, AggressiveFusionMatchesUnfusedBitExact) {
+  LocalRuntime rt(0);
+  Scope s = rt.root_scope();
+  auto x = ops::Placeholder(s, DType::kF64, Shape{64}, "x");
+  auto c1 = ops::Const(s, Tensor::Scalar(1.5), "c1");
+  auto c2 = ops::Const(s, Tensor::Scalar(0.25), "c2");
+  auto a = ops::Add(s, x, c1);
+  auto b = ops::Mul(s, a, c2);
+  auto c = ops::Sub(s, b, c1);
+  auto d = ops::Mul(s, c, c);  // square: makes the sqrt input non-negative
+  auto e = ops::Sqrt(s, d);
+  auto out = ops::Neg(s, e);
+
+  std::vector<double> vals(64);
+  for (int i = 0; i < 64; ++i) vals[i] = (i - 32) * 0.37;
+  const Tensor feed = Tensor::FromVector(vals);
+
+  SessionOptions off;
+  off.optimizer_level = optimizer::OptimizerLevel::kOff;
+  auto plain = rt.NewSession(off);
+  auto r_off = plain->Run({{"x", feed}}, {out.name()});
+  ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+
+  SessionOptions aggressive;
+  aggressive.optimizer_level = optimizer::OptimizerLevel::kAggressive;
+  aggressive.graph_check = GraphCheckMode::kStrict;
+  auto opt = rt.NewSession(aggressive);
+  RunOptions trace;
+  trace.trace = true;
+  RunMetadata meta;
+  auto r_on = opt->Run({{"x", feed}}, {out.name()}, {}, trace, &meta);
+  ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+
+  ASSERT_EQ((*r_off)[0].num_elements(), (*r_on)[0].num_elements());
+  EXPECT_EQ(std::memcmp((*r_off)[0].data<double>().data(),
+                        (*r_on)[0].data<double>().data(),
+                        64 * sizeof(double)),
+            0)
+      << "fused chain must be bit-identical to the unfused kernels";
+
+  bool fused_ran = false;
+  size_t traced_nodes = meta.nodes.size();
+  for (const auto& n : meta.nodes) fused_ran |= n.op == "FusedElementwise";
+  EXPECT_TRUE(fused_ran) << "aggressive level must execute a fused chain";
+  EXPECT_LT(traced_nodes, 9u) << "the fused step must schedule fewer nodes";
+}
+
+TEST(FusedElementwiseTest, CastChainMatchesUnfused) {
+  LocalRuntime rt(0);
+  Scope s = rt.root_scope();
+  auto x = ops::Placeholder(s, DType::kF32, Shape{16}, "x");
+  auto wide = ops::Cast(s, x, DType::kF64);
+  auto shifted = ops::Add(s, wide, ops::Const(s, Tensor::Scalar(0.125)));
+  auto out = ops::Cast(s, shifted, DType::kF32);
+
+  std::vector<float> vals(16);
+  for (int i = 0; i < 16; ++i) vals[i] = static_cast<float>(i) * 1.3f;
+  const Tensor feed = Tensor::FromVector(vals);
+
+  SessionOptions off;
+  auto plain = rt.NewSession(off);
+  auto r_off = plain->Run({{"x", feed}}, {out.name()});
+  ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+
+  SessionOptions aggressive;
+  aggressive.optimizer_level = optimizer::OptimizerLevel::kAggressive;
+  aggressive.graph_check = GraphCheckMode::kStrict;
+  auto opt = rt.NewSession(aggressive);
+  auto r_on = opt->Run({{"x", feed}}, {out.name()});
+  ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+  EXPECT_EQ(std::memcmp((*r_off)[0].data<float>().data(),
+                        (*r_on)[0].data<float>().data(),
+                        16 * sizeof(float)),
+            0);
+}
+
+TEST(FusedElementwiseTest, FetchedInteriorNodeIsNeverAbsorbed) {
+  Graph g;
+  Scope s(&g);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{8}, "x");
+  auto c = ops::Const(s, Tensor::Scalar(2.0), "c");
+  auto mid = ops::Add(s, x, c);
+  auto out = ops::Mul(s, mid, c);
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kAggressive;
+  opts.feeds = {"x"};
+  opts.fetches = {mid.node->name(), out.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const wire::NodeDef* kept = FindDef(r->graph, mid.node->name());
+  ASSERT_NE(kept, nullptr) << "fetched interior node must survive by name";
+  EXPECT_EQ(kept->op, "Add");
+}
+
+TEST(FusedElementwiseTest, StatefulOpsNeverFuse) {
+  Graph g;
+  Scope s(&g);
+  auto v = ops::Variable(s, "v", DType::kF64, Shape{4});
+  auto bump = ops::AssignAdd(
+      s, v, ops::Const(s, Tensor::FromVector(std::vector<double>{1, 1, 1, 1})));
+  auto a = ops::Add(s, v, ops::Const(s, Tensor::Scalar(2.0)));
+  auto b = ops::Mul(s, a, ops::Const(s, Tensor::Scalar(3.0)));
+  auto out = ops::Sub(s, b, ops::Const(s, Tensor::Scalar(1.0)));
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kAggressive;
+  opts.fetches = {out.node->name()};
+  opts.targets = {bump.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The stateful producer and its mutation survive as standalone nodes; only
+  // the pure suffix collapses. The Variable MAY feed the fused chain as an
+  // external operand — it must never be a chain member.
+  EXPECT_EQ(CountOp(r->graph, "AssignAdd"), 1);
+  EXPECT_EQ(CountOp(r->graph, "Variable"), 1);
+  EXPECT_EQ(CountOp(r->graph, "FusedElementwise"), 1);
+  const wire::NodeDef* var = FindDef(r->graph, v.node->name());
+  ASSERT_NE(var, nullptr);
+  EXPECT_EQ(var->op, "Variable");
+}
+
+// ---- optimized sessions end-to-end ----------------------------------------------
+
+TEST(OptimizerSessionTest, OptimizedPlansAreCachedPerSignature) {
+  LocalRuntime rt(0);
+  Scope s = rt.root_scope();
+  auto x = ops::Placeholder(s, DType::kF64, Shape{}, "x");
+  auto out = ops::Mul(s, ops::Add(s, x, ops::Const(s, Tensor::Scalar(1.0))),
+                      ops::Const(s, Tensor::Scalar(2.0)));
+
+  SessionOptions opts;
+  opts.optimizer_level = optimizer::OptimizerLevel::kAggressive;
+  auto session = rt.NewSession(opts);
+  auto r1 = session->Run({{"x", Tensor::Scalar(3.0)}}, {out.name()});
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_DOUBLE_EQ((*r1)[0].scalar<double>(), 8.0);
+  auto r2 = session->Run({{"x", Tensor::Scalar(4.0)}}, {out.name()});
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_DOUBLE_EQ((*r2)[0].scalar<double>(), 10.0);
+  EXPECT_EQ(session->executable_cache_misses(), 1)
+      << "the optimizer runs once per signature, not per step";
+  EXPECT_EQ(session->executable_cache_hits(), 1);
+}
+
+// ---- partitioner send coalescing -------------------------------------------------
+
+distrib::ClusterSpec TwoWorkerSpec(const std::string& tag) {
+  wire::ClusterDef def;
+  wire::JobDef workers;
+  workers.name = "worker";
+  workers.task_addrs = {tag + "-w0:1", tag + "-w1:1"};
+  def.jobs = {workers};
+  return ClusterSpec::Create(def).value();
+}
+
+DeviceName WorkerDefault() {
+  DeviceName d;
+  d.job = "worker";
+  d.task = 0;
+  return d;
+}
+
+TEST(CoalesceSendTest, SameConsumerSendsArePacked) {
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto a = ops::Const(t0, Tensor::Scalar(2.0), "a");
+  auto b = ops::Const(t0, Tensor::Scalar(3.0), "b");
+  ops::Add(t1, a, b);  // both cross edges feed the same consumer
+
+  auto spec = TwoWorkerSpec("pk");
+  PartitionOptions popts;
+  popts.coalesce_sends = true;
+  auto parts = PartitionGraph(g, spec, WorkerDefault(), popts);
+  ASSERT_TRUE(parts.ok()) << parts.status().ToString();
+  const auto& p0 = parts->partitions.at("pk-w0:1");
+  const auto& p1 = parts->partitions.at("pk-w1:1");
+  EXPECT_EQ(CountOp(p0, "_Send"), 0);
+  EXPECT_EQ(CountOp(p0, "_PackedSend"), 1);
+  EXPECT_EQ(CountOp(p1, "_Recv"), 2) << "the receive side is unchanged";
+
+  const wire::NodeDef* packed = nullptr;
+  for (const auto& nd : p0.nodes) {
+    if (nd.op == "_PackedSend") packed = &nd;
+  }
+  ASSERT_NE(packed, nullptr);
+  EXPECT_EQ(packed->inputs.size(), 2u);
+  const auto keys = packed->attrs.find("keys");
+  ASSERT_NE(keys, packed->attrs.end());
+  EXPECT_NE(keys->second.s.find('\x1f'), std::string::npos)
+      << "two rendezvous keys ride the packed node";
+
+  // The packed plan must satisfy GC015: every key pairs with a _Recv.
+  const auto diags = analysis::VerifyPartitions(parts->partitions);
+  EXPECT_FALSE(analysis::HasErrors(diags))
+      << analysis::FormatDiagnostics(diags);
+
+  // The merged SendDef carries the union of consumers.
+  const auto& sends = parts->sends.at("pk-w0:1");
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0].consumers.size(), 1u);
+}
+
+TEST(CoalesceSendTest, DifferentConsumerSetsStaySeparate) {
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto a = ops::Const(t0, Tensor::Scalar(2.0), "a");
+  auto b = ops::Const(t0, Tensor::Scalar(3.0), "b");
+  ops::Neg(t1, a);  // consumer set {neg_a}
+  ops::Neg(t1, b);  // consumer set {neg_b}: must not merge with the above
+
+  auto spec = TwoWorkerSpec("sp");
+  PartitionOptions popts;
+  popts.coalesce_sends = true;
+  auto parts = PartitionGraph(g, spec, WorkerDefault(), popts);
+  ASSERT_TRUE(parts.ok()) << parts.status().ToString();
+  const auto& p0 = parts->partitions.at("sp-w0:1");
+  EXPECT_EQ(CountOp(p0, "_Send"), 2)
+      << "different consumer sets prune independently: never packed";
+  EXPECT_EQ(CountOp(p0, "_PackedSend"), 0);
+}
+
+TEST(CoalesceSendTest, CoalescedSendsRoundTripThroughServers) {
+  InProcessRouter router;
+  auto spec = TwoWorkerSpec("rt");
+  auto w0 = Server::Create({spec, "worker", 0, 1}, &router).value();
+  auto w1 = Server::Create({spec, "worker", 1, 1}, &router).value();
+
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto x = ops::Placeholder(t0, DType::kF64, Shape{3}, "x");
+  auto p = ops::Mul(t0, x, ops::Const(t0, Tensor::Scalar(2.0)));
+  auto q = ops::Mul(t0, x, ops::Const(t0, Tensor::Scalar(3.0)));
+  auto y = ops::Add(t1, p, q);  // p and q cross together: packed pair
+
+  DistSessionOptions opts;
+  opts.coalesce_sends = true;
+  auto session = DistributedSession::Create(&router, spec, WireProtocol::kRdma,
+                                            g.ToGraphDef(), WorkerDefault(),
+                                            opts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const Tensor feed = Tensor::FromVector(std::vector<double>{1, 2, 3});
+  for (int step = 0; step < 2; ++step) {
+    auto r = (*session)->Run({{"x", feed}}, {y.name()});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_DOUBLE_EQ((*r)[0].data<double>()[0], 5.0);
+    EXPECT_DOUBLE_EQ((*r)[0].data<double>()[1], 10.0);
+    EXPECT_DOUBLE_EQ((*r)[0].data<double>()[2], 15.0);
+  }
+}
+
+TEST(CoalesceSendTest, PackedSendsSurviveEvictAndRebuild) {
+  const std::string tag = "cv";
+  const std::string w0_addr = tag + "-w0:1";
+  const std::string w1_addr = tag + "-w1:1";
+  const std::string spare_addr = tag + "-spare:1";
+  auto mk_cluster = [](const std::vector<std::string>& addrs) {
+    wire::ClusterDef def;
+    wire::JobDef workers;
+    workers.name = "worker";
+    workers.task_addrs = addrs;
+    def.jobs = {workers};
+    return ClusterSpec::Create(def).value();
+  };
+  ClusterSpec cluster = mk_cluster({w0_addr, w1_addr});
+  ClusterSpec spare_cluster = mk_cluster({w0_addr, spare_addr});
+
+  InProcessRouter router;
+  RetryPolicy send_retry = RetryPolicy::Aggressive(1000);
+  ServerDef d0{cluster, "worker", 0, 0};
+  ServerDef d1{cluster, "worker", 1, 0};
+  ServerDef ds{spare_cluster, "worker", 1, 0};
+  d0.send_retry = d1.send_retry = ds.send_retry = send_retry;
+  auto w0 = Server::Create(d0, &router).value();
+  auto w1 = Server::Create(d1, &router).value();
+  auto spare = Server::Create(ds, &router).value();
+
+  distrib::HealthOptions health;
+  health.heartbeat_interval_ms = 5;
+  health.suspect_after_ms = 40;
+  health.dead_after_ms = 120;
+  distrib::HealthMonitor monitor(&router, health);
+  monitor.Watch(w0_addr);
+  monitor.Watch(w1_addr);
+  monitor.Start();
+
+  const std::string ckpt_dir = ::testing::TempDir() + "/coalesce_evict";
+  std::filesystem::remove_all(ckpt_dir);
+  io::CheckpointManager checkpoints(
+      io::CheckpointManagerOptions{ckpt_dir, "job", 3});
+
+  // acc += 1 on task 0; its doubled and tripled views cross to task 1
+  // TOGETHER (same consumer) as one packed send; sum += 5*acc on task 1.
+  Graph g;
+  Scope s(&g);
+  auto t0 = s.WithDevice("/job:worker/task:0/cpu:0");
+  auto t1 = s.WithDevice("/job:worker/task:1/cpu:0");
+  auto acc = ops::Variable(t0, "acc", DType::kF64, Shape{});
+  auto bump = ops::AssignAdd(t0, acc, ops::Const(t0, Tensor::Scalar(1.0)));
+  auto p = ops::Mul(t0, bump, ops::Const(t0, Tensor::Scalar(2.0)));
+  auto q = ops::Mul(t0, bump, ops::Const(t0, Tensor::Scalar(3.0)));
+  auto sum = ops::Variable(t1, "sum", DType::kF64, Shape{});
+  auto total = ops::AssignAdd(t1, sum, ops::Add(t1, p, q));
+
+  DistSessionOptions sopts;
+  sopts.coalesce_sends = true;
+  auto session = DistributedSession::Create(&router, cluster,
+                                            WireProtocol::kRdma,
+                                            g.ToGraphDef(), WorkerDefault(),
+                                            sopts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  ASSERT_TRUE(distrib::RemoteTask(&router, w0_addr, WireProtocol::kRdma)
+                  .VarAssign("acc", Tensor::Scalar(0.0))
+                  .ok());
+  ASSERT_TRUE(distrib::RemoteTask(&router, w1_addr, WireProtocol::kRdma)
+                  .VarAssign("sum", Tensor::Scalar(0.0))
+                  .ok());
+
+  distrib::StepRecoveryOptions recovery;
+  recovery.max_step_attempts = 3;
+  recovery.rpc_retry = RetryPolicy::Aggressive(500);
+  recovery.health = &monitor;
+  recovery.checkpoints = &checkpoints;
+  recovery.checkpoint_every_n_steps = 1;
+  recovery.spare_addrs = {spare_addr};
+  recovery.dead_verdict_wait_ms = 5000;
+
+  // Two clean steps through the packed path: acc=1,sum=5 then acc=2,sum=15.
+  for (int step = 1; step <= 2; ++step) {
+    auto r = (*session)->Run({}, {total.name()}, recovery, nullptr);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  ASSERT_TRUE(checkpoints.WaitForPending().ok());
+
+  // Kill the consumer task. The rebuild re-partitions with the SAME
+  // coalescing options, re-ships the _PackedSend to the surviving plan and
+  // the step completes with the restored state: sum = 15 + 5*3 = 30.
+  router.Kill(w1_addr);
+  distrib::FaultReport report;
+  auto r = (*session)->Run({}, {total.name()}, recovery, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " " << report.ToString();
+  EXPECT_DOUBLE_EQ((*r)[0].scalar<double>(), 30.0);
+  EXPECT_EQ(report.workers_evicted, 1) << report.ToString();
+
+  monitor.Stop();
+  (void)checkpoints.WaitForPending();
+  std::error_code ec;
+  std::filesystem::remove_all(ckpt_dir, ec);
+}
+
+}  // namespace
+}  // namespace tfhpc

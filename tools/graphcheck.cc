@@ -2,21 +2,63 @@
 // static analyzer (src/analysis). Whole-graph mode — every diagnostic layer
 // runs, including dead-node analysis.
 //
-//   graphcheck graph.pb [more.pb ...]
+//   graphcheck [--optimize=off|basic|aggressive] graph.pb [more.pb ...]
+//
+// With --optimize=<level> (other than off), the optimizer pipeline
+// (src/optimizer) runs over each clean graph in whole-graph mode, per-pass
+// node/edge deltas are printed, and the OPTIMIZED graph is re-verified — an
+// ERROR there means an optimizer bug and exits 2, same as an invalid input.
 //
 // Exit code: 2 if any file has ERROR findings, 1 if the worst finding is a
 // WARNING, 0 when every file is clean (INFO findings do not affect the exit
 // code). The ci.sh graphcheck leg relies on these codes.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "analysis/verifier.h"
+#include "optimizer/optimizer.h"
 
 namespace {
 
-int CheckFile(const std::string& path) {
+// Runs the pipeline over a graph that passed verification, reports each
+// pass's effect, and re-verifies the result. Returns the exit code for this
+// stage (0 clean, 2 on an optimizer bug).
+int OptimizeAndRecheck(const std::string& path, const tfhpc::wire::GraphDef& def,
+                       tfhpc::optimizer::OptimizerLevel level) {
+  tfhpc::optimizer::PipelineOptions opts;
+  opts.level = level;
+  auto result = tfhpc::optimizer::RunPassPipeline(def, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "graphcheck: %s: optimizer failed: %s\n",
+                 path.c_str(), result.status().ToString().c_str());
+    return 2;
+  }
+  for (const auto& p : result->passes) {
+    std::printf("%s: optimize[%s]: nodes %d -> %d, edges %d -> %d (%d changed)\n",
+                path.c_str(), p.name.c_str(), p.nodes_before, p.nodes_after,
+                p.edges_before, p.edges_after, p.changed);
+  }
+  const tfhpc::analysis::GraphAnalysis post =
+      tfhpc::analysis::VerifyGraph(result->graph);
+  int rc = 0;
+  for (const auto& d : post.diagnostics) {
+    if (d.severity != tfhpc::analysis::Severity::kError) continue;
+    std::printf("%s: optimized: %s\n", path.c_str(), d.ToString().c_str());
+    rc = 2;
+  }
+  if (rc != 0) {
+    std::fprintf(stderr,
+                 "graphcheck: %s: optimizer produced an invalid graph\n",
+                 path.c_str());
+  }
+  return rc;
+}
+
+int CheckFile(const std::string& path,
+              tfhpc::optimizer::OptimizerLevel level) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "graphcheck: cannot open %s\n", path.c_str());
@@ -45,19 +87,42 @@ int CheckFile(const std::string& path) {
   }
   std::printf("%s: %zu node(s), %zu finding(s)\n", path.c_str(),
               parsed->nodes.size(), analysis.diagnostics.size());
+
+  // Only optimize graphs that verified without errors: pass preconditions
+  // assume a well-formed input, and the post-pass check must be able to
+  // blame the optimizer alone.
+  if (level != tfhpc::optimizer::OptimizerLevel::kOff && rc < 2) {
+    const int opt_rc = OptimizeAndRecheck(path, *parsed, level);
+    if (opt_rc > rc) rc = opt_rc;
+  }
   return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: graphcheck <graphdef-file> [...]\n");
+  tfhpc::optimizer::OptimizerLevel level =
+      tfhpc::optimizer::OptimizerLevel::kOff;
+  int first_file = 1;
+  if (argc > 1 && std::strncmp(argv[1], "--optimize=", 11) == 0) {
+    auto parsed = tfhpc::optimizer::ParseOptimizerLevel(argv[1] + 11);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "graphcheck: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    level = *parsed;
+    first_file = 2;
+  }
+  if (argc <= first_file) {
+    std::fprintf(stderr,
+                 "usage: graphcheck [--optimize=off|basic|aggressive] "
+                 "<graphdef-file> [...]\n");
     return 2;
   }
   int rc = 0;
-  for (int i = 1; i < argc; ++i) {
-    const int file_rc = CheckFile(argv[i]);
+  for (int i = first_file; i < argc; ++i) {
+    const int file_rc = CheckFile(argv[i], level);
     if (file_rc > rc) rc = file_rc;
   }
   return rc;
