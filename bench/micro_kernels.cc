@@ -11,6 +11,7 @@
 #include "core/rng.h"
 #include "kernels/fft_impl.h"
 #include "kernels/gemm.h"
+#include "kernels/reduction.h"
 
 namespace tfhpc {
 namespace {
@@ -56,6 +57,56 @@ void BM_GemvF64(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GemvF64)->Arg(256)->Arg(1024);
+
+void BM_DotF64(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<double> a(static_cast<size_t>(n), 1.5);
+  std::vector<double> b(static_cast<size_t>(n), -0.5);
+  for (auto _ : state) {
+    double d = blas::ParallelDot(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * n * 2 *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_DotF64)->Arg(1 << 12)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_DotF32(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> a(static_cast<size_t>(n), 1.5f);
+  std::vector<float> b(static_cast<size_t>(n), -0.5f);
+  for (auto _ : state) {
+    double d = blas::ParallelDot(a.data(), b.data(), n);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * n * 2 *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_DotF32)->Arg(1 << 12)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_ReduceSumF64(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<double> x(static_cast<size_t>(n), 0.25);
+  for (auto _ : state) {
+    double s = blas::ParallelSum(x.data(), n);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(state.iterations() * n *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_ReduceSumF64)->Arg(1 << 12)->Arg(1 << 20)->Arg(1 << 24);
+
+void BM_ReduceSumF32(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> x(static_cast<size_t>(n), 0.25f);
+  for (auto _ : state) {
+    double s = blas::ParallelSum(x.data(), n);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(state.iterations() * n *
+                          static_cast<int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_ReduceSumF32)->Arg(1 << 12)->Arg(1 << 20)->Arg(1 << 24);
 
 void BM_FftRadix2(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -63,6 +63,14 @@ echo "==== optimizer ablation smoke ===="
 (cd "$repo/build" && ./bench/ablation_optimizer --smoke)
 echo "==== optimizer ablation: levels agree, reduction floor met ===="
 
+# GEMM ablation smoke: packed register-tiled kernel vs the pre-PR i-k-j
+# loop at small sizes. The binary gates the packed kernel's numerics
+# against a naive triple-loop reference (exit 2 on divergence) and writes
+# BENCH_gemm.json; the 2x speedup floor is asserted only in full mode.
+echo "==== gemm ablation smoke ===="
+(cd "$repo/build" && ./bench/ablation_gemm --smoke)
+echo "==== gemm ablation: packed kernel matches naive reference ===="
+
 if [[ "$fast" == 1 ]]; then
   echo "==== ci: tier 1 OK (sanitizer smoke skipped) ===="
   exit 0

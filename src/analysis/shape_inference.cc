@@ -482,6 +482,27 @@ Status FusedElementwiseFn(InferenceContext& c) {
     } else if (st.op == "Cast") {
       out.dtype = st.cast_to;
       out.shape = opnd(st.operands[0]).shape;
+    } else if (st.op == "Dot") {
+      // Trailing inner-product stage: two equal-length vectors -> scalar
+      // (mirrors DotFn; ParseFusedStages pins it to the final stage).
+      const InferredTensor& a = opnd(st.operands[0]);
+      const InferredTensor& b = opnd(st.operands[1]);
+      TFHPC_ASSIGN_OR_RETURN(out.dtype, merge_dtypes(a, b));
+      if (a.shape.rank_known && a.shape.rank() != 1) {
+        return c.ShapeError("fused Dot stage " + std::to_string(k) +
+                            " requires vectors, got " + a.shape.ToString());
+      }
+      if (b.shape.rank_known && b.shape.rank() != 1) {
+        return c.ShapeError("fused Dot stage " + std::to_string(k) +
+                            " requires vectors, got " + b.shape.ToString());
+      }
+      if (a.shape.rank_known && b.shape.rank_known) {
+        TFHPC_RETURN_IF_ERROR(MergeShapes(a.shape, b.shape).status());
+      }
+      out.shape = InferredShape::Scalar();
+    } else if (st.op == "ReduceSum") {
+      out.dtype = opnd(st.operands[0]).dtype;
+      out.shape = InferredShape::Scalar();
     } else {  // Sqrt / Neg
       out = opnd(st.operands[0]);
     }

@@ -1,5 +1,6 @@
 #include "core/buffer.h"
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -14,6 +15,14 @@ size_t RoundUpPow2(size_t v) {
   size_t c = BufferPool::kMinClassBytes;
   while (c < v) c <<= 1;
   return c;
+}
+
+// Runtime counterpart of the alignment static_asserts in buffer.h: every
+// block TryAcquire hands out (fresh, cached, or oversized — Acquire funnels
+// through here too) must be safe for 64-byte SIMD loads.
+void CheckAligned(const void* p) {
+  TFHPC_CHECK(reinterpret_cast<uintptr_t>(p) % Buffer::kAlignment == 0)
+      << "BufferPool produced a misaligned block";
 }
 
 }  // namespace
@@ -145,6 +154,7 @@ Status BufferPool::TryAcquire(size_t size, void** out, size_t* capacity,
     }
     *capacity = rounded;
     *out = p;
+    CheckAligned(p);
     return Status::OK();
   }
   const size_t cls = RoundUpPow2(size);
@@ -161,6 +171,7 @@ Status BufferPool::TryAcquire(size_t size, void** out, size_t* capacity,
       total_hits_.fetch_add(1, std::memory_order_relaxed);
       *pool_hit = true;
       *out = p;
+      CheckAligned(p);
       return Status::OK();
     }
   }
@@ -173,6 +184,7 @@ Status BufferPool::TryAcquire(size_t size, void** out, size_t* capacity,
                              " bytes failed");
   }
   *out = p;
+  CheckAligned(p);
   return Status::OK();
 }
 

@@ -342,4 +342,22 @@ class Buffer {
   std::shared_ptr<MemoryLimiter> step_limiter_;  // holds `size_` reserved
 };
 
+// SIMD-safety invariants the vectorized kernels rely on: every tensor buffer
+// (pooled class, oversized bypass, either allocation path) is 64-byte
+// aligned. aligned_alloc requires size % alignment == 0, which holds because
+// size classes are powers of two >= kMinClassBytes and the oversized path
+// rounds up to a kAlignment multiple — these asserts pin the constants that
+// proof depends on.
+static_assert((Buffer::kAlignment & (Buffer::kAlignment - 1)) == 0,
+              "Buffer alignment must be a power of two");
+static_assert(Buffer::kAlignment >= alignof(std::max_align_t),
+              "Buffer alignment must satisfy every scalar dtype");
+static_assert(BufferPool::kMinClassBytes % Buffer::kAlignment == 0,
+              "smallest size class must be an alignment multiple");
+static_assert((BufferPool::kMinClassBytes &
+               (BufferPool::kMinClassBytes - 1)) == 0,
+              "size classes grow by doubling from a power of two");
+static_assert(BufferPool::kMaxPooledBytes % Buffer::kAlignment == 0,
+              "largest size class must be an alignment multiple");
+
 }  // namespace tfhpc

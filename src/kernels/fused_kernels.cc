@@ -3,18 +3,29 @@
 // mirrors the corresponding unfused kernel exactly — same ParallelFor grain,
 // same accumulation order, same serial loops — so a fused chain is
 // bit-identical to running the nodes separately.
+//
+// A chain may end in a trailing reduction (Dot/ReduceSum). The reduction
+// shares kReduceChunk boundaries and ChunkSum/ChunkDot with the unfused
+// reduction kernels, and when the chain is Cast-free it streams: each
+// kReduceChunk-sized block of the elementwise prefix is evaluated into stack
+// scratch and reduced immediately — one memory sweep, no materialized
+// intermediate — while still matching the unfused graph bit for bit
+// (elementwise values are pointwise, and the reduction consumes them in the
+// identical chunk order).
 #include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "core/threadpool.h"
 #include "kernels/kernel.h"
+#include "kernels/reduction.h"
 #include "optimizer/fused_spec.h"
 
 namespace tfhpc {
 namespace {
 
 using optimizer::FusedStage;
+using optimizer::IsFusedReduction;
 using optimizer::ParseFusedStages;
 
 enum class BinOp { kAdd, kSub, kMul, kDiv };
@@ -75,6 +86,106 @@ bool IsBinary(const std::string& op) {
   return op == "Add" || op == "Sub" || op == "Mul" || op == "Div";
 }
 
+// Evaluates the elementwise prefix (stages [0, ew)) for elements
+// [lo, lo + len) of the chain into the two alternating scratch buffers,
+// returning a pointer to the final stage's values. Arithmetic per element is
+// exactly the unfused kernels' — pointwise ops don't care how the index
+// space is partitioned. Callers guarantee the chain has one dtype (no Cast)
+// and len <= kReduceChunk.
+template <typename T>
+const T* EvalChainChunk(const std::vector<FusedStage>& stages, size_t ew,
+                        OpKernelContext* ctx, int64_t lo, int64_t len, T* buf0,
+                        T* buf1) {
+  const T* cur = nullptr;
+  T* next = buf0;
+  for (size_t k = 0; k < ew; ++k) {
+    const FusedStage& st = stages[k];
+    auto ptr = [&](int r, bool* scalar) -> const T* {
+      if (r == FusedStage::kPrev) {
+        *scalar = false;
+        return cur;
+      }
+      const Tensor& t = ctx->input(r);
+      *scalar = t.shape().IsScalar();
+      return *scalar ? t.data<T>().data() : t.data<T>().data() + lo;
+    };
+    if (IsBinary(st.op)) {
+      bool as = false, bs = false;
+      const T* a = ptr(st.operands[0], &as);
+      const T* b = ptr(st.operands[1], &bs);
+      const BinOp bop = st.op == "Add"   ? BinOp::kAdd
+                        : st.op == "Sub" ? BinOp::kSub
+                        : st.op == "Mul" ? BinOp::kMul
+                                         : BinOp::kDiv;
+      for (int64_t i = 0; i < len; ++i) {
+        const T x = a[as ? 0 : i];
+        const T y = b[bs ? 0 : i];
+        switch (bop) {
+          case BinOp::kAdd: next[i] = x + y; break;
+          case BinOp::kSub: next[i] = x - y; break;
+          case BinOp::kMul: next[i] = x * y; break;
+          case BinOp::kDiv: next[i] = x / y; break;
+        }
+      }
+    } else if (st.op == "Axpy") {
+      bool s = false;
+      const T av = *ptr(st.operands[0], &s);
+      const T* xs = ptr(st.operands[1], &s);
+      const T* ys = ptr(st.operands[2], &s);
+      for (int64_t i = 0; i < len; ++i) next[i] = av * xs[i] + ys[i];
+    } else if (st.op == "Sqrt") {
+      bool s = false;
+      const T* a = ptr(st.operands[0], &s);
+      for (int64_t i = 0; i < len; ++i) next[i] = std::sqrt(a[i]);
+    } else {  // Neg
+      bool s = false;
+      const T* a = ptr(st.operands[0], &s);
+      for (int64_t i = 0; i < len; ++i) next[i] = -a[i];
+    }
+    cur = next;
+    next = (next == buf0) ? buf1 : buf0;
+  }
+  return cur;
+}
+
+// Streaming trailing-reduction execution: per reduction chunk, evaluate the
+// elementwise prefix into scratch and reduce it in place; combine partials
+// serially in chunk order. Bit-identical to materialize-then-reduce because
+// chunk boundaries and ChunkSum/ChunkDot are shared with the unfused
+// Dot/ReduceSum kernels.
+template <typename T>
+T StreamReduceChain(const std::vector<FusedStage>& stages,
+                    OpKernelContext* ctx, int64_t n) {
+  using Acc = typename blas::ReduceAccum<T>::type;
+  const FusedStage& red = stages.back();
+  const size_t ew = stages.size() - 1;
+  const int64_t chunks = blas::NumReduceChunks(n);
+  std::vector<Acc> partials(static_cast<size_t>(chunks));
+  ThreadPool::Global().ParallelFor(
+      chunks, blas::kReduceGrainChunks, [&](int64_t cb, int64_t ce) {
+        alignas(64) T buf0[blas::kReduceChunk];
+        alignas(64) T buf1[blas::kReduceChunk];
+        for (int64_t c = cb; c < ce; ++c) {
+          const int64_t lo = c * blas::kReduceChunk;
+          const int64_t len = std::min(blas::kReduceChunk, n - lo);
+          const T* vals =
+              EvalChainChunk<T>(stages, ew, ctx, lo, len, buf0, buf1);
+          if (red.op == "ReduceSum") {
+            partials[static_cast<size_t>(c)] = blas::ChunkSum(vals, len);
+          } else {  // Dot
+            auto side = [&](int r) -> const T* {
+              return r == FusedStage::kPrev
+                         ? vals
+                         : ctx->input(r).data<T>().data() + lo;
+            };
+            partials[static_cast<size_t>(c)] = blas::ChunkDot(
+                side(red.operands[0]), side(red.operands[1]), len);
+          }
+        }
+      });
+  return static_cast<T>(blas::CombineChunks(partials));
+}
+
 class FusedElementwiseKernel : public OpKernel {
  public:
   Status Compute(OpKernelContext* ctx) override {
@@ -126,19 +237,41 @@ class FusedElementwiseKernel : public OpKernel {
       } else if (st.op == "Cast") {
         out_dtype[k] = st.cast_to;
         out_shape[k] = opnd_shape(st.operands[0]);
+      } else if (st.op == "Dot") {
+        const Shape& a = opnd_shape(st.operands[0]);
+        const Shape& b = opnd_shape(st.operands[1]);
+        if (opnd_dtype(st.operands[0]) != opnd_dtype(st.operands[1])) {
+          return InvalidArgument("fused Dot dtype mismatch");
+        }
+        if (!a.IsVector() || !(a == b)) {
+          return InvalidArgument(
+              "fused Dot requires two equal-length vectors, got " +
+              a.ToString() + " and " + b.ToString());
+        }
+        out_dtype[k] = opnd_dtype(st.operands[0]);
+        out_shape[k] = Shape{};
+      } else if (st.op == "ReduceSum") {
+        out_dtype[k] = opnd_dtype(st.operands[0]);
+        out_shape[k] = Shape{};
       } else {  // Sqrt / Neg: passthrough
         out_dtype[k] = opnd_dtype(st.operands[0]);
         out_shape[k] = opnd_shape(st.operands[0]);
       }
-      // The fusion contract: every stage produces the chain shape, which is
-      // what makes in-place buffer reuse across stages legal.
-      if (k > 0 && !(out_shape[k] == out_shape[0])) {
+      // The fusion contract: every elementwise stage produces the chain
+      // shape, which is what makes in-place buffer reuse across stages
+      // legal. A trailing reduction is the one exception — it collapses the
+      // chain to a scalar (ParseFusedStages pins it to the final stage).
+      if (k > 0 && !IsFusedReduction(st.op) &&
+          !(out_shape[k] == out_shape[0])) {
         return InvalidArgument("fused chain shape drifted at stage " +
                                std::to_string(k) + ": " +
                                out_shape[k].ToString() + " vs " +
                                out_shape[0].ToString());
       }
     }
+    const bool has_reduction = IsFusedReduction(stages[ns - 1].op);
+    // Stages evaluated elementwise (all of them, minus a trailing reduction).
+    const size_t ew = has_reduction ? ns - 1 : ns;
 
     if (ctx->meta_exec()) {
       Tensor out;
@@ -147,6 +280,29 @@ class FusedElementwiseKernel : public OpKernel {
                               ZeroInit::kNo));
       ctx->set_output(0, std::move(out));
       return Status::OK();
+    }
+
+    // Cast-free single-dtype reduction chains stream chunk-by-chunk instead
+    // of materializing the elementwise prefix.
+    if (has_reduction) {
+      bool streaming = out_dtype[0] == DType::kF32 || out_dtype[0] == DType::kF64;
+      for (size_t k = 0; k < ew; ++k) {
+        if (stages[k].op == "Cast") streaming = false;
+      }
+      if (streaming) {
+        Tensor out;
+        TFHPC_RETURN_IF_ERROR(ctx->AllocateOutput(out_dtype[ns - 1], Shape{},
+                                                  &out, ZeroInit::kNo));
+        const int64_t n = out_shape[0].num_elements();
+        if (out_dtype[0] == DType::kF32) {
+          *out.mutable_data<float>() = StreamReduceChain<float>(stages, ctx, n);
+        } else {
+          *out.mutable_data<double>() =
+              StreamReduceChain<double>(stages, ctx, n);
+        }
+        ctx->set_output(0, std::move(out));
+        return Status::OK();
+      }
     }
 
     // Last stage reading each data input: its buffer is dead afterwards and
@@ -159,7 +315,7 @@ class FusedElementwiseKernel : public OpKernel {
     }
 
     Tensor cur;
-    for (size_t k = 0; k < ns; ++k) {
+    for (size_t k = 0; k < ew; ++k) {
       const FusedStage& st = stages[k];
       auto opnd = [&](int r) -> const Tensor& {
         return r == FusedStage::kPrev ? cur : ctx->input(r);
@@ -259,6 +415,48 @@ class FusedElementwiseKernel : public OpKernel {
       }
       cur = std::move(dst);
     }
+
+    // Fallback reduction tail (chains with Cast stages): reduce the
+    // materialized chain with the same ParallelSum/ParallelDot the unfused
+    // kernels use — still bit-identical, just two sweeps instead of one.
+    if (has_reduction) {
+      const FusedStage& red = stages[ns - 1];
+      auto opnd = [&](int r) -> const Tensor& {
+        return r == FusedStage::kPrev ? cur : ctx->input(r);
+      };
+      const DType dt = out_dtype[ns - 1];
+      const int64_t n = out_shape[0].num_elements();
+      Tensor out;
+      TFHPC_RETURN_IF_ERROR(
+          ctx->AllocateOutput(dt, Shape{}, &out, ZeroInit::kNo));
+      if (red.op == "Dot") {
+        const Tensor& x = opnd(red.operands[0]);
+        const Tensor& y = opnd(red.operands[1]);
+        if (dt == DType::kF32) {
+          *out.mutable_data<float>() = static_cast<float>(blas::ParallelDot(
+              x.data<float>().data(), y.data<float>().data(), n));
+        } else if (dt == DType::kF64) {
+          *out.mutable_data<double>() = blas::ParallelDot(
+              x.data<double>().data(), y.data<double>().data(), n);
+        } else {
+          return Unimplemented("fused Dot for dtype " +
+                               std::string(DTypeName(dt)));
+        }
+      } else {  // ReduceSum
+        const Tensor& x = opnd(red.operands[0]);
+        if (dt == DType::kF32) {
+          *out.mutable_data<float>() =
+              static_cast<float>(blas::ParallelSum(x.data<float>().data(), n));
+        } else if (dt == DType::kF64) {
+          *out.mutable_data<double>() =
+              blas::ParallelSum(x.data<double>().data(), n);
+        } else {
+          return Unimplemented("fused ReduceSum for dtype " +
+                               std::string(DTypeName(dt)));
+        }
+      }
+      cur = std::move(out);
+    }
     ctx->set_output(0, std::move(cur));
     return Status::OK();
   }
@@ -273,17 +471,19 @@ class FusedElementwiseKernel : public OpKernel {
     }
     double flops = 0;
     for (const FusedStage& st : *stages) {
-      if (st.op == "Axpy") {
+      if (st.op == "Axpy" || st.op == "Dot") {
         flops += 2.0 * static_cast<double>(n);
       } else if (st.op != "Cast") {
         flops += static_cast<double>(n);
       }
     }
     c.flops = flops;
-    // One result write per step; intermediates stay in the reused buffer.
+    // One result write per step; intermediates stay in the reused buffer (or
+    // never exist at all: a trailing reduction writes one scalar).
     if (ctx.num_inputs() > 0) {
-      c.bytes_written =
-          n * static_cast<int64_t>(DTypeSize(ctx.input(0).dtype()));
+      const int64_t dsz =
+          static_cast<int64_t>(DTypeSize(ctx.input(0).dtype()));
+      c.bytes_written = IsFusedReduction(stages->back().op) ? dsz : n * dsz;
     }
     return c;
   }

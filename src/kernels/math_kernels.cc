@@ -6,6 +6,7 @@
 #include "kernels/fft_impl.h"
 #include "kernels/gemm.h"
 #include "kernels/kernel.h"
+#include "kernels/reduction.h"
 
 namespace tfhpc {
 namespace {
@@ -170,20 +171,11 @@ class DotKernel : public OpKernel {
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       if (a.dtype() == DType::kF64) {
-        const auto x = a.data<double>();
-        const auto y = b.data<double>();
-        double acc = 0;
-        for (int64_t i = 0; i < n; ++i)
-          acc += x[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
-        *out.mutable_data<double>() = acc;
+        *out.mutable_data<double>() =
+            blas::ParallelDot(a.data<double>().data(), b.data<double>().data(), n);
       } else if (a.dtype() == DType::kF32) {
-        const auto x = a.data<float>();
-        const auto y = b.data<float>();
-        double acc = 0;
-        for (int64_t i = 0; i < n; ++i)
-          acc += static_cast<double>(x[static_cast<size_t>(i)]) *
-                 y[static_cast<size_t>(i)];
-        *out.mutable_data<float>() = static_cast<float>(acc);
+        *out.mutable_data<float>() = static_cast<float>(
+            blas::ParallelDot(a.data<float>().data(), b.data<float>().data(), n));
       } else {
         return Unimplemented("Dot for dtype " +
                              std::string(DTypeName(a.dtype())));
@@ -212,22 +204,18 @@ class ReduceSumKernel : public OpKernel {
     if (!ctx->meta_exec()) {
       const int64_t n = a.num_elements();
       if (a.dtype() == DType::kF64) {
-        double acc = 0;
-        for (double v : a.data<double>()) acc += v;
-        *out.mutable_data<double>() = acc;
+        *out.mutable_data<double>() =
+            blas::ParallelSum(a.data<double>().data(), n);
       } else if (a.dtype() == DType::kF32) {
-        double acc = 0;
-        for (float v : a.data<float>()) acc += v;
-        *out.mutable_data<float>() = static_cast<float>(acc);
+        *out.mutable_data<float>() =
+            static_cast<float>(blas::ParallelSum(a.data<float>().data(), n));
       } else if (a.dtype() == DType::kC128) {
-        std::complex<double> acc = 0;
-        for (auto v : a.data<std::complex<double>>()) acc += v;
-        *out.mutable_data<std::complex<double>>() = acc;
+        *out.mutable_data<std::complex<double>>() =
+            blas::ParallelSum(a.data<std::complex<double>>().data(), n);
       } else {
         return Unimplemented("ReduceSum for dtype " +
                              std::string(DTypeName(a.dtype())));
       }
-      (void)n;
     }
     ctx->set_output(0, std::move(out));
     return Status::OK();

@@ -1,0 +1,61 @@
+#include "kernels/reduction.h"
+
+#include <algorithm>
+
+#include "core/threadpool.h"
+
+namespace tfhpc::blas {
+namespace {
+
+template <typename T>
+typename ReduceAccum<T>::type ParallelSumImpl(const T* x, int64_t n) {
+  using Acc = typename ReduceAccum<T>::type;
+  if (n <= 0) return Acc{};
+  const int64_t chunks = NumReduceChunks(n);
+  if (chunks == 1) return ChunkSum(x, n);
+  std::vector<Acc> partials(static_cast<size_t>(chunks));
+  ThreadPool::Global().ParallelFor(
+      chunks, kReduceGrainChunks, [&](int64_t cb, int64_t ce) {
+        for (int64_t c = cb; c < ce; ++c) {
+          const int64_t lo = c * kReduceChunk;
+          partials[static_cast<size_t>(c)] =
+              ChunkSum(x + lo, std::min(kReduceChunk, n - lo));
+        }
+      });
+  return CombineChunks(partials);
+}
+
+template <typename T>
+typename ReduceAccum<T>::type ParallelDotImpl(const T* x, const T* y,
+                                              int64_t n) {
+  using Acc = typename ReduceAccum<T>::type;
+  if (n <= 0) return Acc{};
+  const int64_t chunks = NumReduceChunks(n);
+  if (chunks == 1) return ChunkDot(x, y, n);
+  std::vector<Acc> partials(static_cast<size_t>(chunks));
+  ThreadPool::Global().ParallelFor(
+      chunks, kReduceGrainChunks, [&](int64_t cb, int64_t ce) {
+        for (int64_t c = cb; c < ce; ++c) {
+          const int64_t lo = c * kReduceChunk;
+          partials[static_cast<size_t>(c)] =
+              ChunkDot(x + lo, y + lo, std::min(kReduceChunk, n - lo));
+        }
+      });
+  return CombineChunks(partials);
+}
+
+}  // namespace
+
+double ParallelSum(const float* x, int64_t n) { return ParallelSumImpl(x, n); }
+double ParallelSum(const double* x, int64_t n) { return ParallelSumImpl(x, n); }
+std::complex<double> ParallelSum(const std::complex<double>* x, int64_t n) {
+  return ParallelSumImpl(x, n);
+}
+double ParallelDot(const float* x, const float* y, int64_t n) {
+  return ParallelDotImpl(x, y, n);
+}
+double ParallelDot(const double* x, const double* y, int64_t n) {
+  return ParallelDotImpl(x, y, n);
+}
+
+}  // namespace tfhpc::blas

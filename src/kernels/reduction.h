@@ -1,0 +1,107 @@
+// Deterministic parallel reductions — the substrate behind Dot/ReduceSum and
+// the FusedElementwise trailing-reduction stages.
+//
+// Determinism contract: the input is partitioned into fixed-length chunks of
+// kReduceChunk elements (never a function of thread count or scheduling).
+// Each chunk is summed with kReduceLanes independent interleaved accumulators
+// (lane l takes elements i where i % lanes == l, giving the compiler an
+// obviously vectorizable loop), the lanes are collapsed with a fixed-order
+// binary tree, and the per-chunk partials are combined serially in chunk
+// order. Any two runs — any thread count, any ParallelFor partitioning —
+// produce bit-identical results; and a fused kernel that evaluates its
+// elementwise chain chunk-by-chunk and feeds the same ChunkSum/ChunkDot
+// produces results bit-identical to the unfused reduce-over-materialized-
+// buffer path, because elementwise values are pointwise and the reduction
+// sees them in the identical order.
+//
+// Accumulator precision mirrors the historical scalar kernels: f32 reduces
+// in f64 (the Dot/ReduceSum kernels always did), f64 in f64, c128 in c128.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace tfhpc::blas {
+
+// Fixed reduction chunk length, in elements. Also the block size the fused
+// kernel streams elementwise chains through, so fused and unfused reductions
+// share chunk boundaries.
+inline constexpr int64_t kReduceChunk = 4096;
+// Independent accumulators per chunk.
+inline constexpr int kReduceLanes = 8;
+// ParallelFor grain over chunks: ~64k elements per task minimum, so short
+// vectors never shard.
+inline constexpr int64_t kReduceGrainChunks = 16;
+
+// f32 accumulates in f64; everything else in its own type.
+template <typename T>
+struct ReduceAccum {
+  using type = T;
+};
+template <>
+struct ReduceAccum<float> {
+  using type = double;
+};
+
+// Multi-accumulator sum of x[0..n) for one chunk (n <= kReduceChunk by
+// convention, though any n is correct).
+template <typename T>
+typename ReduceAccum<T>::type ChunkSum(const T* x, int64_t n) {
+  using Acc = typename ReduceAccum<T>::type;
+  Acc lanes[kReduceLanes] = {};
+  int64_t i = 0;
+  for (; i + kReduceLanes <= n; i += kReduceLanes) {
+    for (int l = 0; l < kReduceLanes; ++l) {
+      lanes[l] += static_cast<Acc>(x[i + l]);
+    }
+  }
+  for (int l = 0; i + l < n; ++l) lanes[l] += static_cast<Acc>(x[i + l]);
+  for (int w = kReduceLanes / 2; w > 0; w /= 2) {
+    for (int l = 0; l < w; ++l) lanes[l] += lanes[l + w];
+  }
+  return lanes[0];
+}
+
+// Multi-accumulator inner product over one chunk.
+template <typename T>
+typename ReduceAccum<T>::type ChunkDot(const T* x, const T* y, int64_t n) {
+  using Acc = typename ReduceAccum<T>::type;
+  Acc lanes[kReduceLanes] = {};
+  int64_t i = 0;
+  for (; i + kReduceLanes <= n; i += kReduceLanes) {
+    for (int l = 0; l < kReduceLanes; ++l) {
+      lanes[l] += static_cast<Acc>(x[i + l]) * static_cast<Acc>(y[i + l]);
+    }
+  }
+  for (int l = 0; i + l < n; ++l) {
+    lanes[l] += static_cast<Acc>(x[i + l]) * static_cast<Acc>(y[i + l]);
+  }
+  for (int w = kReduceLanes / 2; w > 0; w /= 2) {
+    for (int l = 0; l < w; ++l) lanes[l] += lanes[l + w];
+  }
+  return lanes[0];
+}
+
+// Serial in-order combine of per-chunk partials — the scheduling-independent
+// final step every parallel reduction funnels through.
+template <typename A>
+A CombineChunks(const std::vector<A>& partials) {
+  A total{};
+  for (const A& p : partials) total += p;
+  return total;
+}
+
+inline int64_t NumReduceChunks(int64_t n) {
+  return (n + kReduceChunk - 1) / kReduceChunk;
+}
+
+// Parallel drivers over the global thread pool (deterministic per the file
+// contract above). f32 overloads return the f64 accumulator; callers cast.
+double ParallelSum(const float* x, int64_t n);
+double ParallelSum(const double* x, int64_t n);
+std::complex<double> ParallelSum(const std::complex<double>* x, int64_t n);
+double ParallelDot(const float* x, const float* y, int64_t n);
+double ParallelDot(const double* x, const double* y, int64_t n);
+
+}  // namespace tfhpc::blas

@@ -21,10 +21,16 @@ int ExpectedArity(const std::string& op) {
   if (op == "Add" || op == "Sub" || op == "Mul" || op == "Div") return 2;
   if (op == "Axpy") return 3;
   if (op == "Sqrt" || op == "Neg" || op == "Cast") return 1;
+  if (op == "Dot") return 2;
+  if (op == "ReduceSum") return 1;
   return -1;
 }
 
 }  // namespace
+
+bool IsFusedReduction(const std::string& op) {
+  return op == "Dot" || op == "ReduceSum";
+}
 
 Result<std::vector<FusedStage>> ParseFusedStages(const wire::NodeDef& def,
                                                  int num_inputs) {
@@ -103,6 +109,12 @@ Result<std::vector<FusedStage>> ParseFusedStages(const wire::NodeDef& def,
       return InvalidArgument("FusedElementwise node '" + def.name +
                              "' stage " + std::to_string(k) +
                              " never consumes the previous result");
+    }
+    if (IsFusedReduction(stage.op) &&
+        (k + 1 != op_list.size() || k == 0)) {
+      return InvalidArgument("FusedElementwise node '" + def.name + "' " +
+                             stage.op + " stage " + std::to_string(k) +
+                             " must be the final stage of a 2+ stage chain");
     }
     if (stage.op == "Cast") {
       const std::string attr = "to_" + std::to_string(k);

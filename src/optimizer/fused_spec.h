@@ -28,11 +28,17 @@ struct FusedStage {
   static constexpr int kPrev = -1;
 };
 
+// True for the reduction ops a fused chain may absorb as its FINAL stage
+// (Dot: 2 operands, ReduceSum: 1). The chain's elementwise single pass then
+// ends in a scalar instead of a vector — one memory sweep for e.g. axpy+dot.
+bool IsFusedReduction(const std::string& op);
+
 // Parses and structurally validates the stage spec of a FusedElementwise
 // NodeDef: ops/args agree in stage count, operand arity matches each op
-// (binary 2, Axpy 3, unary 1), stage 0 never references kPrev, every later
-// stage does at least once, and Cast stages carry their to_<k> attr.
-// `num_inputs` bounds the iN refs.
+// (binary 2, Axpy 3, unary 1, Dot 2, ReduceSum 1), stage 0 never references
+// kPrev, every later stage does at least once, Cast stages carry their to_<k>
+// attr, and a reduction op appears only as the last of 2+ stages (consuming
+// the previous result). `num_inputs` bounds the iN refs.
 Result<std::vector<FusedStage>> ParseFusedStages(const wire::NodeDef& def,
                                                  int num_inputs);
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/verifier.h"
+#include "optimizer/fused_spec.h"
 
 namespace tfhpc::optimizer {
 namespace {
@@ -134,6 +135,33 @@ Result<wire::GraphDef> FuseElementwiseChains(const wire::GraphDef& def,
     return prev.empty() || prev_uses > 0;
   };
 
+  // Can reduction node `nd` (Dot/ReduceSum) absorb into a chain whose tail
+  // is `prev` with chain shape `S`? The reduction becomes the chain's final
+  // stage: it must consume the tail, and any external operand must be a
+  // fully-known chain-shaped tensor of the tail's dtype (Dot additionally
+  // needs a rank-1 chain — it is an inner product).
+  auto reduction_ok = [&](const wire::NodeDef& nd, const std::string& prev,
+                          const analysis::InferredShape& S) -> bool {
+    const analysis::InferredTensor* out = out_fact(nd.name);
+    if (out == nullptr || !FusableDtype(out->dtype)) return false;
+    const analysis::InferredTensor* tail_fact = out_fact(prev);
+    if (tail_fact == nullptr) return false;
+    if (nd.op == "Dot" && !(S.rank_known && S.rank() == 1)) return false;
+    int prev_uses = 0;
+    for (const std::string& in : nd.inputs) {
+      const Ref r = ParseRef(in);
+      if (r.control || r.slot != 0) return false;
+      if (r.name == prev) {
+        prev_uses++;
+        continue;
+      }
+      const analysis::InferredTensor* ext = out_fact(r.name);
+      if (ext == nullptr || ext->dtype != tail_fact->dtype) return false;
+      if (!(ext->shape == S)) return false;
+    }
+    return prev_uses > 0;
+  };
+
   // Greedy chain growth in topological order (GraphDefs in this codebase
   // are construction-ordered: inputs precede consumers).
   std::vector<bool> absorbed_or_tail(static_cast<size_t>(n), false);
@@ -169,6 +197,31 @@ Result<wire::GraphDef> FuseElementwiseChains(const wire::GraphDef& def,
       if (fed.count(cand.name) != 0) break;
       if (!stage_ok(cand, tail.name, &S)) break;
       chain.push_back(next);
+    }
+    // A trailing Dot/ReduceSum consuming the tail collapses the chain to a
+    // scalar inside the same kernel sweep (CG's axpy+dot becomes one pass).
+    // Same interiority rules as the grow loop; the reduction becomes the
+    // new tail and keeps its name.
+    {
+      const wire::NodeDef& tail = def.nodes[static_cast<size_t>(chain.back())];
+      if (protected_names.count(tail.name) == 0 &&
+          control_consumed.count(tail.name) == 0 &&
+          slot_consumed.count(tail.name) == 0) {
+        auto uit = data_consumers.find(tail.name);
+        if (uit != data_consumers.end()) {
+          const std::set<int> distinct(uit->second.begin(), uit->second.end());
+          if (distinct.size() == 1) {
+            const int next = *distinct.begin();
+            const wire::NodeDef& cand = def.nodes[static_cast<size_t>(next)];
+            if (!absorbed_or_tail[static_cast<size_t>(next)] &&
+                IsFusedReduction(cand.op) && cand.device == head.device &&
+                fed.count(cand.name) == 0 &&
+                reduction_ok(cand, tail.name, S)) {
+              chain.push_back(next);
+            }
+          }
+        }
+      }
     }
     if (chain.size() < 2) continue;
     for (int idx : chain) absorbed_or_tail[static_cast<size_t>(idx)] = true;

@@ -29,6 +29,37 @@ TEST(BufferPoolTest, AllocationsAreAlignedAndExactlySized) {
   }
 }
 
+TEST(BufferPoolTest, EverySizeClassIsSimdAligned) {
+  // The vectorized kernels require 64-byte-aligned tensor storage. Walk
+  // every size class (64 B .. 64 MB) plus the class boundaries and the
+  // oversized bypass path, on both allocation paths, fresh and pool-hit.
+  BufferPool::Global().Trim();
+  std::vector<size_t> sizes;
+  for (size_t cls = BufferPool::kMinClassBytes;
+       cls <= BufferPool::kMaxPooledBytes; cls <<= 1) {
+    sizes.push_back(cls - 1);
+    sizes.push_back(cls);
+    sizes.push_back(cls + 1);  // spills to the next class (or oversized)
+  }
+  sizes.push_back(BufferPool::kMaxPooledBytes * 2 + 7);  // oversized bypass
+  auto aligned = [](const void* p) {
+    return reinterpret_cast<uintptr_t>(p) % Buffer::kAlignment == 0;
+  };
+  for (size_t size : sizes) {
+    {
+      auto fresh = Buffer::Allocate(size, nullptr, ZeroInit::kNo);
+      ASSERT_NE(fresh->data(), nullptr) << size;
+      EXPECT_TRUE(aligned(fresh->data())) << "Allocate size " << size;
+    }
+    // The block just freed is now cached (when pooled); the fallible path
+    // must hand back an equally aligned block, hit or miss.
+    auto r = Buffer::TryAllocate(size, nullptr, ZeroInit::kNo);
+    ASSERT_TRUE(r.ok()) << size;
+    EXPECT_TRUE(aligned((*r)->data())) << "TryAllocate size " << size;
+  }
+  BufferPool::Global().Trim();
+}
+
 TEST(BufferPoolTest, FreedBlocksAreReusedFromTheSizeClass) {
   BufferPool::Global().Trim();
   AllocatorStats stats;

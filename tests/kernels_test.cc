@@ -10,6 +10,7 @@
 #include "kernels/fft_impl.h"
 #include "kernels/gemm.h"
 #include "kernels/kernel.h"
+#include "kernels/reduction.h"
 #include "runtime/session.h"
 
 namespace tfhpc {
@@ -81,6 +82,180 @@ TEST(GemvTest, LargeParallelConsistent) {
   std::vector<double> y(static_cast<size_t>(m));
   blas::Gemv(a.data(), x.data(), y.data(), m, n);
   for (double v : y) EXPECT_NEAR(v, n * 1.0, 1e-9);
+}
+
+// ---- packed-GEMM tail shapes -------------------------------------------------
+// The register-tiled kernel pads MR/NR strips; every m,n,k combination here
+// exercises some mix of full tiles, partial tiles and zero-padded packing.
+
+class GemmTailShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmTailShapeTest, MatchesNaiveF64) {
+  const auto [m, n, k] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(m * 1000003 + n * 1009 + k));
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+  std::vector<double> c(static_cast<size_t>(m * n));
+  blas::Gemm(a.data(), b.data(), c.data(), m, n, k);
+  const auto ref = NaiveGemm(a, b, m, n, k);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-12 * k) << "at " << i;
+  }
+}
+
+TEST_P(GemmTailShapeTest, MatchesNaiveF32) {
+  const auto [m, n, k] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(m * 911 + n * 131071 + k));
+  std::uniform_real_distribution<float> dist(-1, 1);
+  std::vector<float> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  blas::Gemm(a.data(), b.data(), c.data(), m, n, k);
+  const auto ref = NaiveGemm(a, b, m, n, k);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-5f * static_cast<float>(k)) << "at " << i;
+  }
+}
+
+TEST_P(GemmTailShapeTest, AccumulatesWhenBetaNonzeroF32) {
+  const auto [m, n, k] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(m + n * 7 + k * 49));
+  std::uniform_real_distribution<float> dist(-1, 1);
+  std::vector<float> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  for (size_t i = 0; i < c.size(); ++i) c[i] = static_cast<float>(i % 7) - 3;
+  auto ref = NaiveGemm(a, b, m, n, k);
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ref[i] += static_cast<float>(i % 7) - 3;
+  }
+  blas::Gemm(a.data(), b.data(), c.data(), m, n, k, /*beta_zero=*/false);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-5f * static_cast<float>(k)) << "at " << i;
+  }
+}
+
+TEST_P(GemmTailShapeTest, AccumulatesWhenBetaNonzeroF64) {
+  const auto [m, n, k] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(m * 13 + n + k * 101));
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> a(static_cast<size_t>(m * k)),
+      b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : b) v = dist(rng);
+  std::vector<double> c(static_cast<size_t>(m * n));
+  for (size_t i = 0; i < c.size(); ++i) c[i] = static_cast<double>(i % 5);
+  auto ref = NaiveGemm(a, b, m, n, k);
+  for (size_t i = 0; i < ref.size(); ++i) ref[i] += static_cast<double>(i % 5);
+  blas::Gemm(a.data(), b.data(), c.data(), m, n, k, /*beta_zero=*/false);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-12 * k) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TailShapes, GemmTailShapeTest,
+    ::testing::Combine(::testing::Values(1, 3, 7, 63, 65, 129),
+                       ::testing::Values(1, 3, 7, 63, 65, 129),
+                       ::testing::Values(1, 3, 7, 63, 65, 129)));
+
+class GemvTailShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GemvTailShapeTest, MatchesNaiveBothDtypes) {
+  const auto [m, n] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(m * 65537 + n));
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> a(static_cast<size_t>(m * n)),
+      x(static_cast<size_t>(n));
+  for (auto& v : a) v = dist(rng);
+  for (auto& v : x) v = dist(rng);
+  std::vector<double> y(static_cast<size_t>(m));
+  blas::Gemv(a.data(), x.data(), y.data(), m, n);
+  std::vector<float> af(a.begin(), a.end()), xf(x.begin(), x.end()),
+      yf(static_cast<size_t>(m));
+  blas::Gemv(af.data(), xf.data(), yf.data(), m, n);
+  for (int64_t r = 0; r < m; ++r) {
+    double ref = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      ref += a[static_cast<size_t>(r * n + j)] * x[static_cast<size_t>(j)];
+    }
+    EXPECT_NEAR(y[static_cast<size_t>(r)], ref, 1e-12 * n) << "row " << r;
+    EXPECT_NEAR(yf[static_cast<size_t>(r)], ref, 1e-5 * n) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TailShapes, GemvTailShapeTest,
+    ::testing::Combine(::testing::Values(1, 3, 7, 63, 65, 129, 1000),
+                       ::testing::Values(1, 3, 7, 63, 65, 129, 5000)));
+
+// ---- deterministic parallel reductions ---------------------------------------
+
+TEST(ReductionTest, ParallelSumMatchesChunkCombineBitExact) {
+  // The determinism contract: ParallelSum == serial in-order combine of
+  // per-chunk ChunkSums, bit for bit, regardless of scheduling.
+  const int64_t n = 3 * blas::kReduceChunk + 123;
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<double> x(static_cast<size_t>(n));
+  for (auto& v : x) v = dist(rng);
+  double manual = 0;
+  for (int64_t lo = 0; lo < n; lo += blas::kReduceChunk) {
+    manual += blas::ChunkSum(x.data() + lo, std::min(blas::kReduceChunk, n - lo));
+  }
+  const double got = blas::ParallelSum(x.data(), n);
+  EXPECT_EQ(got, manual);
+  EXPECT_EQ(blas::ParallelSum(x.data(), n), got);  // run-to-run stable
+}
+
+TEST(ReductionTest, ParallelDotMatchesChunkCombineBitExact) {
+  const int64_t n = 2 * blas::kReduceChunk + 77;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<float> dist(-1, 1);
+  std::vector<float> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (auto& v : x) v = dist(rng);
+  for (auto& v : y) v = dist(rng);
+  double manual = 0;
+  for (int64_t lo = 0; lo < n; lo += blas::kReduceChunk) {
+    manual += blas::ChunkDot(x.data() + lo, y.data() + lo,
+                             std::min(blas::kReduceChunk, n - lo));
+  }
+  EXPECT_EQ(blas::ParallelDot(x.data(), y.data(), n), manual);
+}
+
+TEST(ReductionTest, AccurateVsSerialReference) {
+  const int64_t n = blas::kReduceChunk * 5 + 1;
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = std::sin(0.001 * static_cast<double>(i));
+  }
+  long double ref = 0;
+  for (double v : x) ref += v;
+  EXPECT_NEAR(blas::ParallelSum(x.data(), n), static_cast<double>(ref),
+              1e-9 * static_cast<double>(n));
+  // f32 inputs accumulate in f64 (the historical kernel contract).
+  std::vector<float> xf(x.begin(), x.end());
+  long double reff = 0;
+  for (float v : xf) reff += static_cast<double>(v);
+  EXPECT_NEAR(blas::ParallelSum(xf.data(), n), static_cast<double>(reff),
+              1e-6 * static_cast<double>(n));
+}
+
+TEST(ReductionTest, EmptyAndSingleChunk) {
+  EXPECT_EQ(blas::ParallelSum(static_cast<const double*>(nullptr), 0), 0.0);
+  std::vector<double> x{1.5, -2.5, 4.0};
+  EXPECT_DOUBLE_EQ(blas::ParallelSum(x.data(), 3), 3.0);
+  EXPECT_DOUBLE_EQ(blas::ParallelDot(x.data(), x.data(), 3),
+                   1.5 * 1.5 + 2.5 * 2.5 + 16.0);
 }
 
 // ---- FFT properties ---------------------------------------------------------------

@@ -4,6 +4,7 @@
 // including survival of an EvictAndRebuild re-ship.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 
@@ -333,6 +334,226 @@ TEST(FusedElementwiseTest, StatefulOpsNeverFuse) {
   const wire::NodeDef* var = FindDef(r->graph, v.node->name());
   ASSERT_NE(var, nullptr);
   EXPECT_EQ(var->op, "Variable");
+}
+
+// ---- vector operands + trailing reductions ---------------------------------------
+
+TEST(FusedVectorOperandTest, VectorOperandsFuseAtEveryStage) {
+  // Every stage consumes a full-length vector external — no scalars anywhere.
+  Graph g;
+  Scope s(&g);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{32}, "x");
+  auto y = ops::Placeholder(s, DType::kF64, Shape{32}, "y");
+  auto z = ops::Placeholder(s, DType::kF64, Shape{32}, "z");
+  auto a = ops::Add(s, x, y);
+  auto b = ops::Mul(s, a, z);
+  auto out = ops::Sub(s, b, y);
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kAggressive;
+  opts.feeds = {"x", "y", "z"};
+  opts.fetches = {out.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(CountOp(r->graph, "FusedElementwise"), 1);
+  EXPECT_EQ(CountOp(r->graph, "Add"), 0);
+  EXPECT_EQ(CountOp(r->graph, "Mul"), 0);
+  EXPECT_EQ(CountOp(r->graph, "Sub"), 0);
+}
+
+TEST(FusedVectorOperandTest, VectorChainMatchesUnfusedBitExact) {
+  LocalRuntime rt(0);
+  Scope s = rt.root_scope();
+  auto x = ops::Placeholder(s, DType::kF32, Shape{48}, "x");
+  auto y = ops::Placeholder(s, DType::kF32, Shape{48}, "y");
+  auto a = ops::Mul(s, x, y);
+  auto b = ops::Add(s, a, y);
+  auto out = ops::Div(s, b, x);
+
+  std::vector<float> xv(48), yv(48);
+  for (int i = 0; i < 48; ++i) {
+    xv[static_cast<size_t>(i)] = 0.5f + static_cast<float>(i) * 0.25f;
+    yv[static_cast<size_t>(i)] = static_cast<float>(i - 24) * 1.125f;
+  }
+  const Tensor fx = Tensor::FromVector(xv);
+  const Tensor fy = Tensor::FromVector(yv);
+
+  SessionOptions off;
+  off.optimizer_level = optimizer::OptimizerLevel::kOff;
+  auto plain = rt.NewSession(off);
+  auto r_off = plain->Run({{"x", fx}, {"y", fy}}, {out.name()});
+  ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+
+  SessionOptions aggressive;
+  aggressive.optimizer_level = optimizer::OptimizerLevel::kAggressive;
+  aggressive.graph_check = GraphCheckMode::kStrict;
+  auto opt = rt.NewSession(aggressive);
+  auto r_on = opt->Run({{"x", fx}, {"y", fy}}, {out.name()});
+  ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+  EXPECT_EQ(std::memcmp((*r_off)[0].data<float>().data(),
+                        (*r_on)[0].data<float>().data(), 48 * sizeof(float)),
+            0);
+}
+
+TEST(FusedReductionTest, AxpyDotStreamsAndMatchesUnfusedBitExact) {
+  // CG's hot pair: p = alpha*x + y, then <p, p> — fused into one sweep. The
+  // vector spans multiple reduction chunks so the streamed path really runs
+  // its chunk loop, and the scalar must match the unfused graph bit for bit.
+  LocalRuntime rt(0);
+  Scope s = rt.root_scope();
+  const int64_t n = 10000;
+  auto x = ops::Placeholder(s, DType::kF64, Shape{n}, "x");
+  auto y = ops::Placeholder(s, DType::kF64, Shape{n}, "y");
+  auto alpha = ops::Const(s, Tensor::Scalar(0.375), "alpha");
+  auto p = ops::Axpy(s, alpha, x, y);
+  auto out = ops::Dot(s, p, p);
+
+  std::vector<double> xv(static_cast<size_t>(n)), yv(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    xv[static_cast<size_t>(i)] = std::sin(0.01 * static_cast<double>(i));
+    yv[static_cast<size_t>(i)] = std::cos(0.007 * static_cast<double>(i));
+  }
+  const Tensor fx = Tensor::FromVector(xv);
+  const Tensor fy = Tensor::FromVector(yv);
+
+  SessionOptions off;
+  off.optimizer_level = optimizer::OptimizerLevel::kOff;
+  auto plain = rt.NewSession(off);
+  auto r_off = plain->Run({{"x", fx}, {"y", fy}}, {out.name()});
+  ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+
+  SessionOptions aggressive;
+  aggressive.optimizer_level = optimizer::OptimizerLevel::kAggressive;
+  aggressive.graph_check = GraphCheckMode::kStrict;
+  auto opt = rt.NewSession(aggressive);
+  RunOptions trace;
+  trace.trace = true;
+  RunMetadata meta;
+  auto r_on = opt->Run({{"x", fx}, {"y", fy}}, {out.name()}, {}, trace, &meta);
+  ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+
+  ASSERT_TRUE((*r_on)[0].shape().IsScalar());
+  EXPECT_EQ(*(*r_off)[0].data<double>().data(),
+            *(*r_on)[0].data<double>().data())
+      << "fused trailing Dot must match the unfused graph bit for bit";
+  bool fused_ran = false, standalone_dot = false;
+  for (const auto& nd : meta.nodes) {
+    fused_ran |= nd.op == "FusedElementwise";
+    standalone_dot |= nd.op == "Dot";
+  }
+  EXPECT_TRUE(fused_ran);
+  EXPECT_FALSE(standalone_dot) << "the Dot must be absorbed into the chain";
+}
+
+TEST(FusedReductionTest, MulReduceSumMatchesUnfusedBitExactF32) {
+  LocalRuntime rt(0);
+  Scope s = rt.root_scope();
+  const int64_t n = 4096 * 2 + 17;  // straddles chunk boundaries + a tail
+  auto x = ops::Placeholder(s, DType::kF32, Shape{n}, "x");
+  auto y = ops::Placeholder(s, DType::kF32, Shape{n}, "y");
+  auto prod = ops::Mul(s, x, y);
+  auto out = ops::ReduceSum(s, prod);
+
+  std::vector<float> xv(static_cast<size_t>(n)), yv(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    xv[static_cast<size_t>(i)] =
+        static_cast<float>(std::sin(0.013 * static_cast<double>(i)));
+    yv[static_cast<size_t>(i)] =
+        static_cast<float>(std::cos(0.003 * static_cast<double>(i)));
+  }
+  const Tensor fx = Tensor::FromVector(xv);
+  const Tensor fy = Tensor::FromVector(yv);
+
+  SessionOptions off;
+  off.optimizer_level = optimizer::OptimizerLevel::kOff;
+  auto plain = rt.NewSession(off);
+  auto r_off = plain->Run({{"x", fx}, {"y", fy}}, {out.name()});
+  ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+
+  SessionOptions aggressive;
+  aggressive.optimizer_level = optimizer::OptimizerLevel::kAggressive;
+  aggressive.graph_check = GraphCheckMode::kStrict;
+  auto opt = rt.NewSession(aggressive);
+  auto r_on = opt->Run({{"x", fx}, {"y", fy}}, {out.name()});
+  ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+  EXPECT_EQ(*(*r_off)[0].data<float>().data(),
+            *(*r_on)[0].data<float>().data());
+}
+
+TEST(FusedReductionTest, CastChainReductionMatchesUnfused) {
+  // A Cast inside the chain forces the materialize-then-reduce fallback;
+  // it must still agree with the unfused graph exactly.
+  LocalRuntime rt(0);
+  Scope s = rt.root_scope();
+  auto x = ops::Placeholder(s, DType::kF32, Shape{600}, "x");
+  auto wide = ops::Cast(s, x, DType::kF64);
+  auto scaled = ops::Mul(s, wide, ops::Const(s, Tensor::Scalar(1.0 / 3.0)));
+  auto out = ops::ReduceSum(s, scaled);
+
+  std::vector<float> xv(600);
+  for (int i = 0; i < 600; ++i) {
+    xv[static_cast<size_t>(i)] = static_cast<float>(i % 23) * 0.875f - 5.0f;
+  }
+  const Tensor fx = Tensor::FromVector(xv);
+
+  SessionOptions off;
+  off.optimizer_level = optimizer::OptimizerLevel::kOff;
+  auto plain = rt.NewSession(off);
+  auto r_off = plain->Run({{"x", fx}}, {out.name()});
+  ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+
+  SessionOptions aggressive;
+  aggressive.optimizer_level = optimizer::OptimizerLevel::kAggressive;
+  aggressive.graph_check = GraphCheckMode::kStrict;
+  auto opt = rt.NewSession(aggressive);
+  auto r_on = opt->Run({{"x", fx}}, {out.name()});
+  ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+  EXPECT_EQ(*(*r_off)[0].data<double>().data(),
+            *(*r_on)[0].data<double>().data());
+}
+
+TEST(FusedReductionTest, FetchedTailKeepsReductionStandalone) {
+  // Fetching the elementwise tail pins its name, so the reduction cannot be
+  // absorbed — it must survive as a standalone Dot.
+  Graph g;
+  Scope s(&g);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{16}, "x");
+  auto c = ops::Const(s, Tensor::Scalar(2.0), "c");
+  auto a = ops::Add(s, x, c);
+  auto b = ops::Mul(s, a, c);
+  auto d = ops::Dot(s, b, b);
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kAggressive;
+  opts.feeds = {"x"};
+  opts.fetches = {b.node->name(), d.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(CountOp(r->graph, "Dot"), 1);
+  const wire::NodeDef* kept = FindDef(r->graph, d.node->name());
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept->op, "Dot");
+}
+
+TEST(FusedReductionTest, SingleStagePlusReductionFuses) {
+  // Even a one-op elementwise prefix is worth fusing with its reduction:
+  // Mul + ReduceSum collapses two sweeps into one.
+  Graph g;
+  Scope s(&g);
+  auto x = ops::Placeholder(s, DType::kF64, Shape{64}, "x");
+  auto y = ops::Placeholder(s, DType::kF64, Shape{64}, "y");
+  auto prod = ops::Mul(s, x, y);
+  auto out = ops::ReduceSum(s, prod);
+
+  optimizer::PipelineOptions opts;
+  opts.level = optimizer::OptimizerLevel::kAggressive;
+  opts.feeds = {"x", "y"};
+  opts.fetches = {out.node->name()};
+  auto r = optimizer::RunPassPipeline(g.ToGraphDef(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(CountOp(r->graph, "FusedElementwise"), 1);
+  EXPECT_EQ(CountOp(r->graph, "Mul"), 0);
+  EXPECT_EQ(CountOp(r->graph, "ReduceSum"), 0);
 }
 
 // ---- optimized sessions end-to-end ----------------------------------------------
