@@ -46,6 +46,25 @@ if [[ "$rc" != 2 ]]; then
 fi
 echo "==== graphcheck: app graphs clean, broken graph rejected ===="
 
+# Memory-planner gate: every app graph must produce a static memory plan
+# (waterline report, exit 0 — GC019/GC020 advisories don't fail the gate),
+# and an absurdly small budget must trip GC018 with exit 1 (valid graph
+# that provably cannot fit).
+echo "==== graphcheck --memory: static peak report on app graphs ===="
+"$repo/build/tools/graphcheck" --memory \
+  "$repo/build/graphs/stream.graph" \
+  "$repo/build/graphs/tiled_matmul.graph" \
+  "$repo/build/graphs/cg.graph" \
+  "$repo/build/graphs/fft.graph" >/dev/null
+rc=0
+"$repo/build/tools/graphcheck" --memory=1024 \
+  "$repo/build/graphs/stream.graph" >/dev/null || rc=$?
+if [[ "$rc" != 1 ]]; then
+  echo "graphcheck: expected exit 1 (GC018) on 1 KiB budget, got $rc" >&2
+  exit 1
+fi
+echo "==== graphcheck --memory: plans computed, GC018 budget gate holds ===="
+
 # Serving smoke: a short closed-loop multi-client run against the admission
 # layer with chaos faults in the third phase. The binary itself asserts zero
 # hangs (exits 2 on a stuck client) and we bound the success-path p99 to a
@@ -70,6 +89,14 @@ echo "==== optimizer ablation: levels agree, reduction floor met ===="
 echo "==== gemm ablation smoke ===="
 (cd "$repo/build" && ./bench/ablation_gemm --smoke)
 echo "==== gemm ablation: packed kernel matches naive reference ===="
+
+# Memory-planner ablation smoke: app step graphs with planning on/off at
+# reduced sizes. The binary asserts bit-identical fetches across modes,
+# static peak >= measured peak wherever a plan exists, and an allocator-
+# call reduction on at least one graph; writes BENCH_memplan.json.
+echo "==== memplan ablation smoke ===="
+(cd "$repo/build" && ./bench/ablation_memplan --smoke)
+echo "==== memplan ablation: bit-identical, bounds sound, allocs reduced ===="
 
 if [[ "$fast" == 1 ]]; then
   echo "==== ci: tier 1 OK (sanitizer smoke skipped) ===="
@@ -112,17 +139,35 @@ echo "==== tier 4: UndefinedBehaviorSanitizer smoke ===="
 "$repo/scripts/sanitize.sh" undefined \
   'Kernels|ArrayKernels|GraphCheck|ShapeInference|Presize|Wire|CoreTest|Optimizer|Fused'
 
-# clang-tidy (checks pinned in .clang-tidy) over the analysis and optimizer
-# subsystems and the CLI; the container may not ship clang-tidy, so
-# skip-if-absent.
+# clang-tidy (checks pinned in .clang-tidy, including bugprone-* and
+# concurrency-*) over the analysis, optimizer and runtime subsystems and
+# the CLI; the container may not ship clang-tidy, so skip-if-absent.
 echo "==== tier 5: clang-tidy ===="
 if command -v clang-tidy >/dev/null 2>&1; then
   clang-tidy -p "$repo/build" --quiet \
     "$repo"/src/analysis/*.cc "$repo"/src/optimizer/*.cc \
+    "$repo"/src/runtime/*.cc \
     "$repo"/tools/graphcheck.cc
   echo "==== clang-tidy: clean ===="
 else
   echo "==== clang-tidy not installed; skipping lint leg ===="
+fi
+
+# Clang thread-safety analysis (warnings as errors) over the annotated
+# mutex holders: BufferPool / AllocFaultInjector, the Session executable
+# cache, and the ServingController admission queue (core/
+# thread_annotations.h). gcc has no -Wthread-safety, so the leg runs only
+# when a clang++ is available; -fsyntax-only keeps it a pure analysis pass.
+echo "==== tier 6: clang -Wthread-safety ===="
+if command -v clang++ >/dev/null 2>&1; then
+  clang++ -std=c++20 -fsyntax-only -I "$repo/src" \
+    -Wthread-safety -Werror=thread-safety-analysis \
+    "$repo/src/core/buffer.cc" \
+    "$repo/src/runtime/serving.cc" \
+    "$repo/src/runtime/session.cc"
+  echo "==== thread-safety: clean ===="
+else
+  echo "==== clang++ not installed; skipping thread-safety leg ===="
 fi
 
 echo "==== ci: all gates passed ===="

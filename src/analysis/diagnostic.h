@@ -22,6 +22,13 @@
 //   GC016  stateful op bound to a resource on another   ERROR
 //          task (Assign/AssignAdd across job/task)
 //   GC017  missing or mistyped required attr            ERROR
+//   GC018  static peak memory exceeds the step budget   ERROR
+//          (memory planner; strict mode rejects at
+//          compile time instead of mid-step OOM)
+//   GC019  variable overwritten while a consumer of     WARNING
+//          its read is unordered w.r.t. the write
+//   GC020  top-k lifetime-stretching tensors with       INFO
+//          scheduling hints (report-only)
 #pragma once
 
 #include <string>
@@ -37,7 +44,7 @@ const char* SeverityName(Severity s);
 
 struct Diagnostic {
   Severity severity = Severity::kError;
-  std::string code;     // "GC001".."GC017"
+  std::string code;     // "GC001".."GC020"
   std::string node;     // offending node name; empty = graph-level finding
   std::string message;  // what is wrong
   std::string hint;     // how to fix it; may be empty

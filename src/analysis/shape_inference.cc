@@ -1,6 +1,7 @@
 #include "analysis/shape_inference.h"
 
 #include "core/dtype.h"
+#include "graph/op_def.h"
 #include "optimizer/fused_spec.h"
 
 namespace tfhpc::analysis {
@@ -550,6 +551,11 @@ ShapeFnRegistry::ShapeFnRegistry() {
   Register("_PackedSend", PackedSendFn);
   Register("_Recv", RecvFn);
   Register("NoOp", NoOpFn);
+  // Deliberately-dynamic allowlist: currently empty — every built-in op has
+  // an inference fn (unknowns still flow through them as unknown outputs,
+  // e.g. _Recv without a matched send, QueueDequeue with an untyped queue).
+  // An op whose output extents truly depend on runtime values goes here,
+  // with a comment saying why, instead of silently lacking a fn.
 }
 
 ShapeFnRegistry& ShapeFnRegistry::Global() {
@@ -564,6 +570,22 @@ void ShapeFnRegistry::Register(const std::string& op, ShapeFn fn) {
 const ShapeFn* ShapeFnRegistry::Lookup(const std::string& op) const {
   auto it = fns_.find(op);
   return it == fns_.end() ? nullptr : &it->second;
+}
+
+void ShapeFnRegistry::MarkDynamic(const std::string& op) {
+  dynamic_ops_.insert(op);
+}
+
+bool ShapeFnRegistry::IsDynamic(const std::string& op) const {
+  return dynamic_ops_.count(op) > 0;
+}
+
+std::vector<std::string> ShapeFnRegistry::UncoveredOps() const {
+  std::vector<std::string> uncovered;
+  for (const std::string& op : OpRegistry::Global().OpNames()) {
+    if (Lookup(op) == nullptr && !IsDynamic(op)) uncovered.push_back(op);
+  }
+  return uncovered;
 }
 
 }  // namespace tfhpc::analysis

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -130,9 +131,24 @@ class ShapeFnRegistry {
   // Null when the op has no inference function (outputs stay unknown).
   const ShapeFn* Lookup(const std::string& op) const;
 
+  // Marks an op as *deliberately* dynamic: its output extents depend on
+  // runtime values, no inference fn can exist, and the coverage audit must
+  // not flag it. An op that is neither registered nor marked dynamic is a
+  // coverage hole — its outputs silently stay unknown, which quietly
+  // excludes them from the memory planner's static peak.
+  void MarkDynamic(const std::string& op);
+  bool IsDynamic(const std::string& op) const;
+
+  // Coverage audit over OpRegistry::Global(): every registered op must have
+  // an inference fn or be explicitly marked dynamic. Returns the uncovered
+  // op names (empty = full coverage); a test pins this to empty so adding
+  // an op without deciding its shape story fails CI.
+  std::vector<std::string> UncoveredOps() const;
+
  private:
   ShapeFnRegistry();
   std::map<std::string, ShapeFn> fns_;
+  std::set<std::string> dynamic_ops_;
 };
 
 }  // namespace tfhpc::analysis

@@ -71,7 +71,7 @@ AllocFaultInjector& AllocFaultInjector::Global() {
 }
 
 void AllocFaultInjector::Install(const AllocFaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spec_ = spec;
   eligible_count_ = 0;
   eligible_bytes_ = 0;
@@ -82,13 +82,13 @@ void AllocFaultInjector::Install(const AllocFaultSpec& spec) {
 }
 
 void AllocFaultInjector::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.store(false, std::memory_order_release);
 }
 
 bool AllocFaultInjector::ShouldFail(size_t bytes) {
   if (!armed_.load(std::memory_order_acquire)) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!armed_.load(std::memory_order_relaxed)) return false;
   considered_.fetch_add(1, std::memory_order_relaxed);
   if (bytes < spec_.min_bytes || bytes > spec_.max_bytes) return false;
@@ -160,7 +160,7 @@ Status BufferPool::TryAcquire(size_t size, void** out, size_t* capacity,
   const size_t cls = RoundUpPow2(size);
   *capacity = cls;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& list = free_lists_[ClassIndex(cls)];
     if (!list.empty()) {
       // Cached blocks stay charged to the process limiter, so a hit needs
@@ -203,7 +203,7 @@ void* BufferPool::Acquire(size_t size, size_t* capacity, bool* pool_hit) {
 void BufferPool::Release(void* ptr, size_t capacity) {
   if (ptr == nullptr) return;
   if (capacity <= kMaxPooledBytes) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (cached_bytes_.load(std::memory_order_relaxed) + capacity <=
         cache_cap_) {
       // Kept in the pool: the process-limiter charge stays (idle bytes are
@@ -220,7 +220,7 @@ void BufferPool::Release(void* ptr, size_t capacity) {
 size_t BufferPool::Trim() {
   size_t freed = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_t cls = kMinClassBytes;
     for (auto& list : free_lists_) {
       freed += cls * list.size();
@@ -236,7 +236,7 @@ size_t BufferPool::Trim() {
 
 void BufferPool::set_cache_cap(size_t bytes) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cache_cap_ = bytes;
   }
   if (cached_bytes_.load(std::memory_order_relaxed) > bytes) Trim();
@@ -313,7 +313,24 @@ std::shared_ptr<Buffer> Buffer::Allocate(size_t size, AllocatorStats* stats,
       new Buffer(p, size, capacity, stats, nullptr));
 }
 
+std::shared_ptr<Buffer> Buffer::CreateView(std::shared_ptr<Buffer> base,
+                                           size_t offset, size_t size) {
+  TFHPC_CHECK(base != nullptr) << "view of null buffer";
+  TFHPC_CHECK(offset % kAlignment == 0)
+      << "view offset " << offset << " breaks the alignment invariant";
+  TFHPC_CHECK(offset + size <= base->size_)
+      << "view [" << offset << ", " << offset + size << ") exceeds base size "
+      << base->size_;
+  void* p =
+      size == 0 ? nullptr : static_cast<char*>(base->data_) + offset;
+  auto view =
+      std::shared_ptr<Buffer>(new Buffer(p, size, 0, nullptr, nullptr));
+  view->parent_ = std::move(base);
+  return view;
+}
+
 Buffer::~Buffer() {
+  if (parent_ != nullptr) return;  // views own none of their bytes
   if (stats_ != nullptr) stats_->Sub(static_cast<int64_t>(size_));
   if (step_limiter_ != nullptr) {
     step_limiter_->Release(static_cast<int64_t>(size_));

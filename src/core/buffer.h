@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace tfhpc {
 
@@ -204,11 +205,12 @@ class AllocFaultInjector {
   std::atomic<bool> armed_{false};
   std::atomic<int64_t> considered_{0};
   std::atomic<int64_t> injected_{0};
-  std::mutex mu_;
-  AllocFaultSpec spec_;
-  uint64_t eligible_count_ = 0;  // eligible allocations seen
-  int64_t eligible_bytes_ = 0;   // cumulative eligible bytes
-  int64_t failures_ = 0;
+  Mutex mu_;
+  AllocFaultSpec spec_ TFHPC_GUARDED_BY(mu_);
+  // Eligible allocations seen / cumulative eligible bytes / injected count.
+  uint64_t eligible_count_ TFHPC_GUARDED_BY(mu_) = 0;
+  int64_t eligible_bytes_ TFHPC_GUARDED_BY(mu_) = 0;
+  int64_t failures_ TFHPC_GUARDED_BY(mu_) = 0;
 };
 
 // Process-wide size-class pool in front of aligned_alloc. Freed blocks up to
@@ -265,9 +267,10 @@ class BufferPool {
 
   static size_t ClassIndex(size_t size);
 
-  std::mutex mu_;
-  std::vector<std::vector<void*>> free_lists_;  // by class index
-  size_t cache_cap_ = kDefaultCacheCap;
+  Mutex mu_;
+  // Cached blocks by class index.
+  std::vector<std::vector<void*>> free_lists_ TFHPC_GUARDED_BY(mu_);
+  size_t cache_cap_ TFHPC_GUARDED_BY(mu_) = kDefaultCacheCap;
   std::atomic<size_t> cached_bytes_{0};
   std::atomic<int64_t> total_acquires_{0};
   std::atomic<int64_t> total_hits_{0};
@@ -302,6 +305,20 @@ class Buffer {
   static std::shared_ptr<Buffer> Allocate(size_t size,
                                           AllocatorStats* stats = nullptr,
                                           ZeroInit zero = ZeroInit::kYes);
+
+  // A view of [offset, offset + size) inside `base`. Views own no storage:
+  // the base buffer is retained for the view's lifetime and nothing is
+  // released, accounted, or returned to the pool when the view dies — the
+  // base already carries the stats/limiter charges for all its bytes. The
+  // executor's memory-planned arena carves per-tensor views out of one
+  // per-step allocation this way. `offset` must be kAlignment-aligned so
+  // the SIMD kernels' alignment invariant holds through views.
+  static std::shared_ptr<Buffer> CreateView(std::shared_ptr<Buffer> base,
+                                            size_t offset, size_t size);
+  // True for buffers made by CreateView. Runtime forwarding must refuse
+  // views: handing a planned arena span to an unplanned output would extend
+  // its lifetime past the interval the plan proved safe.
+  bool is_view() const { return parent_ != nullptr; }
 
   ~Buffer();
   Buffer(const Buffer&) = delete;
@@ -340,6 +357,7 @@ class Buffer {
   size_t capacity_;  // size-class capacity handed back to the pool
   AllocatorStats* stats_;
   std::shared_ptr<MemoryLimiter> step_limiter_;  // holds `size_` reserved
+  std::shared_ptr<Buffer> parent_;  // set only on views (CreateView)
 };
 
 // SIMD-safety invariants the vectorized kernels rely on: every tensor buffer

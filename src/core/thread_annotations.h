@@ -1,0 +1,79 @@
+// Clang thread-safety annotations (-Wthread-safety) plus a minimally
+// annotated mutex. Under clang the macros expand to the capability
+// attributes and the analysis statically proves that every GUARDED_BY
+// member is only touched with its mutex held and every REQUIRES function
+// is only called under the right lock; under gcc (which has no such
+// analysis) they expand to nothing and the types behave exactly like
+// std::mutex / std::lock_guard. The ci.sh thread-safety leg compiles the
+// annotated translation units with clang and -Werror=thread-safety when a
+// clang is present on the machine.
+//
+// Only tfhpc::Mutex-guarded state is analyzed — std::mutex carries no
+// capability attribute, so classes wanting the analysis must use Mutex and
+// MutexLock from this header.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define TFHPC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TFHPC_THREAD_ANNOTATION_(x)
+#endif
+
+#define TFHPC_CAPABILITY(x) TFHPC_THREAD_ANNOTATION_(capability(x))
+#define TFHPC_SCOPED_CAPABILITY TFHPC_THREAD_ANNOTATION_(scoped_lockable)
+#define TFHPC_GUARDED_BY(x) TFHPC_THREAD_ANNOTATION_(guarded_by(x))
+#define TFHPC_PT_GUARDED_BY(x) TFHPC_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define TFHPC_REQUIRES(...) \
+  TFHPC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define TFHPC_ACQUIRE(...) \
+  TFHPC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define TFHPC_RELEASE(...) \
+  TFHPC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TFHPC_TRY_ACQUIRE(...) \
+  TFHPC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TFHPC_EXCLUDES(...) TFHPC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define TFHPC_RETURN_CAPABILITY(x) TFHPC_THREAD_ANNOTATION_(lock_returned(x))
+#define TFHPC_NO_THREAD_SAFETY_ANALYSIS \
+  TFHPC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace tfhpc {
+
+// std::mutex wearing the capability attribute so GUARDED_BY/REQUIRES can
+// name it. Same size, same semantics.
+class TFHPC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TFHPC_ACQUIRE() { mu_.lock(); }
+  void unlock() TFHPC_RELEASE() { mu_.unlock(); }
+  bool try_lock() TFHPC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock over a Mutex (std::lock_guard shape). Also BasicLockable —
+// lock()/unlock() exist so std::condition_variable_any can release and
+// reacquire the mutex around a wait; those two are analysis-exempt because
+// the capability state is managed by the constructor/destructor pair and a
+// cv wait restores the invariant before returning.
+class TFHPC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TFHPC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TFHPC_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // For std::condition_variable_any only — do not call directly.
+  void lock() TFHPC_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() TFHPC_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace tfhpc

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "analysis/liveness.h"
+#include "analysis/memory_plan.h"
 #include "analysis/verifier.h"
 
 namespace tfhpc::distrib {
@@ -316,11 +318,51 @@ DistributedSession::GetOrBuildStepPlan(
     plan->parts[it->second].feed_keys.push_back(feed_key);
   }
 
+  // Static memory planning per involved partition: rebuild each partition's
+  // shipped graph and run liveness + arena planning over exactly this
+  // signature's share (feeds route as cut points, fetches/targets as
+  // roots). The recorded peak is a sound per-task bound: the worker-side
+  // executor runs the same closure under the same happens-before order. A
+  // partition that can't be planned (verification findings, dynamic
+  // shapes, structural surprises) keeps peak 0 — planning is advisory for
+  // the step plan, never a reason to refuse the step.
+  for (auto& part : plan->parts) {
+    const auto sh = shipped_.find(part.addr);
+    if (sh == shipped_.end()) continue;
+    wire::GraphDef pdef;
+    pdef.nodes.reserve(sh->second.size());
+    for (const auto& [node_name, nd] : sh->second) pdef.nodes.push_back(nd);
+    analysis::AnalysisOptions aopts;
+    aopts.feeds = part.feed_keys;
+    aopts.fetches = part.fetches;
+    aopts.targets = part.targets;
+    const analysis::GraphAnalysis ga = analysis::VerifyGraph(pdef, aopts);
+    if (ga.has_errors()) continue;
+    auto live = analysis::LivenessAnalysis::Compute(pdef, aopts,
+                                                    ga.annotations);
+    if (!live.ok()) continue;
+    auto mp = analysis::MemoryPlan::Plan(*live);
+    if (!mp.ok()) continue;
+    part.static_peak_bytes = mp->static_peak_bytes();
+  }
+
   std::lock_guard<std::mutex> lk(step_mu_);
   auto [it, inserted] = step_cache_.emplace(key, plan);
   if (!inserted) return it->second;  // concurrent compile won the race
   ++plans_compiled_;
   return plan;
+}
+
+Result<std::map<std::string, int64_t>> DistributedSession::PartitionStaticPeaks(
+    const std::map<std::string, Tensor>& feeds,
+    const std::vector<std::string>& fetches) {
+  TFHPC_ASSIGN_OR_RETURN(std::shared_ptr<CompiledStep> plan,
+                         GetOrBuildStepPlan(feeds, fetches));
+  std::map<std::string, int64_t> peaks;
+  for (const auto& part : plan->parts) {
+    peaks.emplace(part.addr, part.static_peak_bytes);
+  }
+  return peaks;
 }
 
 Result<std::string> DistributedSession::TaskOf(

@@ -117,14 +117,20 @@ class OpKernelContext {
   // can observe the mutation. Falls back to an uninitialized pooled
   // allocation (callers overwrite every element by contract), which can fail
   // with kResourceExhausted like AllocateOutput.
+  //
+  // Two refusals keep the static memory plan honest: arena views are never
+  // forwarded (a view handed to an unplanned output would outlive the
+  // interval the plan proved dead), and nodes the plan covers disable
+  // runtime forwarding wholesale (their aliasing decisions were made at
+  // compile time; see set_allow_forwarding).
   Status ForwardOrAllocate(std::initializer_list<int> candidates, DType dtype,
                            const Shape& shape, Tensor* out) const {
-    if (!meta_exec()) {
+    if (!meta_exec() && allow_forwarding_) {
       for (int i : candidates) {
         const Tensor& in = input(i);
         if (in.is_meta() || in.dtype() != dtype || !(in.shape() == shape))
           continue;
-        if (in.buffer_unique()) {
+        if (in.buffer_unique() && !in.buffer()->is_view()) {
           if (alloc_stats_ != nullptr) alloc_stats_->RecordForward();
           *out = in;
           return Status::OK();
@@ -133,6 +139,11 @@ class OpKernelContext {
     }
     return AllocateOutput(dtype, Shape(shape), out, ZeroInit::kNo);
   }
+
+  // The executor clears this for nodes with planned (arena) outputs: their
+  // in-place reuse, if any, is already encoded in the plan's offsets, and a
+  // runtime forward would bypass the presized arena view.
+  void set_allow_forwarding(bool allow) { allow_forwarding_ = allow; }
 
  private:
   const Node* node_;
@@ -146,6 +157,7 @@ class OpKernelContext {
   AllocatorStats* alloc_stats_;
   CancellationToken* cancellation_ = nullptr;
   std::shared_ptr<MemoryLimiter> step_limiter_;
+  bool allow_forwarding_ = true;
 };
 
 class OpKernel {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/memory_plan.h"
 #include "core/status.h"
 #include "graph/graph.h"
 #include "kernels/kernel.h"
@@ -71,6 +72,10 @@ struct NodeExecRecord {
 
 struct RunMetadata {
   std::vector<NodeExecRecord> nodes;
+  // High-water mark of the step's MemoryLimiter (nominal bytes); 0 when the
+  // step ran unbudgeted. For graphs without dynamic tensors this is always
+  // <= the compile-time Executable::static_peak_bytes() bound.
+  int64_t step_peak_bytes = 0;
 };
 
 // Renders the tfdbg-style watch list ("node (op) @device: summary").
@@ -107,6 +112,18 @@ class Executable {
   // steps against a byte budget using this estimate.
   int64_t estimated_bytes() const { return estimated_bytes_; }
 
+  // Static memory plan facts (analysis/memory_plan.h), baked at compile
+  // time when Session::Prepare computed a plan. arena_bytes() is the single
+  // per-step block Execute allocates and carves with views; 0 = no plan (or
+  // nothing plannable) and every output goes through the pool.
+  int64_t arena_bytes() const { return arena_bytes_; }
+  // Compile-time upper bound on the step's limiter-charged footprint, sound
+  // under any concurrent interleaving; 0 when no plan was attached. Serving
+  // admission prefers this over estimated_bytes().
+  int64_t static_peak_bytes() const { return static_peak_bytes_; }
+  // Scheduled nodes whose output is served from the arena.
+  int num_planned_nodes() const { return num_planned_; }
+
  private:
   friend class Executor;
 
@@ -131,6 +148,12 @@ class Executable {
     // kernels fully overwrite outputs; empty when unknown. Execute attaches
     // matching pre-sized buffers to the kernel context.
     std::vector<std::pair<DType, Shape>> static_outputs;
+    // Arena placement for this node's sole output (the planner only covers
+    // single-output nodes): byte offset into the step arena, or -1 when the
+    // output is pool-allocated. Planned nodes run with runtime forwarding
+    // disabled — their aliasing was decided at compile time.
+    int64_t planned_offset = -1;
+    int64_t planned_bytes = 0;
   };
   struct FeedBinding {
     std::string key;  // "name" or "name:slot" as the caller feeds it
@@ -156,6 +179,12 @@ class Executable {
   int64_t graph_version_ = 0;
   int num_scheduled_ = 0;
   int64_t estimated_bytes_ = 0;
+  int64_t arena_bytes_ = 0;
+  int64_t static_peak_bytes_ = 0;
+  int num_planned_ = 0;
+  // Device whose allocator the arena block is attributed to (the first
+  // planned node's device); null when no plan is attached.
+  Device* arena_device_ = nullptr;
   // Set when this plan was compiled against an optimizer-rewritten graph
   // (Executor::CompileGraph): the rewritten Graph must outlive the plan's
   // Node pointers, so the plan owns it. Null for plans compiled against the
@@ -175,12 +204,16 @@ class Executor {
   // are not needed to compile. The signature must fetch or target at least
   // one node. `static_shapes` (optional) carries GraphCheck's fully-known
   // output annotations; nodes whose op declares overwrites_outputs get their
-  // output buffers pre-sized at execution time.
+  // output buffers pre-sized at execution time. `memory_plan` (optional)
+  // is the static memory plan computed over the same signature: planned
+  // single-output nodes are bound to arena offsets and the plan's
+  // arena/peak byte facts are baked into the Executable.
   Result<std::shared_ptr<const Executable>> Compile(
       const std::vector<std::string>& feed_keys,
       const std::vector<std::string>& fetches,
       const std::vector<std::string>& targets = {},
-      const StaticShapeMap* static_shapes = nullptr);
+      const StaticShapeMap* static_shapes = nullptr,
+      const analysis::MemoryPlan* memory_plan = nullptr);
 
   // Compiles against `graph` instead of the session graph — the path the
   // optimizer pipeline uses (Session rewrites a GraphDef, parses it into a
@@ -194,7 +227,8 @@ class Executor {
       const std::vector<std::string>& feed_keys,
       const std::vector<std::string>& fetches,
       const std::vector<std::string>& targets = {},
-      const StaticShapeMap* static_shapes = nullptr);
+      const StaticShapeMap* static_shapes = nullptr,
+      const analysis::MemoryPlan* memory_plan = nullptr);
 
   // Runs a compiled step. `feeds` must supply every feed key the executable
   // was compiled with; extra keys that were also in the compiled signature
@@ -253,7 +287,8 @@ class Executor {
       const std::vector<std::string>& feed_keys,
       const std::vector<std::string>& fetches,
       const std::vector<std::string>& targets,
-      const StaticShapeMap* static_shapes);
+      const StaticShapeMap* static_shapes,
+      const analysis::MemoryPlan* memory_plan);
 };
 
 }  // namespace tfhpc

@@ -13,11 +13,11 @@ Status ServingController::Admit(const std::string& client_id,
   // Registered before mu_ so the callback (which takes mu_) cannot deadlock
   // against this frame, and deregistered after the wait completes.
   CancelCallback wake(token, [this] {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     cv_.notify_all();
   });
 
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (token != nullptr) {
     Status ts = token->Check();
     if (!ts.ok()) return ts;  // dead on arrival: refuse before queueing
@@ -98,7 +98,7 @@ Status ServingController::Admit(const std::string& client_id,
 }
 
 void ServingController::Release(int64_t estimated_bytes) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   --inflight_;
   inflight_bytes_ -= estimated_bytes;
   ++stats_.completed;
@@ -149,7 +149,7 @@ void ServingController::RemoveTicketLocked(const std::string& client_id,
 }
 
 ServingStats ServingController::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ServingStats s = stats_;
   s.inflight = inflight_;
   s.queued = queued_;

@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "core/status.h"
+#include "core/thread_annotations.h"
 #include "runtime/cancellation.h"
 
 namespace tfhpc {
@@ -102,31 +102,33 @@ class ServingController {
   };
 
   // Grants free slots to queued tickets, round-robin across clients with
-  // non-empty queues. Caller holds mu_.
-  void GrantNextLocked();
-  // Removes `t` from its client's queue (it was not granted). Caller holds
-  // mu_.
-  void RemoveTicketLocked(const std::string& client_id, Ticket* t);
+  // non-empty queues.
+  void GrantNextLocked() TFHPC_REQUIRES(mu_);
+  // Removes `t` from its client's queue (it was not granted).
+  void RemoveTicketLocked(const std::string& client_id, Ticket* t)
+      TFHPC_REQUIRES(mu_);
 
-  // True when `bytes` more estimated bytes fit the byte budget. Caller
-  // holds mu_.
-  bool BytesFitLocked(int64_t bytes) const {
+  // True when `bytes` more estimated bytes fit the byte budget.
+  bool BytesFitLocked(int64_t bytes) const TFHPC_REQUIRES(mu_) {
     return options_.max_estimated_bytes <= 0 ||
            inflight_bytes_ + bytes <= options_.max_estimated_bytes;
   }
 
   const ServingOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int inflight_ = 0;
-  int queued_ = 0;
-  int64_t inflight_bytes_ = 0;
+  mutable Mutex mu_;
+  // _any: waits on a MutexLock (BasicLockable) so mu_ keeps its capability
+  // annotation through the cv handoff.
+  std::condition_variable_any cv_;
+  int inflight_ TFHPC_GUARDED_BY(mu_) = 0;
+  int queued_ TFHPC_GUARDED_BY(mu_) = 0;
+  int64_t inflight_bytes_ TFHPC_GUARDED_BY(mu_) = 0;
   // Per-client FIFO of waiting tickets (pointers into Admit stack frames —
   // valid because Admit never returns while its ticket is queued), plus a
   // round-robin cursor over client ids for the fair grant order.
-  std::map<std::string, std::deque<Ticket*>> queues_;
-  std::string rr_cursor_;  // last client granted; next grant starts after it
-  ServingStats stats_;
+  std::map<std::string, std::deque<Ticket*>> queues_ TFHPC_GUARDED_BY(mu_);
+  // Last client granted; the next grant starts after it.
+  std::string rr_cursor_ TFHPC_GUARDED_BY(mu_);
+  ServingStats stats_ TFHPC_GUARDED_BY(mu_);
 };
 
 }  // namespace tfhpc

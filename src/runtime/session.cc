@@ -50,7 +50,7 @@ Result<std::shared_ptr<const Executable>> Session::Prepare(
   const std::string key = sig.Key();
 
   {
-    std::lock_guard<std::mutex> lk(cache_mu_);
+    MutexLock lk(cache_mu_);
     if (max_cached_ > 0) {
       auto it = cache_.find(key);
       if (it != cache_.end() &&
@@ -92,6 +92,43 @@ Result<std::shared_ptr<const Executable>> Session::Prepare(
   check_opts.feeds = sig.feeds;
   check_opts.fetches = fetches;
   check_opts.targets = targets;
+
+  // Static memory planning over whichever GraphDef actually compiles (the
+  // session graph, or the optimizer's rewrite): liveness intervals + arena
+  // plan + memory lints. GC018 (static peak over the session's step budget)
+  // is an ERROR — strict mode rejects here, before any kernel or allocation
+  // of the step ever runs. The plan is handed to Compile, which bakes arena
+  // offsets into the Executable.
+  std::unique_ptr<analysis::MemoryPlan> plan;
+  auto build_plan = [&](const wire::GraphDef& gdef,
+                        const analysis::GraphAnalysis& ga) -> Status {
+    if (!options_.memory_planning || ga.has_errors()) return Status::OK();
+    auto live = analysis::LivenessAnalysis::Compute(gdef, check_opts,
+                                                    ga.annotations);
+    if (!live.ok()) return Status::OK();  // structural issues: already linted
+    auto planned = analysis::MemoryPlan::Plan(*live);
+    if (!planned.ok()) return Status::OK();
+    std::vector<analysis::Diagnostic> lints = analysis::LintMemory(
+        gdef, *live, *planned, options_.step_memory_limit_bytes);
+    if (options_.graph_check != GraphCheckMode::kOff) {
+      if (analysis::HasErrors(lints) &&
+          options_.graph_check == GraphCheckMode::kStrict) {
+        std::vector<analysis::Diagnostic> errors;
+        for (const auto& d : lints) {
+          if (d.severity == analysis::Severity::kError) errors.push_back(d);
+        }
+        return InvalidArgument("graphcheck rejected the graph:\n" +
+                               analysis::FormatDiagnostics(errors));
+      }
+      for (const auto& d : lints) {
+        if (d.severity >= analysis::Severity::kWarning) {
+          std::fprintf(stderr, "graphcheck: %s\n", d.ToString().c_str());
+        }
+      }
+    }
+    plan = std::make_unique<analysis::MemoryPlan>(std::move(*planned));
+    return Status::OK();
+  };
 
   const bool optimize =
       options_.optimizer_level != optimizer::OptimizerLevel::kOff;
@@ -146,25 +183,29 @@ Result<std::shared_ptr<const Executable>> Session::Prepare(
             analysis::FormatDiagnostics(errors));
       }
       collect_shapes(post);
+      TFHPC_RETURN_IF_ERROR(build_plan(rewritten.graph, post));
       TFHPC_ASSIGN_OR_RETURN(std::unique_ptr<Graph> rewritten_graph,
                              Graph::FromGraphDef(rewritten.graph));
       TFHPC_ASSIGN_OR_RETURN(
           exe, executor_.CompileGraph(
                    std::shared_ptr<const Graph>(std::move(rewritten_graph)),
                    version, sig.feeds, fetches, targets,
-                   static_shapes.empty() ? nullptr : &static_shapes));
+                   static_shapes.empty() ? nullptr : &static_shapes,
+                   plan.get()));
     } else {
       collect_shapes(analysis);
+      TFHPC_RETURN_IF_ERROR(build_plan(def, analysis));
     }
   }
   if (exe == nullptr) {
     TFHPC_ASSIGN_OR_RETURN(
         exe, executor_.Compile(sig.feeds, fetches, targets,
                                static_shapes.empty() ? nullptr
-                                                     : &static_shapes));
+                                                     : &static_shapes,
+                               plan.get()));
   }
 
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  MutexLock lk(cache_mu_);
   if (max_cached_ == 0) return exe;
   auto it = cache_.find(key);
   if (it != cache_.end()) {
@@ -222,12 +263,12 @@ Result<std::string> Session::DevicePlacement(const std::string& node_name) {
 }
 
 size_t Session::executable_cache_size() const {
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  MutexLock lk(cache_mu_);
   return cache_.size();
 }
 
 void Session::set_max_cached_executables(size_t n) {
-  std::lock_guard<std::mutex> lk(cache_mu_);
+  MutexLock lk(cache_mu_);
   max_cached_ = n;
   while (cache_.size() > max_cached_ && !lru_.empty()) {
     cache_.erase(lru_.back());

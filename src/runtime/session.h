@@ -17,8 +17,8 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 
+#include "core/thread_annotations.h"
 #include "graph/ops.h"
 #include "graph/passes.h"
 #include "optimizer/optimizer.h"
@@ -58,6 +58,15 @@ struct SessionOptions {
   // RunOptions does not set its own; 0 = unbudgeted. Breaches fail the step
   // with permanent kResourceExhausted (see core/buffer.h).
   int64_t step_memory_limit_bytes = 0;
+  // Static memory planning (analysis/liveness.h + memory_plan.h), run once
+  // per signature-cache miss: tensor live intervals over the compiled
+  // closure, a deterministic arena plan for statically-shaped tensors, and
+  // memory lints (GC018 budget breach — rejects in strict mode before any
+  // kernel runs; GC019 racing variable overwrite). Planned steps allocate
+  // one arena block per step instead of one pool allocation per output.
+  // Requires graph analysis: inert when graph_check is kOff and the
+  // optimizer is off.
+  bool memory_planning = true;
   // Allocator fault schedule, installed process-wide at session
   // construction when any schedule is enabled (testing/chaos only — the
   // injector is global, like the pool it torments).
@@ -121,14 +130,15 @@ class Session {
 
   // Signature-keyed LRU cache of compiled plans. An entry whose
   // graph_version predates Graph::version() is recompiled in place.
-  mutable std::mutex cache_mu_;
-  size_t max_cached_ = 64;
-  std::list<std::string> lru_;  // front = most recently used
+  mutable Mutex cache_mu_;
+  size_t max_cached_ TFHPC_GUARDED_BY(cache_mu_) = 64;
+  // Front = most recently used.
+  std::list<std::string> lru_ TFHPC_GUARDED_BY(cache_mu_);
   struct CacheEntry {
     std::shared_ptr<const Executable> executable;
     std::list<std::string>::iterator lru_pos;
   };
-  std::map<std::string, CacheEntry> cache_;
+  std::map<std::string, CacheEntry> cache_ TFHPC_GUARDED_BY(cache_mu_);
   std::atomic<int64_t> cache_hits_{0};
   std::atomic<int64_t> cache_misses_{0};
   std::atomic<int64_t> nodes_executed_{0};
